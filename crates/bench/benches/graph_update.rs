@@ -1,0 +1,51 @@
+//! Heap-graph maintenance throughput: the per-event cost of the
+//! execution logger's image updates (paper §2.1 — the design must keep
+//! per-store work tiny for the 2–3× online slowdown to hold).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use heap_graph::HeapGraph;
+use sim_heap::{Addr, AllocSite, SimHeap};
+
+/// Builds a linked structure of `n` nodes, then churns it.
+fn churn(n: usize) -> (SimHeap, HeapGraph) {
+    let mut heap = SimHeap::new();
+    let mut graph = HeapGraph::new();
+    let mut addrs: Vec<Addr> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let eff = heap.alloc(32, AllocSite(0)).unwrap();
+        graph.on_alloc(eff.id, eff.addr, eff.size);
+        addrs.push(eff.addr);
+    }
+    for w in addrs.windows(2) {
+        let eff = heap.write_ptr(w[0].offset(8), w[1]).unwrap();
+        graph.on_ptr_write(eff.src, eff.offset, w[1]);
+    }
+    (heap, graph)
+}
+
+fn bench_graph_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_update");
+    for &n in &[1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("build_chain", n), &n, |b, &n| {
+            b.iter(|| churn(n));
+        });
+        group.bench_with_input(BenchmarkId::new("alloc_free_cycle", n), &n, |b, &n| {
+            let (mut heap, mut graph) = churn(n);
+            b.iter(|| {
+                // Free + realloc one node per element: exercises edge
+                // drop, dangling tracking, and re-binding.
+                for _ in 0..n {
+                    let eff = heap.alloc(32, AllocSite(1)).unwrap();
+                    graph.on_alloc(eff.id, eff.addr, eff.size);
+                    let freed = heap.free(eff.addr).unwrap();
+                    graph.on_free(freed.id);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_update);
+criterion_main!(benches);

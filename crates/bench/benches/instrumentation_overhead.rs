@@ -1,0 +1,90 @@
+//! The paper's §2 claim: the online prototype costs a 2–3× slowdown.
+//! The analogue here: the same mutator loop against (a) the bare
+//! simulated heap, (b) the full execution logger (heap-graph image +
+//! sampling), and (c) the logger with the anomaly detector attached.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use heapmd::{AnomalyDetector, HeapModel, Monitor, Process, Settings};
+use sim_heap::{Addr, AllocSite, SimHeap, NULL};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const OPS: usize = 4_000;
+
+/// The mutator loop: list churn with allocation, linking, and frees.
+fn raw_heap_loop() {
+    let mut heap = SimHeap::new();
+    let mut head = NULL;
+    let mut live: Vec<Addr> = Vec::new();
+    for i in 0..OPS {
+        let a = heap.alloc(24, AllocSite(0)).unwrap().addr;
+        if !head.is_null() {
+            heap.write_ptr(a.offset(8), head).unwrap();
+        }
+        head = a;
+        live.push(a);
+        if i % 4 == 3 {
+            let victim = live.swap_remove(i % live.len());
+            if victim != head {
+                heap.free(victim).unwrap();
+            }
+        }
+    }
+}
+
+fn instrumented_loop(p: &mut Process) {
+    let mut head = NULL;
+    let mut live: Vec<Addr> = Vec::new();
+    for i in 0..OPS {
+        p.enter("loop_body");
+        let a = p.malloc(24, "node").unwrap();
+        if !head.is_null() {
+            p.write_ptr(a.offset(8), head).unwrap();
+        }
+        head = a;
+        live.push(a);
+        if i % 4 == 3 {
+            let victim = live.swap_remove(i % live.len());
+            if victim != head {
+                p.free(victim).unwrap();
+            }
+        }
+        p.leave();
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let settings = Settings::builder().frq(100).build().unwrap();
+    let model = HeapModel {
+        program: "bench".into(),
+        settings: settings.clone(),
+        stable: vec![],
+        unstable: vec![],
+        locally_stable: vec![],
+        training_runs: 0,
+    };
+    let mut group = c.benchmark_group("instrumentation_overhead");
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.bench_function("bare_heap", |b| b.iter(raw_heap_loop));
+    group.bench_function("execution_logger", |b| {
+        b.iter(|| {
+            let mut p = Process::new(settings.clone());
+            instrumented_loop(&mut p);
+        })
+    });
+    group.bench_function("logger_plus_detector", |b| {
+        b.iter(|| {
+            let mut p = Process::new(settings.clone());
+            let det = Rc::new(RefCell::new(AnomalyDetector::new(
+                model.clone(),
+                settings.clone(),
+            )));
+            p.attach(det as Rc<RefCell<dyn Monitor>>);
+            instrumented_loop(&mut p);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

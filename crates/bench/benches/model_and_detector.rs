@@ -1,0 +1,36 @@
+//! Analysis-side costs: summarizing runs into a model, and checking a
+//! finished report against it (the offline, post-mortem mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faults::FaultPlan;
+use heapmd::{AnomalyDetector, ModelBuilder};
+use workloads::harness::{run_once, settings_for, train};
+use workloads::{spec::Gzip, Input};
+
+fn bench_model_and_detector(c: &mut Criterion) {
+    let w = Gzip;
+    let settings = settings_for(&w);
+    let reports: Vec<_> = Input::set(6)
+        .iter()
+        .map(|i| run_once(&w, i, &mut FaultPlan::new(), &settings))
+        .collect();
+    let model = train(&w, &Input::set(4)).model;
+
+    let mut group = c.benchmark_group("model_and_detector");
+    group.bench_function("model_build_6_runs", |b| {
+        b.iter(|| {
+            let mut builder = ModelBuilder::new(settings.clone());
+            for r in &reports {
+                builder.add_run(r);
+            }
+            builder.build()
+        })
+    });
+    group.bench_function("check_report_offline", |b| {
+        b.iter(|| AnomalyDetector::check_report(&model, &settings, &reports[5]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_and_detector);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates Figures 4, 5, and 6: vpr metric series on two inputs,
+//! their fluctuation, and the stability statistics.
+
+fn main() {
+    let result = heapmd_bench::experiments::fig4_5_6();
+    println!("{}", result.rendered);
+}

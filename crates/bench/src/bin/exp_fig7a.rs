@@ -1,0 +1,10 @@
+//! Regenerates Figure 7(A): globally stable metrics for all 13
+//! programs. Pass `--quick` for a reduced input count.
+
+use heapmd_bench::Effort;
+
+fn main() {
+    let effort = Effort::from_args();
+    let (_, rendered) = heapmd_bench::experiments::fig7a(effort);
+    println!("{rendered}");
+}

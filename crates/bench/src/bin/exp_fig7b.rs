@@ -1,0 +1,10 @@
+//! Regenerates Figure 7(B): stable metrics across five development
+//! versions of each commercial program. Pass `--quick` to reduce work.
+
+use heapmd_bench::Effort;
+
+fn main() {
+    let effort = Effort::from_args();
+    let (_, rendered) = heapmd_bench::experiments::fig7b(effort);
+    println!("{rendered}");
+}

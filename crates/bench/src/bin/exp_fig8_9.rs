@@ -1,0 +1,9 @@
+//! Regenerates Figures 8 and 9 as executable exemplars: one detected
+//! bug per taxonomy class, with implicated functions.
+
+use heapmd_bench::Effort;
+
+fn main() {
+    let effort = Effort::from_args();
+    println!("{}", heapmd_bench::experiments::fig8_9(effort));
+}

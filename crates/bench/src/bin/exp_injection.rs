@@ -1,0 +1,10 @@
+//! Regenerates the §4.2 validation: artificially injected bugs in SPEC
+//! programs.
+
+use heapmd_bench::Effort;
+
+fn main() {
+    let effort = Effort::from_args();
+    let (_, rendered) = heapmd_bench::experiments::injection(effort);
+    println!("{rendered}");
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 1: SWAT vs HeapMD on synthesized leak inputs.
+
+use heapmd_bench::Effort;
+
+fn main() {
+    let effort = Effort::from_args();
+    let (rows, rendered) = heapmd_bench::experiments::table1(effort);
+    println!("{rendered}");
+    println!("Per-scenario detail (fault id | SWAT | HeapMD):");
+    for row in &rows {
+        for (id, swat, hm) in &row.detail {
+            println!(
+                "  {id:<42} {}  {}",
+                if *swat { "SWAT+" } else { "SWAT-" },
+                if *hm { "HMD+" } else { "HMD-" }
+            );
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 2: the 40-bug detection campaign across the five
+//! commercial programs.
+
+use heapmd_bench::Effort;
+
+fn main() {
+    let effort = Effort::from_args();
+    let (_, rendered) = heapmd_bench::experiments::table2(effort);
+    println!("{rendered}");
+}

@@ -1,0 +1,244 @@
+//! `heapmd` — command-line front end for the reproduction.
+//!
+//! ```text
+//! heapmd list                                   # programs and catalogued bugs
+//! heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]
+//! heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT]
+//! heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT]
+//! heapmd replay --model FILE --trace FILE       # post-mortem trace checking
+//! ```
+//!
+//! Models are the JSON "summarized metric reports" of the paper's
+//! Figure 2; traces are recorded with [`heapmd::Process::enable_trace`].
+
+use faults::FaultPlan;
+use heapmd::{FuncId, HeapModel, ModelBuilder, Process, Trace};
+use workloads::bugs::{CATALOG, SWAT_ONLY};
+use workloads::harness::{check, run_once, settings_for};
+use workloads::{commercial_at_version, registry, Input, Workload, WorkloadKind};
+
+fn find_program(name: &str, version: u8) -> Option<Box<dyn Workload>> {
+    let w = registry().into_iter().find(|w| w.name() == name)?;
+    Some(if w.kind() == WorkloadKind::Commercial && version != 1 {
+        commercial_at_version(name, version)
+    } else {
+        w
+    })
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  heapmd list\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd replay --model FILE --trace FILE"
+    );
+    std::process::exit(2);
+}
+
+fn cmd_list() {
+    println!("programs:");
+    for w in registry() {
+        let kind = match w.kind() {
+            WorkloadKind::Spec => "spec",
+            WorkloadKind::Commercial => "commercial (versions 1-5)",
+        };
+        println!("  {:<14} {kind}", w.name());
+    }
+    println!("\ncatalogued bugs (enable with `check --bug <fault>`):");
+    for b in &CATALOG {
+        println!(
+            "  {:<44} {:<24} {}",
+            b.fault.0,
+            b.category.to_string(),
+            b.description
+        );
+    }
+    println!("\nSWAT-only leak scenarios:");
+    for l in &SWAT_ONLY {
+        println!(
+            "  {:<44} {:<24} {}",
+            l.fault.0,
+            l.detection.to_string(),
+            l.description
+        );
+    }
+}
+
+fn cmd_train(args: &[String]) {
+    let Some(program) = args.first() else { usage() };
+    let inputs: usize = arg_value(args, "--inputs")
+        .map(|v| v.parse().expect("--inputs takes a number"))
+        .unwrap_or(10);
+    let version: u8 = arg_value(args, "--version")
+        .map(|v| v.parse().expect("--version takes 1-5"))
+        .unwrap_or(1);
+    let out = arg_value(args, "--out").unwrap_or_else(|| format!("{program}.heapmd.json"));
+    let local = args.iter().any(|a| a == "--local");
+
+    let Some(w) = find_program(program, version) else {
+        eprintln!("unknown program {program} (see `heapmd list`)");
+        std::process::exit(1);
+    };
+    let settings = settings_for(w.as_ref());
+    eprintln!(
+        "training {program} v{version} on {inputs} inputs (frq {})…",
+        settings.frq
+    );
+    let mut builder = ModelBuilder::new(settings.clone())
+        .program(w.name())
+        .locally_stable(local);
+    for input in Input::set(inputs) {
+        let report = run_once(w.as_ref(), &input, &mut FaultPlan::new(), &settings);
+        builder.add_run(&report);
+        eprint!(".");
+    }
+    eprintln!();
+    let outcome = builder.build();
+    for sm in outcome.model.stable_metrics() {
+        println!(
+            "stable {:<9} [{:6.2}, {:6.2}]  avg chg {:+.2}%  σ {:.2}  ({}/{} runs)",
+            sm.kind.to_string(),
+            sm.min,
+            sm.max,
+            sm.avg_change,
+            sm.std_change,
+            sm.stable_runs,
+            sm.total_runs
+        );
+    }
+    for lm in &outcome.model.locally_stable {
+        println!(
+            "locally stable {:<9} bands {:?}",
+            lm.kind.to_string(),
+            lm.ranges
+        );
+    }
+    if !outcome.flagged_runs.is_empty() {
+        println!("suspect training inputs: {:?}", outcome.flagged_runs);
+    }
+    outcome.model.save(&out).expect("write model");
+    println!("model written to {out}");
+}
+
+fn cmd_check(args: &[String]) {
+    let Some(program) = args.first() else { usage() };
+    let Some(model_path) = arg_value(args, "--model") else {
+        usage()
+    };
+    let input_id: u32 = arg_value(args, "--input")
+        .map(|v| v.parse().expect("--input takes a number"))
+        .unwrap_or(1000);
+    let version: u8 = arg_value(args, "--version")
+        .map(|v| v.parse().expect("--version takes 1-5"))
+        .unwrap_or(1);
+    let Some(w) = find_program(program, version) else {
+        eprintln!("unknown program {program}");
+        std::process::exit(1);
+    };
+    let model = HeapModel::load(&model_path).expect("read model");
+    let mut plan = fault_plan_for(args);
+    let bugs = check(w.as_ref(), &model, &Input::new(input_id), &mut plan);
+    if bugs.is_empty() {
+        println!("no anomalies on input {input_id}");
+    } else {
+        println!("{} anomaly report(s):", bugs.len());
+        for b in &bugs {
+            println!("  {b}");
+            let funcs = b.implicated_functions();
+            if !funcs.is_empty() {
+                println!("    implicated: {}", funcs.join(", "));
+            }
+        }
+        std::process::exit(3);
+    }
+}
+
+fn fault_plan_for(args: &[String]) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    if let Some(fault) = arg_value(args, "--bug") {
+        let spec = CATALOG.iter().find(|b| b.fault.0 == fault);
+        let swat_only = SWAT_ONLY.iter().find(|l| l.fault.0 == fault);
+        match (spec, swat_only) {
+            (Some(b), _) => plan = b.plan(),
+            (None, Some(l)) => plan = l.plan(),
+            (None, None) => {
+                eprintln!("unknown bug {fault} (see `heapmd list`)");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("injecting {fault}");
+    }
+    plan
+}
+
+fn cmd_record(args: &[String]) {
+    let Some(program) = args.first() else { usage() };
+    let Some(trace_path) = arg_value(args, "--trace") else {
+        usage()
+    };
+    let input_id: u32 = arg_value(args, "--input")
+        .map(|v| v.parse().expect("--input takes a number"))
+        .unwrap_or(1000);
+    let version: u8 = arg_value(args, "--version")
+        .map(|v| v.parse().expect("--version takes 1-5"))
+        .unwrap_or(1);
+    let Some(w) = find_program(program, version) else {
+        eprintln!("unknown program {program}");
+        std::process::exit(1);
+    };
+    let settings = settings_for(w.as_ref());
+    let mut plan = fault_plan_for(args);
+    let mut p = Process::new(settings);
+    p.enable_trace();
+    w.run(&mut p, &mut plan, &Input::new(input_id))
+        .expect("workload run");
+    let mut trace = p.take_trace().expect("tracing enabled");
+    let names: Vec<String> = (0..p.functions().len())
+        .map(|i| p.functions().name(FuncId(i as u32)).to_string())
+        .collect();
+    trace.set_functions(names);
+    let n = trace.len();
+    trace.save(&trace_path).expect("write trace");
+    let _ = p.finish("record");
+    println!("{n} events written to {trace_path}");
+}
+
+fn cmd_replay(args: &[String]) {
+    let Some(model_path) = arg_value(args, "--model") else {
+        usage()
+    };
+    let Some(trace_path) = arg_value(args, "--trace") else {
+        usage()
+    };
+    let model = HeapModel::load(&model_path).expect("read model");
+    let trace = Trace::load(&trace_path).expect("read trace");
+    let settings = model.settings.clone();
+    eprintln!("replaying {} events…", trace.len());
+    let bugs = trace.check(&model, &settings);
+    if bugs.is_empty() {
+        println!("no anomalies in trace");
+    } else {
+        println!("{} anomaly report(s):", bugs.len());
+        for b in &bugs {
+            println!("  {b}");
+        }
+        std::process::exit(3);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("train") => cmd_train(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => usage(),
+    }
+}

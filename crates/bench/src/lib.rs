@@ -1,0 +1,75 @@
+//! # heapmd-bench — experiment harness for the HeapMD reproduction
+//!
+//! One function per paper artifact (Figures 4–10, Tables 1–2), shared
+//! by the `exp_*` binaries and the integration tests. Each function
+//! returns a structured result and can render itself as text matching
+//! the paper's presentation.
+//!
+//! Every experiment accepts an [`Effort`] so CI can run the same code
+//! paths at a fraction of the paper's input counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+/// How many inputs to spend per experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// A few inputs per program — minutes of wall-clock, same code
+    /// paths. Used by integration tests and `--quick`.
+    Quick,
+    /// The paper's input counts (Figure 7A: 3–100 inputs per program,
+    /// ≥ 25 for calibration).
+    Full,
+}
+
+impl Effort {
+    /// Parses process arguments: any `--quick` selects [`Effort::Quick`].
+    pub fn from_args() -> Effort {
+        if std::env::args().any(|a| a == "--quick") {
+            Effort::Quick
+        } else {
+            Effort::Full
+        }
+    }
+
+    /// Scales a paper input count to this effort level.
+    pub fn inputs(self, paper: usize) -> usize {
+        match self {
+            Effort::Full => paper,
+            Effort::Quick => paper.clamp(2, 4),
+        }
+    }
+
+    /// Training inputs for model calibration (paper: minimum 25).
+    pub fn training_inputs(self) -> usize {
+        match self {
+            Effort::Full => 25,
+            Effort::Quick => 5,
+        }
+    }
+
+    /// Checking inputs per scenario.
+    pub fn check_inputs(self) -> usize {
+        match self {
+            Effort::Full => 3,
+            Effort::Quick => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_scaling() {
+        assert_eq!(Effort::Full.inputs(100), 100);
+        assert_eq!(Effort::Quick.inputs(100), 4);
+        assert_eq!(Effort::Quick.inputs(3), 3);
+        assert_eq!(Effort::Quick.inputs(1), 2);
+        assert!(Effort::Full.training_inputs() >= 25);
+    }
+}

@@ -1,0 +1,725 @@
+//! The execution checker / anomaly detector (paper §2.2).
+
+use crate::bug::{AnomalyKind, BugReport, Direction, LogPhase, StackLogEntry};
+use crate::fluctuation::FluctuationStats;
+use crate::model::{HeapModel, StableMetric};
+use crate::monitor::{Monitor, MonitorCtx};
+use crate::phase_model::LocalMetric;
+use crate::report::{MetricReport, MetricSample};
+use crate::ringbuf::CircularBuffer;
+use crate::settings::Settings;
+use crate::stability::{classify, StabilityClass};
+use heap_graph::MetricKind;
+use sim_heap::HeapEvent;
+
+/// Maximum post-crossing events attached to one bug's context.
+const AFTER_CONTEXT_EVENTS: usize = 8;
+
+/// Fraction of post-warmup samples that must sit at an extreme for a
+/// *poorly disguised* report.
+const PINNED_FRACTION: f64 = 0.8;
+
+/// Per-locally-stable-metric checking state (the §2.1 extension).
+#[derive(Debug)]
+struct LocalState {
+    lm: LocalMetric,
+    in_violation: bool,
+}
+
+/// Per-stable-metric checking state.
+#[derive(Debug)]
+struct MetricState {
+    sm: StableMetric,
+    last: Option<f64>,
+    in_violation: bool,
+    pending: Option<BugReport>,
+    after_budget: usize,
+    pinned_low: usize,
+    pinned_high: usize,
+    ever_violated: bool,
+}
+
+impl MetricState {
+    fn margin(&self, settings: &Settings) -> f64 {
+        (self.sm.width()).max(0.5) * settings.near_edge_frac
+    }
+}
+
+/// HeapMD's online execution checker.
+///
+/// Attach to a [`crate::Process`] (via [`crate::Process::attach`]) and
+/// it will, at every metric computation point, verify each globally
+/// stable metric against its calibrated range:
+///
+/// * **Approach logging** — when a stable metric moves within a margin
+///   of its calibrated extreme *with a slope toward it*, call-stack
+///   logging into a circular buffer is armed, so a subsequent report
+///   carries context from before the crossing.
+/// * **Range violation** — crossing the calibrated min/max raises a
+///   [`BugReport`] with before/during/after call-stack context.
+/// * **Poorly disguised** — a metric that exits startup pinned at an
+///   extreme of its range (and stays there) is reported at finish.
+/// * **Pathological** — a metric that was *unstable* in training but
+///   stays globally stable during the checked run is reported at
+///   finish as unexpected stability.
+///
+/// Stability is deliberately *not* required during checking: a metric
+/// may wander, so long as it stays within the calibrated range (§2.2).
+///
+/// # Example
+///
+/// ```
+/// use heapmd::{AnomalyDetector, HeapModel, ModelBuilder, Process, Settings};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let settings = Settings::builder().frq(5).build()?;
+/// # let mut b = ModelBuilder::new(settings.clone());
+/// # for _ in 0..3 {
+/// #     let mut p = Process::new(settings.clone());
+/// #     for _ in 0..200 { p.enter("w"); p.malloc(16, "n")?; p.leave(); }
+/// #     b.add_run(&p.finish("train"));
+/// # }
+/// # let model = b.build().model;
+/// let detector = Rc::new(RefCell::new(AnomalyDetector::new(model, settings.clone())));
+/// let mut p = Process::new(settings);
+/// p.attach(detector.clone());
+/// // … run the program under test …
+/// # for _ in 0..100 { p.enter("w"); p.malloc(16, "n")?; p.leave(); }
+/// let _report = p.finish("check");
+/// assert!(detector.borrow().bugs().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AnomalyDetector {
+    settings: Settings,
+    states: Vec<MetricState>,
+    local_states: Vec<LocalState>,
+    /// Metrics the model recorded as never-stable in training, tracked
+    /// for pathological (unexpected-stability) detection:
+    /// (kind, post-warmup values).
+    unstable: Vec<(MetricKind, Vec<f64>)>,
+    log: CircularBuffer<StackLogEntry>,
+    armed: bool,
+    samples_seen: usize,
+    bugs: Vec<BugReport>,
+    startup_checked: bool,
+    post_warmup_samples: usize,
+}
+
+impl AnomalyDetector {
+    /// Creates a checker for the given model.
+    pub fn new(model: HeapModel, settings: Settings) -> Self {
+        let states = model
+            .stable
+            .iter()
+            .map(|&sm| MetricState {
+                sm,
+                last: None,
+                in_violation: false,
+                pending: None,
+                after_budget: 0,
+                pinned_low: 0,
+                pinned_high: 0,
+                ever_violated: false,
+            })
+            .collect::<Vec<_>>();
+        let unstable = model.unstable.iter().map(|&k| (k, Vec::new())).collect();
+        let local_states = model
+            .locally_stable
+            .iter()
+            .cloned()
+            .map(|lm| LocalState {
+                lm,
+                in_violation: false,
+            })
+            .collect();
+        AnomalyDetector {
+            log: CircularBuffer::new(settings.callstack_capacity),
+            settings,
+            states,
+            local_states,
+            unstable,
+            armed: false,
+            samples_seen: 0,
+            bugs: Vec::new(),
+            startup_checked: false,
+            post_warmup_samples: 0,
+        }
+    }
+
+    /// Bug reports raised so far (range violations immediately; poorly
+    /// disguised / pathological reports appear after finish).
+    pub fn bugs(&self) -> &[BugReport] {
+        &self.bugs
+    }
+
+    /// Takes ownership of the reports.
+    pub fn take_bugs(&mut self) -> Vec<BugReport> {
+        std::mem::take(&mut self.bugs)
+    }
+
+    /// Returns `true` if any anomaly has been reported.
+    pub fn has_anomalies(&self) -> bool {
+        !self.bugs.is_empty()
+    }
+
+    /// Checks a completed [`MetricReport`] offline (post-mortem mode
+    /// without event context: reports carry no call-stacks).
+    ///
+    /// The first `warmup_samples` are skipped as startup, matching the
+    /// online checker.
+    pub fn check_report(
+        model: &HeapModel,
+        settings: &Settings,
+        report: &MetricReport,
+    ) -> Vec<BugReport> {
+        // Offline, the run length is known: align the startup skip with
+        // the trim the model construction applied.
+        let mut settings = settings.clone();
+        settings.warmup_samples = settings
+            .warmup_samples
+            .max(settings.trim_count(report.len()));
+        let mut det = AnomalyDetector::new(model.clone(), settings);
+        for sample in &report.samples {
+            det.scan_sample(sample, None);
+        }
+        det.finish_scan();
+        det.bugs
+    }
+
+    fn describe(event: &HeapEvent) -> String {
+        match event {
+            HeapEvent::Alloc { size, site, .. } => format!("alloc {size}B at {site}"),
+            HeapEvent::Free { obj, size, .. } => format!("free {obj} ({size}B)"),
+            HeapEvent::PtrWrite { src, offset, .. } => format!("ptr write {src}+{offset}"),
+            HeapEvent::ScalarWrite { src, offset, .. } => format!("scalar write {src}+{offset}"),
+            HeapEvent::Read { obj } => format!("read {obj}"),
+            HeapEvent::FnEnter { func } => format!("enter fn#{func}"),
+            HeapEvent::FnExit { func } => format!("exit fn#{func}"),
+        }
+    }
+
+    /// Core per-sample logic, shared by online and offline modes.
+    /// `ctx_stack` provides the call stack when running online.
+    fn scan_sample(&mut self, sample: &MetricSample, ctx_stack: Option<Vec<String>>) {
+        self.samples_seen += 1;
+        let warmup = self.samples_seen <= self.settings.warmup_samples;
+
+        if !warmup {
+            self.post_warmup_samples += 1;
+            for (kind, values) in &mut self.unstable {
+                values.push(sample.metrics.get(*kind));
+            }
+        }
+
+        let mut any_armed = false;
+        for i in 0..self.states.len() {
+            let (lo, hi, margin, last, kind) = {
+                let st = &self.states[i];
+                (
+                    st.sm.min - self.settings.range_margin,
+                    st.sm.max + self.settings.range_margin,
+                    st.margin(&self.settings),
+                    st.last,
+                    st.sm.kind,
+                )
+            };
+            let v = sample.metrics.get(kind);
+            let slope = last.map(|l| v - l).unwrap_or(0.0);
+
+            if warmup {
+                self.states[i].last = Some(v);
+                continue;
+            }
+
+            // Startup→stable transition check (poorly disguised, §4.1):
+            // the paper always logs the call-stack when a metric exits
+            // startup at an extreme value. Degenerate (near-point)
+            // calibrated ranges are exempt — sitting at the only
+            // calibrated value is normal, not extreme.
+            if hi - lo >= 1.0 {
+                let st = &mut self.states[i];
+                if v <= lo + margin {
+                    st.pinned_low += 1;
+                }
+                if v >= hi - margin {
+                    st.pinned_high += 1;
+                }
+            }
+
+            // Arm call-stack logging on approach with adverse slope.
+            let near_high = v >= hi - margin && v <= hi && slope > 0.0;
+            let near_low = v <= lo + margin && v >= lo && slope < 0.0;
+            if near_high || near_low {
+                any_armed = true;
+            }
+
+            let violated_dir = if v > hi {
+                Some(Direction::AboveMax)
+            } else if v < lo {
+                Some(Direction::BelowMin)
+            } else {
+                None
+            };
+
+            match violated_dir {
+                Some(direction) => {
+                    any_armed = true; // keep logging during the excursion
+                    let st = &mut self.states[i];
+                    st.ever_violated = true;
+                    if !st.in_violation {
+                        st.in_violation = true;
+                        let mut context: Vec<StackLogEntry> = self.log.iter().cloned().collect();
+                        context.push(StackLogEntry {
+                            tick: sample.tick,
+                            stack: ctx_stack.clone().unwrap_or_default(),
+                            event: format!(
+                                "metric computation point #{} observed {v:.3}",
+                                sample.seq
+                            ),
+                            phase: LogPhase::During,
+                        });
+                        st.pending = Some(BugReport {
+                            metric: kind,
+                            kind: AnomalyKind::RangeViolation { direction },
+                            value: v,
+                            range: (lo, hi),
+                            sample_seq: sample.seq,
+                            fn_entries: sample.fn_entries,
+                            context,
+                        });
+                        st.after_budget = AFTER_CONTEXT_EVENTS;
+                    }
+                }
+                None => {
+                    let st = &mut self.states[i];
+                    if st.in_violation {
+                        st.in_violation = false;
+                        if let Some(bug) = st.pending.take() {
+                            self.bugs.push(bug);
+                        }
+                    }
+                }
+            }
+            self.states[i].last = Some(v);
+        }
+
+        // The §2.1 extension: locally stable metrics must sit inside
+        // *some* calibrated phase band.
+        if !warmup {
+            let margin = self.settings.range_margin;
+            for st in &mut self.local_states {
+                let v = sample.metrics.get(st.lm.kind);
+                if st.lm.contains(v, margin) {
+                    st.in_violation = false;
+                } else if !st.in_violation {
+                    st.in_violation = true;
+                    let hull = (
+                        st.lm.ranges.first().map(|r| r.0).unwrap_or(f64::NAN),
+                        st.lm.ranges.last().map(|r| r.1).unwrap_or(f64::NAN),
+                    );
+                    self.bugs.push(BugReport {
+                        metric: st.lm.kind,
+                        kind: AnomalyKind::LocalRangeViolation,
+                        value: v,
+                        range: hull,
+                        sample_seq: sample.seq,
+                        fn_entries: sample.fn_entries,
+                        context: Vec::new(),
+                    });
+                }
+            }
+        }
+
+        if !warmup {
+            self.startup_checked = true;
+        }
+        self.armed = any_armed;
+    }
+
+    fn finish_scan(&mut self) {
+        // Flush excursions still open at end of run.
+        for st in &mut self.states {
+            if let Some(bug) = st.pending.take() {
+                self.bugs.push(bug);
+            }
+        }
+        // Shutdown trim: the model ignores the final `trim_frac` of
+        // metric computation points as teardown (§2.1); drop range
+        // violations that only began there — a heap being dismantled
+        // is not an anomaly.
+        let n = self.samples_seen;
+        let cutoff = n.saturating_sub(self.settings.trim_count(n));
+        self.bugs.retain(|b| {
+            !matches!(
+                b.kind,
+                AnomalyKind::RangeViolation { .. } | AnomalyKind::LocalRangeViolation
+            ) || b.sample_seq < cutoff
+        });
+        // Poorly disguised: pinned at an extreme for most of the run,
+        // without ever crossing.
+        let total = self.post_warmup_samples;
+        if total > 0 {
+            let needed = ((total as f64) * PINNED_FRACTION).ceil() as usize;
+            for st in &self.states {
+                if st.ever_violated {
+                    continue;
+                }
+                let extreme = if st.pinned_low >= needed {
+                    Some(Direction::BelowMin)
+                } else if st.pinned_high >= needed {
+                    Some(Direction::AboveMax)
+                } else {
+                    None
+                };
+                if let Some(extreme) = extreme {
+                    self.bugs.push(BugReport {
+                        metric: st.sm.kind,
+                        kind: AnomalyKind::PoorlyDisguised { extreme },
+                        value: st.last.unwrap_or(f64::NAN),
+                        range: (st.sm.min, st.sm.max),
+                        sample_seq: self.samples_seen.saturating_sub(1),
+                        fn_entries: 0,
+                        context: Vec::new(),
+                    });
+                }
+            }
+        }
+        // Pathological: an unstable-in-training metric held globally
+        // stable during checking.
+        for (kind, values) in &self.unstable {
+            if values.len() < self.settings.min_samples {
+                continue;
+            }
+            let stats = FluctuationStats::from_series(values);
+            if classify(&stats, &self.settings) == StabilityClass::GloballyStable {
+                self.bugs.push(BugReport {
+                    metric: *kind,
+                    kind: AnomalyKind::UnexpectedStability,
+                    value: *values.last().expect("non-empty"),
+                    range: (f64::NAN, f64::NAN),
+                    sample_seq: self.samples_seen.saturating_sub(1),
+                    fn_entries: 0,
+                    context: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+impl Monitor for AnomalyDetector {
+    fn on_event(&mut self, ctx: &MonitorCtx<'_>, event: &HeapEvent) {
+        // Post-crossing context capture for open excursions.
+        for st in &mut self.states {
+            if st.in_violation && st.after_budget > 0 {
+                if let Some(bug) = &mut st.pending {
+                    bug.context.push(StackLogEntry {
+                        tick: ctx.heap.tick(),
+                        stack: ctx.stack_names(),
+                        event: Self::describe(event),
+                        phase: LogPhase::After,
+                    });
+                    st.after_budget -= 1;
+                }
+            }
+        }
+        // Approach logging into the circular buffer.
+        if self.armed {
+            self.log.push(StackLogEntry {
+                tick: ctx.heap.tick(),
+                stack: ctx.stack_names(),
+                event: Self::describe(event),
+                phase: LogPhase::Before,
+            });
+        }
+    }
+
+    fn on_sample(&mut self, ctx: &MonitorCtx<'_>, sample: &MetricSample) {
+        self.scan_sample(sample, Some(ctx.stack_names()));
+    }
+
+    fn on_finish(&mut self, _ctx: &MonitorCtx<'_>) {
+        self.finish_scan();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StableMetric;
+    use heap_graph::{MetricVector, METRIC_COUNT};
+
+    fn model_with(kind: MetricKind, min: f64, max: f64) -> HeapModel {
+        HeapModel {
+            program: "test".into(),
+            settings: Settings::default(),
+            stable: vec![StableMetric {
+                kind,
+                min,
+                max,
+                avg_change: 0.0,
+                std_change: 1.0,
+                stable_runs: 5,
+                total_runs: 5,
+            }],
+            unstable: MetricKind::ALL
+                .iter()
+                .copied()
+                .filter(|&k| k != kind)
+                .collect(),
+            locally_stable: vec![],
+            training_runs: 5,
+        }
+    }
+
+    fn settings() -> Settings {
+        Settings::builder().warmup_samples(2).build().unwrap()
+    }
+
+    fn sample(seq: usize, kind: MetricKind, value: f64) -> MetricSample {
+        let mut metrics = MetricVector::from_array([50.0; METRIC_COUNT]);
+        metrics.set(kind, value);
+        // Make non-target metrics noisy so the pathological detector
+        // stays quiet in these tests.
+        for other in MetricKind::ALL {
+            if other != kind {
+                metrics.set(other, if seq % 2 == 0 { 20.0 } else { 60.0 });
+            }
+        }
+        MetricSample {
+            seq,
+            fn_entries: (seq as u64 + 1) * 100,
+            tick: (seq as u64 + 1) * 1000,
+            metrics,
+            nodes: 100,
+            edges: 50,
+            dangling: 0,
+        }
+    }
+
+    fn run_values(values: &[f64], kind: MetricKind, min: f64, max: f64) -> Vec<BugReport> {
+        let mut det = AnomalyDetector::new(model_with(kind, min, max), settings());
+        for (i, &v) in values.iter().enumerate() {
+            det.scan_sample(&sample(i, kind, v), None);
+        }
+        det.finish_scan();
+        det.bugs
+    }
+
+    #[test]
+    fn in_range_run_is_clean() {
+        let bugs = run_values(
+            &[15.0, 15.5, 15.2, 16.0, 15.8, 15.1, 15.6, 16.2],
+            MetricKind::Indeg1,
+            13.0,
+            18.0,
+        );
+        assert!(bugs.is_empty(), "unexpected: {bugs:?}");
+    }
+
+    #[test]
+    fn crossing_max_raises_one_bug_per_excursion() {
+        let bugs = run_values(
+            &[15.0, 15.5, 15.2, 17.0, 19.5, 20.0, 16.0, 15.5],
+            MetricKind::Indeg1,
+            13.0,
+            18.0,
+        );
+        assert_eq!(bugs.len(), 1);
+        let b = &bugs[0];
+        assert_eq!(b.metric, MetricKind::Indeg1);
+        assert!(matches!(
+            b.kind,
+            AnomalyKind::RangeViolation {
+                direction: Direction::AboveMax
+            }
+        ));
+        assert_eq!(b.value, 19.5);
+        assert_eq!(b.sample_seq, 4);
+    }
+
+    #[test]
+    fn crossing_min_is_reported_below() {
+        let bugs = run_values(
+            &[15.0, 15.0, 15.0, 14.0, 12.0, 11.0],
+            MetricKind::Leaves,
+            13.0,
+            18.0,
+        );
+        assert_eq!(bugs.len(), 1);
+        assert!(matches!(
+            bugs[0].kind,
+            AnomalyKind::RangeViolation {
+                direction: Direction::BelowMin
+            }
+        ));
+    }
+
+    #[test]
+    fn warmup_samples_are_not_checked() {
+        // Warmup is 2 samples; the excursion is entirely within them.
+        let bugs = run_values(
+            &[99.0, 99.0, 15.0, 15.0, 15.0, 15.0, 15.0],
+            MetricKind::Indeg1,
+            13.0,
+            18.0,
+        );
+        assert!(bugs.is_empty());
+    }
+
+    #[test]
+    fn instability_within_range_is_permitted() {
+        // Paper §2.2: a training-stable metric may be unstable during
+        // checking, provided it stays in range.
+        let bugs = run_values(
+            &[14.0, 17.0, 13.5, 17.5, 13.2, 17.8, 13.1, 17.9],
+            MetricKind::Outdeg1,
+            13.0,
+            18.0,
+        );
+        assert!(bugs.is_empty());
+    }
+
+    #[test]
+    fn two_excursions_raise_two_bugs() {
+        let bugs = run_values(
+            &[15.0, 15.0, 15.0, 19.0, 15.0, 15.0, 12.0, 15.0],
+            MetricKind::Indeg1,
+            13.0,
+            18.0,
+        );
+        assert_eq!(bugs.len(), 2);
+    }
+
+    #[test]
+    fn open_excursion_is_flushed_at_finish() {
+        let bugs = run_values(
+            &[15.0, 15.0, 15.0, 19.0, 20.0, 21.0],
+            MetricKind::Indeg1,
+            13.0,
+            18.0,
+        );
+        assert_eq!(bugs.len(), 1);
+    }
+
+    #[test]
+    fn pinned_at_extreme_reports_poorly_disguised() {
+        // Stays glued to the minimum from startup on, never crossing.
+        let bugs = run_values(
+            &[
+                13.0, 13.0, 13.05, 13.02, 13.04, 13.01, 13.03, 13.02, 13.0, 13.01,
+            ],
+            MetricKind::Indeg1,
+            13.0,
+            33.0,
+        );
+        assert_eq!(bugs.len(), 1);
+        assert!(matches!(
+            bugs[0].kind,
+            AnomalyKind::PoorlyDisguised {
+                extreme: Direction::BelowMin
+            }
+        ));
+    }
+
+    #[test]
+    fn pathological_unexpected_stability_reported() {
+        // Model says only Indeg1 is stable; feed a run where Roots (not
+        // stable in training) is perfectly flat.
+        let model = model_with(MetricKind::Indeg1, 0.0, 100.0);
+        let mut det = AnomalyDetector::new(model, settings());
+        for i in 0..20 {
+            let mut metrics = MetricVector::from_array([0.0; METRIC_COUNT]);
+            metrics.set(MetricKind::Indeg1, 50.0);
+            metrics.set(MetricKind::Roots, 25.0); // flat: unexpected
+                                                  // keep the rest noisy
+            for k in [
+                MetricKind::Indeg2,
+                MetricKind::Leaves,
+                MetricKind::Outdeg1,
+                MetricKind::Outdeg2,
+                MetricKind::InEqOut,
+            ] {
+                metrics.set(k, if i % 2 == 0 { 10.0 } else { 70.0 });
+            }
+            det.scan_sample(
+                &MetricSample {
+                    seq: i,
+                    fn_entries: i as u64,
+                    tick: i as u64,
+                    metrics,
+                    nodes: 10,
+                    edges: 0,
+                    dangling: 0,
+                },
+                None,
+            );
+        }
+        det.finish_scan();
+        let patho: Vec<_> = det
+            .bugs
+            .iter()
+            .filter(|b| matches!(b.kind, AnomalyKind::UnexpectedStability))
+            .collect();
+        assert_eq!(patho.len(), 1);
+        assert_eq!(patho[0].metric, MetricKind::Roots);
+    }
+
+    #[test]
+    fn locally_stable_bands_are_enforced() {
+        use crate::phase_model::LocalMetric;
+        let mut model = model_with(MetricKind::Indeg1, 0.0, 100.0);
+        model.locally_stable = vec![LocalMetric {
+            kind: MetricKind::Leaves,
+            ranges: vec![(10.0, 12.0), (30.0, 32.0)],
+            stable_runs: 3,
+            total_runs: 5,
+        }];
+        let mut det = AnomalyDetector::new(model, settings());
+        // Values in either band are fine; 20 (between bands) is not.
+        let values = [11.0, 11.0, 31.0, 11.0, 20.0, 31.0, 11.0, 31.0, 30.5, 31.0];
+        for (i, &v) in values.iter().enumerate() {
+            let mut metrics = MetricVector::from_array([50.0; METRIC_COUNT]);
+            metrics.set(MetricKind::Indeg1, 50.0);
+            metrics.set(MetricKind::Leaves, v);
+            det.scan_sample(
+                &MetricSample {
+                    seq: i,
+                    fn_entries: i as u64,
+                    tick: i as u64,
+                    metrics,
+                    nodes: 10,
+                    edges: 0,
+                    dangling: 0,
+                },
+                None,
+            );
+        }
+        det.finish_scan();
+        let local: Vec<_> = det
+            .bugs
+            .iter()
+            .filter(|b| matches!(b.kind, AnomalyKind::LocalRangeViolation))
+            .collect();
+        assert_eq!(local.len(), 1, "{:?}", det.bugs);
+        assert_eq!(local[0].metric, MetricKind::Leaves);
+        assert_eq!(local[0].sample_seq, 4);
+    }
+
+    #[test]
+    fn check_report_offline_matches_online_semantics() {
+        let model = model_with(MetricKind::Indeg1, 13.0, 18.0);
+        let samples: Vec<MetricSample> = [15.0, 15.0, 15.0, 19.0, 15.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| sample(i, MetricKind::Indeg1, v))
+            .collect();
+        let report = MetricReport::new("offline", samples);
+        let bugs = AnomalyDetector::check_report(&model, &settings(), &report);
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].sample_seq, 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! Fluctuation analysis: per-step percentage change of a metric series
+//! (paper Figure 5) and its summary statistics (paper Figure 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Denominator floor when computing percentage change from a value near
+/// zero.
+///
+/// The paper plots `(y₂ − y₁)/y₁ × 100` between consecutive metric
+/// computation points. Metrics are percentages in `[0, 100]` and do hit
+/// exactly 0 (e.g. *mcf*'s roots metric has minimum 0 in Figure 7), so a
+/// literal division would blow up; clamping the denominator keeps the
+/// change finite while still registering a 0 → x move as large.
+const DENOM_FLOOR: f64 = 0.1;
+
+/// Computes the per-step percentage change series of `series`.
+///
+/// Output length is `series.len() − 1` (empty for shorter inputs). The
+/// value at position `i` is the change from `series[i]` to
+/// `series[i + 1]` as a percentage of `series[i]` (denominator clamped
+/// away from zero; see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use heapmd::percent_changes;
+///
+/// let changes = percent_changes(&[10.0, 11.0, 11.0]);
+/// assert_eq!(changes, vec![10.0, 0.0]);
+/// ```
+pub fn percent_changes(series: &[f64]) -> Vec<f64> {
+    series
+        .windows(2)
+        .map(|w| {
+            let (y1, y2) = (w[0], w[1]);
+            if y1 == y2 {
+                0.0
+            } else {
+                (y2 - y1) / y1.abs().max(DENOM_FLOOR) * 100.0
+            }
+        })
+        .collect()
+}
+
+/// Summary statistics of a fluctuation series: the quantities the paper
+/// thresholds to decide stability (mean within ±1 %, standard deviation
+/// below 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FluctuationStats {
+    /// Mean per-step percentage change.
+    pub mean: f64,
+    /// Sample standard deviation of the per-step percentage change.
+    pub std_dev: f64,
+    /// Median of the absolute per-step percentage change (used to
+    /// distinguish locally stable metrics: flat with occasional spikes).
+    pub median_abs: f64,
+    /// Number of change observations.
+    pub n: usize,
+}
+
+impl FluctuationStats {
+    /// Computes the statistics of a change series.
+    ///
+    /// An empty series yields all-zero statistics with `n = 0`; a
+    /// singleton has `std_dev = 0`.
+    pub fn from_changes(changes: &[f64]) -> Self {
+        let n = changes.len();
+        if n == 0 {
+            return FluctuationStats {
+                mean: 0.0,
+                std_dev: 0.0,
+                median_abs: 0.0,
+                n: 0,
+            };
+        }
+        let mean = changes.iter().sum::<f64>() / n as f64;
+        let std_dev = if n < 2 {
+            0.0
+        } else {
+            let var = changes.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        let mut abs: Vec<f64> = changes.iter().map(|c| c.abs()).collect();
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("finite changes"));
+        let median_abs = if n % 2 == 1 {
+            abs[n / 2]
+        } else {
+            (abs[n / 2 - 1] + abs[n / 2]) / 2.0
+        };
+        FluctuationStats {
+            mean,
+            std_dev,
+            median_abs,
+            n,
+        }
+    }
+
+    /// Computes the statistics of a raw metric series (convenience:
+    /// change series first, then stats).
+    pub fn from_series(series: &[f64]) -> Self {
+        FluctuationStats::from_changes(&percent_changes(series))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_has_zero_changes() {
+        let c = percent_changes(&[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(c, vec![0.0; 3]);
+        let s = FluctuationStats::from_changes(&c);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median_abs, 0.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn change_formula_matches_paper() {
+        // y1=20 → y2=22 is +10%.
+        let c = percent_changes(&[20.0, 22.0, 11.0]);
+        assert!((c[0] - 10.0).abs() < 1e-12);
+        assert!((c[1] - (-50.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominator_is_clamped_not_infinite() {
+        let c = percent_changes(&[0.0, 5.0]);
+        assert!(c[0].is_finite());
+        assert!(c[0] > 100.0, "0 → 5 registers as a large change");
+        // 0 → 0 is no change.
+        assert_eq!(percent_changes(&[0.0, 0.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn short_series_edge_cases() {
+        assert!(percent_changes(&[]).is_empty());
+        assert!(percent_changes(&[1.0]).is_empty());
+        let s = FluctuationStats::from_changes(&[]);
+        assert_eq!(s.n, 0);
+        let s = FluctuationStats::from_changes(&[3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median_abs, 3.0);
+    }
+
+    #[test]
+    fn std_dev_is_sample_std() {
+        let s = FluctuationStats::from_changes(&[1.0, -1.0, 1.0, -1.0]);
+        assert_eq!(s.mean, 0.0);
+        // sample variance = 4/3
+        assert!((s.std_dev - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.median_abs, 1.0);
+    }
+
+    #[test]
+    fn median_abs_even_and_odd() {
+        let s = FluctuationStats::from_changes(&[1.0, -2.0, 3.0]);
+        assert_eq!(s.median_abs, 2.0);
+        let s = FluctuationStats::from_changes(&[1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(s.median_abs, 2.5);
+    }
+
+    #[test]
+    fn from_series_is_composition() {
+        let series = [10.0, 12.0, 9.0, 9.0];
+        assert_eq!(
+            FluctuationStats::from_series(&series),
+            FluctuationStats::from_changes(&percent_changes(&series))
+        );
+    }
+}

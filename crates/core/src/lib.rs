@@ -1,0 +1,100 @@
+//! # heapmd — heap-based bug finding via anomaly detection
+//!
+//! A Rust reproduction of *HeapMD: Identifying Heap-based Bugs using
+//! Anomaly Detection* (Chilimbi & Ganapathy, ASPLOS 2006).
+//!
+//! HeapMD observes that, in spite of the heap's evolving nature, several
+//! degree-based properties of the **heap-graph** stay stable for a given
+//! program. It exploits this in two phases:
+//!
+//! 1. **Model construction** ([`ModelBuilder`]): run the program on a
+//!    training input set, sample the seven degree metrics at *metric
+//!    computation points* (every `frq` function entries), classify each
+//!    metric's stability from its fluctuation statistics, and record the
+//!    `[min, max]` range of the globally stable metrics.
+//! 2. **Execution checking** ([`AnomalyDetector`]): on other inputs or
+//!    program versions, verify the stable metrics remain within their
+//!    calibrated ranges; log call-stacks into a circular buffer whenever
+//!    a metric approaches an extreme, and raise a [`BugReport`] when the
+//!    range is violated.
+//!
+//! The mutator-facing entry point is [`Process`], which plays the role
+//! of the instrumented binary + execution logger: workloads allocate,
+//! free, and write pointers through it, and it keeps the
+//! [`heap_graph::HeapGraph`] image, samples metrics, and fans events out
+//! to attached [`Monitor`]s.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use heapmd::{ModelBuilder, Process, Settings};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let settings = Settings::builder().frq(10).build()?;
+//!
+//! // Train on two inputs of a toy "program" that builds linked lists.
+//! let mut builder = ModelBuilder::new(settings.clone());
+//! for input in 0..2 {
+//!     let mut p = Process::new(settings.clone());
+//!     let mut prev = None;
+//!     for i in 0..400 {
+//!         p.enter("build");
+//!         let node = p.malloc(16, "node")?;
+//!         if let Some(prev) = prev {
+//!             p.write_ptr(node, prev)?; // node.next = prev
+//!         }
+//!         prev = Some(node);
+//!         let _ = (input, i);
+//!         p.leave();
+//!     }
+//!     builder.add_run(&p.finish(format!("train-{input}")));
+//! }
+//! let outcome = builder.build();
+//! assert!(!outcome.model.stable_metrics().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bug;
+mod callstack;
+mod detector;
+mod error;
+mod fluctuation;
+mod model;
+mod monitor;
+mod online;
+pub mod phase_model;
+pub mod plot;
+mod process;
+mod report;
+mod ringbuf;
+mod settings;
+mod stability;
+mod trace;
+mod values;
+
+pub use bug::{
+    AnomalyKind, BugCategory, BugReport, DetectionClass, Direction, LogPhase, StackLogEntry,
+};
+pub use callstack::{FuncId, FunctionTable};
+pub use detector::AnomalyDetector;
+pub use error::HeapMdError;
+pub use fluctuation::{percent_changes, FluctuationStats};
+pub use model::{HeapModel, MetricSummary, ModelBuilder, ModelOutcome, StableMetric};
+pub use monitor::{Monitor, MonitorCtx};
+pub use online::OnlineLearner;
+pub use phase_model::{merge_ranges, segment, LocalMetric, Plateau};
+pub use process::Process;
+pub use report::{MetricReport, MetricSample};
+pub use ringbuf::CircularBuffer;
+pub use settings::{Settings, SettingsBuilder};
+pub use stability::{classify, StabilityClass};
+pub use trace::Trace;
+pub use values::{LocationSummary, ValueProfile};
+
+// Re-export the metric vocabulary so downstream crates only need `heapmd`.
+pub use heap_graph::{ExtendedMetrics, MetricKind, MetricVector, METRIC_COUNT};
+pub use sim_heap::{Addr, AllocSite, HeapError, HeapEvent, ObjectId, NULL};

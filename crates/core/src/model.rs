@@ -1,0 +1,652 @@
+//! The metric summarizer and the heap-behaviour model (paper §2.1).
+
+use crate::error::HeapMdError;
+use crate::fluctuation::FluctuationStats;
+use crate::phase_model::{merge_ranges, segment, LocalMetric, Plateau};
+use crate::report::MetricReport;
+use crate::settings::Settings;
+use crate::stability::{classify, StabilityClass};
+use heap_graph::MetricKind;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Per-run, per-metric analysis produced while summarizing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// The metric analysed.
+    pub kind: MetricKind,
+    /// Fluctuation statistics over the trimmed samples.
+    pub stats: FluctuationStats,
+    /// Stability classification for this run.
+    pub class: StabilityClass,
+    /// Minimum value over the trimmed samples.
+    pub min: f64,
+    /// Maximum value over the trimmed samples.
+    pub max: f64,
+}
+
+/// One run's summaries, one entry per metric in canonical order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// The run label.
+    pub run: String,
+    /// Per-metric summaries (canonical metric order), or `None` when the
+    /// run was too short to analyse after trimming.
+    pub metrics: Option<Vec<MetricSummary>>,
+}
+
+/// One globally stable metric's calibrated model entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StableMetric {
+    /// The metric.
+    pub kind: MetricKind,
+    /// Minimum observed across **all** training inputs (§2.2: "the
+    /// minimum and maximum values these metrics attained across all
+    /// the training inputs") — the calibrated lower bound.
+    pub min: f64,
+    /// Maximum observed across all training inputs — the calibrated
+    /// upper bound.
+    pub max: f64,
+    /// Mean per-step % change averaged across the stable runs (the
+    /// "Avg. % rate of change" column of the paper's Figure 7).
+    pub avg_change: f64,
+    /// Standard deviation of change averaged across the stable runs (the
+    /// "Std. Dev." column of Figure 7).
+    pub std_change: f64,
+    /// Number of training runs on which the metric was stable.
+    pub stable_runs: usize,
+    /// Total training runs.
+    pub total_runs: usize,
+}
+
+impl StableMetric {
+    /// Width of the calibrated range.
+    pub fn width(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Returns `true` when `value` lies within the calibrated range.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.min..=self.max).contains(&value)
+    }
+}
+
+/// The summarized metric report: HeapMD's model of correct heap
+/// behaviour for one program.
+///
+/// Serializable, so a model trained once can check many later runs or
+/// program versions — the paper's `input*.exe` flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeapModel {
+    /// The program the model was calibrated for.
+    pub program: String,
+    /// Settings used during calibration.
+    pub settings: Settings,
+    /// Globally stable metrics with their calibrated ranges, in
+    /// canonical metric order.
+    pub stable: Vec<StableMetric>,
+    /// Metrics that were globally stable on *zero* training runs — the
+    /// "normally unstable" metrics whose unexpected stability during
+    /// checking flags a pathological bug (§4.1).
+    pub unstable: Vec<MetricKind>,
+    /// Locally stable metrics with their calibrated phase bands —
+    /// present when the model was built with
+    /// [`ModelBuilder::locally_stable`] (the paper's §2.1 extension).
+    #[serde(default)]
+    pub locally_stable: Vec<LocalMetric>,
+    /// Number of training runs consumed.
+    pub training_runs: usize,
+}
+
+impl HeapModel {
+    /// The calibrated entry for `kind`, if it is globally stable.
+    pub fn stable_metric(&self, kind: MetricKind) -> Option<&StableMetric> {
+        self.stable.iter().find(|m| m.kind == kind)
+    }
+
+    /// Returns `true` when `kind` was identified as globally stable.
+    pub fn is_stable(&self, kind: MetricKind) -> bool {
+        self.stable_metric(kind).is_some()
+    }
+
+    /// All stable metrics.
+    pub fn stable_metrics(&self) -> &[StableMetric] {
+        &self.stable
+    }
+
+    /// Serializes the model to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Serde`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, HeapMdError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parses a model from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Serde`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, HeapMdError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Writes the model to a file as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), HeapMdError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads a model previously written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, HeapMdError> {
+        Ok(Self::from_json(&std::fs::read_to_string(path)?)?)
+    }
+}
+
+/// Result of model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelOutcome {
+    /// The calibrated model.
+    pub model: HeapModel,
+    /// Per-run summaries (for inspection, tables, and plots).
+    pub runs: Vec<RunSummary>,
+    /// Training runs on which a globally stable metric fell outside the
+    /// range calibrated from the stable runs. The paper treats such
+    /// training inputs as themselves buggy.
+    pub flagged_runs: Vec<String>,
+}
+
+/// The metric summarizer: consumes per-run [`MetricReport`]s and builds
+/// a [`HeapModel`].
+///
+/// # Example
+///
+/// ```
+/// use heapmd::{MetricKind, ModelBuilder, Process, Settings};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let settings = Settings::builder().frq(5).build()?;
+/// let mut b = ModelBuilder::new(settings.clone());
+/// for _ in 0..3 {
+///     let mut p = Process::new(settings.clone());
+///     for _ in 0..200 {
+///         p.enter("work");
+///         p.malloc(16, "leafy")?;
+///         p.leave();
+///     }
+///     b.add_run(&p.finish("run"));
+/// }
+/// let out = b.build();
+/// // A heap of isolated objects: Leaves is trivially stable at 100 %.
+/// assert!(out.model.is_stable(MetricKind::Leaves));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    settings: Settings,
+    program: String,
+    runs: Vec<RunSummary>,
+    include_local: bool,
+    /// Trimmed per-metric series, kept only when local modelling is on.
+    series: Vec<Option<Vec<Vec<f64>>>>,
+}
+
+impl ModelBuilder {
+    /// Creates a builder with the given settings.
+    pub fn new(settings: Settings) -> Self {
+        ModelBuilder {
+            settings,
+            program: String::from("unnamed"),
+            runs: Vec::new(),
+            include_local: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Also model *locally stable* metrics (per-phase plateau bands),
+    /// the extension the paper announces in §2.1. Call before adding
+    /// runs.
+    pub fn locally_stable(mut self, enable: bool) -> Self {
+        self.include_local = enable;
+        self
+    }
+
+    /// Names the program being modelled (recorded in the model).
+    pub fn program(mut self, name: impl Into<String>) -> Self {
+        self.program = name.into();
+        self
+    }
+
+    /// Summarizes one training run and adds it to the pool.
+    pub fn add_run(&mut self, report: &MetricReport) -> &mut Self {
+        let summary = summarize_run(report, &self.settings);
+        self.series
+            .push(if self.include_local && summary.metrics.is_some() {
+                Some(
+                    MetricKind::ALL
+                        .iter()
+                        .map(|&k| report.trimmed_series(k, &self.settings))
+                        .collect(),
+                )
+            } else {
+                None
+            });
+        self.runs.push(summary);
+        self
+    }
+
+    /// Number of runs added so far.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Identifies globally stable metrics and calibrates their ranges.
+    ///
+    /// A metric is globally stable when it classified as
+    /// [`StabilityClass::GloballyStable`] on at least
+    /// `stable_input_frac` of the training runs (and at least one).
+    /// Per the paper's §2.2, the calibrated `[min, max]` spans **all**
+    /// training inputs; training runs straying outside the envelope of
+    /// the *stable* runs are additionally flagged as suspect (§4.1).
+    pub fn build(&self) -> ModelOutcome {
+        let analysable: Vec<&RunSummary> =
+            self.runs.iter().filter(|r| r.metrics.is_some()).collect();
+        let total = analysable.len();
+        let needed = ((total as f64) * self.settings.stable_input_frac).ceil() as usize;
+        let needed = needed.max(1);
+
+        let mut stable = Vec::new();
+        let mut stable_envelopes: Vec<(MetricKind, f64, f64)> = Vec::new();
+        let mut never_stable = Vec::new();
+        for kind in MetricKind::ALL {
+            if total == 0 {
+                break;
+            }
+            let idx = kind.index();
+            let per_run: Vec<&MetricSummary> = analysable
+                .iter()
+                .map(|r| &r.metrics.as_ref().expect("filtered")[idx])
+                .collect();
+            let stable_runs: Vec<&&MetricSummary> = per_run
+                .iter()
+                .filter(|m| m.class == StabilityClass::GloballyStable)
+                .collect();
+            if stable_runs.is_empty() {
+                never_stable.push(kind);
+                continue;
+            }
+            if stable_runs.len() < needed {
+                continue;
+            }
+            // Range across all training inputs; change statistics from
+            // the stable runs (Figure 7's Avg./Std. columns).
+            let min = per_run.iter().map(|m| m.min).fold(f64::INFINITY, f64::min);
+            let max = per_run
+                .iter()
+                .map(|m| m.max)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let stable_min = stable_runs
+                .iter()
+                .map(|m| m.min)
+                .fold(f64::INFINITY, f64::min);
+            let stable_max = stable_runs
+                .iter()
+                .map(|m| m.max)
+                .fold(f64::NEG_INFINITY, f64::max);
+            stable_envelopes.push((kind, stable_min, stable_max));
+            let avg_change =
+                stable_runs.iter().map(|m| m.stats.mean).sum::<f64>() / stable_runs.len() as f64;
+            let std_change =
+                stable_runs.iter().map(|m| m.stats.std_dev).sum::<f64>() / stable_runs.len() as f64;
+            stable.push(StableMetric {
+                kind,
+                min,
+                max,
+                avg_change,
+                std_change,
+                stable_runs: stable_runs.len(),
+                total_runs: total,
+            });
+        }
+
+        // Flag training runs whose values stray outside the envelope of
+        // the *stable* runs (plus the checking slack): the paper treats
+        // such training inputs as suspect (§4.1). Diagnostic only — the
+        // calibrated range above already covers them.
+        let margin = self.settings.range_margin;
+        let mut flagged = Vec::new();
+        for run in &analysable {
+            let metrics = run.metrics.as_ref().expect("filtered");
+            let violates = stable_envelopes.iter().any(|&(kind, lo, hi)| {
+                let m = &metrics[kind.index()];
+                m.min < lo - margin || m.max > hi + margin
+            });
+            if violates {
+                flagged.push(run.run.clone());
+            }
+        }
+
+        // The §2.1 extension: phase bands for metrics that are locally
+        // (but not globally) stable on enough runs.
+        let locally_stable = if self.include_local {
+            self.build_local(&stable, needed)
+        } else {
+            Vec::new()
+        };
+
+        ModelOutcome {
+            model: HeapModel {
+                program: self.program.clone(),
+                settings: self.settings.clone(),
+                stable,
+                unstable: never_stable,
+                locally_stable,
+                training_runs: total,
+            },
+            runs: self.runs.clone(),
+            flagged_runs: flagged,
+        }
+    }
+
+    fn build_local(&self, stable: &[StableMetric], needed: usize) -> Vec<LocalMetric> {
+        let mut out = Vec::new();
+        let analysable: Vec<(usize, &RunSummary)> = self
+            .runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.metrics.is_some())
+            .collect();
+        let total = analysable.len();
+        for kind in MetricKind::ALL {
+            if stable.iter().any(|sm| sm.kind == kind) {
+                continue; // already globally modelled
+            }
+            let idx = kind.index();
+            let local_runs: Vec<usize> = analysable
+                .iter()
+                .filter(|(_, r)| {
+                    r.metrics.as_ref().expect("filtered")[idx]
+                        .class
+                        .is_locally_stable()
+                })
+                .map(|&(i, _)| i)
+                .collect();
+            if local_runs.len() < needed || local_runs.is_empty() {
+                continue;
+            }
+            let spike = self.settings.std_change_threshold;
+            let mut plateaus: Vec<Plateau> = Vec::new();
+            for &run_idx in &local_runs {
+                if let Some(series) = &self.series[run_idx] {
+                    plateaus.extend(segment(&series[idx], spike, 3));
+                }
+            }
+            if plateaus.is_empty() {
+                continue;
+            }
+            let gap = self.settings.range_margin.max(0.5);
+            out.push(LocalMetric {
+                kind,
+                ranges: merge_ranges(&plateaus, gap),
+                stable_runs: local_runs.len(),
+                total_runs: total,
+            });
+        }
+        out
+    }
+}
+
+/// Summarizes one run: trims startup/shutdown, computes fluctuation
+/// statistics, and classifies each metric.
+pub(crate) fn summarize_run(report: &MetricReport, settings: &Settings) -> RunSummary {
+    let trimmed = report.trimmed(settings);
+    if trimmed.len() < settings.min_samples {
+        return RunSummary {
+            run: report.run.clone(),
+            metrics: None,
+        };
+    }
+    let metrics = MetricKind::ALL
+        .iter()
+        .map(|&kind| {
+            let series: Vec<f64> = trimmed.iter().map(|s| s.metrics.get(kind)).collect();
+            let stats = FluctuationStats::from_series(&series);
+            let class = classify(&stats, settings);
+            let min = series.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            MetricSummary {
+                kind,
+                stats,
+                class,
+                min,
+                max,
+            }
+        })
+        .collect();
+    RunSummary {
+        run: report.run.clone(),
+        metrics: Some(metrics),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::MetricSample;
+    use heap_graph::{MetricVector, METRIC_COUNT};
+
+    fn flat_report(run: &str, value: f64, n: usize) -> MetricReport {
+        let samples = (0..n)
+            .map(|i| MetricSample {
+                seq: i,
+                fn_entries: i as u64,
+                tick: i as u64,
+                metrics: MetricVector::from_array([value; METRIC_COUNT]),
+                nodes: 10,
+                edges: 5,
+                dangling: 0,
+            })
+            .collect();
+        MetricReport::new(run, samples)
+    }
+
+    fn noisy_report(run: &str, n: usize) -> MetricReport {
+        let samples = (0..n)
+            .map(|i| {
+                let v = if i % 2 == 0 { 10.0 } else { 30.0 };
+                MetricSample {
+                    seq: i,
+                    fn_entries: i as u64,
+                    tick: i as u64,
+                    metrics: MetricVector::from_array([v; METRIC_COUNT]),
+                    nodes: 10,
+                    edges: 5,
+                    dangling: 0,
+                }
+            })
+            .collect();
+        MetricReport::new(run, samples)
+    }
+
+    fn settings() -> Settings {
+        Settings::default()
+    }
+
+    #[test]
+    fn all_stable_runs_calibrate_every_metric() {
+        let mut b = ModelBuilder::new(settings());
+        for i in 0..5 {
+            b.add_run(&flat_report(&format!("r{i}"), 40.0 + i as f64, 30));
+        }
+        let out = b.build();
+        assert_eq!(out.model.stable.len(), METRIC_COUNT);
+        let sm = out.model.stable_metric(MetricKind::Roots).unwrap();
+        assert_eq!(sm.min, 40.0);
+        assert_eq!(sm.max, 44.0);
+        assert_eq!(sm.stable_runs, 5);
+        assert_eq!(sm.total_runs, 5);
+        assert!(out.flagged_runs.is_empty());
+    }
+
+    #[test]
+    fn unstable_runs_produce_no_stable_metrics() {
+        let mut b = ModelBuilder::new(settings());
+        for i in 0..5 {
+            b.add_run(&noisy_report(&format!("r{i}"), 30));
+        }
+        let out = b.build();
+        assert!(out.model.stable.is_empty());
+    }
+
+    #[test]
+    fn forty_percent_rule() {
+        // 2 stable of 5 runs = 40% → exactly meets the threshold.
+        let mut b = ModelBuilder::new(settings());
+        b.add_run(&flat_report("s1", 50.0, 30));
+        b.add_run(&flat_report("s2", 52.0, 30));
+        for i in 0..3 {
+            b.add_run(&noisy_report(&format!("n{i}"), 30));
+        }
+        let out = b.build();
+        assert!(out.model.is_stable(MetricKind::Leaves));
+        let sm = out.model.stable_metric(MetricKind::Leaves).unwrap();
+        assert_eq!(sm.stable_runs, 2);
+        // Range spans all training inputs (§2.2): the noisy runs swing
+        // between 10 and 30, the stable ones between 50 and 52.
+        assert_eq!((sm.min, sm.max), (10.0, 52.0));
+        // The noisy runs violate the stable runs' [50, 52] envelope →
+        // flagged as suspect training inputs.
+        assert_eq!(out.flagged_runs.len(), 3);
+
+        // 1 stable of 5 runs = 20% → below the threshold.
+        let mut b = ModelBuilder::new(settings());
+        b.add_run(&flat_report("s1", 50.0, 30));
+        for i in 0..4 {
+            b.add_run(&noisy_report(&format!("n{i}"), 30));
+        }
+        assert!(b.build().model.stable.is_empty());
+    }
+
+    #[test]
+    fn short_runs_are_excluded_from_analysis() {
+        let mut b = ModelBuilder::new(settings());
+        b.add_run(&flat_report("tiny", 10.0, 3)); // below min_samples after trim
+        b.add_run(&flat_report("ok", 10.0, 30));
+        let out = b.build();
+        assert_eq!(out.model.training_runs, 1);
+        assert!(out.model.is_stable(MetricKind::Roots));
+        assert_eq!(out.runs.len(), 2);
+        assert!(out.runs[0].metrics.is_none());
+    }
+
+    #[test]
+    fn model_json_round_trip() {
+        let mut b = ModelBuilder::new(settings());
+        b.add_run(&flat_report("r", 25.0, 30));
+        let model = b.build().model;
+        let json = model.to_json().unwrap();
+        let back = HeapModel::from_json(&json).unwrap();
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    fn model_save_load_round_trip() {
+        let mut b = ModelBuilder::new(settings());
+        b.add_run(&flat_report("r", 25.0, 30));
+        let model = b.program("demo").build().model;
+        let dir = std::env::temp_dir().join("heapmd-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).unwrap();
+        let back = HeapModel::load(&path).unwrap();
+        assert_eq!(model, back);
+        assert_eq!(back.program, "demo");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stable_metric_contains_and_width() {
+        let sm = StableMetric {
+            kind: MetricKind::Leaves,
+            min: 10.0,
+            max: 20.0,
+            avg_change: 0.0,
+            std_change: 1.0,
+            stable_runs: 3,
+            total_runs: 5,
+        };
+        assert_eq!(sm.width(), 10.0);
+        assert!(sm.contains(10.0));
+        assert!(sm.contains(20.0));
+        assert!(!sm.contains(20.01));
+        assert!(!sm.contains(9.99));
+    }
+
+    fn phase_report(run: &str, lo: f64, hi: f64, n: usize) -> MetricReport {
+        // First half at `lo`, second half at `hi`: locally stable.
+        let samples = (0..n)
+            .map(|i| {
+                let v = if i < n / 2 { lo } else { hi };
+                MetricSample {
+                    seq: i,
+                    fn_entries: i as u64,
+                    tick: i as u64,
+                    metrics: MetricVector::from_array([v; METRIC_COUNT]),
+                    nodes: 10,
+                    edges: 5,
+                    dangling: 0,
+                }
+            })
+            .collect();
+        MetricReport::new(run, samples)
+    }
+
+    #[test]
+    fn locally_stable_metrics_get_phase_bands() {
+        let mut b = ModelBuilder::new(settings()).locally_stable(true);
+        for i in 0..4 {
+            b.add_run(&phase_report(
+                &format!("r{i}"),
+                10.0 + i as f64 * 0.1,
+                30.0,
+                40,
+            ));
+        }
+        let model = b.build().model;
+        // The step makes every metric locally (not globally) stable.
+        assert!(model.stable.is_empty());
+        assert_eq!(model.locally_stable.len(), METRIC_COUNT);
+        let lm = &model.locally_stable[0];
+        assert_eq!(lm.ranges.len(), 2, "two phase bands: {:?}", lm.ranges);
+        assert!(lm.contains(10.2, 0.5));
+        assert!(lm.contains(30.0, 0.5));
+        assert!(!lm.contains(20.0, 0.5), "between phases is out of band");
+    }
+
+    #[test]
+    fn local_modelling_is_opt_in() {
+        let mut b = ModelBuilder::new(settings());
+        for i in 0..4 {
+            b.add_run(&phase_report(&format!("r{i}"), 10.0, 30.0 + i as f64, 40));
+        }
+        assert!(b.build().model.locally_stable.is_empty());
+    }
+
+    #[test]
+    fn zero_runs_builds_empty_model() {
+        let out = ModelBuilder::new(settings()).build();
+        assert_eq!(out.model.training_runs, 0);
+        assert!(out.model.stable.is_empty());
+        assert!(out.flagged_runs.is_empty());
+    }
+}

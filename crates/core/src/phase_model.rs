@@ -1,0 +1,202 @@
+//! Locally stable metrics — the extension the paper announces in §2.1
+//! ("In the future, we plan to extend the implementation of HeapMD to
+//! also include locally stable metrics in the model").
+//!
+//! A locally stable metric is flat *within* program phases but steps
+//! between them. Its useful model is not one `[min, max]` but a set of
+//! **plateau ranges**: the value bands the metric occupies per phase.
+//! During checking, a locally stable metric must lie inside *some*
+//! calibrated plateau — a value between plateaus (a phase the program
+//! never exhibited in training) or beyond them is anomalous.
+
+use serde::{Deserialize, Serialize};
+
+/// One flat stretch of a metric series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Plateau {
+    /// Index of the first sample in the plateau.
+    pub start: usize,
+    /// Number of samples.
+    pub len: usize,
+    /// Minimum value within the plateau.
+    pub min: f64,
+    /// Maximum value within the plateau.
+    pub max: f64,
+}
+
+impl Plateau {
+    /// Mean of the plateau's bounds (a representative value).
+    pub fn mid(&self) -> f64 {
+        (self.min + self.max) / 2.0
+    }
+}
+
+/// Splits a series into plateaus at *spikes*: steps whose percentage
+/// change exceeds `spike_pct` (the same percent-change definition the
+/// stability classifier uses).
+///
+/// Plateaus shorter than `min_len` samples are discarded — they are
+/// transition noise, not phases.
+pub fn segment(series: &[f64], spike_pct: f64, min_len: usize) -> Vec<Plateau> {
+    let mut plateaus = Vec::new();
+    if series.is_empty() {
+        return plateaus;
+    }
+    let changes = crate::fluctuation::percent_changes(series);
+    let mut start = 0usize;
+    let flush = |start: usize, end: usize, out: &mut Vec<Plateau>| {
+        let len = end - start;
+        if len >= min_len {
+            let window = &series[start..end];
+            out.push(Plateau {
+                start,
+                len,
+                min: window.iter().copied().fold(f64::INFINITY, f64::min),
+                max: window.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            });
+        }
+    };
+    for (i, &c) in changes.iter().enumerate() {
+        if c.abs() > spike_pct {
+            flush(start, i + 1, &mut plateaus);
+            start = i + 1;
+        }
+    }
+    flush(start, series.len(), &mut plateaus);
+    plateaus
+}
+
+/// Merges the `[min, max]` bands of many plateaus into a minimal set of
+/// disjoint ranges, joining bands closer than `gap`.
+pub fn merge_ranges(plateaus: &[Plateau], gap: f64) -> Vec<(f64, f64)> {
+    let mut bands: Vec<(f64, f64)> = plateaus.iter().map(|p| (p.min, p.max)).collect();
+    bands.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let mut merged: Vec<(f64, f64)> = Vec::new();
+    for (lo, hi) in bands {
+        match merged.last_mut() {
+            Some(last) if lo <= last.1 + gap => last.1 = last.1.max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    merged
+}
+
+/// A locally stable metric's calibrated model entry: the plateau bands
+/// observed across the training inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalMetric {
+    /// The metric.
+    pub kind: heap_graph::MetricKind,
+    /// Disjoint value bands a phase may occupy, ascending.
+    pub ranges: Vec<(f64, f64)>,
+    /// Training runs on which the metric was locally (or globally)
+    /// stable.
+    pub stable_runs: usize,
+    /// Total training runs.
+    pub total_runs: usize,
+}
+
+impl LocalMetric {
+    /// Returns `true` when `value` lies inside some calibrated band,
+    /// each widened by `margin` per side.
+    pub fn contains(&self, value: f64, margin: f64) -> bool {
+        self.ranges
+            .iter()
+            .any(|&(lo, hi)| value >= lo - margin && value <= hi + margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase_series() -> Vec<f64> {
+        let mut s = vec![10.0; 20];
+        s.extend(vec![20.0; 20]);
+        s
+    }
+
+    #[test]
+    fn segment_splits_at_the_phase_step() {
+        let p = segment(&two_phase_series(), 5.0, 3);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].start, 0);
+        assert_eq!(p[0].len, 20);
+        assert_eq!((p[0].min, p[0].max), (10.0, 10.0));
+        assert_eq!(p[1].start, 20);
+        assert_eq!((p[1].min, p[1].max), (20.0, 20.0));
+        assert_eq!(p[1].mid(), 20.0);
+    }
+
+    #[test]
+    fn small_jitter_does_not_split() {
+        let series: Vec<f64> = (0..30).map(|i| 50.0 + (i % 2) as f64).collect();
+        let p = segment(&series, 5.0, 3);
+        assert_eq!(p.len(), 1);
+        assert_eq!((p[0].min, p[0].max), (50.0, 51.0));
+    }
+
+    #[test]
+    fn short_transition_plateaus_are_dropped() {
+        // 10,10,10, 15, 20,20,20 with min_len 3: the lone 15 vanishes.
+        let series = vec![10.0, 10.0, 10.0, 15.0, 20.0, 20.0, 20.0];
+        let p = segment(&series, 5.0, 3);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].max, 10.0);
+        assert_eq!(p[1].min, 20.0);
+    }
+
+    #[test]
+    fn empty_and_tiny_series() {
+        assert!(segment(&[], 5.0, 3).is_empty());
+        assert!(segment(&[1.0, 2.0], 5.0, 3).is_empty());
+        assert_eq!(segment(&[1.0, 1.0, 1.0], 5.0, 3).len(), 1);
+    }
+
+    #[test]
+    fn merge_joins_overlapping_and_near_bands() {
+        let plateaus = vec![
+            Plateau {
+                start: 0,
+                len: 5,
+                min: 10.0,
+                max: 12.0,
+            },
+            Plateau {
+                start: 5,
+                len: 5,
+                min: 11.0,
+                max: 13.0,
+            },
+            Plateau {
+                start: 10,
+                len: 5,
+                min: 20.0,
+                max: 21.0,
+            },
+            Plateau {
+                start: 15,
+                len: 5,
+                min: 21.4,
+                max: 22.0,
+            },
+        ];
+        let merged = merge_ranges(&plateaus, 0.5);
+        assert_eq!(merged, vec![(10.0, 13.0), (20.0, 22.0)]);
+    }
+
+    #[test]
+    fn local_metric_containment_with_margin() {
+        let lm = LocalMetric {
+            kind: heap_graph::MetricKind::Indeg1,
+            ranges: vec![(10.0, 12.0), (20.0, 22.0)],
+            stable_runs: 3,
+            total_runs: 5,
+        };
+        assert!(lm.contains(11.0, 0.5));
+        assert!(lm.contains(12.4, 0.5));
+        assert!(!lm.contains(16.0, 0.5), "between phases is anomalous");
+        assert!(lm.contains(20.0, 0.0));
+        assert!(!lm.contains(23.0, 0.5));
+    }
+}

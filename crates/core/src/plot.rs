@@ -1,0 +1,163 @@
+//! ASCII rendering of metric series.
+//!
+//! The paper's prototype shipped a GUI "that plots heap metrics while
+//! the program executes"; this reproduction renders the same plots as
+//! text so the experiment binaries can regenerate Figures 4, 5, and 10
+//! in a terminal and in `EXPERIMENTS.md`.
+
+/// A horizontal reference line (e.g. a calibrated min/max bound).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefLine {
+    /// The y-value of the line.
+    pub value: f64,
+    /// Glyph used to draw it.
+    pub glyph: char,
+    /// Short label printed in the legend.
+    pub label: &'static str,
+}
+
+/// Renders one series as an ASCII chart of the given size, with
+/// optional horizontal reference lines.
+///
+/// The x-axis is the sample index (compressed to `width` columns by
+/// averaging); the y-axis spans the data and reference lines.
+///
+/// # Example
+///
+/// ```
+/// use heapmd::plot::{chart, RefLine};
+///
+/// let series = [1.0, 2.0, 3.0, 2.0, 1.0];
+/// let s = chart("demo", &series, 20, 5, &[RefLine { value: 2.5, glyph: '-', label: "max" }]);
+/// assert!(s.contains("demo"));
+/// assert!(s.contains('*'));
+/// ```
+pub fn chart(title: &str, series: &[f64], width: usize, height: usize, refs: &[RefLine]) -> String {
+    let width = width.max(8);
+    let height = height.max(3);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if series.is_empty() {
+        out.push_str("(empty series)\n");
+        return out;
+    }
+
+    // Compress the series to `width` columns by bucket-averaging.
+    let cols: Vec<f64> = (0..width.min(series.len()))
+        .map(|c| {
+            let n = width.min(series.len());
+            let lo = c * series.len() / n;
+            let hi = ((c + 1) * series.len() / n).max(lo + 1);
+            let bucket = &series[lo..hi.min(series.len())];
+            bucket.iter().sum::<f64>() / bucket.len() as f64
+        })
+        .collect();
+
+    let mut y_min = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    for &v in cols.iter().chain(refs.iter().map(|r| &r.value)) {
+        y_min = y_min.min(v);
+        y_max = y_max.max(v);
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let row_of = |v: f64| -> usize {
+        let frac = (v - y_min) / (y_max - y_min);
+        let r = ((1.0 - frac) * (height - 1) as f64).round();
+        (r as usize).min(height - 1)
+    };
+
+    let mut grid = vec![vec![' '; cols.len()]; height];
+    for r in refs {
+        let row = row_of(r.value);
+        for cell in &mut grid[row] {
+            *cell = r.glyph;
+        }
+    }
+    for (c, &v) in cols.iter().enumerate() {
+        grid[row_of(v)][c] = '*';
+    }
+
+    for (i, row) in grid.iter().enumerate() {
+        let y = y_max - (y_max - y_min) * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y:7.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "        +{}\n         samples 0..{}",
+        "-".repeat(cols.len()),
+        series.len()
+    ));
+    if !refs.is_empty() {
+        out.push_str("  [");
+        for (i, r) in refs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{} {}={:.2}", r.glyph, r.label, r.value));
+        }
+        out.push(']');
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_renders_placeholder() {
+        let s = chart("t", &[], 10, 4, &[]);
+        assert!(s.contains("(empty series)"));
+    }
+
+    #[test]
+    fn stars_cover_all_columns() {
+        let series: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin() * 10.0).collect();
+        let s = chart("sine", &series, 40, 10, &[]);
+        let stars = s.chars().filter(|&c| c == '*').count();
+        assert_eq!(stars, 40);
+    }
+
+    #[test]
+    fn reference_lines_appear_with_legend() {
+        let s = chart(
+            "bounds",
+            &[5.0, 6.0, 7.0],
+            10,
+            5,
+            &[
+                RefLine {
+                    value: 8.0,
+                    glyph: '=',
+                    label: "max",
+                },
+                RefLine {
+                    value: 4.0,
+                    glyph: '-',
+                    label: "min",
+                },
+            ],
+        );
+        assert!(s.contains('='));
+        assert!(s.contains("max=8.00"));
+        assert!(s.contains("min=4.00"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = chart("flat", &[3.0; 50], 20, 5, &[]);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn short_series_uses_one_column_per_sample() {
+        let s = chart("short", &[1.0, 2.0], 40, 4, &[]);
+        let stars = s.chars().filter(|&c| c == '*').count();
+        assert_eq!(stars, 2);
+    }
+}

@@ -1,0 +1,538 @@
+//! The execution logger + instrumented mutator facade.
+
+use crate::callstack::{FuncId, FunctionTable};
+use crate::monitor::{Monitor, MonitorCtx};
+use crate::report::{MetricReport, MetricSample};
+use crate::settings::Settings;
+use crate::trace::Trace;
+use heap_graph::HeapGraph;
+use sim_heap::{Addr, AllocSite, HeapError, HeapEvent, SimHeap, NULL};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A simulated instrumented process: the paper's `output.exe` running
+/// under the execution logger.
+///
+/// Workload code drives the process through its mutator API (`malloc`,
+/// `free`, `write_ptr`, `enter`/`leave`, …). The process:
+///
+/// * forwards each operation to the [`SimHeap`];
+/// * keeps the [`HeapGraph`] image in sync;
+/// * counts function entries and, once every `settings.frq` of them,
+///   records a [`MetricSample`] (a *metric computation point*);
+/// * fans events and samples out to attached [`Monitor`]s (the anomaly
+///   detector, the SWAT baseline, …);
+/// * optionally records the event stream into a [`Trace`] for offline,
+///   post-mortem checking.
+///
+/// # Example
+///
+/// ```
+/// use heapmd::{Process, Settings};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut p = Process::new(Settings::builder().frq(1).build()?);
+/// p.enter("main");
+/// let head = p.malloc(24, "list_node")?;
+/// let next = p.malloc(24, "list_node")?;
+/// p.write_ptr(head.offset(8), next)?;
+/// p.leave();
+/// let report = p.finish("example");
+/// assert_eq!(report.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Process {
+    heap: SimHeap,
+    graph: HeapGraph,
+    funcs: FunctionTable,
+    stack: Vec<FuncId>,
+    sites: HashMap<String, AllocSite>,
+    site_names: Vec<String>,
+    settings: Settings,
+    fn_entries: u64,
+    samples: Vec<MetricSample>,
+    monitors: Vec<Rc<RefCell<dyn Monitor>>>,
+    trace: Option<Trace>,
+}
+
+impl Process {
+    /// Creates a fresh process under the given settings.
+    pub fn new(settings: Settings) -> Self {
+        Process {
+            heap: SimHeap::new(),
+            graph: HeapGraph::new(),
+            funcs: FunctionTable::new(),
+            stack: Vec::new(),
+            sites: HashMap::new(),
+            site_names: Vec::new(),
+            settings,
+            fn_entries: 0,
+            samples: Vec::new(),
+            monitors: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Attaches an online monitor. Events that occurred before the
+    /// attachment are not replayed.
+    pub fn attach(&mut self, monitor: Rc<RefCell<dyn Monitor>>) {
+        self.monitors.push(monitor);
+    }
+
+    /// Starts recording the event stream for offline checking.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The settings in force.
+    pub fn settings(&self) -> &Settings {
+        &self.settings
+    }
+
+    /// The simulated heap (read-only).
+    pub fn heap(&self) -> &SimHeap {
+        &self.heap
+    }
+
+    /// The heap-graph image (read-only).
+    pub fn graph(&self) -> &HeapGraph {
+        &self.graph
+    }
+
+    /// The function intern table.
+    pub fn functions(&self) -> &FunctionTable {
+        &self.funcs
+    }
+
+    /// Cumulative function entries.
+    pub fn fn_entries(&self) -> u64 {
+        self.fn_entries
+    }
+
+    /// Metric samples recorded so far.
+    pub fn samples(&self) -> &[MetricSample] {
+        &self.samples
+    }
+
+    /// Interns an allocation-site name, for hot paths that want to avoid
+    /// repeated string lookups via [`malloc_at`](Self::malloc_at).
+    pub fn intern_site(&mut self, name: &str) -> AllocSite {
+        if let Some(&s) = self.sites.get(name) {
+            return s;
+        }
+        let site = AllocSite(self.site_names.len() as u32);
+        self.site_names.push(name.to_string());
+        self.sites.insert(name.to_string(), site);
+        site
+    }
+
+    /// The name behind an interned allocation site.
+    pub fn site_name(&self, site: AllocSite) -> &str {
+        &self.site_names[site.0 as usize]
+    }
+
+    /// All interned allocation-site names, indexed by [`AllocSite`]
+    /// value (monitors report sites by id; this maps them back).
+    pub fn site_names(&self) -> &[String] {
+        &self.site_names
+    }
+
+    /// Enters a function: a potential metric computation point.
+    ///
+    /// Returns the interned id. Every `settings.frq` entries, the seven
+    /// metrics are sampled from the heap-graph.
+    pub fn enter(&mut self, name: &str) -> FuncId {
+        let id = self.funcs.intern(name);
+        self.stack.push(id);
+        self.fn_entries += 1;
+        let ev = HeapEvent::FnEnter { func: id.0 };
+        self.record(&ev);
+        if self.fn_entries % self.settings.frq == 0 {
+            self.sample();
+        }
+        id
+    }
+
+    /// Leaves the innermost function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on leave without a matching enter (a workload defect).
+    pub fn leave(&mut self) {
+        let id = self.stack.pop().expect("leave without matching enter");
+        let ev = HeapEvent::FnExit { func: id.0 };
+        self.record(&ev);
+    }
+
+    /// Runs `f` inside an enter/leave pair (exception-unsafe by design:
+    /// the simulation has no unwinding mutators).
+    pub fn scoped<R>(&mut self, name: &str, f: impl FnOnce(&mut Process) -> R) -> R {
+        self.enter(name);
+        let r = f(self);
+        self.leave();
+        r
+    }
+
+    /// Allocates `size` bytes at the named call-site.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError`] from the heap (zero size, capacity).
+    pub fn malloc(&mut self, size: usize, site: &str) -> Result<Addr, HeapError> {
+        let site = self.intern_site(site);
+        self.malloc_at(size, site)
+    }
+
+    /// Allocates `size` bytes at a pre-interned call-site.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError`] from the heap.
+    pub fn malloc_at(&mut self, size: usize, site: AllocSite) -> Result<Addr, HeapError> {
+        let eff = self.heap.alloc(size, site)?;
+        self.graph.on_alloc(eff.id, eff.addr, eff.size);
+        let ev = HeapEvent::Alloc {
+            obj: eff.id,
+            addr: eff.addr,
+            size: eff.size,
+            site,
+        };
+        self.record(&ev);
+        Ok(eff.addr)
+    }
+
+    /// Frees the object starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError`] (double free, invalid free, …).
+    pub fn free(&mut self, addr: Addr) -> Result<(), HeapError> {
+        let eff = self.heap.free(addr)?;
+        self.graph.on_free(eff.id);
+        let ev = HeapEvent::Free {
+            obj: eff.id,
+            addr: eff.addr,
+            size: eff.size,
+        };
+        self.record(&ev);
+        Ok(())
+    }
+
+    /// Reallocates the object at `addr` to `new_size`, returning its new
+    /// address. Surviving pointer slots move with it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError`].
+    pub fn realloc(&mut self, addr: Addr, new_size: usize, site: &str) -> Result<Addr, HeapError> {
+        let site = self.intern_site(site);
+        let eff = self.heap.realloc(addr, new_size, site)?;
+        // The graph sees realloc as the event decomposition the paper's
+        // instrumentation would observe: free, alloc, then the memcpy'd
+        // pointer stores.
+        self.graph.on_free(eff.freed.id);
+        let free_ev = HeapEvent::Free {
+            obj: eff.freed.id,
+            addr: eff.freed.addr,
+            size: eff.freed.size,
+        };
+        self.record(&free_ev);
+        self.graph
+            .on_alloc(eff.alloc.id, eff.alloc.addr, eff.alloc.size);
+        let alloc_ev = HeapEvent::Alloc {
+            obj: eff.alloc.id,
+            addr: eff.alloc.addr,
+            size: eff.alloc.size,
+            site,
+        };
+        self.record(&alloc_ev);
+        for &(off, target) in &eff.moved_slots {
+            self.graph.on_ptr_write(eff.alloc.id, off, target);
+            let ev = HeapEvent::PtrWrite {
+                src: eff.alloc.id,
+                offset: off,
+                value: target,
+                old_value: None,
+            };
+            self.record(&ev);
+        }
+        Ok(eff.alloc.addr)
+    }
+
+    /// Stores pointer `value` at `slot` (inside a live heap object).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError`] (wild/torn access, null slot).
+    pub fn write_ptr(&mut self, slot: Addr, value: Addr) -> Result<(), HeapError> {
+        let w = self.heap.write_ptr(slot, value)?;
+        self.graph.on_ptr_write(w.src, w.offset, value);
+        let ev = HeapEvent::PtrWrite {
+            src: w.src,
+            offset: w.offset,
+            value,
+            old_value: w.old_value,
+        };
+        self.record(&ev);
+        Ok(())
+    }
+
+    /// Clears the pointer slot at `slot` (store of null).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError`].
+    pub fn clear_ptr(&mut self, slot: Addr) -> Result<(), HeapError> {
+        self.write_ptr(slot, NULL)
+    }
+
+    /// Stores a non-pointer value at `slot`, clearing any pointer there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError`].
+    pub fn write_scalar(&mut self, slot: Addr) -> Result<(), HeapError> {
+        let w = self.heap.write_scalar(slot)?;
+        self.graph.on_scalar_write(w.src, w.offset);
+        let ev = HeapEvent::ScalarWrite {
+            src: w.src,
+            offset: w.offset,
+            old_value: w.old_value,
+        };
+        self.record(&ev);
+        Ok(())
+    }
+
+    /// Reads the pointer stored at `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError`].
+    pub fn read_ptr(&mut self, slot: Addr) -> Result<Option<Addr>, HeapError> {
+        let v = self.heap.read_ptr(slot)?;
+        let obj = self
+            .heap
+            .resolve(slot)
+            .expect("read_ptr succeeded on a live object")
+            .id();
+        let ev = HeapEvent::Read { obj };
+        self.record(&ev);
+        Ok(v)
+    }
+
+    /// Records a read access to the object containing `addr` (staleness
+    /// signal for leak detectors).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError`].
+    pub fn read(&mut self, addr: Addr) -> Result<(), HeapError> {
+        let obj = self.heap.read(addr)?;
+        let ev = HeapEvent::Read { obj };
+        self.record(&ev);
+        Ok(())
+    }
+
+    /// Finishes the run: notifies monitors and returns the metric
+    /// report.
+    pub fn finish(mut self, run: impl Into<String>) -> MetricReport {
+        let ctx = MonitorCtx {
+            graph: &self.graph,
+            heap: &self.heap,
+            stack: &self.stack,
+            funcs: &self.funcs,
+            fn_entries: self.fn_entries,
+        };
+        for m in &self.monitors {
+            m.borrow_mut().on_finish(&ctx);
+        }
+        MetricReport::new(run, std::mem::take(&mut self.samples))
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Takes ownership of the recorded trace, if any.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    fn record(&mut self, ev: &HeapEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(*ev);
+        }
+        if !self.monitors.is_empty() {
+            let ctx = MonitorCtx {
+                graph: &self.graph,
+                heap: &self.heap,
+                stack: &self.stack,
+                funcs: &self.funcs,
+                fn_entries: self.fn_entries,
+            };
+            for m in &self.monitors {
+                m.borrow_mut().on_event(&ctx, ev);
+            }
+        }
+    }
+
+    fn sample(&mut self) {
+        let ext = self.graph.extended_metrics();
+        let sample = MetricSample {
+            seq: self.samples.len(),
+            fn_entries: self.fn_entries,
+            tick: self.heap.tick(),
+            metrics: self.graph.metrics(),
+            nodes: ext.nodes,
+            edges: ext.edges,
+            dangling: ext.dangling_slots,
+        };
+        self.samples.push(sample);
+        if !self.monitors.is_empty() {
+            let ctx = MonitorCtx {
+                graph: &self.graph,
+                heap: &self.heap,
+                stack: &self.stack,
+                funcs: &self.funcs,
+                fn_entries: self.fn_entries,
+            };
+            for m in &self.monitors {
+                m.borrow_mut().on_sample(&ctx, &sample);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process")
+            .field("fn_entries", &self.fn_entries)
+            .field("samples", &self.samples.len())
+            .field("live_objects", &self.heap.live_objects())
+            .field("monitors", &self.monitors.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settings(frq: u64) -> Settings {
+        Settings::builder().frq(frq).build().unwrap()
+    }
+
+    #[test]
+    fn sampling_happens_every_frq_entries() {
+        let mut p = Process::new(settings(3));
+        for _ in 0..10 {
+            p.enter("f");
+            p.leave();
+        }
+        assert_eq!(p.samples().len(), 3);
+        assert_eq!(p.samples()[0].fn_entries, 3);
+        assert_eq!(p.samples()[2].fn_entries, 9);
+    }
+
+    #[test]
+    fn graph_stays_in_sync_with_heap() {
+        let mut p = Process::new(settings(1));
+        p.enter("main");
+        let a = p.malloc(24, "a").unwrap();
+        let b = p.malloc(24, "b").unwrap();
+        p.write_ptr(a, b).unwrap();
+        assert_eq!(p.graph().edge_count(), 1);
+        p.free(b).unwrap();
+        assert_eq!(p.graph().edge_count(), 0);
+        assert_eq!(p.graph().dangling_count(), 1);
+        assert_eq!(p.graph().node_count(), 1);
+        p.graph().validate().unwrap();
+        p.leave();
+    }
+
+    #[test]
+    fn realloc_moves_edges() {
+        let mut p = Process::new(settings(1));
+        let a = p.malloc(32, "a").unwrap();
+        let t = p.malloc(16, "t").unwrap();
+        p.write_ptr(a, t).unwrap();
+        let a2 = p.realloc(a, 64, "a").unwrap();
+        assert_ne!(a, a2);
+        assert_eq!(p.graph().edge_count(), 1);
+        assert_eq!(p.read_ptr(a2).unwrap(), Some(t));
+        p.graph().validate().unwrap();
+    }
+
+    #[test]
+    fn scoped_pairs_enter_and_leave() {
+        let mut p = Process::new(settings(1));
+        let out = p.scoped("outer", |p| p.scoped("inner", |p| p.fn_entries()));
+        assert_eq!(out, 2);
+        assert_eq!(p.fn_entries(), 2);
+        // Stack is balanced again: another enter/leave works.
+        p.enter("again");
+        p.leave();
+    }
+
+    #[test]
+    #[should_panic(expected = "leave without matching enter")]
+    fn unbalanced_leave_panics() {
+        let mut p = Process::new(settings(1));
+        p.leave();
+    }
+
+    #[test]
+    fn site_interning_round_trips() {
+        let mut p = Process::new(settings(1));
+        let s1 = p.intern_site("ListInsert");
+        let s2 = p.intern_site("ListInsert");
+        assert_eq!(s1, s2);
+        assert_eq!(p.site_name(s1), "ListInsert");
+        let a = p.malloc_at(16, s1).unwrap();
+        assert_eq!(p.heap().object_at(a).unwrap().site(), s1);
+    }
+
+    #[test]
+    fn finish_returns_all_samples() {
+        let mut p = Process::new(settings(2));
+        for _ in 0..8 {
+            p.enter("w");
+            p.malloc(16, "x").unwrap();
+            p.leave();
+        }
+        let r = p.finish("myrun");
+        assert_eq!(r.run, "myrun");
+        assert_eq!(r.len(), 4);
+        // The 4th sample fires at the 8th `enter`, before that
+        // iteration's malloc — so 7 objects are live.
+        assert_eq!(r.samples[3].nodes, 7);
+    }
+
+    #[test]
+    fn trace_records_events_when_enabled() {
+        let mut p = Process::new(settings(1));
+        p.enable_trace();
+        p.enter("f");
+        let a = p.malloc(16, "x").unwrap();
+        p.free(a).unwrap();
+        p.leave();
+        let t = p.take_trace().unwrap();
+        assert_eq!(t.len(), 4); // enter, alloc, free, exit
+        assert!(p.trace().is_none());
+    }
+
+    #[test]
+    fn heap_errors_propagate_without_corrupting_graph() {
+        let mut p = Process::new(settings(1));
+        let a = p.malloc(16, "x").unwrap();
+        p.free(a).unwrap();
+        assert!(p.free(a).is_err());
+        p.graph().validate().unwrap();
+        assert_eq!(p.graph().node_count(), 0);
+    }
+}

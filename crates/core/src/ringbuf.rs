@@ -1,0 +1,121 @@
+//! A fixed-capacity circular buffer.
+//!
+//! HeapMD logs call-stacks "into a circular buffer" while a stable
+//! metric is near a calibrated extreme (§2.2), so that a bug report can
+//! show context before, during, and after the crossing without keeping
+//! unbounded history.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO that overwrites its oldest entry when full.
+///
+/// # Example
+///
+/// ```
+/// use heapmd::CircularBuffer;
+///
+/// let mut buf = CircularBuffer::new(2);
+/// buf.push(1);
+/// buf.push(2);
+/// buf.push(3); // evicts 1
+/// assert_eq!(buf.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircularBuffer<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> CircularBuffer<T> {
+    /// Creates a buffer holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        CircularBuffer {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends an item, evicting the oldest when at capacity.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+        }
+        self.items.push_back(item);
+    }
+
+    /// Number of items currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Drains the contents oldest → newest, leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.items.drain(..).collect()
+    }
+
+    /// Removes all items.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_below_capacity_keeps_everything() {
+        let mut b = CircularBuffer::new(4);
+        for i in 0..3 {
+            b.push(i);
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest() {
+        let mut b = CircularBuffer::new(3);
+        for i in 0..10 {
+            b.push(i);
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn drain_empties_in_order() {
+        let mut b = CircularBuffer::new(2);
+        b.push("x");
+        b.push("y");
+        assert_eq!(b.drain(), vec!["x", "y"]);
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        CircularBuffer::<u8>::new(0);
+    }
+}

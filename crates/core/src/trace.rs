@@ -1,0 +1,353 @@
+//! Offline (post-mortem) traces.
+//!
+//! HeapMD's second deployment mode (§2): the instrumented program writes
+//! an execution trace; the checker later replays it against a
+//! previously constructed model. Because the whole trace is available,
+//! offline analysis can avoid online cascade effects — and, in this
+//! reproduction, lets tests replay identical event streams through
+//! different settings.
+
+use crate::callstack::FunctionTable;
+use crate::detector::AnomalyDetector;
+use crate::error::HeapMdError;
+use crate::model::HeapModel;
+use crate::monitor::{Monitor, MonitorCtx};
+use crate::report::{MetricReport, MetricSample};
+use crate::settings::Settings;
+use heap_graph::HeapGraph;
+use serde::{Deserialize, Serialize};
+use sim_heap::{HeapEvent, SimHeap};
+use std::path::Path;
+
+/// A recorded instrumentation event stream.
+///
+/// Produced by [`crate::Process::enable_trace`]; replay it with
+/// [`Trace::replay`] (to recover the metric report under any sampling
+/// settings) or [`Trace::check`] (to run the anomaly detector
+/// post-mortem, with full call-stack context).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<HeapEvent>,
+    /// Function names interned by the traced run (so replays can render
+    /// call stacks). Populated by [`set_functions`](Self::set_functions)
+    /// or left empty for anonymous frames.
+    functions: Vec<String>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: HeapEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[HeapEvent] {
+        &self.events
+    }
+
+    /// Attaches the traced run's function-name table (index = id).
+    pub fn set_functions(&mut self, names: Vec<String>) {
+        self.functions = names;
+    }
+
+    /// Serializes the trace to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Serde`].
+    pub fn to_json(&self) -> Result<String, HeapMdError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Parses a trace from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Serde`].
+    pub fn from_json(json: &str) -> Result<Self, HeapMdError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Writes the trace to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), HeapMdError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads a trace previously written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, HeapMdError> {
+        Ok(Self::from_json(&std::fs::read_to_string(path)?)?)
+    }
+
+    /// Replays the trace, recomputing the metric report under
+    /// `settings` (which may differ from the settings used when the
+    /// trace was recorded — e.g. a different `frq`).
+    pub fn replay(&self, settings: &Settings, run: impl Into<String>) -> MetricReport {
+        let mut replayer = Replayer::new(settings.clone(), &self.functions);
+        for ev in &self.events {
+            replayer.step(ev, &mut []);
+        }
+        MetricReport::new(run, replayer.samples)
+    }
+
+    /// Replays the trace through the anomaly detector, post-mortem.
+    ///
+    /// Unlike [`AnomalyDetector::check_report`], the detector sees the
+    /// full event stream, so bug reports carry call-stack context just
+    /// as in online mode.
+    pub fn check(&self, model: &HeapModel, settings: &Settings) -> Vec<crate::bug::BugReport> {
+        // The trace's length is known up front: align the startup skip
+        // with the trim model construction applied (as
+        // [`AnomalyDetector::check_report`] does).
+        let fn_entries = self
+            .events
+            .iter()
+            .filter(|e| matches!(e, HeapEvent::FnEnter { .. }))
+            .count() as u64;
+        let total_samples = (fn_entries / settings.frq) as usize;
+        let mut settings = settings.clone();
+        settings.warmup_samples = settings
+            .warmup_samples
+            .max(settings.trim_count(total_samples));
+        let settings = settings;
+        let mut detector = AnomalyDetector::new(model.clone(), settings.clone());
+        let mut replayer = Replayer::new(settings.clone(), &self.functions);
+        let mut monitors: [&mut dyn Monitor; 1] = [&mut detector];
+        for ev in &self.events {
+            replayer.step(ev, &mut monitors);
+        }
+        replayer.finish(&mut monitors);
+        detector.take_bugs()
+    }
+}
+
+/// Minimal re-execution of a trace: rebuilds the heap-graph image and
+/// the sampling schedule from events alone.
+struct Replayer {
+    graph: HeapGraph,
+    /// An empty heap stands in for the traced process's; monitors only
+    /// use it for the logical clock, which we advance per event.
+    heap: SimHeap,
+    funcs: FunctionTable,
+    stack: Vec<crate::callstack::FuncId>,
+    settings: Settings,
+    fn_entries: u64,
+    samples: Vec<MetricSample>,
+    tick: u64,
+}
+
+impl Replayer {
+    fn new(settings: Settings, function_names: &[String]) -> Self {
+        let mut funcs = FunctionTable::new();
+        for name in function_names {
+            funcs.intern(name);
+        }
+        Replayer {
+            graph: HeapGraph::new(),
+            heap: SimHeap::new(),
+            funcs,
+            stack: Vec::new(),
+            settings,
+            fn_entries: 0,
+            samples: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    fn func_name(&mut self, raw: u32) -> crate::callstack::FuncId {
+        if (raw as usize) < self.funcs.len() {
+            crate::callstack::FuncId(raw)
+        } else {
+            self.funcs.intern(&format!("fn#{raw}"))
+        }
+    }
+
+    fn step(&mut self, ev: &HeapEvent, monitors: &mut [&mut dyn Monitor]) {
+        self.tick += 1;
+        match *ev {
+            HeapEvent::FnEnter { func } => {
+                let id = self.func_name(func);
+                self.stack.push(id);
+                self.fn_entries += 1;
+            }
+            HeapEvent::FnExit { .. } => {
+                self.stack.pop();
+            }
+            _ => self.graph.apply(ev),
+        }
+        let ctx = MonitorCtx {
+            graph: &self.graph,
+            heap: &self.heap,
+            stack: &self.stack,
+            funcs: &self.funcs,
+            fn_entries: self.fn_entries,
+        };
+        for m in monitors.iter_mut() {
+            m.on_event(&ctx, ev);
+        }
+        if matches!(ev, HeapEvent::FnEnter { .. }) && self.fn_entries % self.settings.frq == 0 {
+            let ext = self.graph.extended_metrics();
+            let sample = MetricSample {
+                seq: self.samples.len(),
+                fn_entries: self.fn_entries,
+                tick: self.tick,
+                metrics: self.graph.metrics(),
+                nodes: ext.nodes,
+                edges: ext.edges,
+                dangling: ext.dangling_slots,
+            };
+            self.samples.push(sample);
+            let ctx = MonitorCtx {
+                graph: &self.graph,
+                heap: &self.heap,
+                stack: &self.stack,
+                funcs: &self.funcs,
+                fn_entries: self.fn_entries,
+            };
+            for m in monitors.iter_mut() {
+                m.on_sample(&ctx, &sample);
+            }
+        }
+    }
+
+    fn finish(&mut self, monitors: &mut [&mut dyn Monitor]) {
+        let ctx = MonitorCtx {
+            graph: &self.graph,
+            heap: &self.heap,
+            stack: &self.stack,
+            funcs: &self.funcs,
+            fn_entries: self.fn_entries,
+        };
+        for m in monitors.iter_mut() {
+            m.on_finish(&ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Process;
+
+    fn traced_run(frq: u64, n: usize) -> (Trace, MetricReport) {
+        let settings = Settings::builder().frq(frq).build().unwrap();
+        let mut p = Process::new(settings);
+        p.enable_trace();
+        let mut prev = None;
+        for _ in 0..n {
+            p.enter("build");
+            let node = p.malloc(16, "node").unwrap();
+            if let Some(prev) = prev {
+                p.write_ptr(node.offset(8), prev).unwrap();
+            }
+            prev = Some(node);
+            p.leave();
+        }
+        let mut trace = p.take_trace().unwrap();
+        let names: Vec<String> = (0..p.functions().len())
+            .map(|i| {
+                p.functions()
+                    .name(crate::callstack::FuncId(i as u32))
+                    .to_string()
+            })
+            .collect();
+        trace.set_functions(names);
+        let report = p.finish("online");
+        (trace, report)
+    }
+
+    #[test]
+    fn replay_reproduces_the_online_report() {
+        let (trace, online) = traced_run(5, 100);
+        let settings = Settings::builder().frq(5).build().unwrap();
+        let offline = trace.replay(&settings, "offline");
+        assert_eq!(online.len(), offline.len());
+        for (a, b) in online.samples.iter().zip(&offline.samples) {
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.fn_entries, b.fn_entries);
+        }
+    }
+
+    #[test]
+    fn replay_supports_different_sampling_rates() {
+        let (trace, _) = traced_run(5, 100);
+        let coarse = Settings::builder().frq(20).build().unwrap();
+        let report = trace.replay(&coarse, "coarse");
+        assert_eq!(report.len(), 5);
+    }
+
+    #[test]
+    fn trace_json_round_trip() {
+        let (trace, _) = traced_run(10, 30);
+        let json = trace.to_json().unwrap();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn offline_check_finds_the_same_violation_as_online() {
+        use crate::model::{HeapModel, StableMetric};
+        use heap_graph::MetricKind;
+
+        // Model claiming Roots must stay within [0, 5]: a growing list
+        // has Roots ≈ 1/n·100 shrinking toward 0 — fine — but a fresh
+        // run that never links nodes has Roots = 100.
+        let model = HeapModel {
+            program: "t".into(),
+            settings: Settings::default(),
+            stable: vec![StableMetric {
+                kind: MetricKind::Roots,
+                min: 0.0,
+                max: 5.0,
+                avg_change: 0.0,
+                std_change: 0.5,
+                stable_runs: 3,
+                total_runs: 3,
+            }],
+            unstable: vec![],
+            locally_stable: vec![],
+            training_runs: 3,
+        };
+        let settings = Settings::builder()
+            .frq(5)
+            .warmup_samples(1)
+            .build()
+            .unwrap();
+        // Buggy run: isolated nodes only (Roots = 100 > 5).
+        let mut p = Process::new(settings.clone());
+        p.enable_trace();
+        for _ in 0..50 {
+            p.enter("loop");
+            p.malloc(16, "iso").unwrap();
+            p.leave();
+        }
+        let trace = p.take_trace().unwrap();
+        let bugs = trace.check(&model, &settings);
+        assert_eq!(bugs.len(), 1);
+        assert_eq!(bugs[0].metric, MetricKind::Roots);
+    }
+}

@@ -1,0 +1,221 @@
+//! Value-based heap metrics — the other metric family §2.1 names
+//! ("value-based metrics, such as the number of distinct values stored
+//! at a heap location over the program lifetime").
+//!
+//! [`ValueProfile`] is a [`Monitor`] that tracks, for every pointer
+//! slot, how many *distinct* values were ever stored there, aggregated
+//! per `(allocation site, offset)` — the static notion of a "heap
+//! location" that survives individual objects. The summary separates
+//! write-once locations (initialize-and-never-retarget, AccMon's
+//! observation) from frequently-retargeted ones; a location whose
+//! distinct-value count explodes is a candidate invariant violation.
+
+use crate::monitor::{Monitor, MonitorCtx};
+use serde::Serialize;
+use sim_heap::{AllocSite, HeapEvent, ObjectId};
+use std::collections::{HashMap, HashSet};
+
+/// Distinct-value counts saturate here (the exact count of a hot slot
+/// is uninteresting; "many" is the signal).
+const SATURATION: usize = 64;
+
+/// Per-location profile.
+#[derive(Debug, Clone, Default)]
+struct SlotProfile {
+    distinct: HashSet<u64>,
+    writes: u64,
+}
+
+/// Summary of the value behaviour of one static heap location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LocationSummary {
+    /// Allocation site of the containing objects.
+    pub site: AllocSite,
+    /// Byte offset of the slot within those objects.
+    pub offset: u64,
+    /// Distinct pointer values stored (saturated).
+    pub distinct_values: usize,
+    /// Total pointer stores.
+    pub writes: u64,
+}
+
+impl LocationSummary {
+    /// Returns `true` when every write stored the same value.
+    pub fn write_once(&self) -> bool {
+        self.distinct_values <= 1
+    }
+}
+
+/// A monitor profiling distinct pointer values per static heap
+/// location.
+///
+/// # Example
+///
+/// ```
+/// use heapmd::{Process, Settings, ValueProfile};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let profile = Rc::new(RefCell::new(ValueProfile::new()));
+/// let mut p = Process::new(Settings::builder().frq(100).build()?);
+/// p.attach(profile.clone());
+/// let a = p.malloc(16, "node")?;
+/// let b = p.malloc(16, "node")?;
+/// p.write_ptr(a, b)?;
+/// let _ = p.finish("run");
+/// let summary = profile.borrow().summarize();
+/// assert_eq!(summary.len(), 1);
+/// assert!(summary[0].write_once());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ValueProfile {
+    /// Live-object site map (events carry ids, not sites, on writes).
+    sites: HashMap<ObjectId, AllocSite>,
+    profiles: HashMap<(AllocSite, u64), SlotProfile>,
+}
+
+impl ValueProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        ValueProfile::default()
+    }
+
+    /// Number of static locations profiled.
+    pub fn locations(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Summaries for every profiled location, most-retargeted first.
+    pub fn summarize(&self) -> Vec<LocationSummary> {
+        let mut out: Vec<LocationSummary> = self
+            .profiles
+            .iter()
+            .map(|(&(site, offset), p)| LocationSummary {
+                site,
+                offset,
+                distinct_values: p.distinct.len(),
+                writes: p.writes,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.distinct_values
+                .cmp(&a.distinct_values)
+                .then(b.writes.cmp(&a.writes))
+                .then(a.site.0.cmp(&b.site.0))
+                .then(a.offset.cmp(&b.offset))
+        });
+        out
+    }
+
+    /// Fraction of profiled locations that are write-once (0–1; 0 for
+    /// an empty profile).
+    pub fn write_once_fraction(&self) -> f64 {
+        if self.profiles.is_empty() {
+            return 0.0;
+        }
+        let once = self
+            .profiles
+            .values()
+            .filter(|p| p.distinct.len() <= 1)
+            .count();
+        once as f64 / self.profiles.len() as f64
+    }
+}
+
+impl Monitor for ValueProfile {
+    fn on_event(&mut self, _ctx: &MonitorCtx<'_>, event: &HeapEvent) {
+        match *event {
+            HeapEvent::Alloc { obj, site, .. } => {
+                self.sites.insert(obj, site);
+            }
+            HeapEvent::Free { obj, .. } => {
+                self.sites.remove(&obj);
+            }
+            HeapEvent::PtrWrite {
+                src, offset, value, ..
+            } => {
+                if let Some(&site) = self.sites.get(&src) {
+                    let p = self.profiles.entry((site, offset)).or_default();
+                    p.writes += 1;
+                    if p.distinct.len() < SATURATION {
+                        p.distinct.insert(value.get());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Process;
+    use crate::settings::Settings;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn rig() -> (Process, Rc<RefCell<ValueProfile>>) {
+        let mut p = Process::new(Settings::builder().frq(1_000).build().unwrap());
+        let v = Rc::new(RefCell::new(ValueProfile::new()));
+        p.attach(v.clone());
+        (p, v)
+    }
+
+    #[test]
+    fn distinct_values_counted_per_location() {
+        let (mut p, v) = rig();
+        let a = p.malloc(32, "holder").unwrap();
+        let t1 = p.malloc(16, "t").unwrap();
+        let t2 = p.malloc(16, "t").unwrap();
+        p.write_ptr(a, t1).unwrap();
+        p.write_ptr(a, t2).unwrap();
+        p.write_ptr(a, t1).unwrap(); // repeat: not a new distinct value
+        p.write_ptr(a.offset(8), t1).unwrap();
+        let _ = p.finish("r");
+        let s = v.borrow().summarize();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].offset, 0);
+        assert_eq!(s[0].distinct_values, 2);
+        assert_eq!(s[0].writes, 3);
+        assert!(s[1].write_once());
+    }
+
+    #[test]
+    fn locations_aggregate_across_objects_of_one_site() {
+        let (mut p, v) = rig();
+        // Two nodes from the same site; each next-slot written once
+        // with a different value: the *location* has 2 distinct values.
+        let n1 = p.malloc(16, "node").unwrap();
+        let n2 = p.malloc(16, "node").unwrap();
+        p.write_ptr(n1.offset(8), n2).unwrap();
+        p.write_ptr(n2.offset(8), n1).unwrap();
+        let _ = p.finish("r");
+        let s = v.borrow().summarize();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].distinct_values, 2);
+    }
+
+    #[test]
+    fn write_once_fraction() {
+        let (mut p, v) = rig();
+        let a = p.malloc(32, "a").unwrap();
+        let b = p.malloc(32, "b").unwrap();
+        p.write_ptr(a, b).unwrap(); // a+0: one value
+        p.write_ptr(b, a).unwrap();
+        p.write_ptr(b, b).unwrap(); // b+0: two values
+        let _ = p.finish("r");
+        assert!((v.borrow().write_once_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(v.borrow().locations(), 2);
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let v = ValueProfile::new();
+        assert_eq!(v.write_once_fraction(), 0.0);
+        assert!(v.summarize().is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! # sim-ds — instrumented data structures over the simulated heap
+//!
+//! The workloads of the HeapMD reproduction (SPEC-like and
+//! commercial-like programs) build their heaps out of these structures.
+//! Every node lives on the [`heapmd::Process`] heap and every link is a
+//! real pointer store, so the heap-graph sees exactly what a C program's
+//! instrumented binary would expose.
+//!
+//! Each structure carries the **fault hooks** that reproduce the paper's
+//! bug taxonomy (Figures 8 and 9): the doubly-linked list can skip its
+//! `prev` update (Figure 1), the table descriptors can leak through an
+//! index typo (Figure 11), the circular list can free its shared head
+//! (Figure 12), the binary tree can omit child→parent pointers (the
+//! Figure 10 bug), the oct-tree can alias subtrees into an oct-DAG, the
+//! hash table can degenerate, and so on. Faults are controlled by a
+//! [`faults::FaultPlan`] consulted at the exact call-site where the
+//! paper's code fragment went wrong.
+//!
+//! # Example
+//!
+//! ```
+//! use heapmd::{Process, Settings};
+//! use faults::FaultPlan;
+//! use sim_ds::SimDList;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut p = Process::new(Settings::builder().frq(10).build()?);
+//! let mut plan = FaultPlan::new(); // clean
+//! let mut list = SimDList::new(&mut p, "assets")?;
+//! for i in 0..10 {
+//!     list.push_back(&mut p, &mut plan, i)?;
+//! }
+//! assert_eq!(list.len(), 10);
+//! assert_eq!(list.count_back_pointer_violations(&mut p)?, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bintree;
+mod btree;
+mod buffers;
+mod cache;
+mod clist;
+mod dlist;
+mod graph_adj;
+mod hashtab;
+mod list;
+mod octree;
+mod table_desc;
+
+pub use bintree::SimBinTree;
+pub use btree::SimBTree;
+pub use buffers::BufferPool;
+pub use cache::StaleCache;
+pub use clist::SimCircularList;
+pub use dlist::SimDList;
+pub use graph_adj::{GraphShape, SimGraph};
+pub use hashtab::SimHashTable;
+pub use list::SimList;
+pub use octree::SimOctTree;
+pub use table_desc::TableDescriptors;
+
+/// Fault ids exposed by this crate's structures, one per buggy
+/// call-site. Workload bug catalogs reference these.
+pub mod fault_ids {
+    use faults::FaultId;
+
+    /// Figure 1: `SimDList` insert skips the `prev`-pointer update.
+    pub const DLIST_SKIP_PREV: FaultId = FaultId("dlist.skip_prev_update");
+    /// Figure 12: `SimCircularList` frees the shared head, leaving the
+    /// tail dangling.
+    pub const CLIST_FREE_SHARED_HEAD: FaultId = FaultId("clist.free_shared_head");
+    /// Figure 10's bug: `SimBinTree` insert omits the child→parent
+    /// pointer.
+    pub const BINTREE_SKIP_PARENT: FaultId = FaultId("bintree.skip_parent_pointer");
+    /// Figure 9: `SimBinTree` degenerates to single-child vertexes.
+    pub const BINTREE_SINGLE_CHILD: FaultId = FaultId("bintree.single_child");
+    /// Oct-DAG: `SimOctTree` aliases an existing subtree instead of
+    /// allocating a child.
+    pub const OCTREE_ALIAS_SUBTREE: FaultId = FaultId("octree.alias_subtree");
+    /// `SimBTree` split forgets the parent→sibling heap pointer.
+    pub const BTREE_SKIP_SIBLING: FaultId = FaultId("btree.skip_sibling_link");
+    /// Figure 9: `SimHashTable` hashes every key into bucket 0.
+    pub const HASH_DEGENERATE: FaultId = FaultId("hashtab.degenerate_hash");
+    /// Figure 11: `TableDescriptors::update` uses the wrong index,
+    /// leaking a property list.
+    pub const TABLE_TYPO_LEAK: FaultId = FaultId("table_desc.typo_leak");
+    /// `SimList::pop_front` forgets the free (small unreachable leak).
+    pub const LIST_SMALL_LEAK: FaultId = FaultId("list.small_leak");
+    /// `StaleCache` keeps inserting entries that stay reachable but are
+    /// never read again (invisible to HeapMD, a SWAT finding).
+    pub const CACHE_REACHABLE_LEAK: FaultId = FaultId("cache.reachable_leak");
+    /// Figure 9: `SimGraph` generates an atypical shape (star instead of
+    /// the configured topology).
+    pub const GRAPH_ATYPICAL: FaultId = FaultId("graph.atypical_shape");
+}

@@ -1,0 +1,361 @@
+//! # faults — deterministic fault injection for the HeapMD reproduction
+//!
+//! The paper evaluates HeapMD on real bugs in commercial code. This
+//! reproduction injects mechanically equivalent bugs into the simulated
+//! data structures (`sim-ds`) at specific call-sites, controlled by a
+//! [`FaultPlan`]: a set of enabled [`FaultId`]s with deterministic
+//! trigger schedules (fire always, every Nth time, after a warmup, up
+//! to a limit).
+//!
+//! Determinism matters: the experiments train on clean runs and check
+//! buggy ones, and the whole pipeline must be reproducible without
+//! wall-clock or OS randomness.
+//!
+//! # Example
+//!
+//! ```
+//! use faults::{FaultConfig, FaultId, FaultPlan};
+//!
+//! const SKIP_PREV: FaultId = FaultId("dlist.skip_prev_update");
+//!
+//! let mut plan = FaultPlan::new();
+//! plan.enable(SKIP_PREV, FaultConfig::every(3).after(2));
+//! // Consulted at the buggy call-site: two warmup consultations are
+//! // skipped, then every 3rd consultation fires.
+//! let fired: Vec<bool> = (0..9).map(|_| plan.fires(SKIP_PREV)).collect();
+//! assert_eq!(fired, [false, false, false, false, true, false, false, true, false]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of one injectable fault, usually a `"structure.site"`
+/// path such as `"dlist.skip_prev_update"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct FaultId(pub &'static str);
+
+impl fmt::Display for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// The mechanical kind of an injected fault, mirroring the paper's
+/// Figures 8 and 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum FaultKind {
+    /// Figure 11: an index typo overwrites a pointer without releasing
+    /// (or re-linking) its old target — a leak.
+    TypoLeak,
+    /// A small, bounded leak (well-disguised: too few objects to move
+    /// any metric).
+    SmallLeak,
+    /// Leaking objects that remain reachable (invisible to HeapMD,
+    /// visible to staleness-based SWAT).
+    ReachableLeak,
+    /// Figure 12: freeing shared state (the head of a circular list)
+    /// while another pointer still references it — a dangling pointer.
+    SharedStateFree,
+    /// Figure 1: a doubly-linked-list insert that does not update `prev`
+    /// pointers — a data-structure invariant violation.
+    SkipBackPointer,
+    /// Figure 10's bug: newly inserted tree nodes missing parent
+    /// pointers from their children.
+    SkipParentPointer,
+    /// An oct-tree construction mistake that aliases subtrees, producing
+    /// an oct-DAG (the paper's one *poorly disguised* bug).
+    AliasedSubtree,
+    /// A B-tree split that forgets to link the new sibling.
+    SkipSiblingLink,
+    /// Figure 9: a pathological hash function collapsing keys into one
+    /// bucket (an indirect "performance bug").
+    DegenerateHash,
+    /// Figure 9: tree vertexes end up with a single child instead of
+    /// two (an indirect logic bug).
+    SingleChildTree,
+    /// Figure 9: a localization bug producing atypical graphs
+    /// (represented as adjacency lists).
+    AtypicalGraph,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultKind::TypoLeak => "typo leak",
+            FaultKind::SmallLeak => "small leak",
+            FaultKind::ReachableLeak => "reachable leak",
+            FaultKind::SharedStateFree => "shared-state free",
+            FaultKind::SkipBackPointer => "skipped back-pointer",
+            FaultKind::SkipParentPointer => "skipped parent pointer",
+            FaultKind::AliasedSubtree => "aliased subtree",
+            FaultKind::SkipSiblingLink => "skipped sibling link",
+            FaultKind::DegenerateHash => "degenerate hash",
+            FaultKind::SingleChildTree => "single-child tree",
+            FaultKind::AtypicalGraph => "atypical graph",
+        };
+        f.write_str(name)
+    }
+}
+
+/// When an enabled fault fires, relative to the sequence of times its
+/// call-site consults the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FaultConfig {
+    /// Fire on every `every`-th consultation (1 = every time).
+    pub every: u64,
+    /// Skip the first `after` consultations.
+    pub after: u64,
+    /// Stop firing after this many activations (`None` = unbounded).
+    pub limit: Option<u64>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::always()
+    }
+}
+
+impl FaultConfig {
+    /// Fires on every consultation.
+    pub fn always() -> Self {
+        FaultConfig {
+            every: 1,
+            after: 0,
+            limit: None,
+        }
+    }
+
+    /// Fires on every `n`-th consultation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn every(n: u64) -> Self {
+        assert!(n > 0, "period must be positive");
+        FaultConfig {
+            every: n,
+            after: 0,
+            limit: None,
+        }
+    }
+
+    /// Skips the first `n` consultations.
+    pub fn after(mut self, n: u64) -> Self {
+        self.after = n;
+        self
+    }
+
+    /// Caps the number of activations.
+    pub fn limit(mut self, n: u64) -> Self {
+        self.limit = Some(n);
+        self
+    }
+}
+
+/// Book-keeping for one enabled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+struct FaultState {
+    config: FaultConfig,
+    consultations: u64,
+    activations: u64,
+}
+
+/// A set of enabled faults with deterministic schedules.
+///
+/// Call-sites in `sim-ds` consult the plan via [`fires`](Self::fires);
+/// a disabled fault never fires and costs one hash lookup.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct FaultPlan {
+    active: HashMap<FaultId, FaultState>,
+}
+
+impl FaultPlan {
+    /// An empty (all-clean) plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single always-firing fault — the common case in
+    /// targeted experiments.
+    pub fn single(id: FaultId) -> Self {
+        let mut plan = FaultPlan::new();
+        plan.enable(id, FaultConfig::always());
+        plan
+    }
+
+    /// Enables `id` under `config`, resetting any previous state.
+    pub fn enable(&mut self, id: FaultId, config: FaultConfig) -> &mut Self {
+        self.active.insert(
+            id,
+            FaultState {
+                config,
+                consultations: 0,
+                activations: 0,
+            },
+        );
+        self
+    }
+
+    /// Disables `id`.
+    pub fn disable(&mut self, id: FaultId) -> &mut Self {
+        self.active.remove(&id);
+        self
+    }
+
+    /// Returns `true` if `id` is enabled (regardless of schedule).
+    pub fn is_enabled(&self, id: FaultId) -> bool {
+        self.active.contains_key(&id)
+    }
+
+    /// Consults the plan at a call-site: returns `true` when the fault
+    /// fires now, advancing the schedule.
+    pub fn fires(&mut self, id: FaultId) -> bool {
+        let Some(st) = self.active.get_mut(&id) else {
+            return false;
+        };
+        st.consultations += 1;
+        if st.consultations <= st.config.after {
+            return false;
+        }
+        if let Some(limit) = st.config.limit {
+            if st.activations >= limit {
+                return false;
+            }
+        }
+        let since = st.consultations - st.config.after;
+        if since % st.config.every == 0 {
+            st.activations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Times `id` has actually fired.
+    pub fn activations(&self, id: FaultId) -> u64 {
+        self.active.get(&id).map_or(0, |s| s.activations)
+    }
+
+    /// Times `id`'s call-site consulted the plan.
+    pub fn consultations(&self, id: FaultId) -> u64 {
+        self.active.get(&id).map_or(0, |s| s.consultations)
+    }
+
+    /// Enabled fault ids, in sorted order.
+    pub fn enabled(&self) -> Vec<FaultId> {
+        let mut ids: Vec<FaultId> = self.active.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Resets all schedules (consultations and activations) without
+    /// changing which faults are enabled.
+    pub fn reset(&mut self) {
+        for st in self.active.values_mut() {
+            st.consultations = 0;
+            st.activations = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FaultId = FaultId("test.fault");
+    const G: FaultId = FaultId("test.other");
+
+    #[test]
+    fn disabled_fault_never_fires() {
+        let mut plan = FaultPlan::new();
+        assert!(!plan.fires(F));
+        assert_eq!(plan.consultations(F), 0);
+        assert!(!plan.is_enabled(F));
+    }
+
+    #[test]
+    fn always_fires_every_time() {
+        let mut plan = FaultPlan::single(F);
+        for _ in 0..5 {
+            assert!(plan.fires(F));
+        }
+        assert_eq!(plan.activations(F), 5);
+        assert_eq!(plan.consultations(F), 5);
+    }
+
+    #[test]
+    fn every_n_schedule() {
+        let mut plan = FaultPlan::new();
+        plan.enable(F, FaultConfig::every(3));
+        let fired: Vec<bool> = (0..7).map(|_| plan.fires(F)).collect();
+        assert_eq!(fired, [false, false, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn after_skips_warmup() {
+        let mut plan = FaultPlan::new();
+        plan.enable(F, FaultConfig::always().after(3));
+        let fired: Vec<bool> = (0..5).map(|_| plan.fires(F)).collect();
+        assert_eq!(fired, [false, false, false, true, true]);
+    }
+
+    #[test]
+    fn limit_caps_activations() {
+        let mut plan = FaultPlan::new();
+        plan.enable(F, FaultConfig::always().limit(2));
+        let fired: Vec<bool> = (0..5).map(|_| plan.fires(F)).collect();
+        assert_eq!(fired, [true, true, false, false, false]);
+        assert_eq!(plan.activations(F), 2);
+        assert_eq!(plan.consultations(F), 5);
+    }
+
+    #[test]
+    fn faults_are_independent() {
+        let mut plan = FaultPlan::new();
+        plan.enable(F, FaultConfig::always());
+        plan.enable(G, FaultConfig::every(2));
+        assert!(plan.fires(F));
+        assert!(!plan.fires(G));
+        assert!(plan.fires(G));
+        assert_eq!(plan.enabled(), vec![F, G]);
+    }
+
+    #[test]
+    fn disable_and_reset() {
+        let mut plan = FaultPlan::single(F);
+        assert!(plan.fires(F));
+        plan.disable(F);
+        assert!(!plan.fires(F));
+        plan.enable(F, FaultConfig::every(2));
+        plan.fires(F);
+        plan.reset();
+        assert_eq!(plan.consultations(F), 0);
+        let fired: Vec<bool> = (0..2).map(|_| plan.fires(F)).collect();
+        assert_eq!(fired, [false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        FaultConfig::every(0);
+    }
+
+    #[test]
+    fn plan_serializes() {
+        let mut plan = FaultPlan::new();
+        plan.enable(F, FaultConfig::every(2).after(1).limit(10));
+        let json = serde_json::to_string(&plan).unwrap();
+        assert!(json.contains("test.fault"));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(F.to_string(), "test.fault");
+        assert_eq!(FaultKind::TypoLeak.to_string(), "typo leak");
+        assert_eq!(FaultKind::AtypicalGraph.to_string(), "atypical graph");
+    }
+}

@@ -1,0 +1,272 @@
+//! Field-granularity heap-graph — the alternative the paper rejects.
+//!
+//! Figure 3 of the paper contrasts two granularities for the
+//! heap-graph: **object** granularity (one vertex per allocation — what
+//! HeapMD uses) and **field** granularity (one vertex per pointer-sized
+//! slot). Field granularity captures finer structure but makes the
+//! degree metrics sensitive to *field layout*: the same linked list
+//! with `data` before `next` versus `next` before `data` produces
+//! different indegree = outdegree percentages, even though the data
+//! structure is identical.
+//!
+//! [`FieldGraph`] implements the rejected design so the ablation can be
+//! measured (see the `ablations` bench and the unit tests below, which
+//! reproduce Figure 3's layout-sensitivity example).
+
+use crate::graph::HeapGraph;
+use crate::metrics::MetricVector;
+use sim_heap::{Addr, HeapEvent, ObjectId};
+use std::collections::HashMap;
+
+/// Pointer-slot width: fields are 8-byte words.
+const FIELD: u64 = 8;
+/// Maximum fields per object (bounds the field-id encoding).
+const MAX_FIELDS: u64 = 1 << 20;
+
+/// A heap-graph at the granularity of individual 8-byte fields.
+///
+/// Every allocation of `n` bytes contributes `⌈n/8⌉` vertexes; a
+/// pointer store creates an edge from the *written field* to the
+/// *pointed-at field*. Degrees, histograms, and the seven paper metrics
+/// come from the same machinery as [`HeapGraph`], applied to the
+/// field-level vertexes.
+///
+/// # Example
+///
+/// ```
+/// use heap_graph::FieldGraph;
+/// use sim_heap::{AllocSite, SimHeap};
+///
+/// # fn main() -> Result<(), sim_heap::HeapError> {
+/// let mut heap = SimHeap::new();
+/// let mut fg = FieldGraph::new();
+/// let a = heap.alloc(16, AllocSite(0))?;
+/// fg.on_alloc(a.id, a.addr, a.size);
+/// assert_eq!(fg.node_count(), 2, "two 8-byte fields");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FieldGraph {
+    inner: HeapGraph,
+    sizes: HashMap<ObjectId, (Addr, usize)>,
+}
+
+fn field_id(obj: ObjectId, index: u64) -> ObjectId {
+    ObjectId(obj.0 * MAX_FIELDS + index)
+}
+
+fn field_count(size: usize) -> u64 {
+    (size as u64).div_ceil(FIELD)
+}
+
+impl FieldGraph {
+    /// Creates an empty field-granularity graph.
+    pub fn new() -> Self {
+        FieldGraph::default()
+    }
+
+    /// Field vertexes currently live.
+    pub fn node_count(&self) -> u64 {
+        self.inner.node_count()
+    }
+
+    /// Field-to-field edges.
+    pub fn edge_count(&self) -> u64 {
+        self.inner.edge_count()
+    }
+
+    /// The seven paper metrics over field vertexes.
+    pub fn metrics(&self) -> MetricVector {
+        self.inner.metrics()
+    }
+
+    /// Applies one instrumentation event.
+    pub fn apply(&mut self, event: &HeapEvent) {
+        match *event {
+            HeapEvent::Alloc {
+                obj, addr, size, ..
+            } => self.on_alloc(obj, addr, size),
+            HeapEvent::Free { obj, .. } => self.on_free(obj),
+            HeapEvent::PtrWrite {
+                src, offset, value, ..
+            } => self.on_ptr_write(src, offset, value),
+            HeapEvent::ScalarWrite { src, offset, .. } => self.on_scalar_write(src, offset),
+            HeapEvent::Read { .. } | HeapEvent::FnEnter { .. } | HeapEvent::FnExit { .. } => {}
+        }
+    }
+
+    /// Adds the object's fields as vertexes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object exceeds the supported field count or is
+    /// already live.
+    pub fn on_alloc(&mut self, obj: ObjectId, addr: Addr, size: usize) {
+        let n = field_count(size);
+        assert!(n < MAX_FIELDS, "object too large for field encoding");
+        for i in 0..n {
+            self.inner
+                .on_alloc(field_id(obj, i), addr.offset(i * FIELD), FIELD as usize);
+        }
+        self.sizes.insert(obj, (addr, size));
+    }
+
+    /// Removes the object's field vertexes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not live.
+    pub fn on_free(&mut self, obj: ObjectId) {
+        let (_, size) = self.sizes.remove(&obj).expect("free of unknown object");
+        for i in 0..field_count(size) {
+            self.inner.on_free(field_id(obj, i));
+        }
+    }
+
+    /// Records a pointer store into field `offset / 8` of `obj`.
+    pub fn on_ptr_write(&mut self, obj: ObjectId, offset: u64, value: Addr) {
+        let field = field_id(obj, offset / FIELD);
+        // The field vertex holds a single pointer at its slot 0.
+        self.inner.on_ptr_write(field, 0, value);
+    }
+
+    /// Records a scalar store (clears the field's pointer).
+    pub fn on_scalar_write(&mut self, obj: ObjectId, offset: u64) {
+        if self.sizes.contains_key(&obj) {
+            let field = field_id(obj, offset / FIELD);
+            self.inner.on_scalar_write(field, 0);
+        }
+    }
+
+    /// Consistency check (delegates to the object-graph validator).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.inner.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricKind;
+    use sim_heap::{AllocSite, SimHeap};
+
+    /// Builds a k-node singly linked list with the `next` pointer at
+    /// the given byte offset (Figure 3's layout parameter), returning
+    /// object- and field-granularity metrics side by side.
+    fn list_metrics(k: usize, next_off: u64) -> (MetricVector, MetricVector) {
+        let mut heap = SimHeap::new();
+        let mut og = HeapGraph::new();
+        let mut fg = FieldGraph::new();
+        let mut addrs = Vec::new();
+        for _ in 0..k {
+            let eff = heap.alloc(16, AllocSite(0)).unwrap();
+            og.on_alloc(eff.id, eff.addr, eff.size);
+            fg.on_alloc(eff.id, eff.addr, eff.size);
+            addrs.push(eff.addr);
+        }
+        for w in addrs.windows(2) {
+            // The next pointer holds the next *node's base address*
+            // (as C code would); which field it lands in depends on
+            // the layout — Figure 3's whole point.
+            let eff = heap.write_ptr(w[0].offset(next_off), w[1]).unwrap();
+            og.on_ptr_write(eff.src, eff.offset, w[1]);
+            fg.on_ptr_write(eff.src, eff.offset, w[1]);
+        }
+        og.validate().unwrap();
+        fg.validate().unwrap();
+        (og.metrics(), fg.metrics())
+    }
+
+    #[test]
+    fn field_counts_round_up() {
+        assert_eq!(field_count(1), 1);
+        assert_eq!(field_count(8), 1);
+        assert_eq!(field_count(9), 2);
+        assert_eq!(field_count(24), 3);
+    }
+
+    #[test]
+    fn figure3_layout_sensitivity() {
+        // Layout (A): data at 0, next at 8. Layout (B): next at 0,
+        // data at 8. Object granularity: identical metrics. Field
+        // granularity: In=Out swings — the paper's exact argument for
+        // object granularity.
+        let (obj_a, field_a) = list_metrics(10, 8);
+        let (obj_b, field_b) = list_metrics(10, 0);
+        assert_eq!(obj_a, obj_b, "object granularity ignores layout");
+        assert_ne!(
+            field_a.get(MetricKind::InEqOut),
+            field_b.get(MetricKind::InEqOut),
+            "field granularity is layout-sensitive"
+        );
+    }
+
+    #[test]
+    fn figure3_expected_field_percentages() {
+        // Paper: with layout (A) only two vertexes have in = out
+        // (both 0): the first data field and the last next field. With
+        // layout (B) all but two have in = out.
+        let k = 10;
+        let (_, field_a) = list_metrics(k, 8);
+        let (_, field_b) = list_metrics(k, 0);
+        let n = (2 * k) as f64;
+        let a_expect = 2.0 / n * 100.0;
+        // Layout B: k data fields are (0,0) and k−2 interior next
+        // fields are (1,1) → 2k−2 balanced.
+        let b_expect = (n - 2.0) / n * 100.0;
+        assert!((field_a.get(MetricKind::InEqOut) - a_expect).abs() < 1e-9);
+        assert!((field_b.get(MetricKind::InEqOut) - b_expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_removes_all_fields() {
+        let mut heap = SimHeap::new();
+        let mut fg = FieldGraph::new();
+        let a = heap.alloc(32, AllocSite(0)).unwrap();
+        fg.on_alloc(a.id, a.addr, a.size);
+        assert_eq!(fg.node_count(), 4);
+        let eff = heap.free(a.addr).unwrap();
+        fg.on_free(eff.id);
+        assert_eq!(fg.node_count(), 0);
+        fg.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_event_stream() {
+        let mut heap = SimHeap::new();
+        let mut fg = FieldGraph::new();
+        let a = heap.alloc(16, AllocSite(0)).unwrap();
+        let b = heap.alloc(16, AllocSite(0)).unwrap();
+        fg.apply(&HeapEvent::Alloc {
+            obj: a.id,
+            addr: a.addr,
+            size: a.size,
+            site: AllocSite(0),
+        });
+        fg.apply(&HeapEvent::Alloc {
+            obj: b.id,
+            addr: b.addr,
+            size: b.size,
+            site: AllocSite(0),
+        });
+        fg.apply(&HeapEvent::PtrWrite {
+            src: a.id,
+            offset: 8,
+            value: b.addr,
+            old_value: None,
+        });
+        assert_eq!(fg.edge_count(), 1);
+        fg.apply(&HeapEvent::ScalarWrite {
+            src: a.id,
+            offset: 8,
+            old_value: Some(b.addr),
+        });
+        assert_eq!(fg.edge_count(), 0);
+        fg.validate().unwrap();
+    }
+}

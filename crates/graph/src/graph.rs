@@ -1,0 +1,692 @@
+//! The incremental heap-graph.
+
+use crate::histogram::DegreeHistogram;
+use crate::metrics::{ExtendedMetrics, MetricVector};
+use crate::node::NodeInfo;
+use serde::{Deserialize, Serialize};
+use sim_heap::{Addr, HeapEvent, ObjectId};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One pointer slot's state as the graph sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlotState {
+    /// Raw stored address.
+    raw: u64,
+    /// The live object it currently resolves to, if any.
+    target: Option<ObjectId>,
+}
+
+/// A serializable summary of the graph at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphSnapshot {
+    /// Live vertexes.
+    pub nodes: u64,
+    /// Resolved edges.
+    pub edges: u64,
+    /// Dangling (unresolved) pointer slots.
+    pub dangling: u64,
+    /// The seven paper metrics.
+    pub metrics: MetricVector,
+}
+
+/// The object-granularity heap-graph, updated incrementally from the
+/// instrumentation event stream.
+///
+/// See the [crate docs](crate) for the model. The three mutating entry
+/// points mirror the events the paper's instrumentation exposes:
+/// [`on_alloc`](Self::on_alloc), [`on_free`](Self::on_free), and
+/// [`on_ptr_write`](Self::on_ptr_write) /
+/// [`on_scalar_write`](Self::on_scalar_write); or feed raw events
+/// through [`apply`](Self::apply).
+///
+/// # Invariants (checked by [`validate`](Self::validate))
+///
+/// * a slot is an edge iff its raw address lies inside a live object;
+/// * per-node degrees equal the counts implied by the slot table;
+/// * the degree histogram equals a from-scratch recount.
+#[derive(Debug, Clone, Default)]
+pub struct HeapGraph {
+    nodes: HashMap<ObjectId, NodeInfo>,
+    /// Live objects keyed by start address, for pointer resolution.
+    ranges: BTreeMap<u64, (ObjectId, usize)>,
+    /// Reverse map: vertex → start address (for O(log n) frees).
+    starts: HashMap<ObjectId, u64>,
+    /// Per-source pointer slots: offset → state.
+    out_slots: HashMap<ObjectId, BTreeMap<u64, SlotState>>,
+    /// Reverse edges: target → set of (source, offset).
+    inbound: HashMap<ObjectId, HashSet<(ObjectId, u64)>>,
+    /// Slots whose raw address resolves to no live object, keyed by that
+    /// address so allocations can re-bind them by range scan.
+    unresolved: BTreeMap<u64, HashSet<(ObjectId, u64)>>,
+    histogram: DegreeHistogram,
+    edge_count: u64,
+    dangling: u64,
+}
+
+impl HeapGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        HeapGraph::default()
+    }
+
+    /// Live vertexes.
+    pub fn node_count(&self) -> u64 {
+        self.histogram.nodes()
+    }
+
+    /// Resolved heap-to-heap edges (with multiplicity).
+    pub fn edge_count(&self) -> u64 {
+        self.edge_count
+    }
+
+    /// Pointer slots currently dangling (stored address resolves to no
+    /// live object).
+    pub fn dangling_count(&self) -> u64 {
+        self.dangling
+    }
+
+    /// Degree information for a live vertex.
+    pub fn node(&self, id: ObjectId) -> Option<NodeInfo> {
+        self.nodes.get(&id).copied()
+    }
+
+    /// Returns `true` if `id` is a live vertex.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// The degree histogram (O(1) reads for every paper metric).
+    pub fn histogram(&self) -> &DegreeHistogram {
+        &self.histogram
+    }
+
+    /// Computes the seven paper metrics for the current graph.
+    pub fn metrics(&self) -> MetricVector {
+        MetricVector::from_histogram(&self.histogram)
+    }
+
+    /// Computes the extension metrics for the current graph.
+    pub fn extended_metrics(&self) -> ExtendedMetrics {
+        let nodes = self.node_count();
+        ExtendedMetrics {
+            nodes,
+            edges: self.edge_count,
+            dangling_slots: self.dangling,
+            mean_degree: if nodes == 0 {
+                0.0
+            } else {
+                self.edge_count as f64 / nodes as f64
+            },
+        }
+    }
+
+    /// A serializable summary of the current instant.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        GraphSnapshot {
+            nodes: self.node_count(),
+            edges: self.edge_count,
+            dangling: self.dangling,
+            metrics: self.metrics(),
+        }
+    }
+
+    /// Applies one instrumentation event.
+    ///
+    /// Reads and function entries/exits do not change the graph.
+    pub fn apply(&mut self, event: &HeapEvent) {
+        match *event {
+            HeapEvent::Alloc {
+                obj, addr, size, ..
+            } => self.on_alloc(obj, addr, size),
+            HeapEvent::Free { obj, .. } => self.on_free(obj),
+            HeapEvent::PtrWrite {
+                src, offset, value, ..
+            } => self.on_ptr_write(src, offset, value),
+            HeapEvent::ScalarWrite { src, offset, .. } => self.on_scalar_write(src, offset),
+            HeapEvent::Read { .. } | HeapEvent::FnEnter { .. } | HeapEvent::FnExit { .. } => {}
+        }
+    }
+
+    /// Adds a vertex for a fresh allocation and re-binds any dangling
+    /// slots whose address falls inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already live (the event stream is corrupt).
+    pub fn on_alloc(&mut self, id: ObjectId, addr: Addr, size: usize) {
+        let prev = self.nodes.insert(id, NodeInfo::new());
+        assert!(prev.is_none(), "duplicate allocation of {id}");
+        self.ranges.insert(addr.get(), (id, size));
+        self.starts.insert(id, addr.get());
+        self.histogram.add_node();
+
+        // Re-bind dangling slots now covered by this object.
+        let start = addr.get();
+        let end = start + size as u64;
+        let hits: Vec<u64> = self.unresolved.range(start..end).map(|(&a, _)| a).collect();
+        for raw in hits {
+            let slots = self.unresolved.remove(&raw).expect("key just seen");
+            for (src, off) in slots {
+                let st = self
+                    .out_slots
+                    .get_mut(&src)
+                    .and_then(|m| m.get_mut(&off))
+                    .expect("unresolved slot must exist in slot table");
+                debug_assert_eq!(st.target, None);
+                st.target = Some(id);
+                self.dangling -= 1;
+                self.edge_count += 1;
+                self.inbound.entry(id).or_default().insert((src, off));
+                if src == id {
+                    self.adjust(id, 1, 1);
+                } else {
+                    self.adjust(src, 0, 1);
+                    self.adjust(id, 1, 0);
+                }
+            }
+        }
+    }
+
+    /// Removes a vertex: its out-slots vanish, and every in-edge's source
+    /// slot becomes dangling (retaining its raw address for later
+    /// re-binding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn on_free(&mut self, id: ObjectId) {
+        let info = self
+            .nodes
+            .remove(&id)
+            .unwrap_or_else(|| panic!("free of unknown {id}"));
+        self.histogram.remove_node(info.indegree, info.outdegree);
+        let start = self.starts.remove(&id).expect("live vertex has a range");
+        self.ranges.remove(&start);
+
+        // Outgoing slots disappear with the object.
+        if let Some(slots) = self.out_slots.remove(&id) {
+            for (off, st) in slots {
+                match st.target {
+                    Some(t) => {
+                        self.edge_count -= 1;
+                        if t != id {
+                            if let Some(set) = self.inbound.get_mut(&t) {
+                                set.remove(&(id, off));
+                            }
+                            self.adjust(t, -1, 0);
+                        }
+                        // Self-edge: both endpoints die with the node.
+                    }
+                    None => {
+                        self.remove_unresolved(st.raw, id, off);
+                        self.dangling -= 1;
+                    }
+                }
+            }
+        }
+
+        // Incoming edges become dangling slots of their sources.
+        if let Some(srcs) = self.inbound.remove(&id) {
+            for (src, off) in srcs {
+                if src == id {
+                    continue; // handled with the out-slots above
+                }
+                let st = self
+                    .out_slots
+                    .get_mut(&src)
+                    .and_then(|m| m.get_mut(&off))
+                    .expect("inbound edge has a source slot");
+                debug_assert_eq!(st.target, Some(id));
+                st.target = None;
+                self.edge_count -= 1;
+                self.dangling += 1;
+                let raw = st.raw;
+                self.unresolved.entry(raw).or_default().insert((src, off));
+                self.adjust(src, 0, -1);
+            }
+        }
+    }
+
+    /// Records a pointer store: slot `(src, offset)` now holds `value`.
+    ///
+    /// A null `value` clears the slot. A non-null value that resolves to
+    /// a live object creates an edge; otherwise the slot is tracked as
+    /// dangling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is not a live vertex.
+    pub fn on_ptr_write(&mut self, src: ObjectId, offset: u64, value: Addr) {
+        assert!(self.nodes.contains_key(&src), "write into unknown {src}");
+        self.drop_slot(src, offset);
+        if value.is_null() {
+            return;
+        }
+        let raw = value.get();
+        let target = self.resolve(raw);
+        self.out_slots
+            .entry(src)
+            .or_default()
+            .insert(offset, SlotState { raw, target });
+        match target {
+            Some(t) => {
+                self.edge_count += 1;
+                self.inbound.entry(t).or_default().insert((src, offset));
+                if t == src {
+                    self.adjust(src, 1, 1);
+                } else {
+                    self.adjust(src, 0, 1);
+                    self.adjust(t, 1, 0);
+                }
+            }
+            None => {
+                self.dangling += 1;
+                self.unresolved
+                    .entry(raw)
+                    .or_default()
+                    .insert((src, offset));
+            }
+        }
+    }
+
+    /// Records a non-pointer store, clearing any pointer in the slot.
+    pub fn on_scalar_write(&mut self, src: ObjectId, offset: u64) {
+        if self.nodes.contains_key(&src) {
+            self.drop_slot(src, offset);
+        }
+    }
+
+    /// Iterates over resolved edges as `(source, offset, target)`.
+    pub fn edges(&self) -> impl Iterator<Item = (ObjectId, u64, ObjectId)> + '_ {
+        self.out_slots.iter().flat_map(|(&src, slots)| {
+            slots
+                .iter()
+                .filter_map(move |(&off, st)| st.target.map(|t| (src, off, t)))
+        })
+    }
+
+    /// Iterates over live vertex ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Recomputes all degree bookkeeping from the slot table and checks
+    /// it against the incremental state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found. Intended
+    /// for tests and debug assertions; O(nodes + slots).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut indeg: HashMap<ObjectId, u32> = HashMap::new();
+        let mut outdeg: HashMap<ObjectId, u32> = HashMap::new();
+        let mut edges = 0u64;
+        let mut dangling = 0u64;
+        for (&src, slots) in &self.out_slots {
+            if !self.nodes.contains_key(&src) {
+                return Err(format!("slot table has dead source {src}"));
+            }
+            for (&off, st) in slots {
+                let resolved = self.resolve(st.raw);
+                if resolved != st.target {
+                    return Err(format!(
+                        "slot ({src},{off}) cached target {:?} but resolves to {:?}",
+                        st.target, resolved
+                    ));
+                }
+                match st.target {
+                    Some(t) => {
+                        edges += 1;
+                        *outdeg.entry(src).or_default() += 1;
+                        *indeg.entry(t).or_default() += 1;
+                    }
+                    None => dangling += 1,
+                }
+            }
+        }
+        if edges != self.edge_count {
+            return Err(format!("edge count {} != {}", self.edge_count, edges));
+        }
+        if dangling != self.dangling {
+            return Err(format!("dangling count {} != {}", self.dangling, dangling));
+        }
+        let mut scratch = DegreeHistogram::new();
+        for (&id, info) in &self.nodes {
+            let want_in = indeg.get(&id).copied().unwrap_or(0);
+            let want_out = outdeg.get(&id).copied().unwrap_or(0);
+            if info.indegree != want_in || info.outdegree != want_out {
+                return Err(format!(
+                    "{id} degrees ({},{}) != recomputed ({want_in},{want_out})",
+                    info.indegree, info.outdegree
+                ));
+            }
+            scratch.add_node();
+            scratch.change_degrees(0, want_in, 0, want_out);
+        }
+        if scratch != self.histogram {
+            return Err("histogram mismatch".to_string());
+        }
+        Ok(())
+    }
+
+    fn resolve(&self, raw: u64) -> Option<ObjectId> {
+        let (&start, &(id, size)) = self.ranges.range(..=raw).next_back()?;
+        (raw < start + size as u64).then_some(id)
+    }
+
+    /// Adjusts a live node's degrees by the given deltas, keeping the
+    /// histogram consistent.
+    fn adjust(&mut self, id: ObjectId, din: i32, dout: i32) {
+        let info = self.nodes.get_mut(&id).expect("adjust on live node");
+        let (old_in, old_out) = (info.indegree, info.outdegree);
+        info.indegree = info
+            .indegree
+            .checked_add_signed(din)
+            .expect("indegree underflow");
+        info.outdegree = info
+            .outdegree
+            .checked_add_signed(dout)
+            .expect("outdegree underflow");
+        let (new_in, new_out) = (info.indegree, info.outdegree);
+        self.histogram
+            .change_degrees(old_in, new_in, old_out, new_out);
+    }
+
+    /// Removes the slot `(src, offset)` if present, undoing its edge or
+    /// dangling registration.
+    fn drop_slot(&mut self, src: ObjectId, offset: u64) {
+        let Some(slots) = self.out_slots.get_mut(&src) else {
+            return;
+        };
+        let Some(st) = slots.remove(&offset) else {
+            return;
+        };
+        if slots.is_empty() {
+            self.out_slots.remove(&src);
+        }
+        match st.target {
+            Some(t) => {
+                self.edge_count -= 1;
+                if let Some(set) = self.inbound.get_mut(&t) {
+                    set.remove(&(src, offset));
+                    if set.is_empty() {
+                        self.inbound.remove(&t);
+                    }
+                }
+                if t == src {
+                    self.adjust(src, -1, -1);
+                } else {
+                    self.adjust(src, 0, -1);
+                    self.adjust(t, -1, 0);
+                }
+            }
+            None => {
+                self.dangling -= 1;
+                self.remove_unresolved(st.raw, src, offset);
+            }
+        }
+    }
+
+    fn remove_unresolved(&mut self, raw: u64, src: ObjectId, off: u64) {
+        if let Some(set) = self.unresolved.get_mut(&raw) {
+            set.remove(&(src, off));
+            if set.is_empty() {
+                self.unresolved.remove(&raw);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_heap::{AllocSite, SimHeap};
+
+    /// A heap+graph pair kept in lockstep.
+    struct Rig {
+        heap: SimHeap,
+        graph: HeapGraph,
+    }
+
+    impl Rig {
+        fn new() -> Self {
+            Rig {
+                heap: SimHeap::new(),
+                graph: HeapGraph::new(),
+            }
+        }
+
+        fn alloc(&mut self, size: usize) -> Addr {
+            let eff = self.heap.alloc(size, AllocSite(0)).unwrap();
+            self.graph.on_alloc(eff.id, eff.addr, eff.size);
+            eff.addr
+        }
+
+        fn free(&mut self, addr: Addr) {
+            let eff = self.heap.free(addr).unwrap();
+            self.graph.on_free(eff.id);
+        }
+
+        fn link(&mut self, slot: Addr, target: Addr) {
+            let w = self.heap.write_ptr(slot, target).unwrap();
+            self.graph.on_ptr_write(w.src, w.offset, target);
+        }
+
+        fn check(&self) {
+            self.graph.validate().expect("graph invariants");
+        }
+    }
+
+    #[test]
+    fn single_edge_degrees() {
+        let mut r = Rig::new();
+        let a = r.alloc(24);
+        let b = r.alloc(24);
+        r.link(a, b);
+        r.check();
+        assert_eq!(r.graph.edge_count(), 1);
+        let ia = r.heap.object_at(a).unwrap().id();
+        let ib = r.heap.object_at(b).unwrap().id();
+        assert_eq!(r.graph.node(ia).unwrap().outdegree, 1);
+        assert_eq!(r.graph.node(ib).unwrap().indegree, 1);
+    }
+
+    #[test]
+    fn overwrite_moves_edge() {
+        let mut r = Rig::new();
+        let a = r.alloc(24);
+        let b = r.alloc(24);
+        let c = r.alloc(24);
+        r.link(a, b);
+        r.link(a, c); // same slot, new target
+        r.check();
+        assert_eq!(r.graph.edge_count(), 1);
+        let ib = r.heap.object_at(b).unwrap().id();
+        let ic = r.heap.object_at(c).unwrap().id();
+        assert_eq!(r.graph.node(ib).unwrap().indegree, 0);
+        assert_eq!(r.graph.node(ic).unwrap().indegree, 1);
+    }
+
+    #[test]
+    fn null_store_clears_edge() {
+        let mut r = Rig::new();
+        let a = r.alloc(24);
+        let b = r.alloc(24);
+        r.link(a, b);
+        r.link(a, sim_heap::NULL);
+        r.check();
+        assert_eq!(r.graph.edge_count(), 0);
+        assert_eq!(r.graph.dangling_count(), 0);
+    }
+
+    #[test]
+    fn free_target_dangles_then_rebinds() {
+        let mut r = Rig::new();
+        let a = r.alloc(24);
+        let b = r.alloc(24);
+        r.link(a, b);
+        r.free(b);
+        r.check();
+        assert_eq!(r.graph.edge_count(), 0);
+        assert_eq!(r.graph.dangling_count(), 1);
+        // Same size class ⇒ same address comes back; slot re-binds.
+        let c = r.alloc(24);
+        assert_eq!(c, b, "address recycled");
+        r.check();
+        assert_eq!(r.graph.edge_count(), 1);
+        assert_eq!(r.graph.dangling_count(), 0);
+        let ic = r.heap.object_at(c).unwrap().id();
+        assert_eq!(r.graph.node(ic).unwrap().indegree, 1);
+    }
+
+    #[test]
+    fn interior_pointers_make_edges() {
+        let mut r = Rig::new();
+        let a = r.alloc(24);
+        let b = r.alloc(64);
+        r.link(a, b.offset(32));
+        r.check();
+        assert_eq!(r.graph.edge_count(), 1);
+        let ib = r.heap.object_at(b).unwrap().id();
+        assert_eq!(r.graph.node(ib).unwrap().indegree, 1);
+    }
+
+    #[test]
+    fn self_edges_count_both_degrees() {
+        let mut r = Rig::new();
+        let a = r.alloc(24);
+        r.link(a, a);
+        r.check();
+        let ia = r.heap.object_at(a).unwrap().id();
+        let info = r.graph.node(ia).unwrap();
+        assert_eq!(info.indegree, 1);
+        assert_eq!(info.outdegree, 1);
+        assert!(info.is_balanced());
+        r.free(a);
+        r.check();
+        assert_eq!(r.graph.node_count(), 0);
+        assert_eq!(r.graph.edge_count(), 0);
+        assert_eq!(r.graph.dangling_count(), 0);
+    }
+
+    #[test]
+    fn free_source_drops_outgoing_edges() {
+        let mut r = Rig::new();
+        let a = r.alloc(24);
+        let b = r.alloc(24);
+        r.link(a, b);
+        r.free(a);
+        r.check();
+        let ib = r.heap.object_at(b).unwrap().id();
+        assert_eq!(r.graph.node(ib).unwrap().indegree, 0);
+        assert_eq!(r.graph.edge_count(), 0);
+        assert_eq!(r.graph.dangling_count(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_count_with_multiplicity() {
+        let mut r = Rig::new();
+        let a = r.alloc(32);
+        let b = r.alloc(24);
+        r.link(a, b);
+        r.link(a.offset(8), b);
+        r.check();
+        assert_eq!(r.graph.edge_count(), 2);
+        let ib = r.heap.object_at(b).unwrap().id();
+        assert_eq!(r.graph.node(ib).unwrap().indegree, 2);
+    }
+
+    #[test]
+    fn linked_list_metrics() {
+        // A 10-node singly linked list: head has indeg 0, tail outdeg 0.
+        let mut r = Rig::new();
+        let nodes: Vec<Addr> = (0..10).map(|_| r.alloc(16)).collect();
+        for w in nodes.windows(2) {
+            r.link(w[0].offset(8), w[1]);
+        }
+        r.check();
+        let m = r.graph.metrics();
+        assert_eq!(m.get(crate::MetricKind::Roots), 10.0);
+        assert_eq!(m.get(crate::MetricKind::Indeg1), 90.0);
+        assert_eq!(m.get(crate::MetricKind::Leaves), 10.0);
+        assert_eq!(m.get(crate::MetricKind::Outdeg1), 90.0);
+        // 8 interior nodes have in=out=1 — plus neither endpoint.
+        assert_eq!(m.get(crate::MetricKind::InEqOut), 80.0);
+    }
+
+    #[test]
+    fn scalar_write_clears_slot() {
+        let mut r = Rig::new();
+        let a = r.alloc(24);
+        let b = r.alloc(24);
+        r.link(a, b);
+        let w = r.heap.write_scalar(a).unwrap();
+        r.graph.on_scalar_write(w.src, w.offset);
+        r.check();
+        assert_eq!(r.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn apply_event_stream_equivalent_to_direct_calls() {
+        let mut heap = SimHeap::new();
+        let mut g = HeapGraph::new();
+        let a = heap.alloc(24, AllocSite(0)).unwrap();
+        let b = heap.alloc(24, AllocSite(0)).unwrap();
+        g.apply(&HeapEvent::Alloc {
+            obj: a.id,
+            addr: a.addr,
+            size: a.size,
+            site: AllocSite(0),
+        });
+        g.apply(&HeapEvent::Alloc {
+            obj: b.id,
+            addr: b.addr,
+            size: b.size,
+            site: AllocSite(0),
+        });
+        g.apply(&HeapEvent::PtrWrite {
+            src: a.id,
+            offset: 0,
+            value: b.addr,
+            old_value: None,
+        });
+        g.apply(&HeapEvent::Read { obj: a.id });
+        g.apply(&HeapEvent::FnEnter { func: 1 });
+        assert_eq!(g.edge_count(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate allocation")]
+    fn duplicate_alloc_panics() {
+        let mut g = HeapGraph::new();
+        g.on_alloc(ObjectId(1), Addr::new(0x100), 16);
+        g.on_alloc(ObjectId(1), Addr::new(0x200), 16);
+    }
+
+    #[test]
+    fn snapshot_reflects_state() {
+        let mut r = Rig::new();
+        let a = r.alloc(24);
+        let b = r.alloc(24);
+        r.link(a, b);
+        let s = r.graph.snapshot();
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.dangling, 0);
+        assert_eq!(s.metrics, r.graph.metrics());
+    }
+
+    #[test]
+    fn extended_metrics_mean_degree() {
+        let mut r = Rig::new();
+        let a = r.alloc(32);
+        let b = r.alloc(32);
+        r.link(a, b);
+        r.link(a.offset(8), b);
+        let e = r.graph.extended_metrics();
+        assert_eq!(e.nodes, 2);
+        assert_eq!(e.edges, 2);
+        assert_eq!(e.mean_degree, 1.0);
+    }
+}

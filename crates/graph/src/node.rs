@@ -1,0 +1,75 @@
+//! Per-vertex degree bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// Degree information for one heap-graph vertex.
+///
+/// Degrees count *resolved* edges only: a slot holding a dangling or
+/// non-heap address contributes to neither endpoint (its target vertex
+/// does not exist). Parallel edges count with multiplicity — two fields
+/// of `u` pointing into `v` give `v` indegree 2 from `u` — matching a
+/// literal reading of "an edge is drawn from vertex u to vertex v if the
+/// object corresponding to u points to the object corresponding to v"
+/// applied per pointer slot. Self-edges count toward both degrees.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// Number of resolved pointer slots in other live objects (or this
+    /// one) that point into this object.
+    pub indegree: u32,
+    /// Number of this object's pointer slots that resolve to live
+    /// objects.
+    pub outdegree: u32,
+}
+
+impl NodeInfo {
+    /// A fresh vertex with no edges.
+    pub fn new() -> Self {
+        NodeInfo::default()
+    }
+
+    /// Returns `true` when the vertex is a *root* in the paper's sense:
+    /// indegree 0 (referenced only from stack/globals, or leaked).
+    pub fn is_root(&self) -> bool {
+        self.indegree == 0
+    }
+
+    /// Returns `true` when the vertex is a *leaf*: outdegree 0.
+    pub fn is_leaf(&self) -> bool {
+        self.outdegree == 0
+    }
+
+    /// Returns `true` when indegree equals outdegree (the paper's
+    /// seventh metric).
+    pub fn is_balanced(&self) -> bool {
+        self.indegree == self.outdegree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_is_root_leaf_and_balanced() {
+        let n = NodeInfo::new();
+        assert!(n.is_root());
+        assert!(n.is_leaf());
+        assert!(n.is_balanced());
+    }
+
+    #[test]
+    fn classification_follows_degrees() {
+        let n = NodeInfo {
+            indegree: 2,
+            outdegree: 1,
+        };
+        assert!(!n.is_root());
+        assert!(!n.is_leaf());
+        assert!(!n.is_balanced());
+        let b = NodeInfo {
+            indegree: 3,
+            outdegree: 3,
+        };
+        assert!(b.is_balanced());
+    }
+}

@@ -1,0 +1,273 @@
+//! Site-scoped heap-graph views — the §4.4 limitation the paper leaves
+//! open.
+//!
+//! "HeapMD could restrict attention to data members of a particular
+//! type, and only compute metrics over these data members" (§4.4).
+//! Without type information, allocation sites are the natural type
+//! proxy: all objects born at `SimDList::push_back` *are* list nodes.
+//!
+//! [`ScopedGraph`] maintains a second heap-graph image restricted to a
+//! set of member allocation sites: vertexes are member objects only,
+//! and edges are member→member pointers. Degree metrics over this view
+//! are *per-structure* metrics — a malformed list shifts its own view's
+//! indegree profile by tens of points even when it is a sliver of the
+//! whole heap, at the cost of the per-structure false-positive surface
+//! the paper avoided (§4.5).
+
+use crate::graph::HeapGraph;
+use crate::metrics::MetricVector;
+use sim_heap::{AllocSite, HeapEvent, ObjectId};
+use std::collections::HashSet;
+
+/// A heap-graph image restricted to objects from member allocation
+/// sites.
+///
+/// Feed it the same event stream as the global graph; non-member
+/// events are ignored, and pointers from members to non-members count
+/// as dangling (their targets are outside the scope), mirroring how a
+/// per-type analysis sees foreign references.
+///
+/// # Example
+///
+/// ```
+/// use heap_graph::ScopedGraph;
+/// use sim_heap::{AllocSite, SimHeap};
+///
+/// # fn main() -> Result<(), sim_heap::HeapError> {
+/// let mut heap = SimHeap::new();
+/// let mut scoped = ScopedGraph::new([AllocSite(1)]);
+/// let member = heap.alloc(16, AllocSite(1))?;
+/// let foreign = heap.alloc(16, AllocSite(2))?;
+/// scoped.on_alloc(member.id, member.addr, member.size, AllocSite(1));
+/// scoped.on_alloc(foreign.id, foreign.addr, foreign.size, AllocSite(2));
+/// assert_eq!(scoped.node_count(), 1, "only the member is a vertex");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScopedGraph {
+    inner: HeapGraph,
+    sites: HashSet<AllocSite>,
+    members: HashSet<ObjectId>,
+}
+
+impl ScopedGraph {
+    /// Creates a view scoped to the given member sites.
+    pub fn new(sites: impl IntoIterator<Item = AllocSite>) -> Self {
+        ScopedGraph {
+            inner: HeapGraph::new(),
+            sites: sites.into_iter().collect(),
+            members: HashSet::new(),
+        }
+    }
+
+    /// Member vertexes currently live.
+    pub fn node_count(&self) -> u64 {
+        self.inner.node_count()
+    }
+
+    /// Member→member edges.
+    pub fn edge_count(&self) -> u64 {
+        self.inner.edge_count()
+    }
+
+    /// Member slots pointing outside the scope (or dangling).
+    pub fn foreign_or_dangling(&self) -> u64 {
+        self.inner.dangling_count()
+    }
+
+    /// The seven paper metrics over the member vertexes only.
+    pub fn metrics(&self) -> MetricVector {
+        self.inner.metrics()
+    }
+
+    /// Returns `true` when `site` is in the scope.
+    pub fn covers(&self, site: AllocSite) -> bool {
+        self.sites.contains(&site)
+    }
+
+    /// Applies one instrumentation event, filtering to the scope.
+    pub fn apply(&mut self, event: &HeapEvent) {
+        match *event {
+            HeapEvent::Alloc {
+                obj,
+                addr,
+                size,
+                site,
+            } => self.on_alloc(obj, addr, size, site),
+            HeapEvent::Free { obj, .. } => self.on_free(obj),
+            HeapEvent::PtrWrite {
+                src, offset, value, ..
+            } => self.on_ptr_write(src, offset, value),
+            HeapEvent::ScalarWrite { src, offset, .. } => self.on_scalar_write(src, offset),
+            HeapEvent::Read { .. } | HeapEvent::FnEnter { .. } | HeapEvent::FnExit { .. } => {}
+        }
+    }
+
+    /// Records an allocation (vertex added only for member sites).
+    pub fn on_alloc(&mut self, obj: ObjectId, addr: sim_heap::Addr, size: usize, site: AllocSite) {
+        if self.sites.contains(&site) {
+            self.members.insert(obj);
+            self.inner.on_alloc(obj, addr, size);
+        }
+    }
+
+    /// Records a free (ignored for non-members).
+    pub fn on_free(&mut self, obj: ObjectId) {
+        if self.members.remove(&obj) {
+            self.inner.on_free(obj);
+        }
+    }
+
+    /// Records a pointer store (ignored unless the source is a member;
+    /// a non-member target leaves the slot dangling in this view).
+    pub fn on_ptr_write(&mut self, src: ObjectId, offset: u64, value: sim_heap::Addr) {
+        if self.members.contains(&src) {
+            self.inner.on_ptr_write(src, offset, value);
+        }
+    }
+
+    /// Records a scalar store (ignored for non-members).
+    pub fn on_scalar_write(&mut self, src: ObjectId, offset: u64) {
+        if self.members.contains(&src) {
+            self.inner.on_scalar_write(src, offset);
+        }
+    }
+
+    /// Consistency check of the underlying image.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.inner.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricKind;
+    use sim_heap::{Addr, SimHeap};
+
+    const MEMBER: AllocSite = AllocSite(1);
+    const OTHER: AllocSite = AllocSite(2);
+
+    struct Rig {
+        heap: SimHeap,
+        scoped: ScopedGraph,
+        global: HeapGraph,
+    }
+
+    impl Rig {
+        fn new() -> Self {
+            Rig {
+                heap: SimHeap::new(),
+                scoped: ScopedGraph::new([MEMBER]),
+                global: HeapGraph::new(),
+            }
+        }
+        fn alloc(&mut self, site: AllocSite) -> Addr {
+            let eff = self.heap.alloc(16, site).unwrap();
+            self.scoped.on_alloc(eff.id, eff.addr, eff.size, site);
+            self.global.on_alloc(eff.id, eff.addr, eff.size);
+            eff.addr
+        }
+        fn link(&mut self, src: Addr, dst: Addr) {
+            let eff = self.heap.write_ptr(src.offset(8), dst).unwrap();
+            self.scoped.on_ptr_write(eff.src, eff.offset, dst);
+            self.global.on_ptr_write(eff.src, eff.offset, dst);
+        }
+    }
+
+    #[test]
+    fn only_member_objects_are_vertexes() {
+        let mut r = Rig::new();
+        r.alloc(MEMBER);
+        r.alloc(OTHER);
+        r.alloc(OTHER);
+        assert_eq!(r.scoped.node_count(), 1);
+        assert_eq!(r.global.node_count(), 3);
+        assert!(r.scoped.covers(MEMBER));
+        assert!(!r.scoped.covers(OTHER));
+    }
+
+    #[test]
+    fn member_to_foreign_edges_are_foreign() {
+        let mut r = Rig::new();
+        let m = r.alloc(MEMBER);
+        let o = r.alloc(OTHER);
+        r.link(m, o);
+        assert_eq!(r.scoped.edge_count(), 0);
+        assert_eq!(r.scoped.foreign_or_dangling(), 1);
+        assert_eq!(r.global.edge_count(), 1);
+        r.scoped.validate().unwrap();
+    }
+
+    #[test]
+    fn scoped_metrics_expose_a_buried_structure_shift() {
+        // A 10-node member chain inside a sea of 200 foreign leaves:
+        // the member view's Indeg=1 is 90 %, while globally the chain
+        // barely registers.
+        let mut r = Rig::new();
+        let members: Vec<Addr> = (0..10).map(|_| r.alloc(MEMBER)).collect();
+        for _ in 0..200 {
+            r.alloc(OTHER);
+        }
+        for w in members.windows(2) {
+            r.link(w[0], w[1]);
+        }
+        let scoped = r.scoped.metrics().get(MetricKind::Indeg1);
+        let global = r.global.metrics().get(MetricKind::Indeg1);
+        assert_eq!(scoped, 90.0);
+        assert!(global < 5.0, "globally the chain is buried: {global:.1}");
+    }
+
+    #[test]
+    fn freeing_foreign_objects_is_a_noop_for_the_view() {
+        let mut r = Rig::new();
+        let m = r.alloc(MEMBER);
+        let o = r.alloc(OTHER);
+        let eff = r.heap.free(o).unwrap();
+        r.scoped.on_free(eff.id);
+        r.global.on_free(eff.id);
+        assert_eq!(r.scoped.node_count(), 1);
+        let eff = r.heap.free(m).unwrap();
+        r.scoped.on_free(eff.id);
+        assert_eq!(r.scoped.node_count(), 0);
+        r.scoped.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_filters_the_event_stream() {
+        let mut heap = SimHeap::new();
+        let mut scoped = ScopedGraph::new([MEMBER]);
+        let m = heap.alloc(16, MEMBER).unwrap();
+        let o = heap.alloc(16, OTHER).unwrap();
+        for (obj, site, addr, size) in [
+            (m.id, MEMBER, m.addr, m.size),
+            (o.id, OTHER, o.addr, o.size),
+        ] {
+            scoped.apply(&HeapEvent::Alloc {
+                obj,
+                addr,
+                size,
+                site,
+            });
+        }
+        scoped.apply(&HeapEvent::PtrWrite {
+            src: o.id,
+            offset: 0,
+            value: m.addr,
+            old_value: None,
+        });
+        assert_eq!(scoped.node_count(), 1);
+        assert_eq!(scoped.edge_count(), 0, "foreign sources are ignored");
+        scoped.apply(&HeapEvent::ScalarWrite {
+            src: o.id,
+            offset: 0,
+            old_value: None,
+        });
+        scoped.validate().unwrap();
+    }
+}

@@ -1,0 +1,112 @@
+//! Error taxonomy for illegal mutator operations on the simulated heap.
+
+use crate::addr::Addr;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// An illegal heap operation attempted by the mutator.
+///
+/// These are the classic memory errors a real allocator or a checker
+/// like Purify would trap. The simulated heap reports them precisely;
+/// whether a workload treats one as fatal is up to the workload (the
+/// fault-injection machinery deliberately provokes some of these, e.g.
+/// use-after-free through a dangling pointer that was *not* re-bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeapError {
+    /// An allocation request of zero bytes.
+    ZeroSizeAlloc,
+    /// The heap's configured capacity would be exceeded.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Live bytes at the time of the request.
+        live_bytes: usize,
+    },
+    /// `free` called on an address that is not the start of a live object.
+    ///
+    /// Distinguishing a double free from a plain invalid free requires
+    /// allocation history; [`HeapError::DoubleFree`] is reported when the
+    /// address was once a live object start.
+    InvalidFree(Addr),
+    /// `free` called on an address that was already freed.
+    DoubleFree(Addr),
+    /// A read or write touched memory outside any live object.
+    WildAccess(Addr),
+    /// A read or write dereferenced the null address.
+    NullDeref,
+    /// A pointer-sized access at an address too close to the end of its
+    /// object to hold a pointer.
+    TornAccess {
+        /// The faulting address.
+        addr: Addr,
+        /// The containing object's remaining bytes at that address.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapError::ZeroSizeAlloc => write!(f, "zero-size allocation"),
+            HeapError::OutOfMemory {
+                requested,
+                live_bytes,
+            } => write!(
+                f,
+                "out of memory: requested {requested} bytes with {live_bytes} live"
+            ),
+            HeapError::InvalidFree(a) => write!(f, "invalid free of {a}"),
+            HeapError::DoubleFree(a) => write!(f, "double free of {a}"),
+            HeapError::WildAccess(a) => write!(f, "wild access at {a}"),
+            HeapError::NullDeref => write!(f, "null dereference"),
+            HeapError::TornAccess { addr, remaining } => write!(
+                f,
+                "torn pointer access at {addr}: only {remaining} bytes remain in object"
+            ),
+        }
+    }
+}
+
+impl Error for HeapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let cases: Vec<(HeapError, &str)> = vec![
+            (HeapError::ZeroSizeAlloc, "zero-size allocation"),
+            (
+                HeapError::OutOfMemory {
+                    requested: 8,
+                    live_bytes: 100,
+                },
+                "out of memory: requested 8 bytes with 100 live",
+            ),
+            (
+                HeapError::InvalidFree(Addr::new(0x10)),
+                "invalid free of 0x10",
+            ),
+            (
+                HeapError::DoubleFree(Addr::new(0x20)),
+                "double free of 0x20",
+            ),
+            (
+                HeapError::WildAccess(Addr::new(0x30)),
+                "wild access at 0x30",
+            ),
+            (HeapError::NullDeref, "null dereference"),
+        ];
+        for (err, msg) in cases {
+            assert_eq!(err.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(HeapError::NullDeref);
+    }
+}

@@ -1,0 +1,597 @@
+//! The simulated heap itself.
+
+use crate::addr::Addr;
+use crate::alloc::{AddressAllocator, AllocatorConfig};
+use crate::error::HeapError;
+use crate::event::{AllocEffect, FreeEffect, ReallocEffect, WriteEffect};
+use crate::object::{AllocSite, ObjectId, ObjectRecord};
+use crate::stats::HeapStats;
+use std::collections::BTreeMap;
+
+/// Configuration for [`SimHeap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapConfig {
+    /// Address-space behaviour (base, alignment, reuse policy).
+    pub allocator: AllocatorConfig,
+    /// Optional cap on live bytes; allocations beyond it fail with
+    /// [`HeapError::OutOfMemory`]. `None` means unbounded.
+    pub capacity: Option<usize>,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            allocator: AllocatorConfig::default(),
+            capacity: None,
+        }
+    }
+}
+
+/// A simulated process heap.
+///
+/// `SimHeap` plays the role of the instrumented allocator plus the
+/// instrumented store instructions in the paper's pipeline: every
+/// operation validates the access (catching wild writes, double frees,
+/// use-after-free on non-recycled addresses) and returns an *effect*
+/// describing exactly what changed, which the execution logger feeds to
+/// the heap-graph and to any attached monitors.
+///
+/// Addresses are recycled by default, so a use-after-free may silently
+/// succeed against an unrelated object — precisely the real-world
+/// behaviour that lets HeapMD observe shared-state bugs as degree-metric
+/// anomalies rather than crashes.
+///
+/// # Example
+///
+/// ```
+/// use sim_heap::{AllocSite, SimHeap};
+///
+/// # fn main() -> Result<(), sim_heap::HeapError> {
+/// let mut heap = SimHeap::new();
+/// let node = heap.alloc(24, AllocSite(0))?.addr;
+/// let next = heap.alloc(24, AllocSite(0))?.addr;
+/// heap.write_ptr(node.offset(8), next)?; // node.next = next
+/// let rec = heap.resolve(node.offset(8)).expect("interior pointer resolves");
+/// assert_eq!(rec.start(), node);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimHeap {
+    allocator: AddressAllocator,
+    /// Live objects keyed by start address (for interior-pointer range
+    /// lookup).
+    objects: BTreeMap<u64, ObjectRecord>,
+    /// Start addresses that were live at some point (for double-free
+    /// classification).
+    ever_allocated: std::collections::HashSet<u64>,
+    next_id: u64,
+    tick: u64,
+    capacity: Option<usize>,
+    stats: HeapStats,
+}
+
+impl Default for SimHeap {
+    fn default() -> Self {
+        SimHeap::new()
+    }
+}
+
+impl SimHeap {
+    /// Creates a heap with the default configuration (unbounded, 16-byte
+    /// alignment, address reuse on).
+    pub fn new() -> Self {
+        SimHeap::with_config(HeapConfig::default())
+    }
+
+    /// Creates a heap with an explicit configuration.
+    pub fn with_config(config: HeapConfig) -> Self {
+        SimHeap {
+            allocator: AddressAllocator::new(config.allocator),
+            objects: BTreeMap::new(),
+            ever_allocated: std::collections::HashSet::new(),
+            next_id: 0,
+            tick: 0,
+            capacity: config.capacity,
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The heap's logical clock: one tick per mutator operation.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Aggregate statistics since construction.
+    pub fn stats(&self) -> &HeapStats {
+        &self.stats
+    }
+
+    /// Number of live objects.
+    pub fn live_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Bytes currently live.
+    pub fn live_bytes(&self) -> u64 {
+        self.stats.live_bytes
+    }
+
+    /// Allocates `size` bytes, recording `site` as the provenance.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::ZeroSizeAlloc`] for zero-byte requests, and
+    /// [`HeapError::OutOfMemory`] when a configured capacity would be
+    /// exceeded.
+    pub fn alloc(&mut self, size: usize, site: AllocSite) -> Result<AllocEffect, HeapError> {
+        if size == 0 {
+            self.stats.faults += 1;
+            return Err(HeapError::ZeroSizeAlloc);
+        }
+        if let Some(cap) = self.capacity {
+            if self.stats.live_bytes as usize + size > cap {
+                self.stats.faults += 1;
+                return Err(HeapError::OutOfMemory {
+                    requested: size,
+                    live_bytes: self.stats.live_bytes as usize,
+                });
+            }
+        }
+        self.tick += 1;
+        let frontier_before = self.allocator.frontier();
+        let raw = self.allocator.allocate(size);
+        let recycled = raw < frontier_before;
+        let addr = Addr::new(raw);
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        let rec = ObjectRecord::new(id, addr, size, site, self.tick);
+        let prev = self.objects.insert(raw, rec);
+        debug_assert!(prev.is_none(), "allocator handed out a live address");
+        self.ever_allocated.insert(raw);
+
+        self.stats.allocs += 1;
+        self.stats.bytes_allocated += size as u64;
+        self.stats.live_bytes += size as u64;
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+        self.stats.peak_live_objects = self.stats.peak_live_objects.max(self.objects.len() as u64);
+
+        Ok(AllocEffect {
+            id,
+            addr,
+            size,
+            recycled,
+        })
+    }
+
+    /// Frees the object starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NullDeref`] for null, [`HeapError::DoubleFree`] when
+    /// `addr` was an object start that is no longer live, and
+    /// [`HeapError::InvalidFree`] when `addr` never was an object start
+    /// (including interior pointers).
+    pub fn free(&mut self, addr: Addr) -> Result<FreeEffect, HeapError> {
+        if addr.is_null() {
+            self.stats.faults += 1;
+            return Err(HeapError::NullDeref);
+        }
+        let Some(rec) = self.objects.remove(&addr.get()) else {
+            self.stats.faults += 1;
+            return Err(if self.ever_allocated.contains(&addr.get()) {
+                HeapError::DoubleFree(addr)
+            } else {
+                HeapError::InvalidFree(addr)
+            });
+        };
+        self.tick += 1;
+        self.allocator.release(addr.get(), rec.size());
+        self.stats.frees += 1;
+        self.stats.live_bytes -= rec.size() as u64;
+        Ok(FreeEffect {
+            id: rec.id(),
+            addr,
+            size: rec.size(),
+            slots: rec.slots().collect(),
+        })
+    }
+
+    /// Resizes the object at `addr` to `new_size`, moving it.
+    ///
+    /// Modelled as free + alloc + copy of the pointer slots that fit in
+    /// the new block, matching both C `realloc` semantics and what the
+    /// paper's instrumentation would observe.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`free`](Self::free) and [`alloc`](Self::alloc).
+    pub fn realloc(
+        &mut self,
+        addr: Addr,
+        new_size: usize,
+        site: AllocSite,
+    ) -> Result<ReallocEffect, HeapError> {
+        if new_size == 0 {
+            self.stats.faults += 1;
+            return Err(HeapError::ZeroSizeAlloc);
+        }
+        let freed = self.free(addr)?;
+        let alloc = self.alloc(new_size, site)?;
+        let mut moved = Vec::new();
+        for &(off, target) in &freed.slots {
+            if (off as usize) + 8 <= new_size {
+                let rec = self
+                    .objects
+                    .get_mut(&alloc.addr.get())
+                    .expect("object just allocated");
+                rec.set_slot(off, target);
+                moved.push((off, target));
+            }
+        }
+        self.stats.reallocs += 1;
+        Ok(ReallocEffect {
+            freed,
+            alloc,
+            moved_slots: moved,
+        })
+    }
+
+    /// Stores the pointer `value` at `slot_addr` (which must lie inside a
+    /// live object with at least 8 bytes remaining).
+    ///
+    /// Storing [`NULL`](crate::NULL) clears the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NullDeref`], [`HeapError::WildAccess`] when
+    /// `slot_addr` is not inside any live object, and
+    /// [`HeapError::TornAccess`] when fewer than 8 bytes remain.
+    pub fn write_ptr(&mut self, slot_addr: Addr, value: Addr) -> Result<WriteEffect, HeapError> {
+        let loc = self.locate_slot(slot_addr)?;
+        self.tick += 1;
+        let tick = self.tick;
+        let rec = self.object_mut(loc);
+        rec.touch(tick);
+        let old = if value.is_null() {
+            rec.clear_slot(loc.off)
+        } else {
+            rec.set_slot(loc.off, value)
+        };
+        self.stats.ptr_writes += 1;
+        Ok(WriteEffect {
+            src: loc.id,
+            offset: loc.off,
+            old_value: old,
+        })
+    }
+
+    /// Stores a non-pointer value at `slot_addr`, clearing any pointer
+    /// the slot held.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`write_ptr`](Self::write_ptr), except scalar
+    /// stores may touch the final 7 bytes of an object.
+    pub fn write_scalar(&mut self, slot_addr: Addr) -> Result<WriteEffect, HeapError> {
+        let loc = self.locate(slot_addr)?;
+        self.tick += 1;
+        let tick = self.tick;
+        let rec = self.object_mut(loc);
+        rec.touch(tick);
+        let old = rec.clear_slot(loc.off);
+        self.stats.scalar_writes += 1;
+        Ok(WriteEffect {
+            src: loc.id,
+            offset: loc.off,
+            old_value: old,
+        })
+    }
+
+    /// Reads the pointer stored at `slot_addr`.
+    ///
+    /// Returns `None` when the slot does not currently hold a pointer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`write_ptr`](Self::write_ptr).
+    pub fn read_ptr(&mut self, slot_addr: Addr) -> Result<Option<Addr>, HeapError> {
+        let loc = self.locate_slot(slot_addr)?;
+        self.tick += 1;
+        let tick = self.tick;
+        self.stats.reads += 1;
+        let rec = self.object_mut(loc);
+        rec.touch(tick);
+        Ok(rec.slot(loc.off))
+    }
+
+    /// Records a read access to the object containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NullDeref`] or [`HeapError::WildAccess`].
+    pub fn read(&mut self, addr: Addr) -> Result<ObjectId, HeapError> {
+        let loc = self.locate(addr)?;
+        self.tick += 1;
+        let tick = self.tick;
+        self.object_mut(loc).touch(tick);
+        self.stats.reads += 1;
+        Ok(loc.id)
+    }
+
+    /// Resolves an address (possibly interior) to the live object that
+    /// contains it.
+    pub fn resolve(&self, addr: Addr) -> Option<&ObjectRecord> {
+        let (_, rec) = self.objects.range(..=addr.get()).next_back()?;
+        rec.contains(addr).then_some(rec)
+    }
+
+    /// The live object starting exactly at `addr`, if any.
+    pub fn object_at(&self, addr: Addr) -> Option<&ObjectRecord> {
+        self.objects.get(&addr.get())
+    }
+
+    /// Iterates over live objects in address order.
+    pub fn iter_live(&self) -> impl Iterator<Item = &ObjectRecord> {
+        self.objects.values()
+    }
+
+    /// Returns `true` when the address range of a former object has been
+    /// handed out again (used by tests asserting re-binding behaviour).
+    pub fn is_live_start(&self, addr: Addr) -> bool {
+        self.objects.contains_key(&addr.get())
+    }
+
+    fn object_mut(&mut self, loc: SlotLocation) -> &mut ObjectRecord {
+        self.objects
+            .get_mut(&loc.start)
+            .expect("location produced from a live object")
+    }
+
+    fn locate_slot(&mut self, slot_addr: Addr) -> Result<SlotLocation, HeapError> {
+        let loc = self.locate(slot_addr)?;
+        if loc.remaining < 8 {
+            self.stats.faults += 1;
+            return Err(HeapError::TornAccess {
+                addr: slot_addr,
+                remaining: loc.remaining,
+            });
+        }
+        Ok(loc)
+    }
+
+    fn locate(&mut self, addr: Addr) -> Result<SlotLocation, HeapError> {
+        if addr.is_null() {
+            self.stats.faults += 1;
+            return Err(HeapError::NullDeref);
+        }
+        match self.resolve(addr) {
+            Some(rec) => {
+                let off = addr
+                    .offset_from(rec.start())
+                    .expect("resolve returned containing object");
+                Ok(SlotLocation {
+                    id: rec.id(),
+                    start: rec.start().get(),
+                    off,
+                    remaining: rec.size() - off as usize,
+                })
+            }
+            None => {
+                self.stats.faults += 1;
+                Err(HeapError::WildAccess(addr))
+            }
+        }
+    }
+}
+
+/// Internal resolution of an address to its containing live object.
+#[derive(Debug, Clone, Copy)]
+struct SlotLocation {
+    id: ObjectId,
+    start: u64,
+    off: u64,
+    remaining: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NULL;
+
+    fn site() -> AllocSite {
+        AllocSite(1)
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(40, site()).unwrap();
+        assert_eq!(h.live_objects(), 1);
+        assert_eq!(h.live_bytes(), 40);
+        let eff = h.free(a.addr).unwrap();
+        assert_eq!(eff.id, a.id);
+        assert_eq!(h.live_objects(), 0);
+        assert_eq!(h.live_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_size_alloc_rejected() {
+        let mut h = SimHeap::new();
+        assert_eq!(h.alloc(0, site()), Err(HeapError::ZeroSizeAlloc));
+        assert_eq!(h.stats().faults, 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut h = SimHeap::with_config(HeapConfig {
+            capacity: Some(100),
+            ..HeapConfig::default()
+        });
+        h.alloc(80, site()).unwrap();
+        let err = h.alloc(40, site()).unwrap_err();
+        assert!(matches!(err, HeapError::OutOfMemory { requested: 40, .. }));
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(16, site()).unwrap().addr;
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(HeapError::DoubleFree(a)));
+    }
+
+    #[test]
+    fn invalid_free_of_interior_pointer() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(32, site()).unwrap().addr;
+        assert_eq!(
+            h.free(a.offset(8)),
+            Err(HeapError::InvalidFree(a.offset(8)))
+        );
+        assert_eq!(h.free(NULL), Err(HeapError::NullDeref));
+    }
+
+    #[test]
+    fn freed_address_rebinding_changes_identity() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(24, site()).unwrap();
+        h.free(a.addr).unwrap();
+        let b = h.alloc(24, site()).unwrap();
+        assert_eq!(a.addr, b.addr, "address recycled");
+        assert_ne!(a.id, b.id, "identity is fresh");
+        assert!(b.recycled);
+    }
+
+    #[test]
+    fn ptr_write_tracks_slots_and_old_values() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(32, site()).unwrap().addr;
+        let t1 = h.alloc(16, site()).unwrap().addr;
+        let t2 = h.alloc(16, site()).unwrap().addr;
+        let w1 = h.write_ptr(a.offset(8), t1).unwrap();
+        assert_eq!(w1.old_value, None);
+        assert_eq!(w1.offset, 8);
+        let w2 = h.write_ptr(a.offset(8), t2).unwrap();
+        assert_eq!(w2.old_value, Some(t1));
+        assert_eq!(h.read_ptr(a.offset(8)).unwrap(), Some(t2));
+        // null store clears the slot
+        let w3 = h.write_ptr(a.offset(8), NULL).unwrap();
+        assert_eq!(w3.old_value, Some(t2));
+        assert_eq!(h.read_ptr(a.offset(8)).unwrap(), None);
+    }
+
+    #[test]
+    fn scalar_write_clears_pointer_slot() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(16, site()).unwrap().addr;
+        let t = h.alloc(16, site()).unwrap().addr;
+        h.write_ptr(a, t).unwrap();
+        let w = h.write_scalar(a).unwrap();
+        assert_eq!(w.old_value, Some(t));
+        assert_eq!(h.read_ptr(a).unwrap(), None);
+    }
+
+    #[test]
+    fn wild_and_torn_accesses_rejected() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(16, site()).unwrap().addr;
+        assert!(matches!(
+            h.write_ptr(Addr::new(0xdead_0000), a),
+            Err(HeapError::WildAccess(_))
+        ));
+        assert!(matches!(
+            h.write_ptr(a.offset(12), a),
+            Err(HeapError::TornAccess { remaining: 4, .. })
+        ));
+        assert!(matches!(h.write_ptr(NULL, a), Err(HeapError::NullDeref)));
+        // scalar writes may touch the tail
+        assert!(h.write_scalar(a.offset(12)).is_ok());
+    }
+
+    #[test]
+    fn use_after_free_on_unrecycled_address_is_wild() {
+        let mut h = SimHeap::with_config(HeapConfig {
+            allocator: AllocatorConfig {
+                reuse_addresses: false,
+                ..AllocatorConfig::default()
+            },
+            capacity: None,
+        });
+        let a = h.alloc(16, site()).unwrap().addr;
+        h.free(a).unwrap();
+        assert!(matches!(h.read(a), Err(HeapError::WildAccess(_))));
+    }
+
+    #[test]
+    fn interior_pointer_resolution() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(64, site()).unwrap();
+        let rec = h.resolve(a.addr.offset(63)).unwrap();
+        assert_eq!(rec.id(), a.id);
+        assert!(h.resolve(a.addr.offset(64)).is_none());
+        assert!(h.object_at(a.addr).is_some());
+        assert!(h.object_at(a.addr.offset(8)).is_none());
+    }
+
+    #[test]
+    fn realloc_preserves_fitting_slots() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(32, site()).unwrap().addr;
+        let t1 = h.alloc(16, site()).unwrap().addr;
+        let t2 = h.alloc(16, site()).unwrap().addr;
+        h.write_ptr(a, t1).unwrap();
+        h.write_ptr(a.offset(24), t2).unwrap();
+        let eff = h.realloc(a, 16, site()).unwrap();
+        // slot at 0 fits in 16 bytes, slot at 24 does not
+        assert_eq!(eff.moved_slots, vec![(0, t1)]);
+        let new_addr = eff.alloc.addr;
+        assert_eq!(h.read_ptr(new_addr).unwrap(), Some(t1));
+        assert_eq!(h.stats().reallocs, 1);
+    }
+
+    #[test]
+    fn read_updates_staleness() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(16, site()).unwrap().addr;
+        let birth = h.object_at(a).unwrap().last_access_tick();
+        h.read(a.offset(4)).unwrap();
+        assert!(h.object_at(a).unwrap().last_access_tick() > birth);
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(16, site()).unwrap().addr;
+        let b = h.alloc(16, site()).unwrap().addr;
+        h.write_ptr(a, b).unwrap();
+        h.read(a).unwrap();
+        h.free(b).unwrap();
+        let s = h.stats();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.ptr_writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.live_objects(), 1);
+        assert_eq!(s.peak_live_bytes, 32);
+    }
+
+    #[test]
+    fn iter_live_in_address_order() {
+        let mut h = SimHeap::new();
+        let mut addrs: Vec<Addr> = (0..5).map(|_| h.alloc(16, site()).unwrap().addr).collect();
+        addrs.sort();
+        let got: Vec<Addr> = h.iter_live().map(|r| r.start()).collect();
+        assert_eq!(got, addrs);
+    }
+
+    #[test]
+    fn free_effect_reports_outgoing_slots() {
+        let mut h = SimHeap::new();
+        let a = h.alloc(32, site()).unwrap().addr;
+        let t = h.alloc(16, site()).unwrap().addr;
+        h.write_ptr(a.offset(16), t).unwrap();
+        let eff = h.free(a).unwrap();
+        assert_eq!(eff.slots, vec![(16, t)]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Live-object records.
+
+use crate::addr::Addr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A unique identity for one allocation, never reused.
+///
+/// Address reuse means an [`Addr`] can name different objects over the
+/// program's lifetime; `ObjectId` disambiguates. Ids are handed out
+/// monotonically by [`SimHeap`](crate::SimHeap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// An allocation call-site identifier.
+///
+/// In the paper this is the return address of the `malloc` call exposed
+/// by the binary instrumenter; here it is an opaque integer interned by
+/// the workload layer. HeapMD's call-stack logging and SWAT's adaptive
+/// sampling both key off it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct AllocSite(pub u32);
+
+impl fmt::Display for AllocSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
+
+/// The heap's record of one live object.
+///
+/// Tracks the object's placement, provenance, and — crucially for the
+/// heap-graph — the pointer values stored at each slot (offset) within
+/// it. Only pointer-typed stores create slots; scalar stores clear them,
+/// mirroring how HeapMD's instrumentation watches the values written by
+/// store instructions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectRecord {
+    id: ObjectId,
+    start: Addr,
+    size: usize,
+    site: AllocSite,
+    birth_tick: u64,
+    last_access_tick: u64,
+    slots: BTreeMap<u64, Addr>,
+}
+
+impl ObjectRecord {
+    pub(crate) fn new(id: ObjectId, start: Addr, size: usize, site: AllocSite, tick: u64) -> Self {
+        ObjectRecord {
+            id,
+            start,
+            size,
+            site,
+            birth_tick: tick,
+            last_access_tick: tick,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// The object's unique identity.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The first address of the object.
+    pub fn start(&self) -> Addr {
+        self.start
+    }
+
+    /// The object's size in bytes (as requested, before alignment).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The allocation site that created the object.
+    pub fn site(&self) -> AllocSite {
+        self.site
+    }
+
+    /// The heap tick at which the object was allocated.
+    pub fn birth_tick(&self) -> u64 {
+        self.birth_tick
+    }
+
+    /// The heap tick of the most recent read or write touching the object.
+    ///
+    /// This is the staleness signal the SWAT baseline consumes.
+    pub fn last_access_tick(&self) -> u64 {
+        self.last_access_tick
+    }
+
+    /// Returns `true` if `addr` lies within the object.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.start && addr.get() < self.start.get() + self.size as u64
+    }
+
+    /// The pointer value stored at byte offset `off`, if the slot holds one.
+    pub fn slot(&self, off: u64) -> Option<Addr> {
+        self.slots.get(&off).copied()
+    }
+
+    /// Iterates over `(offset, stored pointer)` pairs in offset order.
+    pub fn slots(&self) -> impl Iterator<Item = (u64, Addr)> + '_ {
+        self.slots.iter().map(|(&off, &val)| (off, val))
+    }
+
+    /// Number of pointer-holding slots in the object.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn touch(&mut self, tick: u64) {
+        self.last_access_tick = tick;
+    }
+
+    /// Sets slot `off` to `val`, returning the previous value.
+    pub(crate) fn set_slot(&mut self, off: u64, val: Addr) -> Option<Addr> {
+        self.slots.insert(off, val)
+    }
+
+    /// Clears slot `off`, returning the previous value.
+    pub(crate) fn clear_slot(&mut self, off: u64) -> Option<Addr> {
+        self.slots.remove(&off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> ObjectRecord {
+        ObjectRecord::new(ObjectId(7), Addr::new(0x100), 64, AllocSite(3), 10)
+    }
+
+    #[test]
+    fn contains_respects_bounds() {
+        let r = rec();
+        assert!(r.contains(Addr::new(0x100)));
+        assert!(r.contains(Addr::new(0x13f)));
+        assert!(!r.contains(Addr::new(0x140)));
+        assert!(!r.contains(Addr::new(0xff)));
+    }
+
+    #[test]
+    fn slot_set_get_clear() {
+        let mut r = rec();
+        assert_eq!(r.set_slot(8, Addr::new(0x200)), None);
+        assert_eq!(r.slot(8), Some(Addr::new(0x200)));
+        assert_eq!(r.set_slot(8, Addr::new(0x300)), Some(Addr::new(0x200)));
+        assert_eq!(r.clear_slot(8), Some(Addr::new(0x300)));
+        assert_eq!(r.slot(8), None);
+        assert_eq!(r.slot_count(), 0);
+    }
+
+    #[test]
+    fn slots_iterate_in_offset_order() {
+        let mut r = rec();
+        r.set_slot(16, Addr::new(2));
+        r.set_slot(0, Addr::new(1));
+        r.set_slot(8, Addr::new(3));
+        let offs: Vec<u64> = r.slots().map(|(o, _)| o).collect();
+        assert_eq!(offs, vec![0, 8, 16]);
+    }
+
+    #[test]
+    fn touch_updates_last_access() {
+        let mut r = rec();
+        assert_eq!(r.last_access_tick(), 10);
+        r.touch(42);
+        assert_eq!(r.last_access_tick(), 42);
+        assert_eq!(r.birth_tick(), 10);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ObjectId(5).to_string(), "obj#5");
+        assert_eq!(AllocSite(9).to_string(), "site#9");
+    }
+}

@@ -1,0 +1,99 @@
+//! Aggregate heap statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Running counters maintained by [`SimHeap`](crate::SimHeap).
+///
+/// These feed the experiment harness's sanity reports (the paper notes
+/// its commercial applications "dynamically allocate several hundred
+/// megabytes"; the workloads are checked against scaled-down analogues)
+/// and the instrumentation-overhead benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Successful frees.
+    pub frees: u64,
+    /// Successful reallocs.
+    pub reallocs: u64,
+    /// Total bytes ever allocated.
+    pub bytes_allocated: u64,
+    /// Bytes currently live.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes.
+    pub peak_live_bytes: u64,
+    /// High-water mark of live objects.
+    pub peak_live_objects: u64,
+    /// Pointer-sized stores.
+    pub ptr_writes: u64,
+    /// Non-pointer stores that were reported to the heap.
+    pub scalar_writes: u64,
+    /// Reads reported to the heap.
+    pub reads: u64,
+    /// Operations rejected with a [`HeapError`](crate::HeapError).
+    pub faults: u64,
+}
+
+impl HeapStats {
+    /// Live objects implied by the alloc/free balance.
+    pub fn live_objects(&self) -> u64 {
+        self.allocs - self.frees
+    }
+
+    /// Total mutator operations observed (allocs, frees, reallocs,
+    /// writes, and reads).
+    pub fn total_ops(&self) -> u64 {
+        self.allocs + self.frees + self.reallocs + self.ptr_writes + self.scalar_writes + self.reads
+    }
+}
+
+impl fmt::Display for HeapStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "allocs={} frees={} live={} peak_bytes={} ptr_writes={} reads={} faults={}",
+            self.allocs,
+            self.frees,
+            self.live_objects(),
+            self.peak_live_bytes,
+            self.ptr_writes,
+            self.reads,
+            self.faults
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_objects_is_alloc_minus_free() {
+        let s = HeapStats {
+            allocs: 10,
+            frees: 4,
+            ..HeapStats::default()
+        };
+        assert_eq!(s.live_objects(), 6);
+    }
+
+    #[test]
+    fn total_ops_sums_every_category() {
+        let s = HeapStats {
+            allocs: 1,
+            frees: 2,
+            reallocs: 3,
+            ptr_writes: 4,
+            scalar_writes: 5,
+            reads: 6,
+            ..HeapStats::default()
+        };
+        assert_eq!(s.total_ops(), 21);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!HeapStats::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Adaptive access sampling.
+//!
+//! SWAT "samples code paths at a rate inversely proportional to their
+//! execution frequency. Thus, rarely executed code paths are sampled at
+//! a greater frequency than frequently executed ones" (HeapMD §5).
+//! This sampler keys on allocation sites as the code-path proxy: cold
+//! sites record every access; once a site crosses a hotness threshold,
+//! only every `decimation`-th access is recorded.
+
+use heapmd::AllocSite;
+use std::collections::HashMap;
+
+/// Per-site adaptive access sampler.
+///
+/// # Example
+///
+/// ```
+/// use heapmd::AllocSite;
+/// use swat::AdaptiveSampler;
+///
+/// let mut s = AdaptiveSampler::new(4, 2);
+/// let site = AllocSite(1);
+/// // Cold phase: everything records.
+/// assert!((0..4).all(|_| s.record(site)));
+/// // Hot phase: every 2nd access records.
+/// let hot: Vec<bool> = (0..4).map(|_| s.record(site)).collect();
+/// assert_eq!(hot, [false, true, false, true]);
+/// ```
+#[derive(Debug, Default)]
+pub struct AdaptiveSampler {
+    counts: HashMap<AllocSite, u64>,
+    hot_threshold: u64,
+    decimation: u64,
+}
+
+impl AdaptiveSampler {
+    /// Creates a sampler: sites stay fully sampled until
+    /// `hot_threshold` accesses, then drop to `1/decimation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decimation` is zero.
+    pub fn new(hot_threshold: u64, decimation: u64) -> Self {
+        assert!(decimation > 0, "decimation must be positive");
+        AdaptiveSampler {
+            counts: HashMap::new(),
+            hot_threshold,
+            decimation,
+        }
+    }
+
+    /// Registers an access at `site`; returns `true` when the access
+    /// should be recorded.
+    pub fn record(&mut self, site: AllocSite) -> bool {
+        let count = self.counts.entry(site).or_insert(0);
+        *count += 1;
+        if *count <= self.hot_threshold {
+            true
+        } else {
+            (*count - self.hot_threshold) % self.decimation == 0
+        }
+    }
+
+    /// Total accesses seen at `site`.
+    pub fn accesses(&self, site: AllocSite) -> u64 {
+        self.counts.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct sites seen.
+    pub fn sites(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_sites_record_everything() {
+        let mut s = AdaptiveSampler::new(100, 16);
+        let site = AllocSite(7);
+        assert!((0..100).all(|_| s.record(site)));
+        assert_eq!(s.accesses(site), 100);
+    }
+
+    #[test]
+    fn hot_sites_decimate() {
+        let mut s = AdaptiveSampler::new(2, 4);
+        let site = AllocSite(1);
+        s.record(site);
+        s.record(site); // threshold reached
+        let recorded: usize = (0..16).filter(|_| s.record(site)).count();
+        assert_eq!(recorded, 4, "1/4 of 16 hot accesses record");
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let mut s = AdaptiveSampler::new(1, 2);
+        let a = AllocSite(1);
+        let b = AllocSite(2);
+        s.record(a);
+        s.record(a);
+        assert!(s.record(b), "b is still cold");
+        assert_eq!(s.sites(), 2);
+        assert_eq!(s.accesses(AllocSite(99)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decimation must be positive")]
+    fn zero_decimation_panics() {
+        AdaptiveSampler::new(1, 0);
+    }
+}

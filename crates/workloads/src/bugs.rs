@@ -1,0 +1,606 @@
+//! The bug catalog: the 40 heap bugs of the paper's Table 2, plus the
+//! SWAT-only leak scenarios behind Table 1.
+//!
+//! Every entry names a *fault id* consulted at a specific call-site in
+//! one commercial program. Enabling an entry's fault (usually via
+//! [`BugSpec::plan`]) turns that program buggy in exactly the way the
+//! paper's taxonomy describes; the Table 2 experiment trains a clean
+//! model per program and then checks each bug individually.
+
+use faults::{FaultConfig, FaultId, FaultPlan};
+use heapmd::{BugCategory, DetectionClass, MetricKind};
+
+/// One catalogued bug.
+#[derive(Debug, Clone, Copy)]
+pub struct BugSpec {
+    /// The fault id consulted at the buggy call-site.
+    pub fault: FaultId,
+    /// Which commercial program hosts it.
+    pub app: &'static str,
+    /// Root-cause category (Figures 8/9, Table 2 columns).
+    pub category: BugCategory,
+    /// How HeapMD is expected to see it.
+    pub detection: DetectionClass,
+    /// The metric most likely to report it (a hint, not a contract —
+    /// any stable-metric violation counts as detection).
+    pub expected_metric: MetricKind,
+    /// Activation schedule used when injecting (systemic bugs fire on a
+    /// period; startup bugs fire once).
+    pub every: u64,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+impl BugSpec {
+    /// A fault plan with only this bug enabled.
+    pub fn plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        plan.enable(self.fault, FaultConfig::every(self.every));
+        plan
+    }
+}
+
+/// A leak scenario outside HeapMD's reach, used by the Table 1
+/// comparison (SWAT finds these; HeapMD must not).
+#[derive(Debug, Clone, Copy)]
+pub struct SwatOnlyLeak {
+    /// The fault id.
+    pub fault: FaultId,
+    /// The hosting program.
+    pub app: &'static str,
+    /// Why HeapMD misses it.
+    pub detection: DetectionClass,
+    /// Activation schedule.
+    pub every: u64,
+    /// Activation cap (small leaks stay small).
+    pub limit: Option<u64>,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+impl SwatOnlyLeak {
+    /// A fault plan with only this leak enabled.
+    pub fn plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let mut config = FaultConfig::every(self.every);
+        if let Some(limit) = self.limit {
+            config = config.limit(limit);
+        }
+        plan.enable(self.fault, config);
+        plan
+    }
+}
+
+macro_rules! bug {
+    ($fault:expr, $app:expr, $cat:ident, $det:ident, $metric:ident, $every:expr, $desc:expr) => {
+        BugSpec {
+            fault: FaultId($fault),
+            app: $app,
+            category: BugCategory::$cat,
+            detection: DetectionClass::$det,
+            expected_metric: MetricKind::$metric,
+            every: $every,
+            description: $desc,
+        }
+    };
+}
+
+/// The 40 bugs of Table 2 (11 programming typos, 6 shared-state, 17
+/// data-structure-invariant, 6 indirect).
+pub const CATALOG: [BugSpec; 40] = [
+    // ---- Multimedia: 2 typos, 2 shared, 3 DS-invariant, 1 indirect ----
+    bug!(
+        "mm.codec_props.typo_leak",
+        "multimedia",
+        ProgrammingTypo,
+        HeapAnomaly,
+        Roots,
+        1,
+        "Fig.11 index typo detaches codec property lists"
+    ),
+    bug!(
+        "mm.playlist.pop_leak",
+        "multimedia",
+        ProgrammingTypo,
+        HeapAnomaly,
+        Roots,
+        1,
+        "playlist pop forgets the free"
+    ),
+    bug!(
+        "mm.stream_ring.free_shared_head",
+        "multimedia",
+        SharedState,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "Fig.12 stream ring head freed while tail still points at it"
+    ),
+    bug!(
+        "mm.mixer_ring.free_shared_head",
+        "multimedia",
+        SharedState,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "mixer ring shares the Fig.12 mistake at a second site"
+    ),
+    bug!(
+        "mm.track_dlist.skip_prev",
+        "multimedia",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "Fig.1 track list insert skips prev pointers"
+    ),
+    bug!(
+        "mm.scene_tree.skip_parent",
+        "multimedia",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "overlay tree nodes miss parent pointers"
+    ),
+    bug!(
+        "mm.index_btree.skip_sibling",
+        "multimedia",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Roots,
+        1,
+        "media index B-tree split loses the new sibling link"
+    ),
+    bug!(
+        "mm.codec_table.degenerate_hash",
+        "multimedia",
+        Indirect,
+        HeapAnomaly,
+        Outdeg1,
+        1,
+        "Fig.9 codec table hash collapses to one bucket"
+    ),
+    // ---- Interactive web-app: 4 typos, 5 DS-invariant, 1 indirect ----
+    bug!(
+        "webapp.session_props.typo_leak",
+        "webapp",
+        ProgrammingTypo,
+        HeapAnomaly,
+        Roots,
+        1,
+        "session property lists leaked by the Fig.11 typo"
+    ),
+    bug!(
+        "webapp.req_log.pop_leak",
+        "webapp",
+        ProgrammingTypo,
+        HeapAnomaly,
+        Roots,
+        1,
+        "request log pop forgets the free"
+    ),
+    bug!(
+        "webapp.tmpl_props.typo_leak",
+        "webapp",
+        ProgrammingTypo,
+        HeapAnomaly,
+        Roots,
+        1,
+        "template property lists leaked by a second Fig.11 typo"
+    ),
+    bug!(
+        "webapp.cookie_list.pop_leak",
+        "webapp",
+        ProgrammingTypo,
+        HeapAnomaly,
+        Roots,
+        1,
+        "cookie list pop forgets the free"
+    ),
+    bug!(
+        "webapp.dom_tree.skip_parent",
+        "webapp",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "DOM nodes inserted without parent back-pointers"
+    ),
+    bug!(
+        "webapp.form_tree.skip_parent",
+        "webapp",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "form tree repeats the missing-parent mistake"
+    ),
+    bug!(
+        "webapp.session_dlist.skip_prev",
+        "webapp",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "session list insert skips prev pointers"
+    ),
+    bug!(
+        "webapp.index_btree.skip_sibling",
+        "webapp",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Roots,
+        1,
+        "URL index B-tree split loses the new sibling link"
+    ),
+    bug!(
+        "webapp.nav_dlist.skip_prev",
+        "webapp",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "navigation history list skips prev pointers"
+    ),
+    bug!(
+        "webapp.sitegraph.atypical",
+        "webapp",
+        Indirect,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "Fig.9 localization bug renders the site graph as a star"
+    ),
+    // ---- PC game (simulation): 3 typos, 3 shared, 2 DS-inv, 1 indirect ----
+    bug!(
+        "gs.unit_props.typo_leak",
+        "game_sim",
+        ProgrammingTypo,
+        HeapAnomaly,
+        Roots,
+        1,
+        "unit property lists leaked by the Fig.11 typo"
+    ),
+    bug!(
+        "gs.order_queue.pop_leak",
+        "game_sim",
+        ProgrammingTypo,
+        HeapAnomaly,
+        Roots,
+        1,
+        "order queue pop forgets the free"
+    ),
+    bug!(
+        "gs.path_props.typo_leak",
+        "game_sim",
+        ProgrammingTypo,
+        HeapAnomaly,
+        Roots,
+        1,
+        "path cache property lists leaked by a typo"
+    ),
+    bug!(
+        "gs.event_ring.free_shared_head",
+        "game_sim",
+        SharedState,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "event ring head freed while shared"
+    ),
+    bug!(
+        "gs.anim_ring.free_shared_head",
+        "game_sim",
+        SharedState,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "animation ring head freed while shared"
+    ),
+    bug!(
+        "gs.sound_ring.free_shared_head",
+        "game_sim",
+        SharedState,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "sound ring head freed while shared"
+    ),
+    bug!(
+        "gs.unit_dlist.skip_prev",
+        "game_sim",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "unit roster insert skips prev pointers"
+    ),
+    bug!(
+        "gs.terrain_btree.skip_sibling",
+        "game_sim",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Roots,
+        1,
+        "terrain index B-tree split loses the new sibling"
+    ),
+    bug!(
+        "gs.collision_hash.degenerate",
+        "game_sim",
+        Indirect,
+        HeapAnomaly,
+        Outdeg1,
+        1,
+        "Fig.9 collision hash collapses to one bucket"
+    ),
+    // ---- PC game (action): 2 typos, 1 shared, 3 DS-inv, 2 indirect ----
+    bug!(
+        "ga.asset_props.typo_leak",
+        "game_action",
+        ProgrammingTypo,
+        HeapAnomaly,
+        Roots,
+        1,
+        "asset property lists leaked by the Fig.11 typo"
+    ),
+    bug!(
+        "ga.decal_list.pop_leak",
+        "game_action",
+        ProgrammingTypo,
+        HeapAnomaly,
+        Roots,
+        1,
+        "decal list pop forgets the free"
+    ),
+    bug!(
+        "ga.particle_ring.free_shared_head",
+        "game_action",
+        SharedState,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "particle ring head freed while shared"
+    ),
+    bug!(
+        "ga.scene_tree.skip_parent",
+        "game_action",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "THE Figure 10 bug: scene-tree nodes missing parent pointers"
+    ),
+    bug!(
+        "ga.asset_dlist.skip_prev",
+        "game_action",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "Fig.1 asset list insert skips prev pointers"
+    ),
+    bug!(
+        "ga.world_octree.alias",
+        "game_action",
+        DataStructureInvariant,
+        PoorlyDisguised,
+        Indeg1,
+        1,
+        "oct-tree construction produces an oct-DAG at startup"
+    ),
+    bug!(
+        "ga.lod_tree.single_child",
+        "game_action",
+        Indirect,
+        HeapAnomaly,
+        Outdeg1,
+        1,
+        "Fig.9 LOD tree vertexes get a single child instead of two"
+    ),
+    bug!(
+        "ga.portal_graph.atypical",
+        "game_action",
+        Indirect,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "portal graph generated with an atypical star shape"
+    ),
+    // ---- Productivity: 4 DS-invariant, 1 indirect ----
+    bug!(
+        "prod.piece_btree.skip_sibling",
+        "productivity",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Roots,
+        1,
+        "piece-table B-tree split loses the new sibling"
+    ),
+    bug!(
+        "prod.outline_tree.skip_parent",
+        "productivity",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "outline nodes inserted without parent pointers"
+    ),
+    bug!(
+        "prod.style_dlist.skip_prev",
+        "productivity",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "style chain insert skips prev pointers"
+    ),
+    bug!(
+        "prod.anno_dlist.skip_prev",
+        "productivity",
+        DataStructureInvariant,
+        HeapAnomaly,
+        Indeg1,
+        1,
+        "annotation chain insert skips prev pointers"
+    ),
+    bug!(
+        "prod.ref_hash.degenerate",
+        "productivity",
+        Indirect,
+        HeapAnomaly,
+        Outdeg1,
+        1,
+        "Fig.9 cross-reference hash collapses to one bucket"
+    ),
+];
+
+/// Leak scenarios only SWAT can see (Table 1's gap): reachable leaks
+/// (HeapMD-invisible) and tiny bounded leaks (well disguised).
+pub const SWAT_ONLY: [SwatOnlyLeak; 8] = [
+    SwatOnlyLeak {
+        fault: FaultId("mm.registry.reachable_leak"),
+        app: "multimedia",
+        detection: DetectionClass::Invisible,
+        every: 1,
+        limit: None,
+        description: "codec registry grows forever but stays reachable",
+    },
+    SwatOnlyLeak {
+        fault: FaultId("mm.thumb_list.tiny_leak"),
+        app: "multimedia",
+        detection: DetectionClass::WellDisguised,
+        every: 1,
+        limit: Some(4),
+        description: "four thumbnail records leak — too few to move a metric",
+    },
+    SwatOnlyLeak {
+        fault: FaultId("webapp.res_registry.reachable_leak"),
+        app: "webapp",
+        detection: DetectionClass::Invisible,
+        every: 1,
+        limit: None,
+        description: "resource registry grows forever but stays reachable",
+    },
+    SwatOnlyLeak {
+        fault: FaultId("webapp.blob_registry.reachable_leak"),
+        app: "webapp",
+        detection: DetectionClass::Invisible,
+        every: 1,
+        limit: None,
+        description: "blob registry grows forever but stays reachable",
+    },
+    SwatOnlyLeak {
+        fault: FaultId("webapp.hist_registry.reachable_leak"),
+        app: "webapp",
+        detection: DetectionClass::Invisible,
+        every: 1,
+        limit: None,
+        description: "history registry grows forever but stays reachable",
+    },
+    SwatOnlyLeak {
+        fault: FaultId("webapp.tmp_list.tiny_leak"),
+        app: "webapp",
+        detection: DetectionClass::WellDisguised,
+        every: 1,
+        limit: Some(4),
+        description: "four temp-file records leak",
+    },
+    SwatOnlyLeak {
+        fault: FaultId("webapp.frag_list.tiny_leak"),
+        app: "webapp",
+        detection: DetectionClass::WellDisguised,
+        every: 1,
+        limit: Some(4),
+        description: "four fragment records leak",
+    },
+    SwatOnlyLeak {
+        fault: FaultId("gs.replay_list.tiny_leak"),
+        app: "game_sim",
+        detection: DetectionClass::WellDisguised,
+        every: 1,
+        limit: Some(4),
+        description: "four replay records leak",
+    },
+];
+
+/// Every catalogued bug hosted by `app`.
+pub fn for_app(app: &str) -> Vec<&'static BugSpec> {
+    CATALOG.iter().filter(|b| b.app == app).collect()
+}
+
+/// SWAT-only leaks hosted by `app`.
+pub fn swat_only_for_app(app: &str) -> Vec<&'static SwatOnlyLeak> {
+    SWAT_ONLY.iter().filter(|l| l.app == app).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn catalog_counts_match_table_2() {
+        assert_eq!(CATALOG.len(), 40);
+        let mut by_cat: HashMap<BugCategory, usize> = HashMap::new();
+        let mut by_app: HashMap<&str, usize> = HashMap::new();
+        for b in &CATALOG {
+            *by_cat.entry(b.category).or_default() += 1;
+            *by_app.entry(b.app).or_default() += 1;
+        }
+        assert_eq!(by_cat[&BugCategory::ProgrammingTypo], 11);
+        assert_eq!(by_cat[&BugCategory::SharedState], 6);
+        assert_eq!(by_cat[&BugCategory::DataStructureInvariant], 17);
+        assert_eq!(by_cat[&BugCategory::Indirect], 6);
+        assert_eq!(by_app["multimedia"], 8);
+        assert_eq!(by_app["webapp"], 10);
+        assert_eq!(by_app["game_sim"], 9);
+        assert_eq!(by_app["game_action"], 8);
+        assert_eq!(by_app["productivity"], 5);
+    }
+
+    #[test]
+    fn table1_leak_counts_are_consistent() {
+        // SWAT totals per Table 1 app = HeapMD-visible typo leaks +
+        // SWAT-only extras: multimedia 2+2=4, webapp 4+5=9, game_sim 3+1=4.
+        for (app, swat_total) in [("multimedia", 4), ("webapp", 9), ("game_sim", 4)] {
+            let typos = for_app(app)
+                .iter()
+                .filter(|b| b.category == BugCategory::ProgrammingTypo)
+                .count();
+            let extras = swat_only_for_app(app).len();
+            assert_eq!(typos + extras, swat_total, "{app}");
+        }
+    }
+
+    #[test]
+    fn fault_ids_are_unique() {
+        let mut ids: Vec<&str> = CATALOG.iter().map(|b| b.fault.0).collect();
+        ids.extend(SWAT_ONLY.iter().map(|l| l.fault.0));
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate fault ids");
+    }
+
+    #[test]
+    fn plans_enable_exactly_one_fault() {
+        let b = &CATALOG[0];
+        let plan = b.plan();
+        assert!(plan.is_enabled(b.fault));
+        assert_eq!(plan.enabled().len(), 1);
+        let l = &SWAT_ONLY[1];
+        let plan = l.plan();
+        assert!(plan.is_enabled(l.fault));
+    }
+
+    #[test]
+    fn only_the_octree_bug_is_poorly_disguised() {
+        let poorly: Vec<_> = CATALOG
+            .iter()
+            .filter(|b| b.detection == DetectionClass::PoorlyDisguised)
+            .collect();
+        assert_eq!(poorly.len(), 1);
+        assert_eq!(poorly[0].fault.0, "ga.world_octree.alias");
+    }
+}

@@ -1,0 +1,47 @@
+//! Commercial-application-like programs.
+//!
+//! These five programs model the paper's large Microsoft applications:
+//! heterogeneous heaps (several structure families at once, no single
+//! dominant structure), long runs, five development versions each, and
+//! the call-sites that host the Table 2 bug catalog.
+
+mod game_action;
+mod game_sim;
+mod multimedia;
+mod productivity;
+mod webapp;
+
+pub use game_action::GameAction;
+pub use game_sim::GameSim;
+pub use multimedia::Multimedia;
+pub use productivity::Productivity;
+pub use webapp::WebApp;
+
+#[cfg(test)]
+mod tests {
+    use crate::harness::{run_once, settings_for};
+    use crate::{commercial_registry, Input, WorkloadKind};
+    use faults::FaultPlan;
+
+    #[test]
+    fn every_commercial_program_runs_clean_and_samples() {
+        for w in commercial_registry() {
+            assert_eq!(w.kind(), WorkloadKind::Commercial);
+            let settings = settings_for(w.as_ref());
+            let report = run_once(w.as_ref(), &Input::new(0), &mut FaultPlan::new(), &settings);
+            assert!(
+                report.len() >= 30,
+                "{} produced only {} samples",
+                w.name(),
+                report.len()
+            );
+            let mid = &report.samples[report.len() / 2];
+            assert!(
+                mid.nodes >= 100,
+                "{} mid-run heap too small: {} nodes",
+                w.name(),
+                mid.nodes
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Train/check drivers shared by experiments, examples, and tests.
+
+use crate::{Input, Workload};
+use faults::FaultPlan;
+use heapmd::{
+    AnomalyDetector, BugReport, HeapModel, MetricReport, ModelBuilder, ModelOutcome, Monitor,
+    Process, Settings,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The settings a program is normally analysed under: paper thresholds,
+/// program-specific `frq`.
+pub fn settings_for(w: &dyn Workload) -> Settings {
+    Settings::builder()
+        .frq(w.default_frq())
+        .build()
+        .expect("default settings are valid")
+}
+
+/// Runs `w` once on `input` under `plan`, returning the metric report.
+///
+/// # Panics
+///
+/// Panics if the workload reports a heap error (clean plans never do;
+/// fault plans provoking one indicate a catalog defect).
+pub fn run_once(
+    w: &dyn Workload,
+    input: &Input,
+    plan: &mut FaultPlan,
+    settings: &Settings,
+) -> MetricReport {
+    let mut p = Process::new(settings.clone());
+    w.run(&mut p, plan, input)
+        .unwrap_or_else(|e| panic!("{} on input {} failed: {e}", w.name(), input.id));
+    p.finish(format!("{}/input-{}", w.name(), input.id))
+}
+
+/// Runs `w` once with monitors attached (detectors, baselines).
+///
+/// # Panics
+///
+/// Same as [`run_once`].
+pub fn run_monitored(
+    w: &dyn Workload,
+    input: &Input,
+    plan: &mut FaultPlan,
+    settings: &Settings,
+    monitors: &[Rc<RefCell<dyn Monitor>>],
+) -> MetricReport {
+    let mut p = Process::new(settings.clone());
+    for m in monitors {
+        p.attach(m.clone());
+    }
+    w.run(&mut p, plan, input)
+        .unwrap_or_else(|e| panic!("{} on input {} failed: {e}", w.name(), input.id));
+    p.finish(format!("{}/input-{}", w.name(), input.id))
+}
+
+/// Trains a heap model for `w` on clean runs over `inputs`.
+pub fn train(w: &dyn Workload, inputs: &[Input]) -> ModelOutcome {
+    let settings = settings_for(w);
+    let mut builder = ModelBuilder::new(settings.clone()).program(w.name());
+    for input in inputs {
+        let mut plan = FaultPlan::new();
+        builder.add_run(&run_once(w, input, &mut plan, &settings));
+    }
+    builder.build()
+}
+
+/// Checks `w` on `input` under `plan` against `model`, returning the
+/// anomaly detector's bug reports.
+pub fn check(
+    w: &dyn Workload,
+    model: &HeapModel,
+    input: &Input,
+    plan: &mut FaultPlan,
+) -> Vec<BugReport> {
+    let settings = settings_for(w);
+    let detector = Rc::new(RefCell::new(AnomalyDetector::new(
+        model.clone(),
+        settings.clone(),
+    )));
+    let monitors: [Rc<RefCell<dyn Monitor>>; 1] = [detector.clone()];
+    let _ = run_monitored(w, input, plan, &settings, &monitors);
+    let mut d = detector.borrow_mut();
+    d.take_bugs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Gzip;
+
+    #[test]
+    fn train_then_clean_check_is_quiet() {
+        let w = Gzip;
+        let outcome = train(&w, &Input::set(3));
+        assert!(outcome.model.training_runs >= 3);
+        assert!(
+            !outcome.model.stable.is_empty(),
+            "gzip must have stable metrics"
+        );
+        let bugs = check(&w, &outcome.model, &Input::new(50), &mut FaultPlan::new());
+        assert!(bugs.is_empty(), "clean run raised: {bugs:?}");
+    }
+
+    #[test]
+    fn run_once_produces_samples() {
+        let w = Gzip;
+        let settings = settings_for(&w);
+        let report = run_once(&w, &Input::new(0), &mut FaultPlan::new(), &settings);
+        assert!(report.len() >= 30, "too few samples: {}", report.len());
+    }
+}

@@ -1,0 +1,122 @@
+//! Program inputs.
+//!
+//! The paper drives each program on suites of inputs (SPEC's
+//! test/train/ref, 50–100 generated inputs, 50 regression tests for the
+//! commercial apps). Here an input is a seed plus derived scale
+//! parameters: different inputs induce different heap configurations —
+//! different structure sizes and mix proportions — while the program's
+//! *invariants* stay put, which is exactly the property HeapMD mines.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One program input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Input {
+    /// Input number within its suite.
+    pub id: u32,
+    /// Seed for all randomness the input induces.
+    pub seed: u64,
+}
+
+impl Input {
+    /// Creates input `id` of the default suite.
+    pub fn new(id: u32) -> Self {
+        // splitmix-style spread so ids give uncorrelated seeds.
+        let mut z = (id as u64).wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        Input {
+            id,
+            seed: z ^ (z >> 31),
+        }
+    }
+
+    /// The first `n` inputs of the default suite.
+    pub fn set(n: usize) -> Vec<Input> {
+        (0..n as u32).map(Input::new).collect()
+    }
+
+    /// Inputs `from..from+n` (disjoint from [`set`](Self::set) when
+    /// `from ≥` the training count — used for checking).
+    pub fn range(from: u32, n: usize) -> Vec<Input> {
+        (from..from + n as u32).map(Input::new).collect()
+    }
+
+    /// A fresh deterministic RNG for this input.
+    pub fn rng(&self) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed)
+    }
+
+    /// A size multiplier in `[0.6, 1.6]`, derived from the seed: inputs
+    /// differ in workload size the way regression inputs do.
+    pub fn scale(&self) -> f64 {
+        0.6 + (self.seed % 1000) as f64 / 999.0
+    }
+
+    /// A secondary shape parameter in `[0, 1]`, independent of
+    /// [`scale`](Self::scale).
+    pub fn shape(&self) -> f64 {
+        ((self.seed >> 20) % 1000) as f64 / 999.0
+    }
+
+    /// Scales an integer quantity by [`scale`](Self::scale), keeping a
+    /// floor of 1.
+    pub fn scaled(&self, base: usize) -> usize {
+        ((base as f64 * self.scale()) as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn inputs_are_deterministic() {
+        assert_eq!(Input::new(7), Input::new(7));
+        assert_ne!(Input::new(7).seed, Input::new(8).seed);
+        let mut a = Input::new(3).rng();
+        let mut b = Input::new(3).rng();
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn set_and_range_are_consistent() {
+        let s = Input::set(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[2], Input::new(2));
+        let r = Input::range(5, 3);
+        assert_eq!(r[0], Input::new(5));
+        assert!(s.iter().all(|i| !r.contains(i)), "disjoint suites");
+    }
+
+    #[test]
+    fn scale_and_shape_are_bounded() {
+        for input in Input::set(200) {
+            let s = input.scale();
+            assert!((0.6..=1.6).contains(&s), "scale {s}");
+            let sh = input.shape();
+            assert!((0.0..=1.0).contains(&sh), "shape {sh}");
+        }
+    }
+
+    #[test]
+    fn scaled_floors_at_one() {
+        let i = Input::new(0);
+        assert!(i.scaled(100) >= 60);
+        assert_eq!(i.scaled(0), 1);
+    }
+
+    #[test]
+    fn scales_vary_across_inputs() {
+        let scales: Vec<f64> = Input::set(20).iter().map(Input::scale).collect();
+        let min = scales.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = scales.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max - min > 0.3,
+            "inputs should differ in size: {min}..{max}"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! # workloads — the benchmark programs of the HeapMD reproduction
+//!
+//! The paper evaluates HeapMD on 8 SPEC 2000 programs and 5 large
+//! commercial Microsoft applications. Neither is available here, so
+//! this crate provides 13 synthetic mutator programs whose *heap
+//! behaviour* plays the same role: each allocates, links, and frees the
+//! data-structure mixes its real counterpart is known for, with
+//! input-dependent proportions, phase behaviour, and steady-state churn
+//! — the ingredients that make some degree metrics stable and others
+//! not.
+//!
+//! | Program | Modelled after | Characteristic stable metric (Fig. 7A) |
+//! |---|---|---|
+//! | `twolf` | cell placement | Outdeg=2 |
+//! | `crafty` | chess engine | Leaves |
+//! | `mcf` | network simplex | Roots |
+//! | `vpr` | FPGA place & route | Outdeg=1 |
+//! | `vortex` | OO database | Indeg=1 |
+//! | `gzip` | compressor | Leaves |
+//! | `parser` | link parser | In=Out |
+//! | `gcc` | compiler | Outdeg=1 |
+//! | `multimedia` | media pipeline | In=Out |
+//! | `webapp` | interactive web app | Indeg=1 |
+//! | `game_sim` | PC game (simulation) | Outdeg=1 |
+//! | `game_action` | PC game (action) | Indeg=1 |
+//! | `productivity` | office suite | Leaves |
+//!
+//! The five commercial programs additionally come in **5 development
+//! versions** (Fig. 7B) and host the 40-bug catalog of Table 2
+//! ([`bugs`]).
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{harness, spec::Vpr, Input, Workload};
+//!
+//! let vpr = Vpr;
+//! let inputs = Input::set(2);
+//! let outcome = harness::train(&vpr, &inputs);
+//! assert!(outcome.model.training_runs > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bugs;
+pub mod commercial;
+pub mod harness;
+mod input;
+pub mod phases;
+pub mod spec;
+
+pub use input::Input;
+pub use phases::{FlipStyle, PhaseFlipper};
+
+use faults::FaultPlan;
+use heapmd::{HeapError, Process};
+
+/// Whether a program models a SPEC benchmark or a commercial
+/// application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// SPEC-2000-like benchmark.
+    Spec,
+    /// Commercial-application-like program (versioned, bug-hosting).
+    Commercial,
+}
+
+/// A benchmark program driving the simulated heap.
+pub trait Workload {
+    /// The program's name (stable identifier used in reports).
+    fn name(&self) -> &'static str;
+
+    /// SPEC-like or commercial-like.
+    fn kind(&self) -> WorkloadKind;
+
+    /// The metric-computation period this program is normally run with
+    /// (chosen so a default run yields on the order of 100 metric
+    /// computation points).
+    fn default_frq(&self) -> u64 {
+        200
+    }
+
+    /// Executes the program on `input` under `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HeapError`] — a clean plan never errors; fault
+    /// plans may provoke heap errors by design.
+    fn run(&self, p: &mut Process, plan: &mut FaultPlan, input: &Input) -> Result<(), HeapError>;
+}
+
+/// All 13 programs.
+pub fn registry() -> Vec<Box<dyn Workload>> {
+    let mut all = spec_registry();
+    all.extend(commercial_registry());
+    all
+}
+
+/// The 8 SPEC-like programs.
+pub fn spec_registry() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(spec::Twolf),
+        Box::new(spec::Crafty),
+        Box::new(spec::Mcf),
+        Box::new(spec::Vpr),
+        Box::new(spec::Vortex),
+        Box::new(spec::Gzip),
+        Box::new(spec::Parser),
+        Box::new(spec::Gcc),
+    ]
+}
+
+/// The 5 commercial-like programs (version 1 — the major revision used
+/// for Figure 7A and model construction).
+pub fn commercial_registry() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(commercial::Multimedia::new(1)),
+        Box::new(commercial::WebApp::new(1)),
+        Box::new(commercial::GameSim::new(1)),
+        Box::new(commercial::GameAction::new(1)),
+        Box::new(commercial::Productivity::new(1)),
+    ]
+}
+
+/// The named commercial program at a given development version (1–5).
+///
+/// # Panics
+///
+/// Panics on an unknown name or version outside 1..=5.
+pub fn commercial_at_version(name: &str, version: u8) -> Box<dyn Workload> {
+    assert!((1..=5).contains(&version), "versions are 1..=5");
+    match name {
+        "multimedia" => Box::new(commercial::Multimedia::new(version)),
+        "webapp" => Box::new(commercial::WebApp::new(version)),
+        "game_sim" => Box::new(commercial::GameSim::new(version)),
+        "game_action" => Box::new(commercial::GameAction::new(version)),
+        "productivity" => Box::new(commercial::Productivity::new(version)),
+        other => panic!("unknown commercial program {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_thirteen_programs() {
+        let all = registry();
+        assert_eq!(all.len(), 13);
+        assert_eq!(spec_registry().len(), 8);
+        assert_eq!(commercial_registry().len(), 5);
+        let names: Vec<&str> = all.iter().map(|w| w.name()).collect();
+        assert!(names.contains(&"vpr"));
+        assert!(names.contains(&"game_action"));
+        // Names are unique.
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 13);
+    }
+
+    #[test]
+    fn commercial_versions_construct() {
+        for name in [
+            "multimedia",
+            "webapp",
+            "game_sim",
+            "game_action",
+            "productivity",
+        ] {
+            for v in 1..=5 {
+                let w = commercial_at_version(name, v);
+                assert_eq!(w.name(), name);
+                assert_eq!(w.kind(), WorkloadKind::Commercial);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "versions are 1..=5")]
+    fn version_zero_rejected() {
+        commercial_at_version("webapp", 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! SPEC-2000-like benchmark programs.
+//!
+//! Each module models the heap behaviour its namesake is known for —
+//! not its computation. What matters for HeapMD is the mix of
+//! structures, the steady-state churn, and the input-dependence, which
+//! together decide which degree metrics are stable (paper Figure 7A).
+
+mod crafty;
+mod gcc;
+mod gzip;
+mod mcf;
+mod parser;
+mod twolf;
+mod vortex;
+mod vpr;
+
+pub use crafty::Crafty;
+pub use gcc::Gcc;
+pub use gzip::Gzip;
+pub use mcf::Mcf;
+pub use parser::Parser;
+pub use twolf::Twolf;
+pub use vortex::Vortex;
+pub use vpr::Vpr;
+
+#[cfg(test)]
+mod tests {
+    use crate::harness::{run_once, settings_for};
+    use crate::{spec_registry, Input, WorkloadKind};
+    use faults::FaultPlan;
+
+    #[test]
+    fn every_spec_program_runs_clean_and_samples() {
+        for w in spec_registry() {
+            assert_eq!(w.kind(), WorkloadKind::Spec);
+            let settings = settings_for(w.as_ref());
+            let report = run_once(w.as_ref(), &Input::new(0), &mut FaultPlan::new(), &settings);
+            assert!(
+                report.len() >= 30,
+                "{} produced only {} samples",
+                w.name(),
+                report.len()
+            );
+            // Heap must be non-trivial mid-run.
+            let mid = &report.samples[report.len() / 2];
+            assert!(
+                mid.nodes >= 50,
+                "{} mid-run heap too small: {} nodes",
+                w.name(),
+                mid.nodes
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Leak hunt: the Table 1 scenario in miniature.
+//!
+//! Runs the interactive web-app with the Figure 11 index-typo leak
+//! injected, with both detectors attached: HeapMD (shape anomaly) and
+//! the SWAT baseline (staleness). Then runs clean to show the
+//! mechanism gap — SWAT false-positives on the reachable-but-stale
+//! render cache; HeapMD stays quiet.
+//!
+//! Run with `cargo run --release --example leak_hunt`.
+
+use faults::FaultPlan;
+use heapmd_bench::experiments::dual_run;
+use workloads::bugs::CATALOG;
+use workloads::harness::{settings_for, train};
+use workloads::{commercial_at_version, Input};
+
+fn main() {
+    let w = commercial_at_version("webapp", 1);
+    let settings = settings_for(w.as_ref());
+    println!("Training the web-app model on 8 clean inputs…");
+    let model = train(w.as_ref(), &Input::set(8)).model;
+
+    let bug = CATALOG
+        .iter()
+        .find(|b| b.fault.0 == "webapp.session_props.typo_leak")
+        .expect("catalogued");
+    println!("\nInjecting: {}", bug.description);
+    let run = dual_run(
+        w.as_ref(),
+        &model,
+        &Input::new(100),
+        &mut bug.plan(),
+        &settings,
+    );
+    println!("HeapMD anomalies: {}", run.heapmd_bugs.len());
+    for b in run.heapmd_bugs.iter().take(2) {
+        println!("  {b}");
+    }
+    println!("SWAT leak sites:");
+    for (site, n) in &run.swat_leaks {
+        println!("  {site} ({n} stale objects)");
+    }
+
+    println!("\nClean run (the false-positive test):");
+    let clean = dual_run(
+        w.as_ref(),
+        &model,
+        &Input::new(101),
+        &mut FaultPlan::new(),
+        &settings,
+    );
+    println!("HeapMD anomalies: {} (expected 0)", clean.heapmd_bugs.len());
+    println!("SWAT leak sites (expected: the stale render cache):");
+    for (site, n) in &clean.swat_leaks {
+        println!("  {site} ({n} stale objects)");
+    }
+}

@@ -1,0 +1,82 @@
+//! Per-structure (site-scoped) metrics — the §4.4 extension.
+//!
+//! HeapMD computes metrics over the whole heap, so a malformed
+//! structure must be "systemic" to surface (§3.1's needle-in-a-haystack
+//! analogy). The scoped view restricts the heap-graph to one
+//! structure's allocation sites, where even a *small* malformed list
+//! shifts the degree profile by tens of points — at the cost of the
+//! per-structure false-positive surface the paper avoided.
+//!
+//! Run with `cargo run --example per_structure`.
+
+use faults::{FaultConfig, FaultPlan};
+use heap_graph::ScopedGraph;
+use heapmd::{MetricKind, Monitor, MonitorCtx, Process, Settings};
+use sim_ds::{fault_ids::DLIST_SKIP_PREV, BufferPool, SimDList};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A monitor maintaining a scoped view from the event stream.
+struct ScopedMonitor {
+    scoped: ScopedGraph,
+}
+
+impl Monitor for ScopedMonitor {
+    fn on_event(&mut self, _ctx: &MonitorCtx<'_>, event: &heapmd::HeapEvent) {
+        self.scoped.apply(event);
+    }
+}
+
+fn run(buggy: bool) -> (f64, f64) {
+    let settings = Settings::builder().frq(1_000).build().expect("valid");
+    let mut p = Process::new(settings);
+    // The scope: the asset list's node site. Site ids are interned in
+    // order; intern them first so the scope can name them.
+    let node_site = p.intern_site("assets::node");
+    let monitor = Rc::new(RefCell::new(ScopedMonitor {
+        scoped: ScopedGraph::new([node_site]),
+    }));
+    p.attach(monitor.clone());
+
+    let mut plan = FaultPlan::new();
+    if buggy {
+        // Fire on every third insert: a sparse, non-systemic bug.
+        plan.enable(DLIST_SKIP_PREV, FaultConfig::every(3));
+    }
+    let mut assets = SimDList::new(&mut p, "assets").expect("header");
+    let mut noise = BufferPool::new(400, "textures");
+    for i in 0..2_000u64 {
+        p.enter("frame");
+        noise.acquire(&mut p, 128).expect("acquire");
+        assets.push_back(&mut p, &mut plan, i).expect("insert");
+        if assets.len() > 60 {
+            if let Some(front) = assets.front(&mut p).expect("read") {
+                assets.remove(&mut p, front).expect("remove");
+            }
+        }
+        p.leave();
+    }
+    let global = p.graph().metrics().get(MetricKind::Indeg2);
+    let scoped = monitor.borrow().scoped.metrics().get(MetricKind::Indeg2);
+    let _ = p.finish(if buggy { "buggy" } else { "clean" });
+    (global, scoped)
+}
+
+fn main() {
+    let (g_clean, s_clean) = run(false);
+    let (g_buggy, s_buggy) = run(true);
+    println!("Indeg=2 (interior doubly-linked nodes):");
+    println!("               clean     buggy     shift");
+    println!(
+        "  whole heap   {g_clean:6.2}%   {g_buggy:6.2}%   {:+.2} points",
+        g_buggy - g_clean
+    );
+    println!(
+        "  scoped view  {s_clean:6.2}%   {s_buggy:6.2}%   {:+.2} points",
+        s_buggy - s_clean
+    );
+    println!(
+        "\nThe sparse bug barely moves the whole-heap metric but craters\n\
+         the per-structure view — the trade-off §4.4 describes."
+    );
+}

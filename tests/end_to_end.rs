@@ -1,0 +1,67 @@
+//! End-to-end pipeline: train on clean inputs, check clean and buggy
+//! runs, across the crate boundary exactly as a downstream user would.
+
+use faults::FaultPlan;
+use workloads::bugs::CATALOG;
+use workloads::harness::{check, train};
+use workloads::{commercial_at_version, Input};
+
+#[test]
+fn train_check_cycle_on_game_action() {
+    let w = commercial_at_version("game_action", 1);
+    // The paper calibrates on ≥ 25 inputs; fewer leaves this test's
+    // check input outside the trained envelope.
+    let outcome = train(w.as_ref(), &Input::set(25));
+    let model = outcome.model;
+    assert!(model.training_runs >= 25);
+    assert!(
+        model.is_stable(heapmd::MetricKind::Indeg1),
+        "game_action must calibrate Indeg=1 (its Figure 7 signature)"
+    );
+
+    // Clean check input: quiet.
+    let clean = check(w.as_ref(), &model, &Input::new(77), &mut FaultPlan::new());
+    assert!(clean.is_empty(), "clean run raised {clean:?}");
+
+    // The Figure 10 bug: detected, with Indeg=1 among the violations.
+    let spec = CATALOG
+        .iter()
+        .find(|b| b.fault.0 == "ga.scene_tree.skip_parent")
+        .expect("catalogued");
+    let bugs = check(w.as_ref(), &model, &Input::new(77), &mut spec.plan());
+    assert!(!bugs.is_empty(), "Figure 10 bug missed");
+    assert!(
+        bugs.iter().any(|b| b.metric == heapmd::MetricKind::Indeg1),
+        "Indeg=1 should be among the violated metrics: {bugs:?}"
+    );
+}
+
+#[test]
+fn models_transfer_across_versions() {
+    // Figure 7B's operational consequence: a v1 model checks v3 runs.
+    let v1 = commercial_at_version("productivity", 1);
+    let model = train(v1.as_ref(), &Input::set(5)).model;
+    let v3 = commercial_at_version("productivity", 3);
+    let bugs = check(v3.as_ref(), &model, &Input::new(55), &mut FaultPlan::new());
+    assert!(bugs.is_empty(), "v3 clean run vs v1 model raised {bugs:?}");
+}
+
+#[test]
+fn every_commercial_program_calibrates_its_signature_metric() {
+    use heapmd::MetricKind::*;
+    for (app, kind) in [
+        ("multimedia", InEqOut),
+        ("webapp", Indeg1),
+        ("game_sim", Outdeg1),
+        ("game_action", Indeg1),
+        ("productivity", Leaves),
+    ] {
+        let w = commercial_at_version(app, 1);
+        let model = train(w.as_ref(), &Input::set(4)).model;
+        assert!(
+            model.is_stable(kind),
+            "{app} should calibrate {kind:?}; got {:?}",
+            model.stable.iter().map(|s| s.kind).collect::<Vec<_>>()
+        );
+    }
+}

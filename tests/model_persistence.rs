@@ -1,0 +1,50 @@
+//! Model save/load: a model trained in one process checks runs in
+//! another (the paper's summarized-metric-report file).
+
+use faults::FaultPlan;
+use heapmd::HeapModel;
+use workloads::bugs::CATALOG;
+use workloads::harness::{check, train};
+use workloads::{commercial_at_version, Input};
+
+#[test]
+fn saved_model_detects_the_same_bugs() {
+    let w = commercial_at_version("multimedia", 1);
+    let model = train(w.as_ref(), &Input::set(4)).model;
+
+    let dir = std::env::temp_dir().join("heapmd-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mm-model.json");
+    model.save(&path).unwrap();
+    let loaded = HeapModel::load(&path).unwrap();
+    // JSON round-trips floats to within an ulp; compare semantically.
+    assert_eq!(model.program, loaded.program);
+    assert_eq!(model.training_runs, loaded.training_runs);
+    assert_eq!(model.stable.len(), loaded.stable.len());
+    for (a, b) in model.stable.iter().zip(&loaded.stable) {
+        assert_eq!(a.kind, b.kind);
+        assert!((a.min - b.min).abs() < 1e-9);
+        assert!((a.max - b.max).abs() < 1e-9);
+    }
+
+    let bug = CATALOG
+        .iter()
+        .find(|b| b.fault.0 == "mm.track_dlist.skip_prev")
+        .expect("catalogued");
+    let direct = check(w.as_ref(), &model, &Input::new(9), &mut bug.plan());
+    let via_file = check(w.as_ref(), &loaded, &Input::new(9), &mut bug.plan());
+    assert_eq!(direct.len(), via_file.len());
+    assert!(!direct.is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn model_json_is_human_readable() {
+    let w = commercial_at_version("productivity", 1);
+    let model = train(w.as_ref(), &Input::set(3)).model;
+    let json = model.to_json().unwrap();
+    assert!(json.contains("\"program\": \"productivity\""));
+    assert!(json.contains("stable"));
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert!(value["training_runs"].as_u64().unwrap() >= 3);
+}

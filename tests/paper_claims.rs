@@ -1,0 +1,58 @@
+//! The paper's headline claims, checked at reduced (quick) effort:
+//! stable metrics exist for every program, the same metrics persist
+//! across versions, and the experiment harness reproduces the table
+//! shapes.
+
+use heapmd_bench::{experiments, Effort};
+
+#[test]
+fn stable_metrics_exist_for_all_13_programs() {
+    let (rows, _) = experiments::fig7a(Effort::Quick);
+    assert_eq!(rows.len(), 13);
+    for row in &rows {
+        assert!(
+            row.stable_count >= 1,
+            "{} calibrated no stable metric",
+            row.program
+        );
+        let sm = row.example.as_ref().expect("example metric");
+        assert!(
+            sm.avg_change.abs() <= 1.0,
+            "{}: example metric drifts {:.2}%/step",
+            row.program,
+            sm.avg_change
+        );
+        assert!(sm.std_change < 5.0);
+        assert!(sm.min >= 0.0 && sm.max <= 100.0);
+    }
+}
+
+#[test]
+fn stable_metrics_persist_across_versions() {
+    let (rows, _) = experiments::fig7b(Effort::Quick);
+    assert_eq!(rows.len(), 5);
+    for row in &rows {
+        assert!(
+            !row.common_stable.is_empty(),
+            "{}: no metric stable across all versions",
+            row.program
+        );
+    }
+}
+
+#[test]
+fn fig10_reproduces_the_indeg1_violation() {
+    let result = experiments::fig10(Effort::Quick);
+    assert!(result.indeg1_violated, "Indeg=1 must leave its range");
+    assert!(result.rendered.contains("calibrated max"));
+}
+
+#[test]
+fn injected_spec_bugs_are_detected() {
+    let (results, _) = experiments::injection(Effort::Quick);
+    let detected = results.iter().filter(|(_, _, d)| *d).count();
+    assert!(
+        detected >= results.len() - 1,
+        "artificial injection should be detected nearly always: {results:?}"
+    );
+}

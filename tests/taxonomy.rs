@@ -1,0 +1,67 @@
+//! The detectability taxonomy of §4.1, executed: heap-anomaly bugs are
+//! caught, well-disguised and invisible ones are not, the oct-DAG is
+//! poorly disguised.
+
+use workloads::bugs::{CATALOG, SWAT_ONLY};
+use workloads::harness::{check, train};
+use workloads::{commercial_at_version, Input};
+
+#[test]
+fn tiny_leaks_are_well_disguised() {
+    let w = commercial_at_version("game_sim", 1);
+    let model = train(w.as_ref(), &Input::set(10)).model;
+    let leak = SWAT_ONLY
+        .iter()
+        .find(|l| l.fault.0 == "gs.replay_list.tiny_leak")
+        .expect("catalogued");
+    let bugs = check(w.as_ref(), &model, &Input::new(88), &mut leak.plan());
+    assert!(
+        bugs.is_empty(),
+        "a four-object leak must not move any degree metric: {bugs:?}"
+    );
+}
+
+#[test]
+fn typo_leak_is_a_heap_anomaly() {
+    let w = commercial_at_version("game_sim", 1);
+    let model = train(w.as_ref(), &Input::set(10)).model;
+    let bug = CATALOG
+        .iter()
+        .find(|b| b.fault.0 == "gs.unit_props.typo_leak")
+        .expect("catalogued");
+    let bugs = check(w.as_ref(), &model, &Input::new(88), &mut bug.plan());
+    assert!(!bugs.is_empty(), "the Figure 11 typo leak must be detected");
+}
+
+#[test]
+fn shared_state_ring_bug_is_detected() {
+    let w = commercial_at_version("multimedia", 1);
+    let model = train(w.as_ref(), &Input::set(5)).model;
+    let bug = CATALOG
+        .iter()
+        .find(|b| b.fault.0 == "mm.stream_ring.free_shared_head")
+        .expect("catalogued");
+    let bugs = check(w.as_ref(), &model, &Input::new(88), &mut bug.plan());
+    assert!(!bugs.is_empty(), "the Figure 12 bug must be detected");
+}
+
+#[test]
+fn catalog_matches_the_paper_totals() {
+    assert_eq!(CATALOG.len(), 40, "Table 2 has 40 bugs");
+    let typos = CATALOG
+        .iter()
+        .filter(|b| b.category == heapmd::BugCategory::ProgrammingTypo)
+        .count();
+    assert_eq!(typos, 11);
+    // 31 of the 40 were previously unknown: the 9 Table 1 leaks are the
+    // typo leaks of the three Table 1 programs.
+    let table1_leaks = CATALOG
+        .iter()
+        .filter(|b| {
+            b.category == heapmd::BugCategory::ProgrammingTypo
+                && ["multimedia", "webapp", "game_sim"].contains(&b.app)
+        })
+        .count();
+    assert_eq!(table1_leaks, 9);
+    assert_eq!(CATALOG.len() - table1_leaks, 31);
+}

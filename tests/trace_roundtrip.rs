@@ -1,0 +1,89 @@
+//! Offline mode equivalences: a replayed trace reproduces the online
+//! metric report, and offline checking agrees with online checking.
+
+use faults::FaultPlan;
+use heapmd::{AnomalyDetector, FuncId, ModelBuilder, Process, Settings, Trace};
+use sim_ds::{fault_ids::DLIST_SKIP_PREV, SimDList};
+
+fn run(settings: &Settings, plan: &mut FaultPlan) -> (heapmd::MetricReport, Trace) {
+    let mut p = Process::new(settings.clone());
+    p.enable_trace();
+    let mut list = SimDList::new(&mut p, "t").unwrap();
+    for i in 0..500u64 {
+        p.enter("tick");
+        list.push_back(&mut p, plan, i).unwrap();
+        if list.len() > 120 {
+            if let Some(front) = list.front(&mut p).unwrap() {
+                list.remove(&mut p, front).unwrap();
+            }
+        }
+        p.leave();
+    }
+    let mut trace = p.take_trace().unwrap();
+    let names: Vec<String> = (0..p.functions().len())
+        .map(|i| p.functions().name(FuncId(i as u32)).to_string())
+        .collect();
+    trace.set_functions(names);
+    (p.finish("traced"), trace)
+}
+
+#[test]
+fn replay_reproduces_the_online_series_exactly() {
+    let settings = Settings::builder().frq(10).build().unwrap();
+    let (online, trace) = run(&settings, &mut FaultPlan::new());
+    let offline = trace.replay(&settings, "replayed");
+    assert_eq!(online.len(), offline.len());
+    for (a, b) in online.samples.iter().zip(&offline.samples) {
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.dangling, b.dangling);
+    }
+}
+
+#[test]
+fn offline_check_agrees_with_report_check() {
+    let settings = Settings::builder().frq(10).build().unwrap();
+    let mut builder = ModelBuilder::new(settings.clone());
+    for _ in 0..3 {
+        builder.add_run(&run(&settings, &mut FaultPlan::new()).0);
+    }
+    let model = builder.build().model;
+
+    let mut plan = FaultPlan::single(DLIST_SKIP_PREV);
+    let (report, trace) = run(&settings, &mut plan);
+    let via_report = AnomalyDetector::check_report(&model, &settings, &report);
+    let via_trace = trace.check(&model, &settings);
+    assert!(!via_report.is_empty(), "the bug must be detected offline");
+    assert!(!via_trace.is_empty(), "the bug must be detected via trace");
+    // Same violations (trace mode adds call-stack context).
+    let keys = |v: &[heapmd::BugReport]| -> Vec<(heapmd::MetricKind, usize)> {
+        v.iter().map(|b| (b.metric, b.sample_seq)).collect()
+    };
+    let trace_keys = keys(&via_trace);
+    for k in keys(&via_report) {
+        assert!(trace_keys.contains(&k), "missing {k:?} in trace check");
+    }
+    // Trace-mode reports carry call-stacks.
+    assert!(via_trace
+        .iter()
+        .any(|b| b.context.iter().any(|e| !e.stack.is_empty())));
+}
+
+#[test]
+fn trace_json_roundtrip_preserves_checking() {
+    let settings = Settings::builder().frq(10).build().unwrap();
+    let mut builder = ModelBuilder::new(settings.clone());
+    for _ in 0..3 {
+        builder.add_run(&run(&settings, &mut FaultPlan::new()).0);
+    }
+    let model = builder.build().model;
+    let mut plan = FaultPlan::single(DLIST_SKIP_PREV);
+    let (_, trace) = run(&settings, &mut plan);
+    let json = trace.to_json().unwrap();
+    let back = Trace::from_json(&json).unwrap();
+    assert_eq!(
+        trace.check(&model, &settings).len(),
+        back.check(&model, &settings).len()
+    );
+}
