@@ -2,6 +2,13 @@
 //! The analogue here: the same mutator loop against (a) the bare
 //! simulated heap, (b) the full execution logger (heap-graph image +
 //! sampling), and (c) the logger with the anomaly detector attached.
+//!
+//! Two further cases measure the observability layer itself: the
+//! execution-logger loop with obs disabled (the default — every probe
+//! is a single relaxed atomic load) and with obs enabled (counters,
+//! gauges, and latency histograms recording; no sink attached). The
+//! acceptance bar is that the disabled case stays within noise of
+//! `execution_logger`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use heapmd::{AnomalyDetector, HeapModel, Monitor, Process, Settings};
@@ -71,6 +78,21 @@ fn bench_overhead(c: &mut Criterion) {
             let mut p = Process::new(settings.clone());
             instrumented_loop(&mut p);
         })
+    });
+    group.bench_function("execution_logger_obs_disabled", |b| {
+        heapmd_obs::set_enabled(false);
+        b.iter(|| {
+            let mut p = Process::new(settings.clone());
+            instrumented_loop(&mut p);
+        })
+    });
+    group.bench_function("execution_logger_obs_enabled", |b| {
+        heapmd_obs::set_enabled(true);
+        b.iter(|| {
+            let mut p = Process::new(settings.clone());
+            instrumented_loop(&mut p);
+        });
+        heapmd_obs::set_enabled(false);
     });
     group.bench_function("logger_plus_detector", |b| {
         b.iter(|| {

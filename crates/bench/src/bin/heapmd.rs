@@ -2,17 +2,30 @@
 //!
 //! ```text
 //! heapmd list                                   # programs and catalogued bugs
+//! heapmd run <program> [--input K] [--version V] [--bug FAULT]
 //! heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]
 //! heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT]
 //! heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT]
 //! heapmd replay --model FILE --trace FILE       # post-mortem trace checking
 //! ```
 //!
+//! Global flags (any subcommand):
+//!
+//! - `--log-level off|error|warn|info|debug|trace` — stderr verbosity
+//!   (defaults to the `HEAPMD_LOG` environment variable, then `warn`);
+//! - `--obs-out FILE.jsonl` — enable instrumentation and stream
+//!   structured events (heartbeats, anomalies, logs, final counter
+//!   totals) as JSON lines;
+//! - `--obs-prom FILE` — enable instrumentation and dump all metrics in
+//!   Prometheus text exposition format on exit.
+//!
 //! Models are the JSON "summarized metric reports" of the paper's
 //! Figure 2; traces are recorded with [`heapmd::Process::enable_trace`].
 
 use faults::FaultPlan;
 use heapmd::{FuncId, HeapModel, ModelBuilder, Process, Trace};
+use heapmd_obs::{debug, error, info};
+use std::path::Path;
 use workloads::bugs::{CATALOG, SWAT_ONLY};
 use workloads::harness::{check, run_once, settings_for};
 use workloads::{commercial_at_version, registry, Input, Workload, WorkloadKind};
@@ -33,14 +46,26 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// Removes `flag` and its value from `args`, returning the value.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Some(value)
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  heapmd list\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd replay --model FILE --trace FILE"
+        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd replay --model FILE --trace FILE\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE]"
     );
     std::process::exit(2);
 }
 
-fn cmd_list() {
+fn cmd_list() -> i32 {
     println!("programs:");
     for w in registry() {
         let kind = match w.kind() {
@@ -67,9 +92,51 @@ fn cmd_list() {
             l.description
         );
     }
+    0
 }
 
-fn cmd_train(args: &[String]) {
+fn cmd_run(args: &[String]) -> i32 {
+    let Some(program) = args.first() else { usage() };
+    let input_id: u32 = arg_value(args, "--input")
+        .map(|v| v.parse().expect("--input takes a number"))
+        .unwrap_or(1000);
+    let version: u8 = arg_value(args, "--version")
+        .map(|v| v.parse().expect("--version takes 1-5"))
+        .unwrap_or(1);
+    let Some(w) = find_program(program, version) else {
+        error!("unknown program {program} (see `heapmd list`)");
+        return 1;
+    };
+    let settings = settings_for(w.as_ref());
+    let mut plan = fault_plan_for(args);
+    info!(
+        "running {program} v{version} on input {input_id} (frq {})",
+        settings.frq
+    );
+    let mut p = Process::new(settings);
+    w.run(&mut p, &mut plan, &Input::new(input_id))
+        .expect("workload run");
+    let stats = *p.heap().stats();
+    let live = p.heap().live_objects();
+    let report = p.finish(format!("{program}:{input_id}"));
+    println!(
+        "{} metric computation points over {} allocs / {} frees / {} ptr stores ({} objects live at exit)",
+        report.samples.len(),
+        stats.allocs,
+        stats.frees,
+        stats.ptr_writes,
+        live,
+    );
+    if let Some(last) = report.samples.last() {
+        println!(
+            "final graph: {} nodes, {} edges, {} dangling slots",
+            last.nodes, last.edges, last.dangling
+        );
+    }
+    0
+}
+
+fn cmd_train(args: &[String]) -> i32 {
     let Some(program) = args.first() else { usage() };
     let inputs: usize = arg_value(args, "--inputs")
         .map(|v| v.parse().expect("--inputs takes a number"))
@@ -81,12 +148,12 @@ fn cmd_train(args: &[String]) {
     let local = args.iter().any(|a| a == "--local");
 
     let Some(w) = find_program(program, version) else {
-        eprintln!("unknown program {program} (see `heapmd list`)");
-        std::process::exit(1);
+        error!("unknown program {program} (see `heapmd list`)");
+        return 1;
     };
     let settings = settings_for(w.as_ref());
-    eprintln!(
-        "training {program} v{version} on {inputs} inputs (frq {})…",
+    info!(
+        "training {program} v{version} on {inputs} inputs (frq {})",
         settings.frq
     );
     let mut builder = ModelBuilder::new(settings.clone())
@@ -94,10 +161,13 @@ fn cmd_train(args: &[String]) {
         .locally_stable(local);
     for input in Input::set(inputs) {
         let report = run_once(w.as_ref(), &input, &mut FaultPlan::new(), &settings);
+        debug!(
+            "training input {} contributed {} samples",
+            input.id,
+            report.samples.len()
+        );
         builder.add_run(&report);
-        eprint!(".");
     }
-    eprintln!();
     let outcome = builder.build();
     for sm in outcome.model.stable_metrics() {
         println!(
@@ -123,9 +193,10 @@ fn cmd_train(args: &[String]) {
     }
     outcome.model.save(&out).expect("write model");
     println!("model written to {out}");
+    0
 }
 
-fn cmd_check(args: &[String]) {
+fn cmd_check(args: &[String]) -> i32 {
     let Some(program) = args.first() else { usage() };
     let Some(model_path) = arg_value(args, "--model") else {
         usage()
@@ -137,14 +208,15 @@ fn cmd_check(args: &[String]) {
         .map(|v| v.parse().expect("--version takes 1-5"))
         .unwrap_or(1);
     let Some(w) = find_program(program, version) else {
-        eprintln!("unknown program {program}");
-        std::process::exit(1);
+        error!("unknown program {program} (see `heapmd list`)");
+        return 1;
     };
     let model = HeapModel::load(&model_path).expect("read model");
     let mut plan = fault_plan_for(args);
     let bugs = check(w.as_ref(), &model, &Input::new(input_id), &mut plan);
     if bugs.is_empty() {
         println!("no anomalies on input {input_id}");
+        0
     } else {
         println!("{} anomaly report(s):", bugs.len());
         for b in &bugs {
@@ -154,7 +226,7 @@ fn cmd_check(args: &[String]) {
                 println!("    implicated: {}", funcs.join(", "));
             }
         }
-        std::process::exit(3);
+        3
     }
 }
 
@@ -167,16 +239,16 @@ fn fault_plan_for(args: &[String]) -> FaultPlan {
             (Some(b), _) => plan = b.plan(),
             (None, Some(l)) => plan = l.plan(),
             (None, None) => {
-                eprintln!("unknown bug {fault} (see `heapmd list`)");
+                error!("unknown bug {fault} (see `heapmd list`)");
                 std::process::exit(1);
             }
         }
-        eprintln!("injecting {fault}");
+        info!("injecting {fault}");
     }
     plan
 }
 
-fn cmd_record(args: &[String]) {
+fn cmd_record(args: &[String]) -> i32 {
     let Some(program) = args.first() else { usage() };
     let Some(trace_path) = arg_value(args, "--trace") else {
         usage()
@@ -188,8 +260,8 @@ fn cmd_record(args: &[String]) {
         .map(|v| v.parse().expect("--version takes 1-5"))
         .unwrap_or(1);
     let Some(w) = find_program(program, version) else {
-        eprintln!("unknown program {program}");
-        std::process::exit(1);
+        error!("unknown program {program} (see `heapmd list`)");
+        return 1;
     };
     let settings = settings_for(w.as_ref());
     let mut plan = fault_plan_for(args);
@@ -206,9 +278,10 @@ fn cmd_record(args: &[String]) {
     trace.save(&trace_path).expect("write trace");
     let _ = p.finish("record");
     println!("{n} events written to {trace_path}");
+    0
 }
 
-fn cmd_replay(args: &[String]) {
+fn cmd_replay(args: &[String]) -> i32 {
     let Some(model_path) = arg_value(args, "--model") else {
         usage()
     };
@@ -218,27 +291,64 @@ fn cmd_replay(args: &[String]) {
     let model = HeapModel::load(&model_path).expect("read model");
     let trace = Trace::load(&trace_path).expect("read trace");
     let settings = model.settings.clone();
-    eprintln!("replaying {} events…", trace.len());
+    info!("replaying {} events", trace.len());
     let bugs = trace.check(&model, &settings);
     if bugs.is_empty() {
         println!("no anomalies in trace");
+        0
     } else {
         println!("{} anomaly report(s):", bugs.len());
         for b in &bugs {
             println!("  {b}");
         }
-        std::process::exit(3);
+        3
     }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(level) = take_flag_value(&mut args, "--log-level") {
+        match heapmd_obs::Level::parse(&level) {
+            Ok(parsed) => heapmd_obs::set_log_level(parsed),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let obs_out = take_flag_value(&mut args, "--obs-out");
+    let obs_prom = take_flag_value(&mut args, "--obs-prom");
+    if let Some(path) = &obs_out {
+        heapmd_obs::set_enabled(true);
+        if let Err(e) = heapmd_obs::export::set_sink_file(Path::new(path)) {
+            eprintln!("cannot open --obs-out {path}: {e}");
+            std::process::exit(2);
+        }
+        debug!("streaming obs events to {path}");
+    }
+    if obs_prom.is_some() {
+        heapmd_obs::set_enabled(true);
+    }
+
+    let code = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => usage(),
+    };
+
+    if heapmd_obs::export::sink_active() {
+        heapmd_obs::export::emit_counters_event();
+        heapmd_obs::export::clear_sink();
     }
+    if let Some(path) = &obs_prom {
+        if let Err(e) = heapmd_obs::export::write_prometheus_file(Path::new(path)) {
+            error!("cannot write --obs-prom {path}: {e}");
+        }
+    }
+    std::process::exit(code);
 }

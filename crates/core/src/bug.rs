@@ -129,6 +129,56 @@ impl fmt::Display for BugReport {
     }
 }
 
+impl AnomalyKind {
+    /// Snake-case tag for structured events.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            AnomalyKind::RangeViolation { .. } => "range_violation",
+            AnomalyKind::PoorlyDisguised { .. } => "poorly_disguised",
+            AnomalyKind::UnexpectedStability => "unexpected_stability",
+            AnomalyKind::LocalRangeViolation => "local_range_violation",
+        }
+    }
+}
+
+impl Direction {
+    fn slug(self) -> &'static str {
+        match self {
+            Direction::BelowMin => "below_min",
+            Direction::AboveMax => "above_max",
+        }
+    }
+}
+
+/// Emits an `anomaly` obs event (and bumps `heapmd_anomaly_total`) for
+/// a freshly raised report. `source` names the checker that raised it
+/// (`"detector"` or `"online"`). Events are a live view: the offline
+/// detector's shutdown trim may later drop a report whose event already
+/// fired.
+pub(crate) fn emit_anomaly_event(bug: &BugReport, source: &str) {
+    heapmd_obs::count!("heapmd_anomaly_total");
+    heapmd_obs::export::emit_event("anomaly", |o| {
+        o.field_str("source", source)
+            .field_str("metric", bug.metric.short_name())
+            .field_str("kind", bug.kind.slug());
+        match bug.kind {
+            AnomalyKind::RangeViolation { direction } => {
+                o.field_str("direction", direction.slug());
+            }
+            AnomalyKind::PoorlyDisguised { extreme } => {
+                o.field_str("direction", extreme.slug());
+            }
+            _ => {}
+        }
+        o.field_f64("value", bug.value)
+            .field_f64("range_lo", bug.range.0)
+            .field_f64("range_hi", bug.range.1)
+            .field_u64("sample_seq", bug.sample_seq as u64)
+            .field_u64("fn_entries", bug.fn_entries)
+            .field_u64("context_entries", bug.context.len() as u64);
+    });
+}
+
 impl BugReport {
     /// Function names appearing in the logged context, deduplicated,
     /// innermost frames first within each snapshot. These are the

@@ -216,6 +216,7 @@ impl AnomalyDetector {
         }
 
         let mut any_armed = false;
+        let mut arm_triggers = Vec::new();
         for i in 0..self.states.len() {
             let (lo, hi, margin, last, kind) = {
                 let st = &self.states[i];
@@ -255,6 +256,7 @@ impl AnomalyDetector {
             let near_low = v <= lo + margin && v >= lo && slope < 0.0;
             if near_high || near_low {
                 any_armed = true;
+                arm_triggers.push((kind, v, slope, if near_high { "high" } else { "low" }));
             }
 
             let violated_dir = if v > hi {
@@ -268,6 +270,7 @@ impl AnomalyDetector {
             match violated_dir {
                 Some(direction) => {
                     any_armed = true; // keep logging during the excursion
+                    arm_triggers.push((kind, v, slope, "violation"));
                     let st = &mut self.states[i];
                     st.ever_violated = true;
                     if !st.in_violation {
@@ -299,6 +302,7 @@ impl AnomalyDetector {
                     if st.in_violation {
                         st.in_violation = false;
                         if let Some(bug) = st.pending.take() {
+                            crate::bug::emit_anomaly_event(&bug, "detector");
                             self.bugs.push(bug);
                         }
                     }
@@ -321,7 +325,7 @@ impl AnomalyDetector {
                         st.lm.ranges.first().map(|r| r.0).unwrap_or(f64::NAN),
                         st.lm.ranges.last().map(|r| r.1).unwrap_or(f64::NAN),
                     );
-                    self.bugs.push(BugReport {
+                    let bug = BugReport {
                         metric: st.lm.kind,
                         kind: AnomalyKind::LocalRangeViolation,
                         value: v,
@@ -329,13 +333,32 @@ impl AnomalyDetector {
                         sample_seq: sample.seq,
                         fn_entries: sample.fn_entries,
                         context: Vec::new(),
-                    });
+                    };
+                    crate::bug::emit_anomaly_event(&bug, "detector");
+                    self.bugs.push(bug);
                 }
             }
         }
 
         if !warmup {
             self.startup_checked = true;
+        }
+        // Rising edge of the slope heuristic: the circular call-stack
+        // buffer starts recording here, so surface why it armed.
+        if any_armed && !self.armed {
+            heapmd_obs::count!("heapmd_detector_armed_total");
+            heapmd_obs::export::emit_event("detector_armed", |o| {
+                o.field_u64("sample_seq", sample.seq as u64)
+                    .field_u64("fn_entries", sample.fn_entries);
+                if let Some((kind, v, slope, edge)) = arm_triggers.first() {
+                    o.field_str("metric", kind.short_name())
+                        .field_f64("value", *v)
+                        .field_f64("slope", *slope)
+                        .field_str("edge", edge);
+                }
+                o.field_u64("trigger_count", arm_triggers.len() as u64)
+                    .field_str_array("stack", ctx_stack.as_deref().unwrap_or(&[]));
+            });
         }
         self.armed = any_armed;
     }
@@ -344,6 +367,7 @@ impl AnomalyDetector {
         // Flush excursions still open at end of run.
         for st in &mut self.states {
             if let Some(bug) = st.pending.take() {
+                crate::bug::emit_anomaly_event(&bug, "detector");
                 self.bugs.push(bug);
             }
         }
@@ -376,7 +400,7 @@ impl AnomalyDetector {
                     None
                 };
                 if let Some(extreme) = extreme {
-                    self.bugs.push(BugReport {
+                    let bug = BugReport {
                         metric: st.sm.kind,
                         kind: AnomalyKind::PoorlyDisguised { extreme },
                         value: st.last.unwrap_or(f64::NAN),
@@ -384,7 +408,9 @@ impl AnomalyDetector {
                         sample_seq: self.samples_seen.saturating_sub(1),
                         fn_entries: 0,
                         context: Vec::new(),
-                    });
+                    };
+                    crate::bug::emit_anomaly_event(&bug, "detector");
+                    self.bugs.push(bug);
                 }
             }
         }
@@ -396,7 +422,7 @@ impl AnomalyDetector {
             }
             let stats = FluctuationStats::from_series(values);
             if classify(&stats, &self.settings) == StabilityClass::GloballyStable {
-                self.bugs.push(BugReport {
+                let bug = BugReport {
                     metric: *kind,
                     kind: AnomalyKind::UnexpectedStability,
                     value: *values.last().expect("non-empty"),
@@ -404,7 +430,9 @@ impl AnomalyDetector {
                     sample_seq: self.samples_seen.saturating_sub(1),
                     fn_entries: 0,
                     context: Vec::new(),
-                });
+                };
+                crate::bug::emit_anomaly_event(&bug, "detector");
+                self.bugs.push(bug);
             }
         }
     }
@@ -486,7 +514,7 @@ mod tests {
         // stays quiet in these tests.
         for other in MetricKind::ALL {
             if other != kind {
-                metrics.set(other, if seq % 2 == 0 { 20.0 } else { 60.0 });
+                metrics.set(other, if seq.is_multiple_of(2) { 20.0 } else { 60.0 });
             }
         }
         MetricSample {

@@ -148,7 +148,7 @@ impl HeapModel {
     ///
     /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, HeapMdError> {
-        Ok(Self::from_json(&std::fs::read_to_string(path)?)?)
+        Self::from_json(&std::fs::read_to_string(path)?)
     }
 }
 

@@ -99,7 +99,7 @@ impl OnlineLearner {
                     let out_low = v < lo - margin;
                     let out_high = v > hi + margin;
                     if (out_low || out_high) && !warmup && st.confirmed >= 3 {
-                        self.reports.push(BugReport {
+                        let bug = BugReport {
                             metric: kind,
                             kind: AnomalyKind::RangeViolation {
                                 direction: if out_low {
@@ -113,7 +113,9 @@ impl OnlineLearner {
                             sample_seq: sample.seq,
                             fn_entries: sample.fn_entries,
                             context: Vec::new(),
-                        });
+                        };
+                        crate::bug::emit_anomaly_event(&bug, "online");
+                        self.reports.push(bug);
                     }
                     if out_low || out_high {
                         // DIDUCE-style relaxation: absorb the new value.

@@ -151,7 +151,7 @@ impl Process {
         self.fn_entries += 1;
         let ev = HeapEvent::FnEnter { func: id.0 };
         self.record(&ev);
-        if self.fn_entries % self.settings.frq == 0 {
+        if self.fn_entries.is_multiple_of(self.settings.frq) {
             self.sample();
         }
         id
@@ -393,6 +393,24 @@ impl Process {
             dangling: ext.dangling_slots,
         };
         self.samples.push(sample);
+        heapmd_obs::count!("heapmd_samples_total");
+        heapmd_obs::gauge_set!("heapmd_graph_nodes", ext.nodes);
+        heapmd_obs::gauge_set!("heapmd_graph_edges", ext.edges);
+        heapmd_obs::gauge_set!("heapmd_graph_dangling_slots", ext.dangling_slots);
+        heapmd_obs::export::emit_event("heartbeat", |o| {
+            o.field_u64("seq", sample.seq as u64)
+                .field_u64("fn_entries", sample.fn_entries)
+                .field_u64("tick", sample.tick)
+                .field_u64("nodes", ext.nodes)
+                .field_u64("edges", ext.edges)
+                .field_u64("dangling", ext.dangling_slots)
+                .field_f64("mean_degree", ext.mean_degree);
+            let mut metrics = heapmd_obs::json::JsonObject::new();
+            for (kind, value) in sample.metrics.iter() {
+                metrics.field_f64(kind.short_name(), value);
+            }
+            o.field_raw("metrics", &metrics.finish());
+        });
         if !self.monitors.is_empty() {
             let ctx = MonitorCtx {
                 graph: &self.graph,

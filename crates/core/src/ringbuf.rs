@@ -29,11 +29,10 @@ pub struct CircularBuffer<T> {
 impl<T> CircularBuffer<T> {
     /// Creates a buffer holding at most `capacity` items.
     ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// A capacity of zero is legal and yields a buffer that silently
+    /// discards every push — useful for disabling context logging
+    /// without branching at the call sites.
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
         CircularBuffer {
             items: VecDeque::with_capacity(capacity),
             capacity,
@@ -42,6 +41,9 @@ impl<T> CircularBuffer<T> {
 
     /// Appends an item, evicting the oldest when at capacity.
     pub fn push(&mut self, item: T) {
+        if self.capacity == 0 {
+            return;
+        }
         if self.items.len() == self.capacity {
             self.items.pop_front();
         }
@@ -114,8 +116,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_panics() {
-        CircularBuffer::<u8>::new(0);
+    fn zero_capacity_discards_every_push() {
+        let mut b = CircularBuffer::new(0);
+        for i in 0..5 {
+            b.push(i);
+        }
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.capacity(), 0);
+        assert_eq!(b.drain(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_newest() {
+        let mut b = CircularBuffer::new(1);
+        for i in 0..4 {
+            b.push(i);
+            assert_eq!(b.len(), 1);
+            assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![i]);
+        }
+    }
+
+    #[test]
+    fn exactly_filling_evicts_nothing() {
+        let mut b = CircularBuffer::new(3);
+        for i in 0..3 {
+            b.push(i);
+        }
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+        // The very next push wraps and evicts exactly one.
+        b.push(3);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn overwrite_order_survives_many_wraps() {
+        let mut b = CircularBuffer::new(4);
+        for i in 0..4 * 7 + 2 {
+            b.push(i);
+        }
+        // Always the last `capacity` items, oldest → newest.
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![26, 27, 28, 29]);
+        assert_eq!(b.drain(), vec![26, 27, 28, 29]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut b = CircularBuffer::new(2);
+        b.push(1);
+        b.push(2);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 2);
+        b.push(9);
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![9]);
     }
 }

@@ -99,7 +99,7 @@ impl Trace {
     ///
     /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, HeapMdError> {
-        Ok(Self::from_json(&std::fs::read_to_string(path)?)?)
+        Self::from_json(&std::fs::read_to_string(path)?)
     }
 
     /// Replays the trace, recomputing the metric report under
@@ -208,7 +208,9 @@ impl Replayer {
         for m in monitors.iter_mut() {
             m.on_event(&ctx, ev);
         }
-        if matches!(ev, HeapEvent::FnEnter { .. }) && self.fn_entries % self.settings.frq == 0 {
+        if matches!(ev, HeapEvent::FnEnter { .. })
+            && self.fn_entries.is_multiple_of(self.settings.frq)
+        {
             let ext = self.graph.extended_metrics();
             let sample = MetricSample {
                 seq: self.samples.len(),

@@ -4,7 +4,7 @@
 
 use heapmd::{
     classify, merge_ranges, percent_changes, segment, AnomalyDetector, CircularBuffer,
-    FluctuationStats, MetricKind, MetricReport, MetricSample, MetricVector, ModelBuilder, Settings,
+    FluctuationStats, MetricReport, MetricSample, MetricVector, ModelBuilder, Settings,
     StabilityClass, METRIC_COUNT,
 };
 use proptest::prelude::*;

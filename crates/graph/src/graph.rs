@@ -102,11 +102,13 @@ impl HeapGraph {
 
     /// Computes the seven paper metrics for the current graph.
     pub fn metrics(&self) -> MetricVector {
+        let _t = heapmd_obs::timer!("heap_graph_metrics_ns");
         MetricVector::from_histogram(&self.histogram)
     }
 
     /// Computes the extension metrics for the current graph.
     pub fn extended_metrics(&self) -> ExtendedMetrics {
+        let _t = heapmd_obs::timer!("heap_graph_metrics_ns");
         let nodes = self.node_count();
         ExtendedMetrics {
             nodes,
@@ -257,6 +259,7 @@ impl HeapGraph {
     ///
     /// Panics if `src` is not a live vertex.
     pub fn on_ptr_write(&mut self, src: ObjectId, offset: u64, value: Addr) {
+        let _t = heapmd_obs::timer!("heap_graph_edge_resolve_ns");
         assert!(self.nodes.contains_key(&src), "write into unknown {src}");
         self.drop_slot(src, offset);
         if value.is_null() {

@@ -9,22 +9,13 @@ use crate::stats::HeapStats;
 use std::collections::BTreeMap;
 
 /// Configuration for [`SimHeap`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HeapConfig {
     /// Address-space behaviour (base, alignment, reuse policy).
     pub allocator: AllocatorConfig,
     /// Optional cap on live bytes; allocations beyond it fail with
     /// [`HeapError::OutOfMemory`]. `None` means unbounded.
     pub capacity: Option<usize>,
-}
-
-impl Default for HeapConfig {
-    fn default() -> Self {
-        HeapConfig {
-            allocator: AllocatorConfig::default(),
-            capacity: None,
-        }
-    }
 }
 
 /// A simulated process heap.
@@ -155,6 +146,7 @@ impl SimHeap {
         self.stats.live_bytes += size as u64;
         self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
         self.stats.peak_live_objects = self.stats.peak_live_objects.max(self.objects.len() as u64);
+        heapmd_obs::count!("sim_heap_alloc_total");
 
         Ok(AllocEffect {
             id,
@@ -189,6 +181,7 @@ impl SimHeap {
         self.allocator.release(addr.get(), rec.size());
         self.stats.frees += 1;
         self.stats.live_bytes -= rec.size() as u64;
+        heapmd_obs::count!("sim_heap_free_total");
         Ok(FreeEffect {
             id: rec.id(),
             addr,
@@ -230,6 +223,7 @@ impl SimHeap {
             }
         }
         self.stats.reallocs += 1;
+        heapmd_obs::count!("sim_heap_realloc_total");
         Ok(ReallocEffect {
             freed,
             alloc,
@@ -259,6 +253,7 @@ impl SimHeap {
             rec.set_slot(loc.off, value)
         };
         self.stats.ptr_writes += 1;
+        heapmd_obs::count!("sim_heap_ptr_store_total");
         Ok(WriteEffect {
             src: loc.id,
             offset: loc.off,

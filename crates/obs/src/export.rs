@@ -1,0 +1,174 @@
+//! Exporters: the JSON-lines event/heartbeat stream and the
+//! Prometheus-style text exposition dump.
+//!
+//! The JSONL sink is process-global: installing one (usually via the
+//! CLI's `--obs-out` flag) flips an atomic so producers can skip event
+//! construction entirely when nothing is listening. Every event is one
+//! JSON object per line with at least `type` and `ts_ms` fields.
+
+use crate::json::JsonObject;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// Whether a JSONL sink is installed. Producers should check this (it
+/// is one relaxed load) before building an event payload.
+#[inline]
+pub fn sink_active() -> bool {
+    SINK_ACTIVE.load(Relaxed)
+}
+
+/// Installs `writer` as the process-global JSONL sink, replacing (and
+/// flushing) any previous one.
+pub fn set_sink(writer: Box<dyn Write + Send>) {
+    let mut guard = SINK.lock().unwrap();
+    if let Some(old) = guard.as_mut() {
+        let _ = old.flush();
+    }
+    *guard = Some(writer);
+    SINK_ACTIVE.store(true, Relaxed);
+}
+
+/// Creates (truncating) `path` and installs it as the JSONL sink.
+pub fn set_sink_file(path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    set_sink(Box::new(io::BufWriter::new(file)));
+    Ok(())
+}
+
+/// Flushes and removes the sink, if any.
+pub fn clear_sink() {
+    SINK_ACTIVE.store(false, Relaxed);
+    let mut guard = SINK.lock().unwrap();
+    if let Some(old) = guard.as_mut() {
+        let _ = old.flush();
+    }
+    *guard = None;
+}
+
+/// Flushes the sink without removing it.
+pub fn flush_sink() {
+    if let Some(sink) = SINK.lock().unwrap().as_mut() {
+        let _ = sink.flush();
+    }
+}
+
+fn unix_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Emits one event of the given `kind` to the sink, if one is active.
+/// `fill` adds the payload fields; `type` and `ts_ms` are added for it.
+/// Write errors deactivate the sink rather than propagate — telemetry
+/// must never take down the pipeline it observes.
+pub fn emit_event(kind: &str, fill: impl FnOnce(&mut JsonObject)) {
+    if !sink_active() {
+        return;
+    }
+    let mut event = JsonObject::new();
+    event
+        .field_str("type", kind)
+        .field_u64("ts_ms", unix_millis());
+    fill(&mut event);
+    let mut line = event.finish();
+    line.push('\n');
+
+    let mut guard = SINK.lock().unwrap();
+    let Some(sink) = guard.as_mut() else {
+        return;
+    };
+    if sink.write_all(line.as_bytes()).is_err() {
+        SINK_ACTIVE.store(false, Relaxed);
+        *guard = None;
+    }
+}
+
+/// Emits a `counters` event carrying the final totals of every counter
+/// and gauge in the global registry (histograms travel in the
+/// Prometheus dump, which keeps their bucket detail).
+pub fn emit_counters_event() {
+    if !sink_active() {
+        return;
+    }
+    let snapshot = crate::registry().snapshot();
+    emit_event("counters", |o| {
+        let mut counters = JsonObject::new();
+        for (name, total) in &snapshot.counters {
+            counters.field_u64(name, *total);
+        }
+        o.field_raw("counters", &counters.finish());
+        let mut gauges = JsonObject::new();
+        for (name, value) in &snapshot.gauges {
+            gauges.field_i64(name, *value);
+        }
+        o.field_raw("gauges", &gauges.finish());
+    });
+}
+
+/// Renders the global registry in Prometheus text exposition format.
+pub fn prometheus_text() -> String {
+    crate::registry().prometheus_text()
+}
+
+/// Writes the Prometheus text exposition of the global registry to
+/// `path` (truncating).
+pub fn write_prometheus_file(path: &Path) -> io::Result<()> {
+    std::fs::write(path, prometheus_text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A `Write` handle that appends into a shared buffer.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn events_reach_the_sink_one_per_line() {
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        set_sink(Box::new(SharedBuf(Arc::clone(&buf))));
+        assert!(sink_active());
+        emit_event("unit_test_evt", |o| {
+            o.field_u64("n", 1);
+        });
+        emit_event("unit_test_evt", |o| {
+            o.field_u64("n", 2);
+        });
+        clear_sink();
+        assert!(!sink_active());
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"unit_test_evt\",\"ts_ms\":"));
+        assert!(lines[0].ends_with(",\"n\":1}"));
+        assert!(lines[1].ends_with(",\"n\":2}"));
+    }
+
+    #[test]
+    fn no_sink_means_no_work_and_no_panic() {
+        clear_sink();
+        emit_event("dropped", |o| {
+            o.field_u64("n", 3);
+        });
+    }
+}

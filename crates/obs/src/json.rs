@@ -1,0 +1,166 @@
+//! Minimal JSON object writer used by the exporters.
+//!
+//! The obs crate is zero-dependency by design (it sits underneath every
+//! other crate in the workspace, including the serde stand-ins), so it
+//! carries its own small serializer: enough to emit flat-ish event
+//! objects with string/number/bool/raw fields, with the same output
+//! conventions as the rest of the workspace (non-finite floats become
+//! `null`, strings get standard escapes).
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as JSON string contents (no surrounding quotes) into `out`.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends a JSON rendering of `v`: non-finite values become `null`.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An in-progress JSON object; fields render in insertion order.
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn field_i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        write_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is pre-rendered JSON (object, array, …).
+    pub fn field_raw(&mut self, key: &str, raw_json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(raw_json);
+        self
+    }
+
+    /// Adds an array-of-strings field.
+    pub fn field_str_array<S: AsRef<str>>(&mut self, key: &str, values: &[S]) -> &mut Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            escape_into(&mut self.buf, v.as_ref());
+            self.buf.push('"');
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Closes the object and returns the rendered JSON.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_fields_in_order_with_escapes() {
+        let mut o = JsonObject::new();
+        o.field_str("msg", "a\"b\\c\nd")
+            .field_u64("n", 7)
+            .field_i64("i", -3)
+            .field_f64("f", 1.5)
+            .field_f64("nan", f64::NAN)
+            .field_bool("ok", true)
+            .field_raw("inner", "[1,2]")
+            .field_str_array("stack", &["f", "g"]);
+        assert_eq!(
+            o.finish(),
+            "{\"msg\":\"a\\\"b\\\\c\\nd\",\"n\":7,\"i\":-3,\"f\":1.5,\
+             \"nan\":null,\"ok\":true,\"inner\":[1,2],\"stack\":[\"f\",\"g\"]}"
+        );
+    }
+
+    #[test]
+    fn control_chars_use_unicode_escapes() {
+        let mut s = String::new();
+        escape_into(&mut s, "\u{01}x");
+        assert_eq!(s, "\\u0001x");
+    }
+}

@@ -1,0 +1,200 @@
+//! Leveled structured logging for the pipeline.
+//!
+//! The active level comes from, in priority order: an explicit
+//! [`set_log_level`] call (the CLI's `--log-level` flag), else the
+//! `HEAPMD_LOG` environment variable, else the default of [`Level::Warn`].
+//! Checking whether a level is enabled is a single relaxed atomic load
+//! after first use.
+//!
+//! Log lines go to stderr as `[  12.345s] LEVEL target: message`; when a
+//! JSONL sink is active (see [`crate::export`]) each line is mirrored
+//! there as a `{"type":"log",...}` event so a run's diagnostics and its
+//! metrics land in the same stream.
+
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-invalidating problems.
+    Error = 1,
+    /// Suspicious conditions the run survives.
+    Warn = 2,
+    /// High-level lifecycle events.
+    Info = 3,
+    /// Per-phase detail.
+    Debug = 4,
+    /// Per-event firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Fixed-width uppercase name for log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Lowercase name for structured events.
+    pub fn as_lower_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name; `off`/`none` mean "log nothing".
+    pub fn parse(s: &str) -> Result<Option<Level>, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Ok(None),
+            "error" => Ok(Some(Level::Error)),
+            "warn" | "warning" => Ok(Some(Level::Warn)),
+            "info" => Ok(Some(Level::Info)),
+            "debug" => Ok(Some(Level::Debug)),
+            "trace" => Ok(Some(Level::Trace)),
+            other => Err(format!(
+                "unknown log level `{other}` (expected off|error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+
+static ACTIVE_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn active_level() -> u8 {
+    let v = ACTIVE_LEVEL.load(Relaxed);
+    if v != LEVEL_UNSET {
+        return v;
+    }
+    let from_env = std::env::var("HEAPMD_LOG")
+        .ok()
+        .and_then(|s| Level::parse(&s).ok())
+        .unwrap_or(Some(Level::Warn));
+    let v = from_env.map_or(0, |l| l as u8);
+    ACTIVE_LEVEL.store(v, Relaxed);
+    v
+}
+
+/// Whether messages at `level` are currently emitted.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= active_level()
+}
+
+/// Overrides the active level (`None` silences logging entirely);
+/// takes precedence over `HEAPMD_LOG`.
+pub fn set_log_level(level: Option<Level>) {
+    ACTIVE_LEVEL.store(level.map_or(0, |l| l as u8), Relaxed);
+}
+
+fn start_instant() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Seconds since the process first logged (or primed the clock).
+pub fn uptime_secs() -> f64 {
+    start_instant().elapsed().as_secs_f64()
+}
+
+/// Writes one already-formatted message. Called by the level macros —
+/// use those instead of calling this directly.
+pub fn log_emit(level: Level, target: &str, message: &str) {
+    eprintln!(
+        "[{:>9.3}s] {:5} {}: {}",
+        uptime_secs(),
+        level.as_str(),
+        target,
+        message
+    );
+    crate::export::emit_event("log", |o| {
+        o.field_str("level", level.as_lower_str())
+            .field_str("target", target)
+            .field_str("msg", message);
+    });
+}
+
+/// Logs at an explicit [`Level`].
+#[macro_export]
+macro_rules! log {
+    ($level:expr, $($arg:tt)+) => {
+        if $crate::log_enabled($level) {
+            $crate::logger::log_emit($level, module_path!(), &format!($($arg)+));
+        }
+    };
+}
+
+/// Logs at [`Level::Error`](crate::Level::Error).
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)+) => { $crate::log!($crate::Level::Error, $($arg)+) };
+}
+
+/// Logs at [`Level::Warn`](crate::Level::Warn).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)+) => { $crate::log!($crate::Level::Warn, $($arg)+) };
+}
+
+/// Logs at [`Level::Info`](crate::Level::Info).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)+) => { $crate::log!($crate::Level::Info, $($arg)+) };
+}
+
+/// Logs at [`Level::Debug`](crate::Level::Debug).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)+) => { $crate::log!($crate::Level::Debug, $($arg)+) };
+}
+
+/// Logs at [`Level::Trace`](crate::Level::Trace).
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)+) => { $crate::log!($crate::Level::Trace, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_names_and_off() {
+        assert_eq!(Level::parse("ERROR"), Ok(Some(Level::Error)));
+        assert_eq!(Level::parse("warning"), Ok(Some(Level::Warn)));
+        assert_eq!(Level::parse(" trace "), Ok(Some(Level::Trace)));
+        assert_eq!(Level::parse("off"), Ok(None));
+        assert!(Level::parse("verbose").is_err());
+    }
+
+    #[test]
+    fn explicit_level_controls_log_enabled() {
+        set_log_level(Some(Level::Info));
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_log_level(None);
+        assert!(!log_enabled(Level::Error));
+        // Restore the default for other tests in this process.
+        set_log_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn levels_order_by_severity() {
+        assert!(Level::Error < Level::Trace);
+        assert!(Level::Warn < Level::Info);
+    }
+}

@@ -1,0 +1,345 @@
+//! Named metric instruments: atomic counters, gauges, and fixed-bucket
+//! latency histograms, collected in a process-global [`Registry`].
+//!
+//! Instruments are lock-free after creation (plain relaxed atomics);
+//! the registry's maps are only locked on first lookup of a name, and
+//! call sites are expected to cache the returned `Arc` handle (the
+//! `counter!`/`timer!` macros in the crate root do exactly that).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, RwLock};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A settable signed value (e.g. live objects, queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Adjusts the value by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, in nanoseconds: roughly
+/// logarithmic from 100 ns to 1 s, sized for the per-call costs seen in
+/// this pipeline (edge resolution is tens of ns, a metric computation
+/// over a large graph can run into milliseconds).
+pub const DEFAULT_LATENCY_BOUNDS_NS: &[u64] = &[
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Fixed-bucket histogram of `u64` observations (typically nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>, // one per bound, plus a final +Inf bucket
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Builds a histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Cumulative bucket counts as `(upper_bound, count_le_bound)`
+    /// pairs; the final entry is the +Inf bucket (== total count).
+    pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            acc += bucket.load(Relaxed);
+            out.push((self.bounds.get(i).copied(), acc));
+        }
+        out
+    }
+}
+
+/// Point-in-time copy of every instrument's state.
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// `(name, total)` per counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// Per-histogram summaries, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Cumulative `(upper_bound, count)` pairs; `None` bound is +Inf.
+    pub buckets: Vec<(Option<u64>, u64)>,
+}
+
+/// A process-global collection of named instruments.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().unwrap().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Returns the histogram named `name`, creating it with `bounds` on
+    /// first use (later callers get the existing instrument regardless
+    /// of the bounds they pass).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().unwrap().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .unwrap()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Snapshots every instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(n, h)| HistogramSnapshot {
+                    name: n.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h.cumulative_buckets(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders every instrument in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, total) in &snap.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {total}");
+        }
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for h in &snap.histograms {
+            let _ = writeln!(out, "# TYPE {} histogram", h.name);
+            for (bound, count) in &h.buckets {
+                match bound {
+                    Some(b) => {
+                        let _ = writeln!(out, "{}_bucket{{le=\"{b}\"}} {count}", h.name);
+                    }
+                    None => {
+                        let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {count}", h.name);
+                    }
+                }
+            }
+            let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
+            let _ = writeln!(out, "{}_count {}", h.name, h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        let c = r.counter("events_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("events_total").get(), 5);
+        let g = r.gauge("depth");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(r.gauge("depth").get(), 4);
+    }
+
+    #[test]
+    fn same_name_returns_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_bounds_inclusive() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        // le="10" catches 5 and the exactly-10 observation.
+        assert_eq!(
+            h.cumulative_buckets(),
+            vec![(Some(10), 2), (Some(100), 4), (Some(1000), 4), (None, 5)]
+        );
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5 + 10 + 11 + 100 + 5000);
+    }
+
+    #[test]
+    fn prometheus_text_has_all_series() {
+        let r = Registry::new();
+        r.counter("ops_total").add(3);
+        r.gauge("live").set(2);
+        r.histogram("lat_ns", &[10, 20]).observe(15);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE ops_total counter\nops_total 3\n"));
+        assert!(text.contains("# TYPE live gauge\nlive 2\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"10\"} 0"));
+        assert!(text.contains("lat_ns_bucket{le=\"20\"} 1"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_ns_sum 15"));
+        assert!(text.contains("lat_ns_count 1"));
+    }
+}

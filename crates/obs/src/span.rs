@@ -1,0 +1,101 @@
+//! Scope guards that time a region and record the result on drop.
+//!
+//! Both guards are built to be constructed unconditionally at the top
+//! of an instrumented function: when observability is disabled they
+//! hold no clock reading and their `Drop` is a no-op, so the only fast-
+//! path cost is the single relaxed load the caller (usually the
+//! `timer!`/`span!` macros) performs to decide which variant to build.
+
+use crate::registry::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Records elapsed nanoseconds into a [`Histogram`] when dropped.
+#[must_use = "a timer measures until it is dropped; binding to _ drops immediately"]
+pub struct MaybeTimer {
+    inner: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl MaybeTimer {
+    /// A live timer; starts the clock now.
+    pub fn started(histogram: Arc<Histogram>) -> Self {
+        MaybeTimer {
+            inner: Some((histogram, Instant::now())),
+        }
+    }
+
+    /// A disabled timer; drop does nothing.
+    pub fn off() -> Self {
+        MaybeTimer { inner: None }
+    }
+}
+
+impl Drop for MaybeTimer {
+    fn drop(&mut self) {
+        if let Some((histogram, start)) = self.inner.take() {
+            histogram.observe(saturating_nanos(start));
+        }
+    }
+}
+
+/// A named region: on drop, emits a `span` event (with the measured
+/// duration) to the JSONL sink when one is active, and logs the region
+/// at trace level.
+#[must_use = "a span measures until it is dropped; binding to _ drops immediately"]
+pub struct Span {
+    inner: Option<(&'static str, Instant)>,
+}
+
+impl Span {
+    /// Starts a live span over `name`.
+    pub fn started(name: &'static str) -> Self {
+        Span {
+            inner: Some((name, Instant::now())),
+        }
+    }
+
+    /// A disabled span; drop does nothing.
+    pub fn off() -> Self {
+        Span { inner: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, start)) = self.inner.take() {
+            let nanos = saturating_nanos(start);
+            crate::export::emit_event("span", |o| {
+                o.field_str("name", name).field_u64("dur_ns", nanos);
+            });
+            crate::trace!("span {name} took {nanos}ns");
+        }
+    }
+}
+
+fn saturating_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Histogram;
+
+    #[test]
+    fn live_timer_records_one_observation() {
+        let h = Arc::new(Histogram::new(&[1_000_000_000]));
+        {
+            let _t = MaybeTimer::started(Arc::clone(&h));
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn off_timer_records_nothing() {
+        let h = Arc::new(Histogram::new(&[1_000_000_000]));
+        {
+            let _t = MaybeTimer::off();
+        }
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -139,7 +139,7 @@ impl SwatDetector {
     /// Leak reports accumulated over the run's scans, most bytes first.
     pub fn leaks(&self) -> Vec<SwatLeak> {
         let mut leaks: Vec<SwatLeak> = self.reported.values().cloned().collect();
-        leaks.sort_by(|a, b| b.bytes.cmp(&a.bytes));
+        leaks.sort_by_key(|l| std::cmp::Reverse(l.bytes));
         leaks
     }
 

@@ -57,7 +57,7 @@ impl AdaptiveSampler {
         if *count <= self.hot_threshold {
             true
         } else {
-            (*count - self.hot_threshold) % self.decimation == 0
+            (*count - self.hot_threshold).is_multiple_of(self.decimation)
         }
     }
 

@@ -8,7 +8,7 @@ use heapmd::{ModelBuilder, OnlineLearner, Process, Settings};
 use std::cell::RefCell;
 use std::rc::Rc;
 use workloads::harness::{run_once, settings_for};
-use workloads::{Input, Workload};
+use workloads::Input;
 
 /// gcc alternates parse/optimize phases — the natural host for the
 /// locally-stable model.
@@ -118,7 +118,7 @@ fn connectivity_metrics_census_a_real_workload() {
     // before shutdown is impossible through the trait — instead just
     // inspect mid-run via a monitor-less full run plus a rebuilt rig.
     // Simpler: drive the structures directly.
-    let mut plan = FaultPlan::new();
+    let plan = FaultPlan::new();
     let mut rings: Vec<sim_ds::SimCircularList> = Vec::new();
     for _ in 0..6 {
         let mut ring = sim_ds::SimCircularList::new("rings");

@@ -1,7 +1,6 @@
 //! Model save/load: a model trained in one process checks runs in
 //! another (the paper's summarized-metric-report file).
 
-use faults::FaultPlan;
 use heapmd::HeapModel;
 use workloads::bugs::CATALOG;
 use workloads::harness::{check, train};

@@ -1,0 +1,129 @@
+//! End-to-end check of the observability layer: run a workload with a
+//! JSON-lines sink attached and verify the stream against the run's own
+//! report — one heartbeat per metric computation point, a final
+//! counters event, and a Prometheus dump carrying the same series.
+//!
+//! The obs globals (enabled flag, sink, registry) are process-wide, so
+//! every test here serialises on one mutex and leaves obs disabled on
+//! exit.
+
+use faults::FaultPlan;
+use heapmd::Process;
+use serde_json::Value;
+use std::sync::Mutex;
+use workloads::harness::settings_for;
+use workloads::{registry, Input};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("heapmd_obs_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn jsonl_stream_matches_the_run() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let path = temp_path("stream.jsonl");
+
+    heapmd_obs::set_enabled(true);
+    heapmd_obs::export::set_sink_file(&path).unwrap();
+
+    let w = registry().into_iter().find(|w| w.name() == "gzip").unwrap();
+    let settings = settings_for(w.as_ref());
+    let mut p = Process::new(settings);
+    w.run(&mut p, &mut FaultPlan::new(), &Input::new(7))
+        .unwrap();
+    let stats = *p.heap().stats();
+    let report = p.finish("obs-test");
+
+    heapmd_obs::export::emit_counters_event();
+    heapmd_obs::export::clear_sink();
+    heapmd_obs::set_enabled(false);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let events: Vec<Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("every line is one JSON object"))
+        .collect();
+    assert!(!events.is_empty());
+    for e in &events {
+        assert!(e["type"].as_str().is_some(), "events carry a type tag");
+        assert!(e["ts_ms"].as_u64().is_some(), "events carry a timestamp");
+    }
+
+    // One heartbeat per metric computation point, in order, with all
+    // seven degree metrics attached.
+    let heartbeats: Vec<&Value> = events
+        .iter()
+        .filter(|e| e["type"].as_str() == Some("heartbeat"))
+        .collect();
+    assert_eq!(heartbeats.len(), report.samples.len());
+    for (i, (hb, sample)) in heartbeats.iter().zip(&report.samples).enumerate() {
+        assert_eq!(hb["seq"].as_u64(), Some(sample.seq as u64), "heartbeat {i}");
+        assert_eq!(hb["fn_entries"].as_u64(), Some(sample.fn_entries));
+        assert_eq!(hb["nodes"].as_u64(), Some(sample.nodes));
+        for name in [
+            "Root", "Indeg=1", "Indeg=2", "Leaves", "Outdeg=1", "Outdeg=2", "In=Out",
+        ] {
+            assert!(
+                hb["metrics"][name].as_f64().is_some(),
+                "heartbeat {i} carries metric {name}"
+            );
+        }
+    }
+
+    // Exactly one final counters event; the process-global registry may
+    // carry counts from other obs-enabled tests in this binary, so the
+    // totals bound this run's heap activity from above.
+    let counters: Vec<&Value> = events
+        .iter()
+        .filter(|e| e["type"].as_str() == Some("counters"))
+        .collect();
+    assert_eq!(counters.len(), 1);
+    let c = &counters[0]["counters"];
+    assert!(c["sim_heap_alloc_total"].as_u64().unwrap() >= stats.allocs as u64);
+    assert!(c["sim_heap_free_total"].as_u64().unwrap() >= stats.frees as u64);
+    assert!(c["heapmd_samples_total"].as_u64().unwrap() >= report.samples.len() as u64);
+}
+
+#[test]
+fn prometheus_dump_carries_the_series() {
+    let _guard = OBS_LOCK.lock().unwrap();
+
+    heapmd_obs::set_enabled(true);
+    let w = registry().into_iter().find(|w| w.name() == "mcf").unwrap();
+    let settings = settings_for(w.as_ref());
+    let mut p = Process::new(settings);
+    w.run(&mut p, &mut FaultPlan::new(), &Input::new(3))
+        .unwrap();
+    let _ = p.finish("obs-prom-test");
+    heapmd_obs::set_enabled(false);
+
+    let text = heapmd_obs::export::prometheus_text();
+    assert!(text.contains("# TYPE sim_heap_alloc_total counter"));
+    assert!(text.contains("# TYPE heapmd_graph_nodes gauge"));
+    assert!(text.contains("# TYPE heap_graph_metrics_ns histogram"));
+    assert!(text.contains("heap_graph_metrics_ns_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("heap_graph_metrics_ns_count"));
+}
+
+#[test]
+fn disabled_obs_keeps_the_sink_silent() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let path = temp_path("silent.jsonl");
+
+    // With obs disabled and no sink attached, a full run must leave no
+    // trace: counters stay put (every probe early-outs on the enabled
+    // flag) and nothing is written anywhere.
+    let before = heapmd_obs::registry().counter("sim_heap_alloc_total").get();
+    let w = registry().into_iter().find(|w| w.name() == "gzip").unwrap();
+    let settings = settings_for(w.as_ref());
+    let mut p = Process::new(settings);
+    w.run(&mut p, &mut FaultPlan::new(), &Input::new(5))
+        .unwrap();
+    let _ = p.finish("obs-disabled-test");
+    let after = heapmd_obs::registry().counter("sim_heap_alloc_total").get();
+    assert_eq!(before, after, "disabled probes record nothing");
+    assert!(!path.exists(), "no sink was attached, no file appears");
+}

@@ -1,0 +1,499 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! item shapes this workspace uses — named-field structs, tuple/newtype
+//! structs, and enums with unit, newtype, tuple, and struct variants —
+//! plus the `#[serde(default)]` and `#[serde(skip)]` field attributes.
+//!
+//! The real serde_derive parses with syn/quote; neither is available
+//! offline, so this walks the raw [`proc_macro::TokenStream`] with a
+//! small cursor and emits the impl as a source string. The encoding
+//! matches serde's externally-tagged defaults (unit variants as
+//! strings, data variants as single-key objects, newtype structs as
+//! their contents) so files written by either implementation parse
+//! under the other.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<NamedField>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes any leading attributes, folding `#[serde(...)]` flags.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    if let Some(TokenTree::Group(g)) = self.next() {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(TokenTree::Ident(id)) = inner.first() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                    for t in args.stream() {
+                                        if let TokenTree::Ident(flag) = t {
+                                            match flag.to_string().as_str() {
+                                                "skip" => attrs.skip = true,
+                                                "default" => attrs.default = true,
+                                                _ => {}
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => return attrs,
+            }
+        }
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes tokens of a type expression until a top-level `,`
+    /// (angle-bracket aware). The `,` itself is consumed.
+    fn skip_type(&mut self) {
+        let mut angle_depth: i64 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    self.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    self.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<NamedField> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let attrs = c.skip_attrs();
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected field name, found {other}"),
+            None => break,
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        c.skip_type();
+        fields.push(NamedField { name, attrs });
+    }
+    fields
+}
+
+fn tuple_arity(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    if c.at_end() {
+        return 0;
+    }
+    let mut arity = 0;
+    while !c.at_end() {
+        c.skip_attrs();
+        c.skip_visibility();
+        c.skip_type();
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let keyword = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("the offline serde derive does not support generic types (deriving `{name}`)");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(tuple_arity(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            let mut vc = Cursor::new(body);
+            let mut variants = Vec::new();
+            while !vc.at_end() {
+                vc.skip_attrs();
+                let vname = match vc.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    Some(other) => panic!("expected variant name in `{name}`, found {other}"),
+                    None => break,
+                };
+                let fields = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream()));
+                        vc.next();
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(tuple_arity(g.stream()));
+                        vc.next();
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                // Optional trailing comma (discriminants are unsupported
+                // but unused in this workspace).
+                if let Some(TokenTree::Punct(p)) = vc.peek() {
+                    if p.as_char() == ',' {
+                        vc.next();
+                    }
+                }
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize_named(out: &mut String, receiver: &str, fields: &[NamedField]) {
+    out.push_str("{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n");
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({r}{n})));\n",
+            n = f.name,
+            r = receiver,
+        ));
+    }
+    out.push_str("::serde::Value::Object(__fields) }");
+}
+
+fn serialize_body(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Named(fs) => gen_serialize_named(&mut out, "&self.", fs),
+            Fields::Tuple(1) => out.push_str("::serde::Serialize::to_value(&self.0)"),
+            Fields::Tuple(n) => {
+                out.push_str("::serde::Value::Array(::std::vec![");
+                for i in 0..*n {
+                    out.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+                }
+                out.push_str("])");
+            }
+            Fields::Unit => out.push_str("::serde::Value::Null"),
+        },
+        Item::Enum { name, variants } => {
+            out.push_str("match self {\n");
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__f0))]),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        out.push_str(&format!(
+                            "{name}::{v}({b}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Array(::std::vec![{items}]))]),\n",
+                            v = v.name,
+                            b = binders.join(", "),
+                            items = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binders: Vec<&str> =
+                            fs.iter().map(|f| f.name.as_str()).collect();
+                        out.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => {{ let __inner = ",
+                            v = v.name,
+                            b = binders.join(", "),
+                        ));
+                        gen_serialize_named(&mut out, "", fs);
+                        out.push_str(&format!(
+                            "; ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), __inner)]) }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            out.push('}');
+        }
+    }
+    out
+}
+
+fn gen_deserialize_named(ty_label: &str, src: &str, fields: &[NamedField]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            out.push_str(&format!(
+                "{n}: ::std::default::Default::default(),\n",
+                n = f.name
+            ));
+        } else if f.attrs.default {
+            out.push_str(&format!(
+                "{n}: match ::serde::obj_field({src}, \"{n}\") {{ \
+                    ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                    ::std::option::Option::None => ::std::default::Default::default() }},\n",
+                n = f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: match ::serde::obj_field({src}, \"{n}\") {{ \
+                    ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                    ::std::option::Option::None => return ::std::result::Result::Err(::serde::DeError::missing_field(\"{n}\", \"{ty_label}\")) }},\n",
+                n = f.name
+            ));
+        }
+    }
+    out
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(fs) => {
+                out.push_str(&format!(
+                    "if __v.as_object().is_none() {{ return ::std::result::Result::Err(::serde::DeError::expected(\"object\", \"{name}\", __v)); }}\n"
+                ));
+                out.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+                out.push_str(&gen_deserialize_named(name, "__v", fs));
+                out.push_str("})");
+            }
+            Fields::Tuple(1) => out.push_str(&format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            )),
+            Fields::Tuple(n) => {
+                out.push_str(&format!(
+                    "match __v.as_array() {{ ::std::option::Option::Some(__items) if __items.len() == {n} => ::std::result::Result::Ok({name}("
+                ));
+                for i in 0..*n {
+                    out.push_str(&format!(
+                        "::serde::Deserialize::from_value(&__items[{i}])?,"
+                    ));
+                }
+                out.push_str(&format!(
+                    ")), _ => ::std::result::Result::Err(::serde::DeError::expected(\"array of {n}\", \"{name}\", __v)) }}"
+                ));
+            }
+            Fields::Unit => out.push_str(&format!("::std::result::Result::Ok({name})")),
+        },
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as strings; data variants as
+            // single-key objects (serde's externally-tagged default).
+            out.push_str("match __v {\n::serde::Value::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    out.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n}},\n"
+            ));
+            out.push_str(
+                "::serde::Value::Object(__fields) if __fields.len() == 1 => {\nlet (__tag, __inner) = &__fields[0];\nmatch __tag.as_str() {\n",
+            );
+            for v in variants {
+                let label = format!("{name}::{}", v.name);
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        out.push_str(&format!(
+                            "\"{v}\" => match __inner.as_array() {{ ::std::option::Option::Some(__items) if __items.len() == {n} => ::std::result::Result::Ok({name}::{v}(",
+                            v = v.name
+                        ));
+                        for i in 0..*n {
+                            out.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__items[{i}])?,"
+                            ));
+                        }
+                        out.push_str(&format!(
+                            ")), _ => ::std::result::Result::Err(::serde::DeError::expected(\"array of {n}\", \"{label}\", __inner)) }},\n"
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        out.push_str(&format!(
+                            "\"{v}\" => {{ if __inner.as_object().is_none() {{ return ::std::result::Result::Err(::serde::DeError::expected(\"object\", \"{label}\", __inner)); }}\n::std::result::Result::Ok({name}::{v} {{\n",
+                            v = v.name
+                        ));
+                        out.push_str(&gen_deserialize_named(&label, "__inner", fs));
+                        out.push_str("}) },\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n}}\n}},\n"
+            ));
+            out.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key object\", \"{name}\", __other)),\n}}"
+            ));
+        }
+    }
+    out
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } => name,
+        Item::Enum { name, .. } => name,
+    }
+}
+
+/// Derives `serde::Serialize` (value-tree form) for the annotated item.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        name = item_name(&item),
+        body = serialize_body(&item),
+    );
+    src.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree form) for the annotated item.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n",
+        name = item_name(&item),
+        body = deserialize_body(&item),
+    );
+    src.parse().expect("generated Deserialize impl parses")
+}
