@@ -63,6 +63,7 @@ fn instrumented_loop(p: &mut Process) {
 fn bench_overhead(c: &mut Criterion) {
     let settings = Settings::builder().frq(100).build().unwrap();
     let model = HeapModel {
+        version: heapmd::MODEL_FORMAT_VERSION,
         program: "bench".into(),
         settings: settings.clone(),
         stable: vec![],

@@ -2,12 +2,26 @@
 //!
 //! ```text
 //! heapmd list                                   # programs and catalogued bugs
-//! heapmd run <program> [--input K] [--version V] [--bug FAULT]
+//! heapmd run <program> [--input K] [--version V] [--bug FAULT] [--trace-out FILE]
 //! heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]
+//!                        [--checkpoint-every N] [--resume]
 //! heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT]
 //! heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT]
-//! heapmd replay --model FILE --trace FILE       # post-mortem trace checking
+//! heapmd replay --model FILE --trace FILE [--salvage]
 //! ```
+//!
+//! Robustness features:
+//!
+//! - `run --trace-out FILE` streams the heap-event trace incrementally
+//!   in the crash-safe framed format ([`heapmd::TraceWriter`]): if the
+//!   run dies mid-way, `replay --salvage` recovers the longest valid
+//!   prefix.
+//! - `train --checkpoint-every N` writes an atomic resume checkpoint
+//!   (`<out>.ckpt`) after every N training inputs; `train --resume`
+//!   picks training back up from it and produces the same model an
+//!   uninterrupted run would have.
+//! - `replay` auto-detects framed streams vs. JSON traces; `--salvage`
+//!   accepts truncated/corrupted streams and reports what was lost.
 //!
 //! Global flags (any subcommand):
 //!
@@ -23,7 +37,7 @@
 //! Figure 2; traces are recorded with [`heapmd::Process::enable_trace`].
 
 use faults::FaultPlan;
-use heapmd::{FuncId, HeapModel, ModelBuilder, Process, Trace};
+use heapmd::{FuncId, HeapModel, ModelBuilder, Process, Trace, TrainCheckpoint};
 use heapmd_obs::{debug, error, info};
 use std::path::Path;
 use workloads::bugs::{CATALOG, SWAT_ONLY};
@@ -46,6 +60,18 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// Parses `flag`'s value, exiting with a usage error (code 2) instead of
+/// panicking when it is not a valid number.
+fn num_flag<T: std::str::FromStr>(args: &[String], flag: &str, what: &str, default: T) -> T {
+    match arg_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} takes {what}, got {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
 /// Removes `flag` and its value from `args`, returning the value.
 fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
@@ -60,7 +86,7 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd replay --model FILE --trace FILE\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE]"
+        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE]"
     );
     std::process::exit(2);
 }
@@ -97,12 +123,9 @@ fn cmd_list() -> i32 {
 
 fn cmd_run(args: &[String]) -> i32 {
     let Some(program) = args.first() else { usage() };
-    let input_id: u32 = arg_value(args, "--input")
-        .map(|v| v.parse().expect("--input takes a number"))
-        .unwrap_or(1000);
-    let version: u8 = arg_value(args, "--version")
-        .map(|v| v.parse().expect("--version takes 1-5"))
-        .unwrap_or(1);
+    let input_id: u32 = num_flag(args, "--input", "a number", 1000u32);
+    let version: u8 = num_flag(args, "--version", "1-5", 1u8);
+    let trace_out = arg_value(args, "--trace-out");
     let Some(w) = find_program(program, version) else {
         error!("unknown program {program} (see `heapmd list`)");
         return 1;
@@ -114,8 +137,33 @@ fn cmd_run(args: &[String]) -> i32 {
         settings.frq
     );
     let mut p = Process::new(settings);
-    w.run(&mut p, &mut plan, &Input::new(input_id))
-        .expect("workload run");
+    if let Some(path) = &trace_out {
+        let file = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                error!("cannot open --trace-out {path}: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = p.stream_trace_to(Box::new(std::io::BufWriter::new(file))) {
+            error!("cannot start trace stream: {e}");
+            return 1;
+        }
+    }
+    if let Err(e) = w.run(&mut p, &mut plan, &Input::new(input_id)) {
+        error!("workload run failed: {e}");
+        return 1;
+    }
+    if let Some(path) = &trace_out {
+        match p.finish_stream() {
+            Ok(events) => println!("{events} events streamed to {path}"),
+            Err(e) => {
+                // The run itself succeeded; a dead trace sink is a
+                // degraded outcome, not a failed one.
+                error!("trace stream to {path} failed: {e}");
+            }
+        }
+    }
     let stats = *p.heap().stats();
     let live = p.heap().live_objects();
     let report = p.finish(format!("{program}:{input_id}"));
@@ -138,14 +186,19 @@ fn cmd_run(args: &[String]) -> i32 {
 
 fn cmd_train(args: &[String]) -> i32 {
     let Some(program) = args.first() else { usage() };
-    let inputs: usize = arg_value(args, "--inputs")
-        .map(|v| v.parse().expect("--inputs takes a number"))
-        .unwrap_or(10);
-    let version: u8 = arg_value(args, "--version")
-        .map(|v| v.parse().expect("--version takes 1-5"))
-        .unwrap_or(1);
+    let inputs: usize = num_flag(args, "--inputs", "a number", 10usize);
+    let version: u8 = num_flag(args, "--version", "1-5", 1u8);
     let out = arg_value(args, "--out").unwrap_or_else(|| format!("{program}.heapmd.json"));
     let local = args.iter().any(|a| a == "--local");
+    let checkpoint_every: u64 = num_flag(args, "--checkpoint-every", "a number", 0u64);
+    let resume = args.iter().any(|a| a == "--resume");
+    let ckpt_path = arg_value(args, "--checkpoint").unwrap_or_else(|| format!("{out}.ckpt"));
+    // Test hook: slow training down so the chaos suite can SIGKILL the
+    // process mid-run deterministically.
+    let throttle_ms: u64 = std::env::var("HEAPMD_TRAIN_THROTTLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
 
     let Some(w) = find_program(program, version) else {
         error!("unknown program {program} (see `heapmd list`)");
@@ -156,10 +209,33 @@ fn cmd_train(args: &[String]) -> i32 {
         "training {program} v{version} on {inputs} inputs (frq {})",
         settings.frq
     );
-    let mut builder = ModelBuilder::new(settings.clone())
-        .program(w.name())
-        .locally_stable(local);
-    for input in Input::set(inputs) {
+    let (mut builder, start) = if resume && Path::new(&ckpt_path).exists() {
+        match TrainCheckpoint::load(&ckpt_path).and_then(ModelBuilder::from_checkpoint) {
+            Ok((b, next)) => {
+                println!("resuming from {ckpt_path}: {next} of {inputs} inputs already done");
+                (b, next)
+            }
+            Err(e) => {
+                error!("cannot resume from {ckpt_path}: {e}");
+                return 1;
+            }
+        }
+    } else {
+        if resume {
+            info!("no checkpoint at {ckpt_path}; training from scratch");
+        }
+        (
+            ModelBuilder::new(settings.clone())
+                .program(w.name())
+                .locally_stable(local),
+            0,
+        )
+    };
+    for (i, input) in Input::set(inputs)
+        .into_iter()
+        .enumerate()
+        .skip(start as usize)
+    {
         let report = run_once(w.as_ref(), &input, &mut FaultPlan::new(), &settings);
         debug!(
             "training input {} contributed {} samples",
@@ -167,6 +243,17 @@ fn cmd_train(args: &[String]) -> i32 {
             report.samples.len()
         );
         builder.add_run(&report);
+        let done = i as u64 + 1;
+        if checkpoint_every > 0 && done.is_multiple_of(checkpoint_every) {
+            if let Err(e) = builder.checkpoint(done).save(&ckpt_path) {
+                error!("checkpoint write to {ckpt_path} failed: {e}");
+                return 1;
+            }
+            debug!("checkpointed {done}/{inputs} inputs to {ckpt_path}");
+        }
+        if throttle_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(throttle_ms));
+        }
     }
     let outcome = builder.build();
     for sm in outcome.model.stable_metrics() {
@@ -191,7 +278,17 @@ fn cmd_train(args: &[String]) -> i32 {
     if !outcome.flagged_runs.is_empty() {
         println!("suspect training inputs: {:?}", outcome.flagged_runs);
     }
-    outcome.model.save(&out).expect("write model");
+    if let Err(e) = outcome.model.save(&out) {
+        error!("cannot write model to {out}: {e}");
+        return 1;
+    }
+    if checkpoint_every > 0 || resume {
+        // The model is safely on disk; the checkpoint has served its
+        // purpose. A resumed run consumes its checkpoint even when it
+        // no longer writes new ones, so a later `--resume` cannot pick
+        // up a stale state.
+        std::fs::remove_file(&ckpt_path).ok();
+    }
     println!("model written to {out}");
     0
 }
@@ -201,17 +298,19 @@ fn cmd_check(args: &[String]) -> i32 {
     let Some(model_path) = arg_value(args, "--model") else {
         usage()
     };
-    let input_id: u32 = arg_value(args, "--input")
-        .map(|v| v.parse().expect("--input takes a number"))
-        .unwrap_or(1000);
-    let version: u8 = arg_value(args, "--version")
-        .map(|v| v.parse().expect("--version takes 1-5"))
-        .unwrap_or(1);
+    let input_id: u32 = num_flag(args, "--input", "a number", 1000u32);
+    let version: u8 = num_flag(args, "--version", "1-5", 1u8);
     let Some(w) = find_program(program, version) else {
         error!("unknown program {program} (see `heapmd list`)");
         return 1;
     };
-    let model = HeapModel::load(&model_path).expect("read model");
+    let model = match HeapModel::load(&model_path) {
+        Ok(m) => m,
+        Err(e) => {
+            error!("cannot load model {model_path}: {e}");
+            return 1;
+        }
+    };
     let mut plan = fault_plan_for(args);
     let bugs = check(w.as_ref(), &model, &Input::new(input_id), &mut plan);
     if bugs.is_empty() {
@@ -253,12 +352,9 @@ fn cmd_record(args: &[String]) -> i32 {
     let Some(trace_path) = arg_value(args, "--trace") else {
         usage()
     };
-    let input_id: u32 = arg_value(args, "--input")
-        .map(|v| v.parse().expect("--input takes a number"))
-        .unwrap_or(1000);
-    let version: u8 = arg_value(args, "--version")
-        .map(|v| v.parse().expect("--version takes 1-5"))
-        .unwrap_or(1);
+    let input_id: u32 = num_flag(args, "--input", "a number", 1000u32);
+    let version: u8 = num_flag(args, "--version", "1-5", 1u8);
+    let stream = args.iter().any(|a| a == "--stream");
     let Some(w) = find_program(program, version) else {
         error!("unknown program {program} (see `heapmd list`)");
         return 1;
@@ -267,18 +363,61 @@ fn cmd_record(args: &[String]) -> i32 {
     let mut plan = fault_plan_for(args);
     let mut p = Process::new(settings);
     p.enable_trace();
-    w.run(&mut p, &mut plan, &Input::new(input_id))
-        .expect("workload run");
+    if let Err(e) = w.run(&mut p, &mut plan, &Input::new(input_id)) {
+        error!("workload run failed: {e}");
+        return 1;
+    }
     let mut trace = p.take_trace().expect("tracing enabled");
     let names: Vec<String> = (0..p.functions().len())
         .map(|i| p.functions().name(FuncId(i as u32)).to_string())
         .collect();
     trace.set_functions(names);
     let n = trace.len();
-    trace.save(&trace_path).expect("write trace");
+    let written = if stream {
+        trace.save_stream(&trace_path)
+    } else {
+        trace.save(&trace_path)
+    };
+    if let Err(e) = written {
+        error!("cannot write trace to {trace_path}: {e}");
+        return 1;
+    }
     let _ = p.finish("record");
     println!("{n} events written to {trace_path}");
     0
+}
+
+/// Loads a trace for replay, auto-detecting the framed streaming format
+/// (magic `HMDT1`) vs. the plain JSON format. In `salvage` mode a
+/// damaged stream yields its longest valid prefix instead of an error.
+fn load_trace_auto(path: &str, salvage: bool) -> Result<Trace, heapmd::HeapMdError> {
+    let mut magic = [0u8; 5];
+    let is_stream = std::fs::File::open(path)
+        .map(|mut f| {
+            use std::io::Read;
+            f.read_exact(&mut magic).is_ok() && magic[..] == *heapmd::STREAM_MAGIC.as_bytes()
+        })
+        .unwrap_or(false);
+    if !is_stream {
+        return Trace::load(path);
+    }
+    if salvage {
+        let (trace, stats) = Trace::salvage_stream(path)?;
+        if stats.complete {
+            info!("stream {path} is complete ({} events)", stats.events);
+        } else {
+            let (offset, reason) = stats
+                .corruption
+                .unwrap_or((stats.valid_bytes, "truncated".to_string()));
+            println!(
+                "salvaged {} of {} bytes ({} events) from {path}; damage at byte {offset}: {reason}",
+                stats.valid_bytes, stats.total_bytes, stats.events
+            );
+        }
+        Ok(trace)
+    } else {
+        Trace::load_stream(path)
+    }
 }
 
 fn cmd_replay(args: &[String]) -> i32 {
@@ -288,11 +427,33 @@ fn cmd_replay(args: &[String]) -> i32 {
     let Some(trace_path) = arg_value(args, "--trace") else {
         usage()
     };
-    let model = HeapModel::load(&model_path).expect("read model");
-    let trace = Trace::load(&trace_path).expect("read trace");
+    let salvage = args.iter().any(|a| a == "--salvage");
+    let model = match HeapModel::load(&model_path) {
+        Ok(m) => m,
+        Err(e) => {
+            error!("cannot load model {model_path}: {e}");
+            return 1;
+        }
+    };
+    let trace = match load_trace_auto(&trace_path, salvage) {
+        Ok(t) => t,
+        Err(e) => {
+            error!("cannot load trace {trace_path}: {e}");
+            if !salvage {
+                eprintln!("hint: `--salvage` recovers the valid prefix of a damaged stream");
+            }
+            return 1;
+        }
+    };
     let settings = model.settings.clone();
     info!("replaying {} events", trace.len());
-    let bugs = trace.check(&model, &settings);
+    let bugs = match trace.check(&model, &settings) {
+        Ok(b) => b,
+        Err(e) => {
+            error!("replay failed: {e}");
+            return 1;
+        }
+    };
     if bugs.is_empty() {
         println!("no anomalies in trace");
         0

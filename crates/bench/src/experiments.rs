@@ -937,6 +937,7 @@ mod tests {
             total_runs: 3,
         };
         let model = HeapModel {
+            version: heapmd::MODEL_FORMAT_VERSION,
             program: "vpr".into(),
             settings: Settings::default(),
             // A narrower non-paper metric AND the paper choice.

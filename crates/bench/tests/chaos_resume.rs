@@ -1,0 +1,205 @@
+//! Crash/resume integration tests against the real `heapmd-cli` binary:
+//! a training run is SIGKILLed mid-flight and resumed from its
+//! checkpoint, and the resumed model must be semantically equal to an
+//! uninterrupted run's (every stable-metric bound within 1e-9).
+
+use heapmd::HeapModel;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_heapmd-cli");
+const PROGRAM: &str = "gzip";
+const INPUTS: &str = "6";
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("heapmd-chaos-resume").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn train_to_completion(out: &Path, resume: bool) {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "train",
+        PROGRAM,
+        "--inputs",
+        INPUTS,
+        "--out",
+        out.to_str().unwrap(),
+        "--checkpoint-every",
+        "1",
+    ]);
+    if resume {
+        cmd.arg("--resume");
+    }
+    let status = cmd.status().expect("spawn heapmd-cli");
+    assert!(status.success(), "training exited with {status}");
+}
+
+/// Spawns a training run throttled enough to be killed mid-flight,
+/// checkpointing after every input.
+fn spawn_throttled_victim(out: &Path) -> std::process::Child {
+    Command::new(BIN)
+        .args([
+            "train",
+            PROGRAM,
+            "--inputs",
+            INPUTS,
+            "--out",
+            out.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ])
+        .env("HEAPMD_TRAIN_THROTTLE_MS", "300")
+        .spawn()
+        .expect("spawn victim")
+}
+
+/// SIGKILLs `victim` as soon as `ckpt` proves at least one input was
+/// summarized.
+fn kill_once_checkpointed(mut victim: std::process::Child, ckpt: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint appeared in 30s");
+        if let Some(status) = victim.try_wait().expect("poll victim") {
+            panic!("victim finished before it could be killed: {status}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    victim.kill().expect("SIGKILL victim"); // Child::kill is SIGKILL on unix
+    victim.wait().expect("reap victim");
+}
+
+/// Asserts two models agree semantically: same stable-metric set, every
+/// range bound and fluctuation statistic within `tol`.
+fn assert_models_equal(a: &HeapModel, b: &HeapModel, tol: f64) {
+    let sa = a.stable_metrics();
+    let sb = b.stable_metrics();
+    assert_eq!(
+        sa.iter().map(|m| m.kind).collect::<Vec<_>>(),
+        sb.iter().map(|m| m.kind).collect::<Vec<_>>(),
+        "different stable-metric sets"
+    );
+    for (ma, mb) in sa.iter().zip(sb) {
+        assert!(
+            (ma.min - mb.min).abs() <= tol && (ma.max - mb.max).abs() <= tol,
+            "{:?}: range [{}, {}] vs [{}, {}]",
+            ma.kind,
+            ma.min,
+            ma.max,
+            mb.min,
+            mb.max
+        );
+        assert!((ma.avg_change - mb.avg_change).abs() <= tol);
+        assert!((ma.std_change - mb.std_change).abs() <= tol);
+        assert_eq!(ma.stable_runs, mb.stable_runs);
+        assert_eq!(ma.total_runs, mb.total_runs);
+    }
+}
+
+#[test]
+fn sigkill_mid_training_then_resume_matches_uninterrupted_run() {
+    let dir = tmp_dir("sigkill");
+    let reference = dir.join("reference.json");
+    let resumed = dir.join("resumed.json");
+    let ckpt = dir.join("resumed.json.ckpt");
+
+    // Reference: uninterrupted training.
+    train_to_completion(&reference, false);
+
+    // Victim: throttled so the kill window is wide, killed as soon as a
+    // checkpoint proves at least one input was summarized.
+    let victim = spawn_throttled_victim(&resumed);
+    kill_once_checkpointed(victim, &ckpt);
+    assert!(
+        !resumed.exists(),
+        "model must not exist after a mid-training kill"
+    );
+    assert!(ckpt.exists(), "checkpoint survives the kill");
+
+    // Resume and finish.
+    train_to_completion(&resumed, true);
+    assert!(!ckpt.exists(), "checkpoint is consumed on success");
+
+    let a = HeapModel::load(&reference).unwrap();
+    let b = HeapModel::load(&resumed).unwrap();
+    assert_eq!(a.program, b.program);
+    assert_models_equal(&a, &b, 1e-9);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_with_no_checkpoint_trains_from_scratch() {
+    let dir = tmp_dir("fresh-resume");
+    let out = dir.join("model.json");
+    train_to_completion(&out, true);
+    let model = HeapModel::load(&out).unwrap();
+    assert!(!model.stable_metrics().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_without_checkpointing_still_consumes_the_checkpoint() {
+    let dir = tmp_dir("consume-ckpt");
+    let out = dir.join("model.json");
+    let ckpt = dir.join("model.json.ckpt");
+    // Lay down a genuine mid-training checkpoint, then resume WITHOUT
+    // --checkpoint-every: the finished run must still delete it, or a
+    // later --resume would pick up stale state.
+    let victim = spawn_throttled_victim(&out);
+    kill_once_checkpointed(victim, &ckpt);
+    assert!(ckpt.exists(), "checkpoint survives the kill");
+    let status = Command::new(BIN)
+        .args([
+            "train",
+            PROGRAM,
+            "--inputs",
+            INPUTS,
+            "--out",
+            out.to_str().unwrap(),
+            "--resume",
+        ])
+        .status()
+        .expect("spawn heapmd-cli");
+    assert!(status.success());
+    assert!(out.exists(), "model written");
+    assert!(
+        !ckpt.exists(),
+        "plain --resume run must consume the checkpoint"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_checkpoint_fails_resume_with_a_typed_message() {
+    let dir = tmp_dir("corrupt-ckpt");
+    let out = dir.join("model.json");
+    let ckpt = dir.join("model.json.ckpt");
+    std::fs::write(&ckpt, b"{ definitely not a checkpoint").unwrap();
+    let output = Command::new(BIN)
+        .args([
+            "train",
+            PROGRAM,
+            "--inputs",
+            INPUTS,
+            "--out",
+            out.to_str().unwrap(),
+            "--resume",
+        ])
+        .output()
+        .expect("spawn heapmd-cli");
+    assert!(
+        !output.status.success(),
+        "resume from garbage must fail, got {}",
+        output.status
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("cannot resume"),
+        "stderr should explain the failure: {stderr}"
+    );
+    assert!(!out.exists(), "no model written on failed resume");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,299 @@
+//! Periodic training checkpoints.
+//!
+//! Model construction consumes one training run at a time, so a long
+//! `heapmd train` that dies (OOM-killed, SIGKILLed, power loss) used to
+//! lose every run already summarized. A [`TrainCheckpoint`] captures
+//! the [`ModelBuilder`]'s complete intermediate state — per-run
+//! summaries, the optional locally-stable series, and the index of the
+//! next training input — after each metric-computation (summarization)
+//! point, written atomically so the file on disk is always a whole,
+//! loadable checkpoint.
+//!
+//! Resuming from a checkpoint and finishing the remaining inputs
+//! yields the same model as an uninterrupted run: summaries are pure
+//! functions of each run's report, and the builder folds them in input
+//! order. The chaos suite asserts this equivalence across a real
+//! SIGKILL.
+
+use crate::error::HeapMdError;
+use crate::model::{ModelBuilder, RunSummary};
+use crate::settings::Settings;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Current checkpoint format version; future-versioned files are
+/// rejected on load.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// A resumable snapshot of in-progress model construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Checkpoint format version (see [`CHECKPOINT_FORMAT_VERSION`]).
+    #[serde(default)]
+    pub version: u32,
+    /// The program being modelled.
+    pub program: String,
+    /// Settings in force during training.
+    pub settings: Settings,
+    /// Whether locally-stable (phase band) modelling is on.
+    pub include_local: bool,
+    /// Per-run summaries accumulated so far.
+    pub runs: Vec<RunSummary>,
+    /// Trimmed per-metric series (parallel to `runs`; populated only
+    /// when `include_local`).
+    pub series: Vec<Option<Vec<Vec<f64>>>>,
+    /// Index of the next training input to consume on resume.
+    pub next_input: u64,
+}
+
+impl TrainCheckpoint {
+    /// Structural validation: supported version and internally
+    /// consistent run/series bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Checkpoint`] describing the violation.
+    pub fn validate(&self) -> Result<(), HeapMdError> {
+        if self.version > CHECKPOINT_FORMAT_VERSION {
+            return Err(HeapMdError::Checkpoint(format!(
+                "checkpoint format version {} is newer than supported {}",
+                self.version, CHECKPOINT_FORMAT_VERSION
+            )));
+        }
+        if self.runs.len() != self.series.len() {
+            return Err(HeapMdError::Checkpoint(format!(
+                "{} run summaries but {} series entries",
+                self.runs.len(),
+                self.series.len()
+            )));
+        }
+        if self.next_input < self.runs.len() as u64 {
+            return Err(HeapMdError::Checkpoint(format!(
+                "next_input {} is behind the {} runs already summarized",
+                self.next_input,
+                self.runs.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Writes the checkpoint atomically (write-to-temp, then rename),
+    /// so a crash mid-checkpoint leaves the previous checkpoint intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), HeapMdError> {
+        let json = serde_json::to_string(self)?;
+        crate::persist::write_atomic(path, json.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and validates a checkpoint written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapMdError::Io`] when unreadable, [`HeapMdError::Corrupt`]
+    /// when the JSON is damaged, [`HeapMdError::Checkpoint`] when it
+    /// parses but fails validation.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, HeapMdError> {
+        let text = std::fs::read_to_string(path)?;
+        let cp: TrainCheckpoint = serde_json::from_str(&text)
+            .map_err(|e| HeapMdError::corrupt(0, format!("checkpoint JSON: {e}")))?;
+        cp.validate()?;
+        Ok(cp)
+    }
+}
+
+impl ModelBuilder {
+    /// Snapshots the builder's state as a checkpoint claiming
+    /// `next_input` as the resume point.
+    pub fn checkpoint(&self, next_input: u64) -> TrainCheckpoint {
+        TrainCheckpoint {
+            version: CHECKPOINT_FORMAT_VERSION,
+            program: self.program.clone(),
+            settings: self.settings.clone(),
+            include_local: self.include_local,
+            runs: self.runs.clone(),
+            series: self.series.clone(),
+            next_input,
+        }
+    }
+
+    /// Reconstructs a builder mid-training from a checkpoint, returning
+    /// it with the input index to resume at.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Checkpoint`] when the checkpoint fails
+    /// [`TrainCheckpoint::validate`], or when its settings would make
+    /// the resumed half of training incompatible with the first half.
+    pub fn from_checkpoint(cp: TrainCheckpoint) -> Result<(Self, u64), HeapMdError> {
+        cp.validate()?;
+        cp.settings
+            .validate()
+            .map_err(|e| HeapMdError::Checkpoint(format!("embedded settings invalid: {e}")))?;
+        let next = cp.next_input;
+        Ok((
+            ModelBuilder {
+                settings: cp.settings,
+                program: cp.program,
+                runs: cp.runs,
+                include_local: cp.include_local,
+                series: cp.series,
+            },
+            next,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{MetricReport, MetricSample};
+    use heap_graph::{MetricVector, METRIC_COUNT};
+
+    fn report(run: &str, value: f64, n: usize) -> MetricReport {
+        let samples = (0..n)
+            .map(|i| MetricSample {
+                seq: i,
+                fn_entries: i as u64,
+                tick: i as u64,
+                metrics: MetricVector::from_array([value; METRIC_COUNT]),
+                nodes: 10,
+                edges: 5,
+                dangling: 0,
+            })
+            .collect();
+        MetricReport::new(run, samples)
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("heapmd-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn resumed_training_matches_uninterrupted() {
+        let settings = Settings::default();
+        let reports: Vec<MetricReport> = (0..6)
+            .map(|i| report(&format!("r{i}"), 40.0 + i as f64, 30))
+            .collect();
+
+        // Uninterrupted run over all six reports.
+        let mut full = ModelBuilder::new(settings.clone()).program("demo");
+        for r in &reports {
+            full.add_run(r);
+        }
+        let expected = full.build().model;
+
+        // Interrupted: three runs, checkpoint, "crash", resume.
+        let mut first = ModelBuilder::new(settings).program("demo");
+        for r in &reports[..3] {
+            first.add_run(r);
+        }
+        let path = tmp("resume.ckpt");
+        first.checkpoint(3).save(&path).unwrap();
+        drop(first);
+
+        let cp = TrainCheckpoint::load(&path).unwrap();
+        let (mut resumed, next) = ModelBuilder::from_checkpoint(cp).unwrap();
+        assert_eq!(next, 3);
+        for r in &reports[next as usize..] {
+            resumed.add_run(r);
+        }
+        assert_eq!(resumed.build().model, expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn locally_stable_state_survives_the_checkpoint() {
+        let settings = Settings::default();
+        let phase = |run: &str| {
+            let samples = (0..40)
+                .map(|i| MetricSample {
+                    seq: i,
+                    fn_entries: i as u64,
+                    tick: i as u64,
+                    metrics: MetricVector::from_array(
+                        [if i < 20 { 10.0 } else { 30.0 }; METRIC_COUNT],
+                    ),
+                    nodes: 10,
+                    edges: 5,
+                    dangling: 0,
+                })
+                .collect();
+            MetricReport::new(run, samples)
+        };
+        let mut full = ModelBuilder::new(settings.clone()).locally_stable(true);
+        for i in 0..4 {
+            full.add_run(&phase(&format!("r{i}")));
+        }
+        let expected = full.build().model;
+
+        let mut first = ModelBuilder::new(settings).locally_stable(true);
+        first.add_run(&phase("r0"));
+        first.add_run(&phase("r1"));
+        let path = tmp("local.ckpt");
+        first.checkpoint(2).save(&path).unwrap();
+        let (mut resumed, _) =
+            ModelBuilder::from_checkpoint(TrainCheckpoint::load(&path).unwrap()).unwrap();
+        resumed.add_run(&phase("r2"));
+        resumed.add_run(&phase("r3"));
+        let got = resumed.build().model;
+        assert_eq!(got.locally_stable, expected.locally_stable);
+        assert_eq!(got, expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn damaged_checkpoints_yield_typed_errors() {
+        let b = ModelBuilder::new(Settings::default());
+        let path = tmp("damage.ckpt");
+        b.checkpoint(0).save(&path).unwrap();
+
+        // Truncate the file: parse failure → Corrupt.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(matches!(
+            TrainCheckpoint::load(&path),
+            Err(HeapMdError::Corrupt { .. })
+        ));
+
+        // Future version → Checkpoint error.
+        let mut cp = b.checkpoint(0);
+        cp.version = CHECKPOINT_FORMAT_VERSION + 1;
+        cp.save(&path).unwrap();
+        assert!(matches!(
+            TrainCheckpoint::load(&path),
+            Err(HeapMdError::Checkpoint(_))
+        ));
+
+        // Inconsistent bookkeeping → Checkpoint error.
+        let mut cp = b.checkpoint(0);
+        cp.series.push(None);
+        assert!(matches!(cp.validate(), Err(HeapMdError::Checkpoint(_))));
+        let cp = b.checkpoint(5);
+        assert!(cp.validate().is_ok(), "skipped inputs are legal");
+
+        // Missing file → Io.
+        assert!(matches!(
+            TrainCheckpoint::load(tmp("nonexistent.ckpt")),
+            Err(HeapMdError::Io(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn next_input_behind_runs_is_rejected() {
+        let settings = Settings::default();
+        let mut b = ModelBuilder::new(settings);
+        b.add_run(&report("r0", 10.0, 30));
+        b.add_run(&report("r1", 10.0, 30));
+        assert!(matches!(
+            b.checkpoint(1).validate(),
+            Err(HeapMdError::Checkpoint(_))
+        ));
+    }
+}

@@ -482,6 +482,7 @@ mod tests {
 
     fn model_with(kind: MetricKind, min: f64, max: f64) -> HeapModel {
         HeapModel {
+            version: crate::model::MODEL_FORMAT_VERSION,
             program: "test".into(),
             settings: Settings::default(),
             stable: vec![StableMetric {

@@ -19,6 +19,29 @@ pub enum HeapMdError {
     /// Model construction was asked to build from zero training runs, or
     /// a replay referenced state that does not exist.
     InvalidInput(String),
+    /// A persisted artifact (trace stream, model, checkpoint) failed
+    /// structural validation: bad framing, checksum mismatch, an
+    /// unsupported version, or semantically impossible contents
+    /// (NaN bounds, `min > max`, …).
+    Corrupt {
+        /// Byte offset into the artifact where corruption was detected
+        /// (0 when the damage is not positional, e.g. a bad field).
+        offset: u64,
+        /// Human-readable description of what failed to validate.
+        reason: String,
+    },
+    /// A training checkpoint could not be written, read, or applied.
+    Checkpoint(String),
+}
+
+impl HeapMdError {
+    /// Convenience constructor for [`HeapMdError::Corrupt`].
+    pub fn corrupt(offset: u64, reason: impl Into<String>) -> Self {
+        HeapMdError::Corrupt {
+            offset,
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for HeapMdError {
@@ -29,6 +52,10 @@ impl fmt::Display for HeapMdError {
             HeapMdError::Serde(e) => write!(f, "serialization error: {e}"),
             HeapMdError::Io(e) => write!(f, "io error: {e}"),
             HeapMdError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            HeapMdError::Corrupt { offset, reason } => {
+                write!(f, "corrupt artifact at byte {offset}: {reason}")
+            }
+            HeapMdError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -72,6 +99,18 @@ mod tests {
         assert_eq!(e.to_string(), "invalid settings: frq must be positive");
         let e: HeapMdError = HeapError::NullDeref.into();
         assert_eq!(e.to_string(), "heap error: null dereference");
+    }
+
+    #[test]
+    fn corrupt_and_checkpoint_display() {
+        let e = HeapMdError::corrupt(42, "checksum mismatch");
+        assert_eq!(
+            e.to_string(),
+            "corrupt artifact at byte 42: checksum mismatch"
+        );
+        assert!(e.source().is_none());
+        let e = HeapMdError::Checkpoint("version 9 unsupported".into());
+        assert_eq!(e.to_string(), "checkpoint error: version 9 unsupported");
     }
 
     #[test]

@@ -60,12 +60,14 @@
 
 mod bug;
 mod callstack;
+mod checkpoint;
 mod detector;
 mod error;
 mod fluctuation;
 mod model;
 mod monitor;
 mod online;
+pub mod persist;
 pub mod phase_model;
 pub mod plot;
 mod process;
@@ -74,16 +76,20 @@ mod ringbuf;
 mod settings;
 mod stability;
 mod trace;
+mod trace_stream;
 mod values;
 
 pub use bug::{
     AnomalyKind, BugCategory, BugReport, DetectionClass, Direction, LogPhase, StackLogEntry,
 };
 pub use callstack::{FuncId, FunctionTable};
+pub use checkpoint::{TrainCheckpoint, CHECKPOINT_FORMAT_VERSION};
 pub use detector::AnomalyDetector;
 pub use error::HeapMdError;
 pub use fluctuation::{percent_changes, FluctuationStats};
-pub use model::{HeapModel, MetricSummary, ModelBuilder, ModelOutcome, StableMetric};
+pub use model::{
+    HeapModel, MetricSummary, ModelBuilder, ModelOutcome, StableMetric, MODEL_FORMAT_VERSION,
+};
 pub use monitor::{Monitor, MonitorCtx};
 pub use online::OnlineLearner;
 pub use phase_model::{merge_ranges, segment, LocalMetric, Plateau};
@@ -93,6 +99,7 @@ pub use ringbuf::CircularBuffer;
 pub use settings::{Settings, SettingsBuilder};
 pub use stability::{classify, StabilityClass};
 pub use trace::Trace;
+pub use trace_stream::{frame_record, SalvageStats, TraceReader, TraceWriter, STREAM_MAGIC};
 pub use values::{LocationSummary, ValueProfile};
 
 // Re-export the metric vocabulary so downstream crates only need `heapmd`.

@@ -71,6 +71,12 @@ impl StableMetric {
     }
 }
 
+/// Current on-disk model format version, stamped into every model this
+/// build produces. Files without a `version` field (written by older
+/// builds) parse as version 0 and are accepted; files from a *newer*
+/// format are rejected by [`HeapModel::validate`].
+pub const MODEL_FORMAT_VERSION: u32 = 1;
+
 /// The summarized metric report: HeapMD's model of correct heap
 /// behaviour for one program.
 ///
@@ -78,6 +84,9 @@ impl StableMetric {
 /// program versions — the paper's `input*.exe` flow.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HeapModel {
+    /// On-disk format version (see [`MODEL_FORMAT_VERSION`]).
+    #[serde(default)]
+    pub version: u32,
     /// The program the model was calibrated for.
     pub program: String,
     /// Settings used during calibration.
@@ -123,30 +132,103 @@ impl HeapModel {
         Ok(serde_json::to_string_pretty(self)?)
     }
 
-    /// Parses a model from JSON.
+    /// Parses and validates a model from JSON.
     ///
     /// # Errors
     ///
-    /// Returns [`HeapMdError::Serde`] on malformed input.
+    /// Returns [`HeapMdError::Corrupt`] on malformed JSON or a model
+    /// that fails [`validate`](Self::validate).
     pub fn from_json(json: &str) -> Result<Self, HeapMdError> {
-        Ok(serde_json::from_str(json)?)
+        let model: HeapModel = serde_json::from_str(json)
+            .map_err(|e| HeapMdError::corrupt(0, format!("model JSON: {e}")))?;
+        model.validate()?;
+        Ok(model)
     }
 
-    /// Writes the model to a file as JSON.
+    /// Structural validation of a deserialized model: version within
+    /// the supported range, finite ordered `[min, max]` bounds, sane
+    /// change statistics, and consistent run counts. `load` and
+    /// `from_json` call this so a damaged or hand-edited model surfaces
+    /// as a typed [`HeapMdError::Corrupt`] instead of a panic (or a
+    /// silent nonsense detector) downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Corrupt`] describing the first violation.
+    pub fn validate(&self) -> Result<(), HeapMdError> {
+        if self.version > MODEL_FORMAT_VERSION {
+            return Err(HeapMdError::corrupt(
+                0,
+                format!(
+                    "model format version {} is newer than supported {}",
+                    self.version, MODEL_FORMAT_VERSION
+                ),
+            ));
+        }
+        for sm in &self.stable {
+            if !sm.min.is_finite() || !sm.max.is_finite() {
+                return Err(HeapMdError::corrupt(
+                    0,
+                    format!("stable metric {} has non-finite bounds", sm.kind),
+                ));
+            }
+            if sm.min > sm.max {
+                return Err(HeapMdError::corrupt(
+                    0,
+                    format!(
+                        "stable metric {} has min {} > max {}",
+                        sm.kind, sm.min, sm.max
+                    ),
+                ));
+            }
+            if !sm.std_change.is_finite() || sm.std_change < 0.0 {
+                return Err(HeapMdError::corrupt(
+                    0,
+                    format!("stable metric {} has invalid std_change", sm.kind),
+                ));
+            }
+            if sm.stable_runs > sm.total_runs {
+                return Err(HeapMdError::corrupt(
+                    0,
+                    format!(
+                        "stable metric {} claims {} stable of {} total runs",
+                        sm.kind, sm.stable_runs, sm.total_runs
+                    ),
+                ));
+            }
+        }
+        for lm in &self.locally_stable {
+            for &(lo, hi) in &lm.ranges {
+                if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                    return Err(HeapMdError::corrupt(
+                        0,
+                        format!("locally stable metric {} has invalid band", lm.kind),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the model to a file as JSON, atomically: the bytes land
+    /// in a temporary sibling which is then renamed over `path`, so a
+    /// crash mid-save can never leave a truncated model behind.
     ///
     /// # Errors
     ///
     /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), HeapMdError> {
-        std::fs::write(path, self.to_json()?)?;
+        crate::persist::write_atomic(path, self.to_json()?.as_bytes())?;
         Ok(())
     }
 
-    /// Reads a model previously written by [`save`](Self::save).
+    /// Reads and validates a model previously written by
+    /// [`save`](Self::save).
     ///
     /// # Errors
     ///
-    /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
+    /// Returns [`HeapMdError::Io`] when the file cannot be read and
+    /// [`HeapMdError::Corrupt`] when it parses or validates badly.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, HeapMdError> {
         Self::from_json(&std::fs::read_to_string(path)?)
     }
@@ -193,12 +275,12 @@ pub struct ModelOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ModelBuilder {
-    settings: Settings,
-    program: String,
-    runs: Vec<RunSummary>,
-    include_local: bool,
+    pub(crate) settings: Settings,
+    pub(crate) program: String,
+    pub(crate) runs: Vec<RunSummary>,
+    pub(crate) include_local: bool,
     /// Trimmed per-metric series, kept only when local modelling is on.
-    series: Vec<Option<Vec<Vec<f64>>>>,
+    pub(crate) series: Vec<Option<Vec<Vec<f64>>>>,
 }
 
 impl ModelBuilder {
@@ -346,6 +428,7 @@ impl ModelBuilder {
 
         ModelOutcome {
             model: HeapModel {
+                version: MODEL_FORMAT_VERSION,
                 program: self.program.clone(),
                 settings: self.settings.clone(),
                 stable,
@@ -571,6 +654,83 @@ mod tests {
         let back = HeapModel::load(&path).unwrap();
         assert_eq!(model, back);
         assert_eq!(back.program, "demo");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_and_future_models() {
+        use crate::error::HeapMdError;
+        let mut b = ModelBuilder::new(settings());
+        b.add_run(&flat_report("r", 25.0, 30));
+        let model = b.build().model;
+        assert_eq!(model.version, MODEL_FORMAT_VERSION);
+        model.validate().unwrap();
+
+        // Future format version.
+        let mut future = model.clone();
+        future.version = MODEL_FORMAT_VERSION + 7;
+        let json = future.to_json().unwrap();
+        assert!(matches!(
+            HeapModel::from_json(&json),
+            Err(HeapMdError::Corrupt { .. })
+        ));
+
+        // NaN bound (serializes as null → parses back as NaN).
+        let mut nan = model.clone();
+        nan.stable[0].min = f64::NAN;
+        assert!(matches!(
+            HeapModel::from_json(&nan.to_json().unwrap()),
+            Err(HeapMdError::Corrupt { .. })
+        ));
+
+        // Inverted range.
+        let mut inv = model.clone();
+        inv.stable[0].min = 99.0;
+        inv.stable[0].max = 1.0;
+        assert!(matches!(inv.validate(), Err(HeapMdError::Corrupt { .. })));
+
+        // Unknown metric kind in the serialized form.
+        let bad_kind = model
+            .to_json()
+            .unwrap()
+            .replace("\"Roots\"", "\"NotAMetric\"");
+        assert!(matches!(
+            HeapModel::from_json(&bad_kind),
+            Err(HeapMdError::Corrupt { .. })
+        ));
+
+        // Truncated JSON.
+        let json = model.to_json().unwrap();
+        assert!(matches!(
+            HeapModel::from_json(&json[..json.len() / 2]),
+            Err(HeapMdError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn versionless_legacy_model_still_loads() {
+        let mut b = ModelBuilder::new(settings());
+        b.add_run(&flat_report("r", 25.0, 30));
+        let model = b.build().model;
+        // Strip the version field the way a pre-versioning file lacks it.
+        let json = model.to_json().unwrap().replacen("\"version\": 1,", "", 1);
+        let back = HeapModel::from_json(&json).unwrap();
+        assert_eq!(back.version, 0);
+        assert_eq!(back.stable, model.stable);
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_left_behind() {
+        let mut b = ModelBuilder::new(settings());
+        b.add_run(&flat_report("r", 25.0, 30));
+        let model = b.build().model;
+        let dir = std::env::temp_dir().join("heapmd-model-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).unwrap();
+        model.save(&path).unwrap(); // overwrite path exercised too
+        assert!(HeapModel::load(&path).is_ok());
+        assert!(!dir.join("model.json.tmp").exists());
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,14 +1,17 @@
 //! The execution logger + instrumented mutator facade.
 
 use crate::callstack::{FuncId, FunctionTable};
+use crate::error::HeapMdError;
 use crate::monitor::{Monitor, MonitorCtx};
 use crate::report::{MetricReport, MetricSample};
 use crate::settings::Settings;
 use crate::trace::Trace;
+use crate::trace_stream::TraceWriter;
 use heap_graph::HeapGraph;
 use sim_heap::{Addr, AllocSite, HeapError, HeapEvent, SimHeap, NULL};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::io::Write;
 use std::rc::Rc;
 
 /// A simulated instrumented process: the paper's `output.exe` running
@@ -55,6 +58,12 @@ pub struct Process {
     samples: Vec<MetricSample>,
     monitors: Vec<Rc<RefCell<dyn Monitor>>>,
     trace: Option<Trace>,
+    /// Incremental crash-safe trace stream (see
+    /// [`stream_trace_to`](Self::stream_trace_to)).
+    stream: Option<TraceWriter<Box<dyn Write>>>,
+    /// First error that killed the stream, kept for
+    /// [`finish_stream`](Self::finish_stream) to report.
+    stream_error: Option<HeapMdError>,
 }
 
 impl Process {
@@ -72,6 +81,8 @@ impl Process {
             samples: Vec::new(),
             monitors: Vec::new(),
             trace: None,
+            stream: None,
+            stream_error: None,
         }
     }
 
@@ -86,6 +97,54 @@ impl Process {
         if self.trace.is_none() {
             self.trace = Some(Trace::new());
         }
+    }
+
+    /// Streams every subsequent event to `sink` in the crash-safe
+    /// length-framed format, incrementally — unlike
+    /// [`enable_trace`](Self::enable_trace) + [`Trace::save`], events
+    /// reach the sink as they happen, so whatever was flushed before a
+    /// crash is recoverable with [`Trace::salvage_stream`].
+    ///
+    /// A write failure mid-run does **not** abort the checked process:
+    /// the stream is dropped, the failure is counted
+    /// (`heapmd_trace_stream_errors_total`) and surfaced by
+    /// [`finish_stream`](Self::finish_stream), and execution continues.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Io`] when the stream header cannot be
+    /// written.
+    pub fn stream_trace_to(&mut self, sink: Box<dyn Write>) -> Result<(), HeapMdError> {
+        self.stream = Some(TraceWriter::new(sink)?);
+        self.stream_error = None;
+        Ok(())
+    }
+
+    /// Ends the trace stream: writes the function-name table and the
+    /// `End` trailer, flushes, and detaches the sink. Returns the
+    /// number of events that reached the stream, or the error that
+    /// degraded it mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deferred streaming error (if the stream died
+    /// mid-run) or [`HeapMdError::Io`] from the final writes.
+    pub fn finish_stream(&mut self) -> Result<u64, HeapMdError> {
+        if let Some(e) = self.stream_error.take() {
+            return Err(e);
+        }
+        let Some(mut stream) = self.stream.take() else {
+            return Err(HeapMdError::InvalidInput(
+                "no trace stream is attached".into(),
+            ));
+        };
+        let names: Vec<String> = (0..self.funcs.len())
+            .map(|i| self.funcs.name(FuncId(i as u32)).to_string())
+            .collect();
+        stream.write_functions(&names)?;
+        let events = stream.events_written();
+        stream.finish()?;
+        Ok(events)
     }
 
     /// The settings in force.
@@ -367,6 +426,17 @@ impl Process {
         if let Some(trace) = &mut self.trace {
             trace.push(*ev);
         }
+        if let Some(stream) = &mut self.stream {
+            if let Err(e) = stream.write_event(ev) {
+                // Graceful degradation: losing the trace sink must not
+                // take down the checked process. Drop the stream, keep
+                // running, surface the error at finish_stream.
+                heapmd_obs::count!("heapmd_trace_stream_errors_total");
+                heapmd_obs::warn!("trace stream failed, continuing without it: {e}");
+                self.stream = None;
+                self.stream_error = Some(e);
+            }
+        }
         if !self.monitors.is_empty() {
             let ctx = MonitorCtx {
                 graph: &self.graph,
@@ -542,6 +612,76 @@ mod tests {
         let t = p.take_trace().unwrap();
         assert_eq!(t.len(), 4); // enter, alloc, free, exit
         assert!(p.trace().is_none());
+    }
+
+    #[test]
+    fn streamed_trace_matches_in_memory_trace() {
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut p = Process::new(settings(1));
+        p.enable_trace();
+        p.stream_trace_to(Box::new(SharedBuf(Arc::clone(&buf))))
+            .unwrap();
+        p.enter("f");
+        let a = p.malloc(16, "x").unwrap();
+        p.free(a).unwrap();
+        p.leave();
+        let streamed_events = p.finish_stream().unwrap();
+        assert_eq!(streamed_events, 4);
+        let mut expected = p.take_trace().unwrap();
+        expected.set_functions(vec!["f".to_string()]);
+
+        let bytes = buf.lock().unwrap().clone();
+        let back = crate::trace_stream::TraceReader::strict(&bytes[..]).unwrap();
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn failing_stream_degrades_without_aborting_the_run() {
+        struct FailAfter(usize);
+        impl std::io::Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(std::io::Error::other("sink died"));
+                }
+                self.0 -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut p = Process::new(settings(1));
+        // Header + 2 event records succeed, then the sink dies.
+        p.stream_trace_to(Box::new(FailAfter(3))).unwrap();
+        for _ in 0..5 {
+            p.enter("w");
+            p.malloc(16, "x").unwrap();
+            p.leave();
+        }
+        // The run itself survived; the error is reported at the end.
+        assert_eq!(p.fn_entries(), 5);
+        assert!(matches!(p.finish_stream(), Err(HeapMdError::Io(_))));
+        // A second finish reports the stream as gone.
+        assert!(matches!(
+            p.finish_stream(),
+            Err(HeapMdError::InvalidInput(_))
+        ));
     }
 
     #[test]

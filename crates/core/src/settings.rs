@@ -92,6 +92,22 @@ impl Settings {
         }
     }
 
+    /// Re-runs the builder's validation on an already constructed (or
+    /// deserialized) settings value — a checkpoint or model file can
+    /// carry settings that never went through the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::InvalidSettings`] (see
+    /// [`SettingsBuilder::build`]).
+    pub fn validate(&self) -> Result<(), HeapMdError> {
+        SettingsBuilder {
+            inner: self.clone(),
+        }
+        .build()
+        .map(|_| ())
+    }
+
     /// Number of leading/trailing samples to trim from a run of `n`
     /// metric computation points.
     pub fn trim_count(&self, n: usize) -> usize {

@@ -65,6 +65,39 @@ impl Trace {
         self.functions = names;
     }
 
+    /// The attached function-name table (empty for anonymous frames).
+    pub fn functions(&self) -> &[String] {
+        &self.functions
+    }
+
+    /// Checks that every `FnEnter`/`FnExit` event references an id
+    /// inside the interned `functions` table. An empty table means
+    /// anonymous frames, where any id is legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::InvalidInput`] naming the first event
+    /// whose function id falls outside the table.
+    fn validate_function_ids(&self) -> Result<(), HeapMdError> {
+        if self.functions.is_empty() {
+            return Ok(());
+        }
+        let table_len = self.functions.len();
+        for (i, ev) in self.events.iter().enumerate() {
+            let func = match *ev {
+                HeapEvent::FnEnter { func } | HeapEvent::FnExit { func } => func,
+                _ => continue,
+            };
+            if func as usize >= table_len {
+                return Err(HeapMdError::InvalidInput(format!(
+                    "event {i} references function id {func}, but the trace \
+                     interns only {table_len} function names"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Serializes the trace to JSON.
     ///
     /// # Errors
@@ -83,13 +116,16 @@ impl Trace {
         Ok(serde_json::from_str(json)?)
     }
 
-    /// Writes the trace to a file.
+    /// Writes the trace to a file as one JSON document, atomically
+    /// (write-to-temp, then rename). For crash-safe incremental
+    /// recording prefer the streaming format
+    /// ([`save_stream`](Self::save_stream) / [`crate::TraceWriter`]).
     ///
     /// # Errors
     ///
     /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), HeapMdError> {
-        std::fs::write(path, self.to_json()?)?;
+        crate::persist::write_atomic(path, self.to_json()?.as_bytes())?;
         Ok(())
     }
 
@@ -105,12 +141,23 @@ impl Trace {
     /// Replays the trace, recomputing the metric report under
     /// `settings` (which may differ from the settings used when the
     /// trace was recorded — e.g. a different `frq`).
-    pub fn replay(&self, settings: &Settings, run: impl Into<String>) -> MetricReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::InvalidInput`] when an event references a
+    /// function id outside the interned `functions` table (a mangled or
+    /// mismatched trace).
+    pub fn replay(
+        &self,
+        settings: &Settings,
+        run: impl Into<String>,
+    ) -> Result<MetricReport, HeapMdError> {
+        self.validate_function_ids()?;
         let mut replayer = Replayer::new(settings.clone(), &self.functions);
         for ev in &self.events {
             replayer.step(ev, &mut []);
         }
-        MetricReport::new(run, replayer.samples)
+        Ok(MetricReport::new(run, replayer.samples))
     }
 
     /// Replays the trace through the anomaly detector, post-mortem.
@@ -118,7 +165,17 @@ impl Trace {
     /// Unlike [`AnomalyDetector::check_report`], the detector sees the
     /// full event stream, so bug reports carry call-stack context just
     /// as in online mode.
-    pub fn check(&self, model: &HeapModel, settings: &Settings) -> Vec<crate::bug::BugReport> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::InvalidInput`] when an event references a
+    /// function id outside the interned `functions` table.
+    pub fn check(
+        &self,
+        model: &HeapModel,
+        settings: &Settings,
+    ) -> Result<Vec<crate::bug::BugReport>, HeapMdError> {
+        self.validate_function_ids()?;
         // The trace's length is known up front: align the startup skip
         // with the trim model construction applied (as
         // [`AnomalyDetector::check_report`] does).
@@ -140,7 +197,7 @@ impl Trace {
             replayer.step(ev, &mut monitors);
         }
         replayer.finish(&mut monitors);
-        detector.take_bugs()
+        Ok(detector.take_bugs())
     }
 }
 
@@ -285,7 +342,7 @@ mod tests {
     fn replay_reproduces_the_online_report() {
         let (trace, online) = traced_run(5, 100);
         let settings = Settings::builder().frq(5).build().unwrap();
-        let offline = trace.replay(&settings, "offline");
+        let offline = trace.replay(&settings, "offline").unwrap();
         assert_eq!(online.len(), offline.len());
         for (a, b) in online.samples.iter().zip(&offline.samples) {
             assert_eq!(a.metrics, b.metrics);
@@ -298,8 +355,32 @@ mod tests {
     fn replay_supports_different_sampling_rates() {
         let (trace, _) = traced_run(5, 100);
         let coarse = Settings::builder().frq(20).build().unwrap();
-        let report = trace.replay(&coarse, "coarse");
+        let report = trace.replay(&coarse, "coarse").unwrap();
         assert_eq!(report.len(), 5);
+    }
+
+    #[test]
+    fn out_of_table_function_id_is_invalid_input() {
+        let (mut trace, _) = traced_run(5, 20);
+        let table_len = trace.functions().len() as u32;
+        trace.push(sim_heap::HeapEvent::FnEnter {
+            func: table_len + 3,
+        });
+        let settings = Settings::builder().frq(5).build().unwrap();
+        assert!(matches!(
+            trace.replay(&settings, "bad"),
+            Err(HeapMdError::InvalidInput(_))
+        ));
+        let model = crate::model::ModelBuilder::new(settings.clone())
+            .build()
+            .model;
+        assert!(matches!(
+            trace.check(&model, &settings),
+            Err(HeapMdError::InvalidInput(_))
+        ));
+        // Anonymous frames (no table) remain permissive.
+        trace.set_functions(Vec::new());
+        assert!(trace.replay(&settings, "anon").is_ok());
     }
 
     #[test]
@@ -319,6 +400,7 @@ mod tests {
         // has Roots ≈ 1/n·100 shrinking toward 0 — fine — but a fresh
         // run that never links nodes has Roots = 100.
         let model = HeapModel {
+            version: crate::model::MODEL_FORMAT_VERSION,
             program: "t".into(),
             settings: Settings::default(),
             stable: vec![StableMetric {
@@ -348,7 +430,7 @@ mod tests {
             p.leave();
         }
         let trace = p.take_trace().unwrap();
-        let bugs = trace.check(&model, &settings);
+        let bugs = trace.check(&model, &settings).unwrap();
         assert_eq!(bugs.len(), 1);
         assert_eq!(bugs[0].metric, MetricKind::Roots);
     }

@@ -1,0 +1,355 @@
+//! Deterministic I/O fault injection.
+//!
+//! [`FaultyWriter`] and [`FaultyReader`] wrap any [`std::io::Write`] /
+//! [`std::io::Read`] and consult the same [`FaultPlan`] schedules the
+//! data-structure faults use, so an experiment can script "the disk
+//! fills up on the 40th write" or "bit 3 of every 100th byte read is
+//! flipped" and replay it exactly. The persistence layer's chaos suite
+//! round-trips traces, models, and checkpoints through these wrappers
+//! and asserts every outcome is either success or a typed error — never
+//! a panic, never silently corrupted data accepted as valid.
+//!
+//! Fault call-sites (see the [`fault_ids`] constants):
+//!
+//! | fault                | effect                                          |
+//! |----------------------|-------------------------------------------------|
+//! | `io.short_write`     | writes accept only half the buffer              |
+//! | `io.write_error`     | writes fail with `ENOSPC`-style errors          |
+//! | `io.flush_interrupt` | flushes fail with [`ErrorKind::Interrupted`]    |
+//! | `io.bit_flip_write`  | one bit of the outgoing buffer is flipped       |
+//! | `io.short_read`      | reads return at most one byte                   |
+//! | `io.read_error`      | reads fail with [`ErrorKind::Other`]            |
+//! | `io.bit_flip_read`   | one bit of the incoming buffer is flipped       |
+//! | `io.early_eof`       | the stream ends prematurely (reads return 0)    |
+//!
+//! [`ErrorKind::Interrupted`]: std::io::ErrorKind::Interrupted
+//! [`ErrorKind::Other`]: std::io::ErrorKind::Other
+
+use crate::FaultPlan;
+use std::io::{self, Read, Write};
+
+/// Fault ids consulted by [`FaultyWriter`] and [`FaultyReader`].
+pub mod fault_ids {
+    use crate::FaultId;
+
+    /// A write accepts only the first half of the buffer (short write).
+    pub const IO_SHORT_WRITE: FaultId = FaultId("io.short_write");
+    /// A write fails outright, as when the device is full.
+    pub const IO_WRITE_ERROR: FaultId = FaultId("io.write_error");
+    /// A flush fails with `ErrorKind::Interrupted`.
+    pub const IO_FLUSH_INTERRUPT: FaultId = FaultId("io.flush_interrupt");
+    /// One bit of the written data is flipped (media corruption).
+    pub const IO_BIT_FLIP_WRITE: FaultId = FaultId("io.bit_flip_write");
+    /// A read returns at most one byte (short read).
+    pub const IO_SHORT_READ: FaultId = FaultId("io.short_read");
+    /// A read fails outright.
+    pub const IO_READ_ERROR: FaultId = FaultId("io.read_error");
+    /// One bit of the read data is flipped (media corruption).
+    pub const IO_BIT_FLIP_READ: FaultId = FaultId("io.bit_flip_read");
+    /// The stream reports end-of-file before the real data ends.
+    pub const IO_EARLY_EOF: FaultId = FaultId("io.early_eof");
+}
+
+use fault_ids::*;
+
+/// Flips one bit of `buf`, choosing the position deterministically from
+/// how much I/O the wrapper has already done so repeated runs corrupt
+/// the same bit.
+fn flip_one_bit(buf: &mut [u8], offset: u64) {
+    if buf.is_empty() {
+        return;
+    }
+    let byte = (offset as usize) % buf.len();
+    let bit = (offset % 8) as u32;
+    buf[byte] ^= 1 << bit;
+}
+
+/// An [`io::Write`] adapter that injects faults per a [`FaultPlan`].
+///
+/// Ownership of the plan stays with the caller between uses:
+/// construction takes the plan by value (plans are cheap to clone) and
+/// [`into_inner`](Self::into_inner) hands back the wrapped writer.
+///
+/// # Example
+///
+/// ```
+/// use faults::io::{fault_ids::IO_WRITE_ERROR, FaultyWriter};
+/// use faults::{FaultConfig, FaultPlan};
+/// use std::io::Write;
+///
+/// let mut plan = FaultPlan::new();
+/// plan.enable(IO_WRITE_ERROR, FaultConfig::always().after(1));
+/// let mut w = FaultyWriter::new(Vec::new(), plan);
+/// assert!(w.write(b"ok").is_ok());
+/// assert!(w.write(b"boom").is_err());
+/// ```
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    plan: FaultPlan,
+    bytes_written: u64,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner`, injecting the faults enabled in `plan`.
+    pub fn new(inner: W, plan: FaultPlan) -> Self {
+        FaultyWriter {
+            inner,
+            plan,
+            bytes_written: 0,
+        }
+    }
+
+    /// Consumes the wrapper, returning the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// The fault plan, for inspecting activation counts.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Total bytes accepted by [`write`](Write::write) so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.plan.fires(IO_WRITE_ERROR) {
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected: no space left on device",
+            ));
+        }
+        let take = if self.plan.fires(IO_SHORT_WRITE) && buf.len() > 1 {
+            buf.len() / 2
+        } else {
+            buf.len()
+        };
+        let n = if self.plan.fires(IO_BIT_FLIP_WRITE) {
+            let mut corrupted = buf[..take].to_vec();
+            flip_one_bit(&mut corrupted, self.bytes_written);
+            self.inner.write(&corrupted)?
+        } else {
+            self.inner.write(&buf[..take])?
+        };
+        self.bytes_written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.plan.fires(IO_FLUSH_INTERRUPT) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected: flush interrupted",
+            ));
+        }
+        self.inner.flush()
+    }
+}
+
+/// An [`io::Read`] adapter that injects faults per a [`FaultPlan`].
+///
+/// # Example
+///
+/// ```
+/// use faults::io::{fault_ids::IO_EARLY_EOF, FaultyReader};
+/// use faults::{FaultConfig, FaultPlan};
+/// use std::io::Read;
+///
+/// let mut plan = FaultPlan::new();
+/// plan.enable(IO_EARLY_EOF, FaultConfig::always().after(1));
+/// let mut r = FaultyReader::new(&b"hello world"[..], plan);
+/// let mut buf = [0u8; 4];
+/// assert_eq!(r.read(&mut buf).unwrap(), 4); // first read succeeds
+/// assert_eq!(r.read(&mut buf).unwrap(), 0); // then premature EOF
+/// ```
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    plan: FaultPlan,
+    bytes_read: u64,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner`, injecting the faults enabled in `plan`.
+    pub fn new(inner: R, plan: FaultPlan) -> Self {
+        FaultyReader {
+            inner,
+            plan,
+            bytes_read: 0,
+        }
+    }
+
+    /// Consumes the wrapper, returning the underlying reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// The fault plan, for inspecting activation counts.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Total bytes produced by [`read`](Read::read) so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.plan.fires(IO_READ_ERROR) {
+            return Err(io::Error::other("injected: read failed"));
+        }
+        if self.plan.fires(IO_EARLY_EOF) {
+            return Ok(0);
+        }
+        let take = if self.plan.fires(IO_SHORT_READ) && buf.len() > 1 {
+            1
+        } else {
+            buf.len()
+        };
+        let n = self.inner.read(&mut buf[..take])?;
+        if n > 0 && self.plan.fires(IO_BIT_FLIP_READ) {
+            flip_one_bit(&mut buf[..n], self.bytes_read);
+        }
+        self.bytes_read += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultConfig;
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let mut w = FaultyWriter::new(Vec::new(), FaultPlan::new());
+        w.write_all(b"hello").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.into_inner(), b"hello");
+
+        let mut r = FaultyReader::new(&b"hello"[..], FaultPlan::new());
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello");
+    }
+
+    #[test]
+    fn short_writes_still_complete_via_write_all() {
+        let mut plan = FaultPlan::new();
+        plan.enable(IO_SHORT_WRITE, FaultConfig::always());
+        let mut w = FaultyWriter::new(Vec::new(), plan);
+        w.write_all(b"abcdefgh").unwrap();
+        assert_eq!(w.into_inner(), b"abcdefgh");
+    }
+
+    #[test]
+    fn write_error_fires_on_schedule() {
+        let mut plan = FaultPlan::new();
+        plan.enable(IO_WRITE_ERROR, FaultConfig::every(2));
+        let mut w = FaultyWriter::new(Vec::new(), plan);
+        assert!(w.write(b"a").is_ok());
+        let err = w.write(b"b").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(w.plan().activations(IO_WRITE_ERROR), 1);
+    }
+
+    #[test]
+    fn flush_interrupt_has_the_right_kind() {
+        let mut plan = FaultPlan::new();
+        plan.enable(IO_FLUSH_INTERRUPT, FaultConfig::always());
+        let mut w = FaultyWriter::new(Vec::new(), plan);
+        assert_eq!(w.flush().unwrap_err().kind(), io::ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn bit_flip_write_corrupts_exactly_one_bit() {
+        let mut plan = FaultPlan::new();
+        plan.enable(IO_BIT_FLIP_WRITE, FaultConfig::always().limit(1));
+        let mut w = FaultyWriter::new(Vec::new(), plan);
+        w.write_all(b"abcd").unwrap();
+        w.write_all(b"efgh").unwrap();
+        let got = w.into_inner();
+        let differing: u32 = got
+            .iter()
+            .zip(b"abcdefgh")
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing, 1, "exactly one flipped bit in {got:?}");
+    }
+
+    #[test]
+    fn bit_flips_are_deterministic() {
+        let run = || {
+            let mut plan = FaultPlan::new();
+            plan.enable(IO_BIT_FLIP_WRITE, FaultConfig::every(3));
+            let mut w = FaultyWriter::new(Vec::new(), plan);
+            for chunk in b"the quick brown fox jumps over it".chunks(5) {
+                w.write_all(chunk).unwrap();
+            }
+            w.into_inner()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reader_faults_fire_on_schedule() {
+        let data = b"0123456789".repeat(10);
+
+        let mut plan = FaultPlan::new();
+        plan.enable(IO_READ_ERROR, FaultConfig::always().after(2));
+        let mut r = FaultyReader::new(&data[..], plan);
+        let mut buf = [0u8; 4];
+        assert!(r.read(&mut buf).is_ok());
+        assert!(r.read(&mut buf).is_ok());
+        assert!(r.read(&mut buf).is_err());
+
+        let mut plan = FaultPlan::new();
+        plan.enable(IO_SHORT_READ, FaultConfig::always());
+        let mut r = FaultyReader::new(&data[..], plan);
+        assert_eq!(r.read(&mut buf).unwrap(), 1, "short read yields 1 byte");
+        let mut all = Vec::new();
+        r.read_to_end(&mut all).unwrap();
+        assert_eq!(all.len(), data.len() - 1, "read_to_end still drains");
+    }
+
+    #[test]
+    fn bit_flip_read_corrupts_exactly_one_bit() {
+        let data = b"abcdefgh".to_vec();
+        let mut plan = FaultPlan::new();
+        plan.enable(IO_BIT_FLIP_READ, FaultConfig::always().limit(1));
+        let mut r = FaultyReader::new(&data[..], plan);
+        let mut got = Vec::new();
+        r.read_to_end(&mut got).unwrap();
+        let differing: u32 = got
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing, 1);
+    }
+
+    #[test]
+    fn early_eof_truncates_the_stream() {
+        let data = b"0123456789".to_vec();
+        let mut plan = FaultPlan::new();
+        plan.enable(IO_EARLY_EOF, FaultConfig::always().after(1));
+        let mut r = FaultyReader::new(&data[..], plan);
+        let mut got = Vec::new();
+        let mut buf = [0u8; 4];
+        loop {
+            let n = r.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, b"0123", "stream ended after the first chunk");
+    }
+}

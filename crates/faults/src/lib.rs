@@ -29,6 +29,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod io;
+
 use serde::Serialize;
 use std::collections::HashMap;
 use std::fmt;

@@ -14,13 +14,65 @@ use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+static SINK_DEGRADED: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+/// Attempts per sink write/flush before the exporter gives up on the
+/// sink and degrades to counters-only operation.
+const SINK_ATTEMPTS: u32 = 3;
+/// Base backoff between attempts; doubles per retry (1 ms, 2 ms).
+const SINK_BACKOFF_MS: u64 = 1;
 
 /// Whether a JSONL sink is installed. Producers should check this (it
 /// is one relaxed load) before building an event payload.
 #[inline]
 pub fn sink_active() -> bool {
     SINK_ACTIVE.load(Relaxed)
+}
+
+/// Whether the sink was dropped because of persistent write failures.
+/// The in-memory registry keeps accumulating, so a final Prometheus
+/// dump (or [`prometheus_text`]) still reports complete counters.
+#[inline]
+pub fn sink_degraded() -> bool {
+    SINK_DEGRADED.load(Relaxed)
+}
+
+/// Retries `op` with doubling backoff. `io::Write::write_all` already
+/// absorbs `ErrorKind::Interrupted`, so every error reaching this loop
+/// costs one attempt.
+fn with_retry(mut op: impl FnMut() -> io::Result<()>) -> io::Result<()> {
+    let mut last = None;
+    for attempt in 0..SINK_ATTEMPTS {
+        match op() {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                crate::registry()
+                    .counter("heapmd_obs_sink_retries_total")
+                    .inc();
+                last = Some(e);
+                if attempt + 1 < SINK_ATTEMPTS {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        SINK_BACKOFF_MS << attempt,
+                    ));
+                }
+            }
+        }
+    }
+    Err(last.expect("SINK_ATTEMPTS > 0"))
+}
+
+/// Drops the sink after a persistent failure, downgrading to
+/// counters-only operation instead of aborting (or erroring out of) the
+/// pipeline being observed.
+fn degrade(guard: &mut Option<Box<dyn Write + Send>>, err: &io::Error) {
+    SINK_ACTIVE.store(false, Relaxed);
+    SINK_DEGRADED.store(true, Relaxed);
+    *guard = None;
+    crate::registry()
+        .counter("heapmd_obs_sink_errors_total")
+        .inc();
+    eprintln!("heapmd-obs: event sink failed permanently ({err}); continuing with counters only");
 }
 
 /// Installs `writer` as the process-global JSONL sink, replacing (and
@@ -31,6 +83,7 @@ pub fn set_sink(writer: Box<dyn Write + Send>) {
         let _ = old.flush();
     }
     *guard = Some(writer);
+    SINK_DEGRADED.store(false, Relaxed);
     SINK_ACTIVE.store(true, Relaxed);
 }
 
@@ -51,10 +104,15 @@ pub fn clear_sink() {
     *guard = None;
 }
 
-/// Flushes the sink without removing it.
+/// Flushes the sink without removing it. Flush failures are retried
+/// with bounded backoff; a persistent failure degrades the exporter to
+/// counters-only (see [`sink_degraded`]).
 pub fn flush_sink() {
-    if let Some(sink) = SINK.lock().unwrap().as_mut() {
-        let _ = sink.flush();
+    let mut guard = SINK.lock().unwrap();
+    if let Some(sink) = guard.as_mut() {
+        if let Err(e) = with_retry(|| sink.flush()) {
+            degrade(&mut guard, &e);
+        }
     }
 }
 
@@ -67,8 +125,9 @@ fn unix_millis() -> u64 {
 
 /// Emits one event of the given `kind` to the sink, if one is active.
 /// `fill` adds the payload fields; `type` and `ts_ms` are added for it.
-/// Write errors deactivate the sink rather than propagate — telemetry
-/// must never take down the pipeline it observes.
+/// Write errors are retried with bounded backoff; a sink that keeps
+/// failing is dropped and the exporter degrades to counters-only —
+/// telemetry must never take down the pipeline it observes.
 pub fn emit_event(kind: &str, fill: impl FnOnce(&mut JsonObject)) {
     if !sink_active() {
         return;
@@ -85,9 +144,8 @@ pub fn emit_event(kind: &str, fill: impl FnOnce(&mut JsonObject)) {
     let Some(sink) = guard.as_mut() else {
         return;
     };
-    if sink.write_all(line.as_bytes()).is_err() {
-        SINK_ACTIVE.store(false, Relaxed);
-        *guard = None;
+    if let Err(e) = with_retry(|| sink.write_all(line.as_bytes())) {
+        degrade(&mut guard, &e);
     }
 }
 
@@ -129,6 +187,15 @@ mod tests {
     use super::*;
     use std::sync::{Arc, Mutex as StdMutex};
 
+    /// Serializes tests that touch the process-global sink.
+    static SINK_TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn sink_test_guard() -> std::sync::MutexGuard<'static, ()> {
+        SINK_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// A `Write` handle that appends into a shared buffer.
     #[derive(Clone)]
     struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
@@ -145,6 +212,7 @@ mod tests {
 
     #[test]
     fn events_reach_the_sink_one_per_line() {
+        let _guard = sink_test_guard();
         let buf = Arc::new(StdMutex::new(Vec::new()));
         set_sink(Box::new(SharedBuf(Arc::clone(&buf))));
         assert!(sink_active());
@@ -166,9 +234,80 @@ mod tests {
 
     #[test]
     fn no_sink_means_no_work_and_no_panic() {
+        let _guard = sink_test_guard();
         clear_sink();
         emit_event("dropped", |o| {
             o.field_u64("n", 3);
         });
+    }
+
+    /// Fails a fixed number of writes, then recovers.
+    struct FlakySink {
+        failures_left: Arc<StdMutex<u32>>,
+        out: Arc<StdMutex<Vec<u8>>>,
+    }
+
+    impl Write for FlakySink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let mut left = self.failures_left.lock().unwrap();
+            if *left > 0 {
+                *left -= 1;
+                return Err(io::Error::other("transient"));
+            }
+            self.out.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn transient_write_failures_are_retried() {
+        let _guard = sink_test_guard();
+        let out = Arc::new(StdMutex::new(Vec::new()));
+        set_sink(Box::new(FlakySink {
+            failures_left: Arc::new(StdMutex::new(SINK_ATTEMPTS - 1)),
+            out: Arc::clone(&out),
+        }));
+        emit_event("retried_evt", |o| {
+            o.field_u64("n", 7);
+        });
+        assert!(sink_active(), "sink survived transient failures");
+        assert!(!sink_degraded());
+        clear_sink();
+        let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"retried_evt\""), "event landed: {text:?}");
+    }
+
+    #[test]
+    fn persistent_write_failure_degrades_to_counters_only() {
+        let _guard = sink_test_guard();
+        let out = Arc::new(StdMutex::new(Vec::new()));
+        set_sink(Box::new(FlakySink {
+            failures_left: Arc::new(StdMutex::new(u32::MAX)),
+            out: Arc::clone(&out),
+        }));
+        let errors_before = crate::registry()
+            .counter("heapmd_obs_sink_errors_total")
+            .get();
+        emit_event("doomed_evt", |o| {
+            o.field_u64("n", 1);
+        });
+        assert!(!sink_active(), "persistently failing sink was dropped");
+        assert!(sink_degraded());
+        assert_eq!(
+            crate::registry()
+                .counter("heapmd_obs_sink_errors_total")
+                .get(),
+            errors_before + 1
+        );
+        // Counters-only mode: the registry still works end to end.
+        crate::registry().counter("degraded_mode_probe").inc();
+        assert!(prometheus_text().contains("degraded_mode_probe"));
+        // A fresh sink clears the degraded state.
+        set_sink(Box::new(SharedBuf(Arc::new(StdMutex::new(Vec::new())))));
+        assert!(!sink_degraded());
+        clear_sink();
     }
 }

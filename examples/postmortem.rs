@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Post-mortem: reload both, replay, report.
     let model = heapmd::HeapModel::load(dir.join("model.json"))?;
     let trace = Trace::load(dir.join("crash.trace.json"))?;
-    let bugs = trace.check(&model, &settings);
+    let bugs = trace.check(&model, &settings)?;
     println!("post-mortem found {} anomalies", bugs.len());
     for b in bugs.iter().take(3) {
         println!("  {b}");

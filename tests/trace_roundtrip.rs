@@ -31,7 +31,7 @@ fn run(settings: &Settings, plan: &mut FaultPlan) -> (heapmd::MetricReport, Trac
 fn replay_reproduces_the_online_series_exactly() {
     let settings = Settings::builder().frq(10).build().unwrap();
     let (online, trace) = run(&settings, &mut FaultPlan::new());
-    let offline = trace.replay(&settings, "replayed");
+    let offline = trace.replay(&settings, "replayed").unwrap();
     assert_eq!(online.len(), offline.len());
     for (a, b) in online.samples.iter().zip(&offline.samples) {
         assert_eq!(a.metrics, b.metrics);
@@ -53,7 +53,7 @@ fn offline_check_agrees_with_report_check() {
     let mut plan = FaultPlan::single(DLIST_SKIP_PREV);
     let (report, trace) = run(&settings, &mut plan);
     let via_report = AnomalyDetector::check_report(&model, &settings, &report);
-    let via_trace = trace.check(&model, &settings);
+    let via_trace = trace.check(&model, &settings).unwrap();
     assert!(!via_report.is_empty(), "the bug must be detected offline");
     assert!(!via_trace.is_empty(), "the bug must be detected via trace");
     // Same violations (trace mode adds call-stack context).
@@ -83,7 +83,7 @@ fn trace_json_roundtrip_preserves_checking() {
     let json = trace.to_json().unwrap();
     let back = Trace::from_json(&json).unwrap();
     assert_eq!(
-        trace.check(&model, &settings).len(),
-        back.check(&model, &settings).len()
+        trace.check(&model, &settings).unwrap().len(),
+        back.check(&model, &settings).unwrap().len()
     );
 }
