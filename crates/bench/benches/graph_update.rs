@@ -4,7 +4,43 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use heap_graph::HeapGraph;
-use sim_heap::{Addr, AllocSite, SimHeap};
+use sim_heap::{Addr, AllocSite, HeapEvent, SimHeap};
+
+/// Records the event stream of building an `n`-node chain and then
+/// freeing every node — the shape a trace replay feeds `apply_batch`.
+fn recorded_stream(n: usize) -> Vec<HeapEvent> {
+    let mut heap = SimHeap::new();
+    let mut addrs: Vec<Addr> = Vec::with_capacity(n);
+    let mut events = Vec::with_capacity(3 * n);
+    for _ in 0..n {
+        let eff = heap.alloc(32, AllocSite(0)).unwrap();
+        events.push(HeapEvent::Alloc {
+            obj: eff.id,
+            addr: eff.addr,
+            size: eff.size,
+            site: AllocSite(0),
+        });
+        addrs.push(eff.addr);
+    }
+    for w in addrs.windows(2) {
+        let eff = heap.write_ptr(w[0].offset(8), w[1]).unwrap();
+        events.push(HeapEvent::PtrWrite {
+            src: eff.src,
+            offset: eff.offset,
+            value: w[1],
+            old_value: eff.old_value,
+        });
+    }
+    for addr in addrs {
+        let eff = heap.free(addr).unwrap();
+        events.push(HeapEvent::Free {
+            obj: eff.id,
+            addr: eff.addr,
+            size: eff.size,
+        });
+    }
+    events
+}
 
 /// Builds a linked structure of `n` nodes, then churns it.
 fn churn(n: usize) -> (SimHeap, HeapGraph) {
@@ -43,6 +79,23 @@ fn bench_graph_update(c: &mut Criterion) {
                 }
             });
         });
+
+        // Replay of a recorded stream through the batch entry point
+        // (the offline checker's hot loop). Throughput counts actual
+        // events, not nodes: ~3n (alloc + link + free).
+        let events = recorded_stream(n);
+        group.throughput(Throughput::Elements(events.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("apply_batch_replay", n),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut graph = HeapGraph::new();
+                    graph.apply_batch(events);
+                    graph
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,87 @@
+//! Splits the graph_update bench cost between the simulated heap and
+//! the heap-graph, so optimization effort goes where the time is.
+//!
+//! Run: `cargo run --release -p heapmd-bench --example profile_hotpath`
+
+use heap_graph::HeapGraph;
+use sim_heap::{Addr, AllocSite, SimHeap};
+use std::time::Instant;
+
+const N: usize = 10_000;
+const REPS: usize = 50;
+
+fn time(label: &str, mut f: impl FnMut()) {
+    // Warm up once, then report the best of REPS (least-noise floor).
+    f();
+    let mut best = u128::MAX;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    println!(
+        "{label:<28} {:>10.1} µs  ({:>6.1} ns/node)",
+        best as f64 / 1e3,
+        best as f64 / N as f64
+    );
+}
+
+fn main() {
+    time("heap only: chain", || {
+        let mut heap = SimHeap::new();
+        let mut addrs: Vec<Addr> = Vec::with_capacity(N);
+        for _ in 0..N {
+            addrs.push(heap.alloc(32, AllocSite(0)).unwrap().addr);
+        }
+        for w in addrs.windows(2) {
+            heap.write_ptr(w[0].offset(8), w[1]).unwrap();
+        }
+    });
+
+    time("heap+graph: chain", || {
+        let mut heap = SimHeap::new();
+        let mut graph = HeapGraph::new();
+        let mut addrs: Vec<Addr> = Vec::with_capacity(N);
+        for _ in 0..N {
+            let eff = heap.alloc(32, AllocSite(0)).unwrap();
+            graph.on_alloc(eff.id, eff.addr, eff.size);
+            addrs.push(eff.addr);
+        }
+        for w in addrs.windows(2) {
+            let eff = heap.write_ptr(w[0].offset(8), w[1]).unwrap();
+            graph.on_ptr_write(eff.src, eff.offset, w[1]);
+        }
+    });
+
+    let (mut heap, mut graph) = {
+        let mut heap = SimHeap::new();
+        let mut graph = HeapGraph::new();
+        let mut addrs: Vec<Addr> = Vec::with_capacity(N);
+        for _ in 0..N {
+            let eff = heap.alloc(32, AllocSite(0)).unwrap();
+            graph.on_alloc(eff.id, eff.addr, eff.size);
+            addrs.push(eff.addr);
+        }
+        for w in addrs.windows(2) {
+            let eff = heap.write_ptr(w[0].offset(8), w[1]).unwrap();
+            graph.on_ptr_write(eff.src, eff.offset, w[1]);
+        }
+        (heap, graph)
+    };
+
+    time("heap only: alloc/free", || {
+        for _ in 0..N {
+            let eff = heap.alloc(32, AllocSite(1)).unwrap();
+            heap.free(eff.addr).unwrap();
+        }
+    });
+
+    time("heap+graph: alloc/free", || {
+        for _ in 0..N {
+            let eff = heap.alloc(32, AllocSite(1)).unwrap();
+            graph.on_alloc(eff.id, eff.addr, eff.size);
+            let freed = heap.free(eff.addr).unwrap();
+            graph.on_free(freed.id);
+        }
+    });
+}

@@ -4,7 +4,7 @@
 //! heapmd list                                   # programs and catalogued bugs
 //! heapmd run <program> [--input K] [--version V] [--bug FAULT] [--trace-out FILE]
 //! heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]
-//!                        [--checkpoint-every N] [--resume]
+//!                        [--checkpoint-every N] [--resume] [--threads N]
 //! heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT]
 //! heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT]
 //! heapmd replay --model FILE --trace FILE [--salvage]
@@ -41,7 +41,7 @@ use heapmd::{FuncId, HeapModel, ModelBuilder, Process, Trace, TrainCheckpoint};
 use heapmd_obs::{debug, error, info};
 use std::path::Path;
 use workloads::bugs::{CATALOG, SWAT_ONLY};
-use workloads::harness::{check, run_once, settings_for};
+use workloads::harness::{check, run_many, run_once, settings_for};
 use workloads::{commercial_at_version, registry, Input, Workload, WorkloadKind};
 
 fn find_program(name: &str, version: u8) -> Option<Box<dyn Workload>> {
@@ -86,7 +86,7 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE]"
+        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE]"
     );
     std::process::exit(2);
 }
@@ -191,6 +191,7 @@ fn cmd_train(args: &[String]) -> i32 {
     let out = arg_value(args, "--out").unwrap_or_else(|| format!("{program}.heapmd.json"));
     let local = args.iter().any(|a| a == "--local");
     let checkpoint_every: u64 = num_flag(args, "--checkpoint-every", "a number", 0u64);
+    let threads: usize = num_flag(args, "--threads", "a number", 1usize);
     let resume = args.iter().any(|a| a == "--resume");
     let ckpt_path = arg_value(args, "--checkpoint").unwrap_or_else(|| format!("{out}.ckpt"));
     // Test hook: slow training down so the chaos suite can SIGKILL the
@@ -231,19 +232,29 @@ fn cmd_train(args: &[String]) -> i32 {
             0,
         )
     };
-    for (i, input) in Input::set(inputs)
-        .into_iter()
-        .enumerate()
-        .skip(start as usize)
-    {
-        let report = run_once(w.as_ref(), &input, &mut FaultPlan::new(), &settings);
+    let all_inputs = Input::set(inputs);
+    let pending = &all_inputs[(start as usize).min(all_inputs.len())..];
+    // With --threads > 1 the pending runs execute on worker threads and
+    // are merged in input order, so the model (and every checkpoint) is
+    // bit-identical to the sequential path.
+    let reports = if threads > 1 {
+        run_many(w.as_ref(), pending, &settings, threads)
+    } else {
+        Vec::new()
+    };
+    for (i, input) in pending.iter().enumerate() {
+        let report = if threads > 1 {
+            reports[i].clone()
+        } else {
+            run_once(w.as_ref(), input, &mut FaultPlan::new(), &settings)
+        };
         debug!(
             "training input {} contributed {} samples",
             input.id,
             report.samples.len()
         );
         builder.add_run(&report);
-        let done = i as u64 + 1;
+        let done = start + i as u64 + 1;
         if checkpoint_every > 0 && done.is_multiple_of(checkpoint_every) {
             if let Err(e) = builder.checkpoint(done).save(&ckpt_path) {
                 error!("checkpoint write to {ckpt_path} failed: {e}");

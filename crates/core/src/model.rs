@@ -327,6 +327,89 @@ impl ModelBuilder {
         self
     }
 
+    /// Summarizes `reports` on up to `threads` scoped worker threads and
+    /// adds them to the pool in input order.
+    ///
+    /// Deterministic by construction: [`summarize_run`] is a pure
+    /// function of `(report, settings)`, each worker writes its results
+    /// into slots addressed by input index, and the pool is appended in
+    /// index order afterwards — so the builder state (and any model or
+    /// checkpoint derived from it) is bit-identical to calling
+    /// [`add_run`](Self::add_run) sequentially, whatever `threads` is.
+    ///
+    /// Reports per-stage throughput and thread utilization through
+    /// `heapmd-obs` (`model_train_summarize` stage).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker thread (as the sequential
+    /// path would).
+    pub fn add_runs_parallel(&mut self, reports: &[MetricReport], threads: usize) -> &mut Self {
+        let workers = threads.max(1).min(reports.len());
+        if workers <= 1 {
+            for report in reports {
+                self.add_run(report);
+            }
+            return self;
+        }
+        let clock = heapmd_obs::throughput::stage_clock();
+        let settings = &self.settings;
+        let include_local = self.include_local;
+        type Summarized = Option<(RunSummary, Option<Vec<Vec<f64>>>)>;
+        let mut results: Vec<Summarized> = vec![None; reports.len()];
+        let chunk = reports.len().div_ceil(workers);
+        let busy: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = results
+                .chunks_mut(chunk)
+                .zip(reports.chunks(chunk))
+                .map(|(slots, part)| {
+                    scope.spawn(move || {
+                        let t0 = std::time::Instant::now();
+                        for (slot, report) in slots.iter_mut().zip(part) {
+                            let summary = summarize_run(report, settings);
+                            let series = if include_local && summary.metrics.is_some() {
+                                Some(
+                                    MetricKind::ALL
+                                        .iter()
+                                        .map(|&k| report.trimmed_series(k, settings))
+                                        .collect(),
+                                )
+                            } else {
+                                None
+                            };
+                            *slot = Some((summary, series));
+                        }
+                        t0.elapsed().as_nanos() as u64
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("summarize worker panicked"))
+                .collect()
+        });
+        for result in results {
+            let (summary, series) = result.expect("every slot filled");
+            self.series.push(series);
+            self.runs.push(summary);
+        }
+        if let Some(t0) = clock {
+            let wall = (t0.elapsed().as_nanos() as u64).max(1);
+            heapmd_obs::throughput::record_stage(
+                "model_train_summarize",
+                reports.len() as u64,
+                wall,
+            );
+            heapmd_obs::gauge_set!("model_train_threads", workers as i64);
+            let busy_total: u64 = busy.iter().sum();
+            heapmd_obs::gauge_set!(
+                "model_train_thread_utilization_pct",
+                (busy_total.saturating_mul(100)) / (wall * workers as u64)
+            );
+        }
+        self
+    }
+
     /// Number of runs added so far.
     pub fn run_count(&self) -> usize {
         self.runs.len()
@@ -800,6 +883,30 @@ mod tests {
             b.add_run(&phase_report(&format!("r{i}"), 10.0, 30.0 + i as f64, 40));
         }
         assert!(b.build().model.locally_stable.is_empty());
+    }
+
+    #[test]
+    fn parallel_add_runs_matches_sequential() {
+        let reports: Vec<MetricReport> = (0..7)
+            .map(|i| {
+                if i % 2 == 0 {
+                    flat_report(&format!("r{i}"), 20.0 + i as f64, 30)
+                } else {
+                    noisy_report(&format!("r{i}"), 30)
+                }
+            })
+            .collect();
+        let mut seq = ModelBuilder::new(settings()).locally_stable(true);
+        for r in &reports {
+            seq.add_run(r);
+        }
+        for threads in [1, 2, 8, 32] {
+            let mut par = ModelBuilder::new(settings()).locally_stable(true);
+            par.add_runs_parallel(&reports, threads);
+            assert_eq!(par.runs, seq.runs, "{threads} threads");
+            assert_eq!(par.series, seq.series, "{threads} threads");
+            assert_eq!(par.build(), seq.build(), "{threads} threads");
+        }
     }
 
     #[test]

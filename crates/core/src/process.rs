@@ -396,6 +396,94 @@ impl Process {
         Ok(())
     }
 
+    /// Ingests a recorded event slice — the offline counterpart of the
+    /// mutator API. The heap-graph image, function-entry counter, call
+    /// stack, and sampling schedule advance exactly as if each event had
+    /// been fed individually; the simulated heap is **not** re-executed
+    /// (object ids and addresses come from the recorded stream, so
+    /// samples taken here carry the ingesting heap's logical clock).
+    ///
+    /// When no monitors, trace recorder, or stream sink are attached,
+    /// graph mutations between sampling points are applied through
+    /// [`HeapGraph::apply_batch`], amortizing per-event dispatch;
+    /// throughput is reported via the `process_ingest` obs stage.
+    pub fn apply_batch(&mut self, events: &[HeapEvent]) {
+        let fast = self.monitors.is_empty() && self.trace.is_none() && self.stream.is_none();
+        if !fast {
+            for ev in events {
+                self.apply_event(ev);
+            }
+            return;
+        }
+        let clock = heapmd_obs::throughput::stage_clock();
+        let mut batch_start = 0;
+        for (i, ev) in events.iter().enumerate() {
+            match *ev {
+                HeapEvent::FnEnter { func } => {
+                    // Flush pending graph mutations, then advance the
+                    // sampling schedule. Non-graph events inside the
+                    // flushed span are ignored by the graph.
+                    self.graph.apply_batch(&events[batch_start..i]);
+                    batch_start = i + 1;
+                    let id = self.func_id_for(func);
+                    self.stack.push(id);
+                    self.fn_entries += 1;
+                    if self.fn_entries.is_multiple_of(self.settings.frq) {
+                        self.sample();
+                    }
+                }
+                // FnExit only pops the stack, which the graph never
+                // reads — handle it in order, without a batch flush.
+                HeapEvent::FnExit { .. } => {
+                    self.stack.pop();
+                }
+                _ => {}
+            }
+        }
+        self.graph.apply_batch(&events[batch_start..]);
+        if let Some(t0) = clock {
+            heapmd_obs::throughput::record_stage(
+                "process_ingest",
+                events.len() as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+
+    /// Ingests one recorded event with full monitor/trace fan-out —
+    /// the per-event slow path behind [`apply_batch`](Self::apply_batch).
+    fn apply_event(&mut self, ev: &HeapEvent) {
+        match *ev {
+            HeapEvent::FnEnter { func } => {
+                let id = self.func_id_for(func);
+                self.stack.push(id);
+                self.fn_entries += 1;
+                self.record(ev);
+                if self.fn_entries.is_multiple_of(self.settings.frq) {
+                    self.sample();
+                }
+            }
+            HeapEvent::FnExit { .. } => {
+                self.stack.pop();
+                self.record(ev);
+            }
+            _ => {
+                self.graph.apply(ev);
+                self.record(ev);
+            }
+        }
+    }
+
+    /// Maps a recorded function id onto this process's intern table,
+    /// synthesizing an anonymous `fn#N` name for unknown ids.
+    fn func_id_for(&mut self, raw: u32) -> FuncId {
+        if (raw as usize) < self.funcs.len() {
+            FuncId(raw)
+        } else {
+            self.funcs.intern(&format!("fn#{raw}"))
+        }
+    }
+
     /// Finishes the run: notifies monitors and returns the metric
     /// report.
     pub fn finish(mut self, run: impl Into<String>) -> MetricReport {
@@ -599,6 +687,48 @@ mod tests {
         // The 4th sample fires at the 8th `enter`, before that
         // iteration's malloc — so 7 objects are live.
         assert_eq!(r.samples[3].nodes, 7);
+    }
+
+    #[test]
+    fn apply_batch_fast_and_slow_paths_agree() {
+        // Record a real run's event stream...
+        let mut src = Process::new(settings(3));
+        src.enable_trace();
+        let mut prev = None;
+        for i in 0..40 {
+            src.enter("build");
+            let node = src.malloc(16, "node").unwrap();
+            if let Some(prev) = prev {
+                src.write_ptr(node.offset(8), prev).unwrap();
+            }
+            prev = Some(node);
+            if i % 7 == 0 {
+                src.write_scalar(node).unwrap();
+            }
+            src.leave();
+        }
+        let trace = src.take_trace().unwrap();
+        let online = src.finish("online");
+
+        // ...then ingest it through both apply_batch paths: fast (no
+        // sinks) and slow (trace recorder forces per-event fan-out).
+        let mut fast = Process::new(settings(3));
+        fast.apply_batch(trace.events());
+        let fast_report = fast.finish("fast");
+
+        let mut slow = Process::new(settings(3));
+        slow.enable_trace();
+        slow.apply_batch(trace.events());
+        assert_eq!(slow.take_trace().unwrap(), trace);
+        let slow_report = slow.finish("slow");
+
+        assert_eq!(fast_report.samples, slow_report.samples);
+        assert_eq!(fast_report.len(), online.len());
+        for (a, b) in fast_report.samples.iter().zip(&online.samples) {
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.fn_entries, b.fn_entries);
+        }
     }
 
     #[test]

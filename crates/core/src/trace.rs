@@ -154,9 +154,7 @@ impl Trace {
     ) -> Result<MetricReport, HeapMdError> {
         self.validate_function_ids()?;
         let mut replayer = Replayer::new(settings.clone(), &self.functions);
-        for ev in &self.events {
-            replayer.step(ev, &mut []);
-        }
+        replayer.replay_batched(&self.events);
         Ok(MetricReport::new(run, replayer.samples))
     }
 
@@ -242,6 +240,55 @@ impl Replayer {
         }
     }
 
+    /// Records a metric computation point from the current graph state.
+    fn take_sample(&mut self) -> MetricSample {
+        let ext = self.graph.extended_metrics();
+        let sample = MetricSample {
+            seq: self.samples.len(),
+            fn_entries: self.fn_entries,
+            tick: self.tick,
+            metrics: self.graph.metrics(),
+            nodes: ext.nodes,
+            edges: ext.edges,
+            dangling: ext.dangling_slots,
+        };
+        self.samples.push(sample);
+        sample
+    }
+
+    /// Monitor-free replay: graph mutations between function entries
+    /// apply through [`HeapGraph::apply_batch`], amortizing dispatch.
+    ///
+    /// Equivalent to [`step`](Self::step)-ing each event with no
+    /// monitors: samples land at the same function-entry boundaries
+    /// with the same tick, and non-graph events inside a flushed span
+    /// are ignored by the graph either way. `FnExit` only pops the
+    /// (unobserved) call stack, so it needs no flush.
+    fn replay_batched(&mut self, events: &[HeapEvent]) {
+        let mut batch_start = 0;
+        for (i, ev) in events.iter().enumerate() {
+            match *ev {
+                HeapEvent::FnEnter { func } => {
+                    self.graph.apply_batch(&events[batch_start..i]);
+                    batch_start = i + 1;
+                    let id = self.func_name(func);
+                    self.stack.push(id);
+                    self.fn_entries += 1;
+                    self.tick = i as u64 + 1;
+                    if self.fn_entries.is_multiple_of(self.settings.frq) {
+                        self.take_sample();
+                    }
+                }
+                HeapEvent::FnExit { .. } => {
+                    self.stack.pop();
+                }
+                _ => {}
+            }
+        }
+        self.graph.apply_batch(&events[batch_start..]);
+        self.tick = events.len() as u64;
+    }
+
     fn step(&mut self, ev: &HeapEvent, monitors: &mut [&mut dyn Monitor]) {
         self.tick += 1;
         match *ev {
@@ -268,17 +315,7 @@ impl Replayer {
         if matches!(ev, HeapEvent::FnEnter { .. })
             && self.fn_entries.is_multiple_of(self.settings.frq)
         {
-            let ext = self.graph.extended_metrics();
-            let sample = MetricSample {
-                seq: self.samples.len(),
-                fn_entries: self.fn_entries,
-                tick: self.tick,
-                metrics: self.graph.metrics(),
-                nodes: ext.nodes,
-                edges: ext.edges,
-                dangling: ext.dangling_slots,
-            };
-            self.samples.push(sample);
+            let sample = self.take_sample();
             let ctx = MonitorCtx {
                 graph: &self.graph,
                 heap: &self.heap,
@@ -349,6 +386,19 @@ mod tests {
             assert_eq!(a.nodes, b.nodes);
             assert_eq!(a.fn_entries, b.fn_entries);
         }
+    }
+
+    #[test]
+    fn batched_replay_matches_stepped_replay() {
+        let (trace, _) = traced_run(5, 100);
+        let settings = Settings::builder().frq(5).build().unwrap();
+        let batched = trace.replay(&settings, "batched").unwrap();
+        // Stepped reference: drive the replayer one event at a time.
+        let mut stepped = Replayer::new(settings, trace.functions());
+        for ev in trace.events() {
+            stepped.step(ev, &mut []);
+        }
+        assert_eq!(batched.samples, stepped.samples);
     }
 
     #[test]

@@ -1,19 +1,69 @@
-//! The incremental heap-graph.
+//! The incremental heap-graph (dense-slab hot path).
+//!
+//! Object ids are interned into dense `u32` slot indexes the moment a
+//! vertex is allocated; every per-vertex structure (degrees, start
+//! address, out-slots, inbound adjacency) then lives in one flat
+//! [`Vec`] of [`NodeSlot`]s indexed by slot, with freed slots recycled
+//! through a free list (their `Vec` capacity is retained, so a steady
+//! alloc/free workload stops allocating entirely). The only remaining
+//! hash lookup on the hot path is the `ObjectId → slot` intern map,
+//! which uses the vendored FxHash hasher instead of SipHash. Pointer
+//! resolution and dangling-address re-binding use sorted vectors with
+//! `partition_point` binary search in place of `BTreeMap`s — the
+//! simulator hands out mostly-monotonic addresses, so inserts land at
+//! or near the tail.
 
 use crate::histogram::DegreeHistogram;
 use crate::metrics::{ExtendedMetrics, MetricVector};
 use crate::node::NodeInfo;
+use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use sim_heap::{Addr, HeapEvent, ObjectId};
-use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// One pointer slot's state as the graph sees it.
+///
+/// `target` holds the *dense slot index* of the live object the raw
+/// address currently resolves to — never a stale index: every structure
+/// referencing a slot is unlinked before the slot enters the free list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct SlotState {
     /// Raw stored address.
     raw: u64,
-    /// The live object it currently resolves to, if any.
-    target: Option<ObjectId>,
+    /// Dense slot of the live object it currently resolves to, if any.
+    target: Option<u32>,
+}
+
+/// Per-vertex storage, indexed by dense slot.
+#[derive(Debug, Clone)]
+struct NodeSlot {
+    /// The object id this slot currently represents (stale once freed).
+    id: ObjectId,
+    /// Cached degrees.
+    info: NodeInfo,
+    /// Start address, for O(log n) range removal on free.
+    start: u64,
+    /// Outgoing pointer slots, sorted by offset.
+    out: Vec<(u64, SlotState)>,
+    /// Reverse edges: `(source slot, offset)`, unordered. Degrees are
+    /// small at object granularity (paper §2.2), so removal is a linear
+    /// scan + `swap_remove`.
+    inbound: Vec<(u32, u64)>,
+}
+
+/// One live allocation in the sorted range index.
+#[derive(Debug, Clone, Copy)]
+struct Range {
+    start: u64,
+    end: u64,
+    slot: u32,
+}
+
+/// Dangling slots sharing one raw address, in the sorted unresolved
+/// index.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    raw: u64,
+    entries: Vec<(u32, u64)>,
 }
 
 /// A serializable summary of the graph at one instant.
@@ -37,27 +87,35 @@ pub struct GraphSnapshot {
 /// [`on_alloc`](Self::on_alloc), [`on_free`](Self::on_free), and
 /// [`on_ptr_write`](Self::on_ptr_write) /
 /// [`on_scalar_write`](Self::on_scalar_write); or feed raw events
-/// through [`apply`](Self::apply).
+/// through [`apply`](Self::apply) or, for recorded streams,
+/// [`apply_batch`](Self::apply_batch).
 ///
 /// # Invariants (checked by [`validate`](Self::validate))
 ///
 /// * a slot is an edge iff its raw address lies inside a live object;
 /// * per-node degrees equal the counts implied by the slot table;
-/// * the degree histogram equals a from-scratch recount.
+/// * the degree histogram equals a from-scratch recount;
+/// * the intern map, slab, free list, and sorted indexes are mutually
+///   consistent.
 #[derive(Debug, Clone, Default)]
 pub struct HeapGraph {
-    nodes: HashMap<ObjectId, NodeInfo>,
-    /// Live objects keyed by start address, for pointer resolution.
-    ranges: BTreeMap<u64, (ObjectId, usize)>,
-    /// Reverse map: vertex → start address (for O(log n) frees).
-    starts: HashMap<ObjectId, u64>,
-    /// Per-source pointer slots: offset → state.
-    out_slots: HashMap<ObjectId, BTreeMap<u64, SlotState>>,
-    /// Reverse edges: target → set of (source, offset).
-    inbound: HashMap<ObjectId, HashSet<(ObjectId, u64)>>,
-    /// Slots whose raw address resolves to no live object, keyed by that
-    /// address so allocations can re-bind them by range scan.
-    unresolved: BTreeMap<u64, HashSet<(ObjectId, u64)>>,
+    /// Intern map: object id → dense slot. Ids are unbounded monotonic
+    /// `u64`s, so direct indexing would leak; this FxHash lookup is the
+    /// one remaining hash on the hot path.
+    index: FxHashMap<ObjectId, u32>,
+    /// The slab. Slots on `free` are dead but keep their capacity.
+    slots: Vec<NodeSlot>,
+    free: Vec<u32>,
+    /// Live objects sorted by start address, for pointer resolution.
+    ranges: Vec<Range>,
+    /// Dangling slots sorted by raw address, so allocations can re-bind
+    /// them with one binary search + drain.
+    unresolved: Vec<Bucket>,
+    /// Last range index a resolution hit. Event streams touch addresses
+    /// with strong locality (chains, sequential initialization), so
+    /// checking the hint and its successor first often skips the binary
+    /// search. Purely an accelerator — always verified, never trusted.
+    cursor: std::cell::Cell<usize>,
     histogram: DegreeHistogram,
     edge_count: u64,
     dangling: u64,
@@ -87,12 +145,12 @@ impl HeapGraph {
 
     /// Degree information for a live vertex.
     pub fn node(&self, id: ObjectId) -> Option<NodeInfo> {
-        self.nodes.get(&id).copied()
+        self.index.get(&id).map(|&s| self.slots[s as usize].info)
     }
 
     /// Returns `true` if `id` is a live vertex.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.nodes.contains_key(&id)
+        self.index.contains_key(&id)
     }
 
     /// The degree histogram (O(1) reads for every paper metric).
@@ -149,6 +207,28 @@ impl HeapGraph {
         }
     }
 
+    /// Applies a recorded event slice in one call, amortizing dispatch
+    /// and reporting batch throughput through `heapmd-obs`
+    /// (`heap_graph_apply` stage: events/sec, ns/event).
+    ///
+    /// Equivalent to calling [`apply`](Self::apply) per event.
+    pub fn apply_batch(&mut self, events: &[HeapEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let clock = heapmd_obs::throughput::stage_clock();
+        for event in events {
+            self.apply(event);
+        }
+        if let Some(t0) = clock {
+            heapmd_obs::throughput::record_stage(
+                "heap_graph_apply",
+                events.len() as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+
     /// Adds a vertex for a fresh allocation and re-binds any dangling
     /// slots whose address falls inside it.
     ///
@@ -156,34 +236,61 @@ impl HeapGraph {
     ///
     /// Panics if `id` is already live (the event stream is corrupt).
     pub fn on_alloc(&mut self, id: ObjectId, addr: Addr, size: usize) {
-        let prev = self.nodes.insert(id, NodeInfo::new());
+        let start = addr.get();
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let ns = &mut self.slots[s as usize];
+                debug_assert!(ns.out.is_empty() && ns.inbound.is_empty());
+                ns.id = id;
+                ns.info = NodeInfo::new();
+                ns.start = start;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("slab overflow");
+                self.slots.push(NodeSlot {
+                    id,
+                    info: NodeInfo::new(),
+                    start,
+                    out: Vec::new(),
+                    inbound: Vec::new(),
+                });
+                s
+            }
+        };
+        let prev = self.index.insert(id, slot);
         assert!(prev.is_none(), "duplicate allocation of {id}");
-        self.ranges.insert(addr.get(), (id, size));
-        self.starts.insert(id, addr.get());
+        let end = start + size as u64;
+        // Fresh addresses are monotonic, so tail append is the common
+        // case; the binary search only runs for recycled addresses.
+        if self.ranges.last().is_none_or(|r| r.start < start) {
+            self.ranges.push(Range { start, end, slot });
+        } else {
+            let pos = self.ranges.partition_point(|r| r.start < start);
+            self.ranges.insert(pos, Range { start, end, slot });
+        }
         self.histogram.add_node();
 
         // Re-bind dangling slots now covered by this object.
-        let start = addr.get();
-        let end = start + size as u64;
-        let hits: Vec<u64> = self.unresolved.range(start..end).map(|(&a, _)| a).collect();
-        for raw in hits {
-            let slots = self.unresolved.remove(&raw).expect("key just seen");
-            for (src, off) in slots {
-                let st = self
-                    .out_slots
-                    .get_mut(&src)
-                    .and_then(|m| m.get_mut(&off))
-                    .expect("unresolved slot must exist in slot table");
-                debug_assert_eq!(st.target, None);
-                st.target = Some(id);
-                self.dangling -= 1;
-                self.edge_count += 1;
-                self.inbound.entry(id).or_default().insert((src, off));
-                if src == id {
-                    self.adjust(id, 1, 1);
-                } else {
-                    self.adjust(src, 0, 1);
-                    self.adjust(id, 1, 0);
+        let lo = self.unresolved.partition_point(|b| b.raw < start);
+        let hi = self.unresolved.partition_point(|b| b.raw < end);
+        if lo < hi {
+            let buckets: Vec<Bucket> = self.unresolved.drain(lo..hi).collect();
+            for bucket in buckets {
+                for (src, off) in bucket.entries {
+                    let st = Self::slot_mut(&mut self.slots, src, off)
+                        .expect("unresolved slot must exist in slot table");
+                    debug_assert_eq!(st.target, None);
+                    st.target = Some(slot);
+                    self.dangling -= 1;
+                    self.edge_count += 1;
+                    self.slots[slot as usize].inbound.push((src, off));
+                    if src == slot {
+                        self.adjust(slot, 1, 1);
+                    } else {
+                        self.adjust(src, 0, 1);
+                        self.adjust(slot, 1, 0);
+                    }
                 }
             }
         }
@@ -197,56 +304,68 @@ impl HeapGraph {
     ///
     /// Panics if `id` is not live.
     pub fn on_free(&mut self, id: ObjectId) {
-        let info = self
-            .nodes
+        let slot = self
+            .index
             .remove(&id)
             .unwrap_or_else(|| panic!("free of unknown {id}"));
+        let s = slot as usize;
+        let info = self.slots[s].info;
         self.histogram.remove_node(info.indegree, info.outdegree);
-        let start = self.starts.remove(&id).expect("live vertex has a range");
-        self.ranges.remove(&start);
+        let start = self.slots[s].start;
+        // LIFO churn frees the highest-addressed node: pop, don't shift.
+        if self.ranges.last().is_some_and(|r| r.start == start) {
+            self.ranges.pop();
+        } else {
+            let pos = self.ranges.partition_point(|r| r.start < start);
+            debug_assert_eq!(self.ranges[pos].slot, slot);
+            self.ranges.remove(pos);
+        }
 
-        // Outgoing slots disappear with the object.
-        if let Some(slots) = self.out_slots.remove(&id) {
-            for (off, st) in slots {
-                match st.target {
-                    Some(t) => {
-                        self.edge_count -= 1;
-                        if t != id {
-                            if let Some(set) = self.inbound.get_mut(&t) {
-                                set.remove(&(id, off));
-                            }
-                            self.adjust(t, -1, 0);
+        // Outgoing slots disappear with the object. Take the vec so the
+        // borrow checker allows touching other slots, then hand its
+        // capacity back to the dead slot for reuse.
+        let mut out = std::mem::take(&mut self.slots[s].out);
+        for &(off, st) in &out {
+            match st.target {
+                Some(t) => {
+                    self.edge_count -= 1;
+                    if t != slot {
+                        let inb = &mut self.slots[t as usize].inbound;
+                        if let Some(p) = inb.iter().position(|&e| e == (slot, off)) {
+                            inb.swap_remove(p);
                         }
-                        // Self-edge: both endpoints die with the node.
+                        self.adjust(t, -1, 0);
                     }
-                    None => {
-                        self.remove_unresolved(st.raw, id, off);
-                        self.dangling -= 1;
-                    }
+                    // Self-edge: both endpoints die with the node.
+                }
+                None => {
+                    self.remove_unresolved(st.raw, slot, off);
+                    self.dangling -= 1;
                 }
             }
         }
+        out.clear();
+        self.slots[s].out = out;
 
         // Incoming edges become dangling slots of their sources.
-        if let Some(srcs) = self.inbound.remove(&id) {
-            for (src, off) in srcs {
-                if src == id {
-                    continue; // handled with the out-slots above
-                }
-                let st = self
-                    .out_slots
-                    .get_mut(&src)
-                    .and_then(|m| m.get_mut(&off))
-                    .expect("inbound edge has a source slot");
-                debug_assert_eq!(st.target, Some(id));
-                st.target = None;
-                self.edge_count -= 1;
-                self.dangling += 1;
-                let raw = st.raw;
-                self.unresolved.entry(raw).or_default().insert((src, off));
-                self.adjust(src, 0, -1);
+        let mut inbound = std::mem::take(&mut self.slots[s].inbound);
+        for &(src, off) in &inbound {
+            if src == slot {
+                continue; // handled with the out-slots above
             }
+            let st =
+                Self::slot_mut(&mut self.slots, src, off).expect("inbound edge has a source slot");
+            debug_assert_eq!(st.target, Some(slot));
+            st.target = None;
+            let raw = st.raw;
+            self.edge_count -= 1;
+            self.dangling += 1;
+            self.insert_unresolved(raw, src, off);
+            self.adjust(src, 0, -1);
         }
+        inbound.clear();
+        self.slots[s].inbound = inbound;
+        self.free.push(slot);
     }
 
     /// Records a pointer store: slot `(src, offset)` now holds `value`.
@@ -260,91 +379,187 @@ impl HeapGraph {
     /// Panics if `src` is not a live vertex.
     pub fn on_ptr_write(&mut self, src: ObjectId, offset: u64, value: Addr) {
         let _t = heapmd_obs::timer!("heap_graph_edge_resolve_ns");
-        assert!(self.nodes.contains_key(&src), "write into unknown {src}");
-        self.drop_slot(src, offset);
+        let src_slot = match self.index.get(&src) {
+            Some(&s) => s,
+            None => panic!("write into unknown {src}"),
+        };
+        self.drop_slot(src_slot, offset);
         if value.is_null() {
             return;
         }
         let raw = value.get();
         let target = self.resolve(raw);
-        self.out_slots
-            .entry(src)
-            .or_default()
-            .insert(offset, SlotState { raw, target });
+        let out = &mut self.slots[src_slot as usize].out;
+        let pos = out.partition_point(|&(o, _)| o < offset);
+        out.insert(pos, (offset, SlotState { raw, target }));
         match target {
             Some(t) => {
                 self.edge_count += 1;
-                self.inbound.entry(t).or_default().insert((src, offset));
-                if t == src {
-                    self.adjust(src, 1, 1);
+                self.slots[t as usize].inbound.push((src_slot, offset));
+                if t == src_slot {
+                    self.adjust(src_slot, 1, 1);
                 } else {
-                    self.adjust(src, 0, 1);
+                    self.adjust(src_slot, 0, 1);
                     self.adjust(t, 1, 0);
                 }
             }
             None => {
                 self.dangling += 1;
-                self.unresolved
-                    .entry(raw)
-                    .or_default()
-                    .insert((src, offset));
+                self.insert_unresolved(raw, src_slot, offset);
             }
         }
     }
 
     /// Records a non-pointer store, clearing any pointer in the slot.
     pub fn on_scalar_write(&mut self, src: ObjectId, offset: u64) {
-        if self.nodes.contains_key(&src) {
-            self.drop_slot(src, offset);
+        if let Some(&s) = self.index.get(&src) {
+            self.drop_slot(s, offset);
         }
     }
 
     /// Iterates over resolved edges as `(source, offset, target)`.
     pub fn edges(&self) -> impl Iterator<Item = (ObjectId, u64, ObjectId)> + '_ {
-        self.out_slots.iter().flat_map(|(&src, slots)| {
-            slots
+        self.index.iter().flat_map(move |(&src, &s)| {
+            self.slots[s as usize]
+                .out
                 .iter()
-                .filter_map(move |(&off, st)| st.target.map(|t| (src, off, t)))
+                .filter_map(move |&(off, st)| {
+                    st.target.map(|t| (src, off, self.slots[t as usize].id))
+                })
         })
     }
 
     /// Iterates over live vertex ids.
     pub fn node_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.nodes.keys().copied()
+        self.index.keys().copied()
     }
 
-    /// Recomputes all degree bookkeeping from the slot table and checks
-    /// it against the incremental state.
+    /// Checks the incremental bookkeeping for consistency.
+    ///
+    /// In debug builds, under test, or with the `full-validate` feature,
+    /// this recomputes all degree state from the slot table and checks
+    /// the slab/index/sorted-vec invariants — O(nodes + slots). Release
+    /// builds without the feature only run O(1) structural checks, so
+    /// the hot path never pays for the recount accidentally.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistency found. Intended
-    /// for tests and debug assertions; O(nodes + slots).
+    /// Returns a description of the first inconsistency found.
     pub fn validate(&self) -> Result<(), String> {
-        let mut indeg: HashMap<ObjectId, u32> = HashMap::new();
-        let mut outdeg: HashMap<ObjectId, u32> = HashMap::new();
+        if self.index.len() as u64 != self.histogram.nodes() {
+            return Err(format!(
+                "intern map has {} entries but histogram counts {} nodes",
+                self.index.len(),
+                self.histogram.nodes()
+            ));
+        }
+        if self.index.len() + self.free.len() != self.slots.len() {
+            return Err(format!(
+                "slab accounting broken: {} live + {} free != {} slots",
+                self.index.len(),
+                self.free.len(),
+                self.slots.len()
+            ));
+        }
+        if self.ranges.len() != self.index.len() {
+            return Err(format!(
+                "range index has {} entries for {} live nodes",
+                self.ranges.len(),
+                self.index.len()
+            ));
+        }
+        #[cfg(any(debug_assertions, test, feature = "full-validate"))]
+        self.validate_full()?;
+        Ok(())
+    }
+
+    /// The O(n) recount behind [`validate`](Self::validate).
+    #[cfg(any(debug_assertions, test, feature = "full-validate"))]
+    fn validate_full(&self) -> Result<(), String> {
+        let n = self.slots.len();
+        let mut live = vec![false; n];
+        for (&id, &s) in &self.index {
+            let slot = &self.slots[s as usize];
+            if slot.id != id {
+                return Err(format!("index maps {id} to slot {s} holding {}", slot.id));
+            }
+            live[s as usize] = true;
+        }
+        for &f in &self.free {
+            if live[f as usize] {
+                return Err(format!("slot {f} is both live and on the free list"));
+            }
+        }
+        if self.ranges.windows(2).any(|w| w[0].start >= w[1].start) {
+            return Err("range index out of order".to_string());
+        }
+        if self.unresolved.windows(2).any(|w| w[0].raw >= w[1].raw) {
+            return Err("unresolved index out of order".to_string());
+        }
+
+        let mut indeg = vec![0u32; n];
+        let mut outdeg = vec![0u32; n];
+        let mut inbound_seen = vec![0u32; n];
         let mut edges = 0u64;
         let mut dangling = 0u64;
-        for (&src, slots) in &self.out_slots {
-            if !self.nodes.contains_key(&src) {
-                return Err(format!("slot table has dead source {src}"));
+        for s in 0..n {
+            if !live[s] {
+                let slot = &self.slots[s];
+                if !slot.out.is_empty() || !slot.inbound.is_empty() {
+                    return Err(format!("dead slot {s} still has adjacency"));
+                }
+                continue;
             }
-            for (&off, st) in slots {
+            let slot = &self.slots[s];
+            if slot.out.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(format!("slot {s} out-slots unsorted"));
+            }
+            for &(off, st) in &slot.out {
                 let resolved = self.resolve(st.raw);
                 if resolved != st.target {
                     return Err(format!(
-                        "slot ({src},{off}) cached target {:?} but resolves to {:?}",
-                        st.target, resolved
+                        "slot ({},{off}) cached target {:?} but resolves to {:?}",
+                        slot.id, st.target, resolved
                     ));
                 }
                 match st.target {
                     Some(t) => {
                         edges += 1;
-                        *outdeg.entry(src).or_default() += 1;
-                        *indeg.entry(t).or_default() += 1;
+                        outdeg[s] += 1;
+                        indeg[t as usize] += 1;
+                        let tgt = &self.slots[t as usize];
+                        if !tgt.inbound.contains(&(s as u32, off)) {
+                            return Err(format!(
+                                "edge ({},{off})→{} missing from inbound adjacency",
+                                slot.id, tgt.id
+                            ));
+                        }
+                        inbound_seen[t as usize] += 1;
                     }
-                    None => dangling += 1,
+                    None => {
+                        dangling += 1;
+                        let bucket = self
+                            .unresolved
+                            .binary_search_by_key(&st.raw, |b| b.raw)
+                            .ok()
+                            .map(|i| &self.unresolved[i]);
+                        if !bucket.is_some_and(|b| b.entries.contains(&(s as u32, off))) {
+                            return Err(format!(
+                                "dangling slot ({},{off}) missing from unresolved index",
+                                slot.id
+                            ));
+                        }
+                    }
                 }
+            }
+        }
+        for s in 0..n {
+            if live[s] && self.slots[s].inbound.len() as u32 != inbound_seen[s] {
+                return Err(format!(
+                    "slot {s} has {} inbound entries but {} matching edges",
+                    self.slots[s].inbound.len(),
+                    inbound_seen[s]
+                ));
             }
         }
         if edges != self.edge_count {
@@ -354,17 +569,19 @@ impl HeapGraph {
             return Err(format!("dangling count {} != {}", self.dangling, dangling));
         }
         let mut scratch = DegreeHistogram::new();
-        for (&id, info) in &self.nodes {
-            let want_in = indeg.get(&id).copied().unwrap_or(0);
-            let want_out = outdeg.get(&id).copied().unwrap_or(0);
-            if info.indegree != want_in || info.outdegree != want_out {
+        for (s, &is_live) in live.iter().enumerate() {
+            if !is_live {
+                continue;
+            }
+            let info = self.slots[s].info;
+            if info.indegree != indeg[s] || info.outdegree != outdeg[s] {
                 return Err(format!(
-                    "{id} degrees ({},{}) != recomputed ({want_in},{want_out})",
-                    info.indegree, info.outdegree
+                    "{} degrees ({},{}) != recomputed ({},{})",
+                    self.slots[s].id, info.indegree, info.outdegree, indeg[s], outdeg[s]
                 ));
             }
             scratch.add_node();
-            scratch.change_degrees(0, want_in, 0, want_out);
+            scratch.change_degrees(0, indeg[s], 0, outdeg[s]);
         }
         if scratch != self.histogram {
             return Err("histogram mismatch".to_string());
@@ -372,15 +589,45 @@ impl HeapGraph {
         Ok(())
     }
 
-    fn resolve(&self, raw: u64) -> Option<ObjectId> {
-        let (&start, &(id, size)) = self.ranges.range(..=raw).next_back()?;
-        (raw < start + size as u64).then_some(id)
+    /// Resolves a raw address to the dense slot of the live object
+    /// containing it: cursor hint first, then binary search over the
+    /// sorted range index.
+    fn resolve(&self, raw: u64) -> Option<u32> {
+        let hint = self.cursor.get();
+        if let Some(r) = self.ranges.get(hint) {
+            if r.start <= raw && raw < r.end {
+                return Some(r.slot);
+            }
+            // Sequential access usually lands on the next range.
+            if let Some(r2) = self.ranges.get(hint + 1) {
+                if r2.start <= raw && raw < r2.end {
+                    self.cursor.set(hint + 1);
+                    return Some(r2.slot);
+                }
+            }
+        }
+        let idx = self.ranges.partition_point(|r| r.start <= raw);
+        let i = idx.checked_sub(1)?;
+        let r = self.ranges.get(i)?;
+        if raw < r.end {
+            self.cursor.set(i);
+            Some(r.slot)
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to out-slot `(src, off)`, by binary search.
+    fn slot_mut(slots: &mut [NodeSlot], src: u32, off: u64) -> Option<&mut SlotState> {
+        let out = &mut slots[src as usize].out;
+        let pos = out.binary_search_by_key(&off, |&(o, _)| o).ok()?;
+        Some(&mut out[pos].1)
     }
 
     /// Adjusts a live node's degrees by the given deltas, keeping the
     /// histogram consistent.
-    fn adjust(&mut self, id: ObjectId, din: i32, dout: i32) {
-        let info = self.nodes.get_mut(&id).expect("adjust on live node");
+    fn adjust(&mut self, slot: u32, din: i32, dout: i32) {
+        let info = &mut self.slots[slot as usize].info;
         let (old_in, old_out) = (info.indegree, info.outdegree);
         info.indegree = info
             .indegree
@@ -397,24 +644,18 @@ impl HeapGraph {
 
     /// Removes the slot `(src, offset)` if present, undoing its edge or
     /// dangling registration.
-    fn drop_slot(&mut self, src: ObjectId, offset: u64) {
-        let Some(slots) = self.out_slots.get_mut(&src) else {
+    fn drop_slot(&mut self, src: u32, offset: u64) {
+        let out = &mut self.slots[src as usize].out;
+        let Ok(pos) = out.binary_search_by_key(&offset, |&(o, _)| o) else {
             return;
         };
-        let Some(st) = slots.remove(&offset) else {
-            return;
-        };
-        if slots.is_empty() {
-            self.out_slots.remove(&src);
-        }
+        let (_, st) = out.remove(pos);
         match st.target {
             Some(t) => {
                 self.edge_count -= 1;
-                if let Some(set) = self.inbound.get_mut(&t) {
-                    set.remove(&(src, offset));
-                    if set.is_empty() {
-                        self.inbound.remove(&t);
-                    }
+                let inb = &mut self.slots[t as usize].inbound;
+                if let Some(p) = inb.iter().position(|&e| e == (src, offset)) {
+                    inb.swap_remove(p);
                 }
                 if t == src {
                     self.adjust(src, -1, -1);
@@ -430,11 +671,27 @@ impl HeapGraph {
         }
     }
 
-    fn remove_unresolved(&mut self, raw: u64, src: ObjectId, off: u64) {
-        if let Some(set) = self.unresolved.get_mut(&raw) {
-            set.remove(&(src, off));
-            if set.is_empty() {
-                self.unresolved.remove(&raw);
+    fn insert_unresolved(&mut self, raw: u64, src: u32, off: u64) {
+        match self.unresolved.binary_search_by_key(&raw, |b| b.raw) {
+            Ok(i) => self.unresolved[i].entries.push((src, off)),
+            Err(i) => self.unresolved.insert(
+                i,
+                Bucket {
+                    raw,
+                    entries: vec![(src, off)],
+                },
+            ),
+        }
+    }
+
+    fn remove_unresolved(&mut self, raw: u64, src: u32, off: u64) {
+        if let Ok(i) = self.unresolved.binary_search_by_key(&raw, |b| b.raw) {
+            let entries = &mut self.unresolved[i].entries;
+            if let Some(p) = entries.iter().position(|&e| e == (src, off)) {
+                entries.swap_remove(p);
+            }
+            if entries.is_empty() {
+                self.unresolved.remove(i);
             }
         }
     }
@@ -630,6 +887,26 @@ mod tests {
     }
 
     #[test]
+    fn slots_recycle_after_free() {
+        // alloc/free churn must reuse slab slots instead of growing it.
+        let mut r = Rig::new();
+        for _ in 0..64 {
+            let a = r.alloc(24);
+            let b = r.alloc(24);
+            r.link(a, b);
+            r.free(a);
+            r.free(b);
+        }
+        r.check();
+        assert_eq!(r.graph.node_count(), 0);
+        assert!(
+            r.graph.slots.len() <= 4,
+            "slab grew to {} slots under churn",
+            r.graph.slots.len()
+        );
+    }
+
+    #[test]
     fn apply_event_stream_equivalent_to_direct_calls() {
         let mut heap = SimHeap::new();
         let mut g = HeapGraph::new();
@@ -657,6 +934,47 @@ mod tests {
         g.apply(&HeapEvent::FnEnter { func: 1 });
         assert_eq!(g.edge_count(), 1);
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_batch_equivalent_to_per_event_apply() {
+        let mut heap = SimHeap::new();
+        let a = heap.alloc(24, AllocSite(0)).unwrap();
+        let b = heap.alloc(24, AllocSite(0)).unwrap();
+        let events = vec![
+            HeapEvent::Alloc {
+                obj: a.id,
+                addr: a.addr,
+                size: a.size,
+                site: AllocSite(0),
+            },
+            HeapEvent::Alloc {
+                obj: b.id,
+                addr: b.addr,
+                size: b.size,
+                site: AllocSite(0),
+            },
+            HeapEvent::PtrWrite {
+                src: a.id,
+                offset: 8,
+                value: b.addr,
+                old_value: None,
+            },
+            HeapEvent::Free {
+                obj: b.id,
+                addr: b.addr,
+                size: 24,
+            },
+        ];
+        let mut one_by_one = HeapGraph::new();
+        for ev in &events {
+            one_by_one.apply(ev);
+        }
+        let mut batched = HeapGraph::new();
+        batched.apply_batch(&events);
+        batched.validate().unwrap();
+        assert_eq!(batched.snapshot(), one_by_one.snapshot());
+        assert_eq!(batched.dangling_count(), 1);
     }
 
     #[test]

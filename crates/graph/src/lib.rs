@@ -60,6 +60,8 @@ mod graph;
 mod histogram;
 mod metrics;
 mod node;
+#[cfg(any(test, feature = "reference-graph"))]
+mod reference;
 mod scoped;
 
 pub use components::{ComponentSummary, SccSummary};
@@ -68,4 +70,6 @@ pub use graph::{GraphSnapshot, HeapGraph};
 pub use histogram::DegreeHistogram;
 pub use metrics::{ExtendedMetrics, MetricKind, MetricVector, METRIC_COUNT};
 pub use node::NodeInfo;
+#[cfg(any(test, feature = "reference-graph"))]
+pub use reference::ReferenceGraph;
 pub use scoped::ScopedGraph;

@@ -29,16 +29,19 @@ pub struct Addr(pub(crate) u64);
 
 impl Addr {
     /// Creates an address from its raw 64-bit value.
+    #[inline]
     pub fn new(raw: u64) -> Self {
         Addr(raw)
     }
 
     /// Returns the raw 64-bit value.
+    #[inline]
     pub fn get(self) -> u64 {
         self.0
     }
 
     /// Returns `true` if this is the null address.
+    #[inline]
     pub fn is_null(self) -> bool {
         self.0 == 0
     }
@@ -49,6 +52,7 @@ impl Addr {
     ///
     /// Panics on address-space overflow, which indicates a defect in the
     /// mutator driving the simulation.
+    #[inline]
     pub fn offset(self, bytes: u64) -> Addr {
         Addr(self.0.checked_add(bytes).expect("address overflow"))
     }
@@ -56,6 +60,7 @@ impl Addr {
     /// Returns the distance in bytes from `base` to `self`.
     ///
     /// Returns `None` if `self < base`.
+    #[inline]
     pub fn offset_from(self, base: Addr) -> Option<u64> {
         self.0.checked_sub(base.0)
     }

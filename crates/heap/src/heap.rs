@@ -6,7 +6,7 @@ use crate::error::HeapError;
 use crate::event::{AllocEffect, FreeEffect, ReallocEffect, WriteEffect};
 use crate::object::{AllocSite, ObjectId, ObjectRecord};
 use crate::stats::HeapStats;
-use std::collections::BTreeMap;
+use fxhash::{FxHashMap, FxHashSet};
 
 /// Configuration for [`SimHeap`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,16 +50,33 @@ pub struct HeapConfig {
 #[derive(Debug, Clone)]
 pub struct SimHeap {
     allocator: AddressAllocator,
-    /// Live objects keyed by start address (for interior-pointer range
-    /// lookup).
-    objects: BTreeMap<u64, ObjectRecord>,
+    /// Start address → slab slot of the live object beginning there.
+    index: FxHashMap<u64, u32>,
+    /// The record slab. Slots on `free_slots` are dead but keep their
+    /// slot-vec capacity for reuse.
+    records: Vec<ObjectRecord>,
+    free_slots: Vec<u32>,
+    /// Live objects sorted by start address, for interior-pointer
+    /// resolution via binary search.
+    ranges: Vec<ObjRange>,
+    /// Last range index a resolution hit (see
+    /// [`resolve_slot`](Self::resolve_slot)); verified before use.
+    cursor: std::cell::Cell<usize>,
     /// Start addresses that were live at some point (for double-free
-    /// classification).
-    ever_allocated: std::collections::HashSet<u64>,
+    /// classification). FxHash: inserted on every allocation.
+    ever_allocated: FxHashSet<u64>,
     next_id: u64,
     tick: u64,
     capacity: Option<usize>,
     stats: HeapStats,
+}
+
+/// One live allocation in the sorted range index.
+#[derive(Debug, Clone, Copy)]
+struct ObjRange {
+    start: u64,
+    end: u64,
+    slot: u32,
 }
 
 impl Default for SimHeap {
@@ -79,8 +96,12 @@ impl SimHeap {
     pub fn with_config(config: HeapConfig) -> Self {
         SimHeap {
             allocator: AddressAllocator::new(config.allocator),
-            objects: BTreeMap::new(),
-            ever_allocated: std::collections::HashSet::new(),
+            index: FxHashMap::default(),
+            records: Vec::new(),
+            free_slots: Vec::new(),
+            ranges: Vec::new(),
+            cursor: std::cell::Cell::new(0),
+            ever_allocated: FxHashSet::default(),
             next_id: 0,
             tick: 0,
             capacity: config.capacity,
@@ -100,7 +121,7 @@ impl SimHeap {
 
     /// Number of live objects.
     pub fn live_objects(&self) -> usize {
-        self.objects.len()
+        self.index.len()
     }
 
     /// Bytes currently live.
@@ -136,16 +157,41 @@ impl SimHeap {
         let addr = Addr::new(raw);
         let id = ObjectId(self.next_id);
         self.next_id += 1;
-        let rec = ObjectRecord::new(id, addr, size, site, self.tick);
-        let prev = self.objects.insert(raw, rec);
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.records[s as usize].reset(id, addr, size, site, self.tick);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.records.len()).expect("heap slab overflow");
+                self.records
+                    .push(ObjectRecord::new(id, addr, size, site, self.tick));
+                s
+            }
+        };
+        let prev = self.index.insert(raw, slot);
         debug_assert!(prev.is_none(), "allocator handed out a live address");
+        let end = raw + size as u64;
+        let range = ObjRange {
+            start: raw,
+            end,
+            slot,
+        };
+        // Fresh addresses are monotonic, so tail append is the common
+        // case; the binary search only runs for recycled addresses.
+        if self.ranges.last().is_none_or(|r| r.start < raw) {
+            self.ranges.push(range);
+        } else {
+            let pos = self.ranges.partition_point(|r| r.start < raw);
+            self.ranges.insert(pos, range);
+        }
         self.ever_allocated.insert(raw);
 
         self.stats.allocs += 1;
         self.stats.bytes_allocated += size as u64;
         self.stats.live_bytes += size as u64;
         self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
-        self.stats.peak_live_objects = self.stats.peak_live_objects.max(self.objects.len() as u64);
+        self.stats.peak_live_objects = self.stats.peak_live_objects.max(self.index.len() as u64);
         heapmd_obs::count!("sim_heap_alloc_total");
 
         Ok(AllocEffect {
@@ -169,24 +215,38 @@ impl SimHeap {
             self.stats.faults += 1;
             return Err(HeapError::NullDeref);
         }
-        let Some(rec) = self.objects.remove(&addr.get()) else {
+        let raw = addr.get();
+        let Some(slot) = self.index.remove(&raw) else {
             self.stats.faults += 1;
-            return Err(if self.ever_allocated.contains(&addr.get()) {
+            return Err(if self.ever_allocated.contains(&raw) {
                 HeapError::DoubleFree(addr)
             } else {
                 HeapError::InvalidFree(addr)
             });
         };
         self.tick += 1;
-        self.allocator.release(addr.get(), rec.size());
+        // LIFO churn frees the highest-addressed block: pop, don't shift.
+        if self.ranges.last().is_some_and(|r| r.start == raw) {
+            self.ranges.pop();
+        } else {
+            let pos = self.ranges.partition_point(|r| r.start < raw);
+            debug_assert_eq!(self.ranges[pos].slot, slot);
+            self.ranges.remove(pos);
+        }
+        let rec = &mut self.records[slot as usize];
+        let id = rec.id();
+        let size = rec.size();
+        let slots = rec.take_slots();
+        self.free_slots.push(slot);
+        self.allocator.release(raw, size);
         self.stats.frees += 1;
-        self.stats.live_bytes -= rec.size() as u64;
+        self.stats.live_bytes -= size as u64;
         heapmd_obs::count!("sim_heap_free_total");
         Ok(FreeEffect {
-            id: rec.id(),
+            id,
             addr,
-            size: rec.size(),
-            slots: rec.slots().collect(),
+            size,
+            slots,
         })
     }
 
@@ -214,11 +274,11 @@ impl SimHeap {
         let mut moved = Vec::new();
         for &(off, target) in &freed.slots {
             if (off as usize) + 8 <= new_size {
-                let rec = self
-                    .objects
-                    .get_mut(&alloc.addr.get())
+                let slot = *self
+                    .index
+                    .get(&alloc.addr.get())
                     .expect("object just allocated");
-                rec.set_slot(off, target);
+                self.records[slot as usize].set_slot(off, target);
                 moved.push((off, target));
             }
         }
@@ -242,23 +302,47 @@ impl SimHeap {
     /// `slot_addr` is not inside any live object, and
     /// [`HeapError::TornAccess`] when fewer than 8 bytes remain.
     pub fn write_ptr(&mut self, slot_addr: Addr, value: Addr) -> Result<WriteEffect, HeapError> {
-        let loc = self.locate_slot(slot_addr)?;
-        self.tick += 1;
-        let tick = self.tick;
-        let rec = self.object_mut(loc);
-        rec.touch(tick);
-        let old = if value.is_null() {
-            rec.clear_slot(loc.off)
-        } else {
-            rec.set_slot(loc.off, value)
-        };
-        self.stats.ptr_writes += 1;
-        heapmd_obs::count!("sim_heap_ptr_store_total");
-        Ok(WriteEffect {
-            src: loc.id,
-            offset: loc.off,
-            old_value: old,
-        })
+        if slot_addr.is_null() {
+            self.stats.faults += 1;
+            return Err(HeapError::NullDeref);
+        }
+        // One binary search resolves the containing object; the slab
+        // slot is plain data, so the mutable access that follows is
+        // borrow-free.
+        let raw = slot_addr.get();
+        match self.resolve_slot(raw) {
+            Some(s) => {
+                let tick = self.tick + 1;
+                let rec = &mut self.records[s as usize];
+                let off = raw - rec.start().get();
+                let remaining = rec.size() - off as usize;
+                if remaining < 8 {
+                    self.stats.faults += 1;
+                    return Err(HeapError::TornAccess {
+                        addr: slot_addr,
+                        remaining,
+                    });
+                }
+                self.tick = tick;
+                rec.touch(tick);
+                let old = if value.is_null() {
+                    rec.clear_slot(off)
+                } else {
+                    rec.set_slot(off, value)
+                };
+                self.stats.ptr_writes += 1;
+                heapmd_obs::count!("sim_heap_ptr_store_total");
+                Ok(WriteEffect {
+                    src: rec.id(),
+                    offset: off,
+                    old_value: old,
+                })
+            }
+            None => {
+                self.stats.faults += 1;
+                Err(HeapError::WildAccess(slot_addr))
+            }
+        }
     }
 
     /// Stores a non-pointer value at `slot_addr`, clearing any pointer
@@ -269,18 +353,31 @@ impl SimHeap {
     /// Same conditions as [`write_ptr`](Self::write_ptr), except scalar
     /// stores may touch the final 7 bytes of an object.
     pub fn write_scalar(&mut self, slot_addr: Addr) -> Result<WriteEffect, HeapError> {
-        let loc = self.locate(slot_addr)?;
-        self.tick += 1;
-        let tick = self.tick;
-        let rec = self.object_mut(loc);
-        rec.touch(tick);
-        let old = rec.clear_slot(loc.off);
-        self.stats.scalar_writes += 1;
-        Ok(WriteEffect {
-            src: loc.id,
-            offset: loc.off,
-            old_value: old,
-        })
+        if slot_addr.is_null() {
+            self.stats.faults += 1;
+            return Err(HeapError::NullDeref);
+        }
+        let raw = slot_addr.get();
+        match self.resolve_slot(raw) {
+            Some(s) => {
+                self.tick += 1;
+                let tick = self.tick;
+                let rec = &mut self.records[s as usize];
+                let off = raw - rec.start().get();
+                rec.touch(tick);
+                let old = rec.clear_slot(off);
+                self.stats.scalar_writes += 1;
+                Ok(WriteEffect {
+                    src: rec.id(),
+                    offset: off,
+                    old_value: old,
+                })
+            }
+            None => {
+                self.stats.faults += 1;
+                Err(HeapError::WildAccess(slot_addr))
+            }
+        }
     }
 
     /// Reads the pointer stored at `slot_addr`.
@@ -291,13 +388,34 @@ impl SimHeap {
     ///
     /// Same conditions as [`write_ptr`](Self::write_ptr).
     pub fn read_ptr(&mut self, slot_addr: Addr) -> Result<Option<Addr>, HeapError> {
-        let loc = self.locate_slot(slot_addr)?;
-        self.tick += 1;
-        let tick = self.tick;
-        self.stats.reads += 1;
-        let rec = self.object_mut(loc);
-        rec.touch(tick);
-        Ok(rec.slot(loc.off))
+        if slot_addr.is_null() {
+            self.stats.faults += 1;
+            return Err(HeapError::NullDeref);
+        }
+        let raw = slot_addr.get();
+        match self.resolve_slot(raw) {
+            Some(s) => {
+                let tick = self.tick + 1;
+                let rec = &mut self.records[s as usize];
+                let off = raw - rec.start().get();
+                let remaining = rec.size() - off as usize;
+                if remaining < 8 {
+                    self.stats.faults += 1;
+                    return Err(HeapError::TornAccess {
+                        addr: slot_addr,
+                        remaining,
+                    });
+                }
+                self.tick = tick;
+                rec.touch(tick);
+                self.stats.reads += 1;
+                Ok(rec.slot(off))
+            }
+            None => {
+                self.stats.faults += 1;
+                Err(HeapError::WildAccess(slot_addr))
+            }
+        }
     }
 
     /// Records a read access to the object containing `addr`.
@@ -306,71 +424,19 @@ impl SimHeap {
     ///
     /// [`HeapError::NullDeref`] or [`HeapError::WildAccess`].
     pub fn read(&mut self, addr: Addr) -> Result<ObjectId, HeapError> {
-        let loc = self.locate(addr)?;
-        self.tick += 1;
-        let tick = self.tick;
-        self.object_mut(loc).touch(tick);
-        self.stats.reads += 1;
-        Ok(loc.id)
-    }
-
-    /// Resolves an address (possibly interior) to the live object that
-    /// contains it.
-    pub fn resolve(&self, addr: Addr) -> Option<&ObjectRecord> {
-        let (_, rec) = self.objects.range(..=addr.get()).next_back()?;
-        rec.contains(addr).then_some(rec)
-    }
-
-    /// The live object starting exactly at `addr`, if any.
-    pub fn object_at(&self, addr: Addr) -> Option<&ObjectRecord> {
-        self.objects.get(&addr.get())
-    }
-
-    /// Iterates over live objects in address order.
-    pub fn iter_live(&self) -> impl Iterator<Item = &ObjectRecord> {
-        self.objects.values()
-    }
-
-    /// Returns `true` when the address range of a former object has been
-    /// handed out again (used by tests asserting re-binding behaviour).
-    pub fn is_live_start(&self, addr: Addr) -> bool {
-        self.objects.contains_key(&addr.get())
-    }
-
-    fn object_mut(&mut self, loc: SlotLocation) -> &mut ObjectRecord {
-        self.objects
-            .get_mut(&loc.start)
-            .expect("location produced from a live object")
-    }
-
-    fn locate_slot(&mut self, slot_addr: Addr) -> Result<SlotLocation, HeapError> {
-        let loc = self.locate(slot_addr)?;
-        if loc.remaining < 8 {
-            self.stats.faults += 1;
-            return Err(HeapError::TornAccess {
-                addr: slot_addr,
-                remaining: loc.remaining,
-            });
-        }
-        Ok(loc)
-    }
-
-    fn locate(&mut self, addr: Addr) -> Result<SlotLocation, HeapError> {
         if addr.is_null() {
             self.stats.faults += 1;
             return Err(HeapError::NullDeref);
         }
-        match self.resolve(addr) {
-            Some(rec) => {
-                let off = addr
-                    .offset_from(rec.start())
-                    .expect("resolve returned containing object");
-                Ok(SlotLocation {
-                    id: rec.id(),
-                    start: rec.start().get(),
-                    off,
-                    remaining: rec.size() - off as usize,
-                })
+        let raw = addr.get();
+        match self.resolve_slot(raw) {
+            Some(s) => {
+                self.tick += 1;
+                let tick = self.tick;
+                let rec = &mut self.records[s as usize];
+                rec.touch(tick);
+                self.stats.reads += 1;
+                Ok(rec.id())
             }
             None => {
                 self.stats.faults += 1;
@@ -378,15 +444,59 @@ impl SimHeap {
             }
         }
     }
-}
 
-/// Internal resolution of an address to its containing live object.
-#[derive(Debug, Clone, Copy)]
-struct SlotLocation {
-    id: ObjectId,
-    start: u64,
-    off: u64,
-    remaining: usize,
+    /// Resolves an address (possibly interior) to the live object that
+    /// contains it.
+    pub fn resolve(&self, addr: Addr) -> Option<&ObjectRecord> {
+        self.resolve_slot(addr.get())
+            .map(|s| &self.records[s as usize])
+    }
+
+    /// The live object starting exactly at `addr`, if any.
+    pub fn object_at(&self, addr: Addr) -> Option<&ObjectRecord> {
+        self.index
+            .get(&addr.get())
+            .map(|&s| &self.records[s as usize])
+    }
+
+    /// Iterates over live objects in address order.
+    pub fn iter_live(&self) -> impl Iterator<Item = &ObjectRecord> {
+        self.ranges.iter().map(|r| &self.records[r.slot as usize])
+    }
+
+    /// Returns `true` when the address range of a former object has been
+    /// handed out again (used by tests asserting re-binding behaviour).
+    pub fn is_live_start(&self, addr: Addr) -> bool {
+        self.index.contains_key(&addr.get())
+    }
+
+    /// The slab slot of the live object containing `raw`: cursor hint
+    /// first (mutator accesses have strong locality), then binary
+    /// search over the sorted range index.
+    #[inline]
+    fn resolve_slot(&self, raw: u64) -> Option<u32> {
+        let hint = self.cursor.get();
+        if let Some(r) = self.ranges.get(hint) {
+            if r.start <= raw && raw < r.end {
+                return Some(r.slot);
+            }
+            if let Some(r2) = self.ranges.get(hint + 1) {
+                if r2.start <= raw && raw < r2.end {
+                    self.cursor.set(hint + 1);
+                    return Some(r2.slot);
+                }
+            }
+        }
+        let idx = self.ranges.partition_point(|r| r.start <= raw);
+        let i = idx.checked_sub(1)?;
+        let r = self.ranges.get(i)?;
+        if raw < r.end {
+            self.cursor.set(i);
+            Some(r.slot)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]

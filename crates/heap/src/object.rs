@@ -2,7 +2,6 @@
 
 use crate::addr::Addr;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A unique identity for one allocation, never reused.
@@ -51,7 +50,11 @@ pub struct ObjectRecord {
     site: AllocSite,
     birth_tick: u64,
     last_access_tick: u64,
-    slots: BTreeMap<u64, Addr>,
+    /// `(offset, stored pointer)` pairs sorted by offset. Objects hold
+    /// only a handful of pointer slots (paper §2.2), so a flat sorted
+    /// vec beats a `BTreeMap` — no per-node allocation, one binary
+    /// search per access.
+    slots: Vec<(u64, Addr)>,
 }
 
 impl ObjectRecord {
@@ -63,21 +66,24 @@ impl ObjectRecord {
             site,
             birth_tick: tick,
             last_access_tick: tick,
-            slots: BTreeMap::new(),
+            slots: Vec::new(),
         }
     }
 
     /// The object's unique identity.
+    #[inline]
     pub fn id(&self) -> ObjectId {
         self.id
     }
 
     /// The first address of the object.
+    #[inline]
     pub fn start(&self) -> Addr {
         self.start
     }
 
     /// The object's size in bytes (as requested, before alignment).
+    #[inline]
     pub fn size(&self) -> usize {
         self.size
     }
@@ -100,18 +106,23 @@ impl ObjectRecord {
     }
 
     /// Returns `true` if `addr` lies within the object.
+    #[inline]
     pub fn contains(&self, addr: Addr) -> bool {
         addr >= self.start && addr.get() < self.start.get() + self.size as u64
     }
 
     /// The pointer value stored at byte offset `off`, if the slot holds one.
+    #[inline]
     pub fn slot(&self, off: u64) -> Option<Addr> {
-        self.slots.get(&off).copied()
+        self.slots
+            .binary_search_by_key(&off, |&(o, _)| o)
+            .ok()
+            .map(|i| self.slots[i].1)
     }
 
     /// Iterates over `(offset, stored pointer)` pairs in offset order.
     pub fn slots(&self) -> impl Iterator<Item = (u64, Addr)> + '_ {
-        self.slots.iter().map(|(&off, &val)| (off, val))
+        self.slots.iter().copied()
     }
 
     /// Number of pointer-holding slots in the object.
@@ -119,18 +130,54 @@ impl ObjectRecord {
         self.slots.len()
     }
 
+    #[inline]
     pub(crate) fn touch(&mut self, tick: u64) {
         self.last_access_tick = tick;
     }
 
+    /// Re-initializes a recycled slab record in place, retaining the
+    /// slot vec's capacity.
+    pub(crate) fn reset(
+        &mut self,
+        id: ObjectId,
+        start: Addr,
+        size: usize,
+        site: AllocSite,
+        tick: u64,
+    ) {
+        self.id = id;
+        self.start = start;
+        self.size = size;
+        self.site = site;
+        self.birth_tick = tick;
+        self.last_access_tick = tick;
+        self.slots.clear();
+    }
+
+    /// Moves the slot table out (the record is dead afterwards).
+    pub(crate) fn take_slots(&mut self) -> Vec<(u64, Addr)> {
+        std::mem::take(&mut self.slots)
+    }
+
     /// Sets slot `off` to `val`, returning the previous value.
+    #[inline]
     pub(crate) fn set_slot(&mut self, off: u64, val: Addr) -> Option<Addr> {
-        self.slots.insert(off, val)
+        match self.slots.binary_search_by_key(&off, |&(o, _)| o) {
+            Ok(i) => Some(std::mem::replace(&mut self.slots[i].1, val)),
+            Err(i) => {
+                self.slots.insert(i, (off, val));
+                None
+            }
+        }
     }
 
     /// Clears slot `off`, returning the previous value.
+    #[inline]
     pub(crate) fn clear_slot(&mut self, off: u64) -> Option<Addr> {
-        self.slots.remove(&off)
+        match self.slots.binary_search_by_key(&off, |&(o, _)| o) {
+            Ok(i) => Some(self.slots.remove(i).1),
+            Err(_) => None,
+        }
     }
 }
 

@@ -41,6 +41,7 @@ pub mod json;
 pub mod logger;
 pub mod registry;
 pub mod span;
+pub mod throughput;
 
 pub use logger::{log_enabled, set_log_level, Level};
 pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};

@@ -67,7 +67,7 @@ pub enum WorkloadKind {
 }
 
 /// A benchmark program driving the simulated heap.
-pub trait Workload {
+pub trait Workload: Send + Sync {
     /// The program's name (stable identifier used in reports).
     fn name(&self) -> &'static str;
 

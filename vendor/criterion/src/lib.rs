@@ -5,21 +5,57 @@
 //! the `criterion_group!`/`criterion_main!` macros.
 //!
 //! Statistics are deliberately simple — a fixed warm-up followed by
-//! timed batches, reporting mean wall-clock time per iteration (and
-//! derived throughput when declared). That is enough to compare cases
-//! within one run, e.g. obs-enabled vs obs-disabled instrumentation.
+//! timed batches, reporting mean and median wall-clock time per
+//! iteration (and derived throughput when declared). That is enough to
+//! compare cases within one run, e.g. obs-enabled vs obs-disabled
+//! instrumentation.
+//!
+//! # Machine-readable output
+//!
+//! When the `HEAPMD_BENCH_JSON` environment variable names a file,
+//! every finished case appends one JSON object per line to it (the
+//! JSON-lines framing lets several bench binaries share one file; see
+//! DESIGN.md §8 for the record schema). `HEAPMD_BENCH_PHASE` stamps a
+//! free-form phase label into each record (`baseline`, `optimized`,
+//! `ci`, …) so before/after trajectories live side by side.
+//!
+//! # Quick mode
+//!
+//! Setting `HEAPMD_BENCH_QUICK=1` shrinks the measurement time by
+//! roughly an order of magnitude. Numbers are noisier but every case
+//! still executes — this is the CI smoke configuration, which gates on
+//! "no panics", not on timing.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard optimization barrier.
 pub use std::hint::black_box;
 
 const WARMUP_ITERS: u64 = 3;
-const TARGET_BATCHES: u32 = 12;
-const MIN_MEASURE_TIME: Duration = Duration::from_millis(400);
+
+fn quick_mode() -> bool {
+    std::env::var("HEAPMD_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn target_batches() -> u32 {
+    if quick_mode() {
+        5
+    } else {
+        12
+    }
+}
+
+fn min_measure_time() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(400)
+    }
+}
 
 /// Declared work-per-iteration, used to derive throughput numbers.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +106,8 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     total: Duration,
     iters: u64,
+    /// Per-batch mean ns/iteration samples, for the median estimate.
+    batch_ns_per_iter: Vec<f64>,
 }
 
 impl Bencher {
@@ -84,17 +122,37 @@ impl Bencher {
         let probe_start = Instant::now();
         black_box(routine());
         let probe = probe_start.elapsed().max(Duration::from_nanos(20));
-        let per_batch = (MIN_MEASURE_TIME.as_nanos() / TARGET_BATCHES as u128)
+        let batches = target_batches();
+        let per_batch = (min_measure_time().as_nanos() / batches as u128)
             .div_ceil(probe.as_nanos())
             .clamp(1, 1_000_000) as u64;
 
-        for _ in 0..TARGET_BATCHES {
+        for _ in 0..batches {
             let start = Instant::now();
             for _ in 0..per_batch {
                 black_box(routine());
             }
-            self.total += start.elapsed();
+            let elapsed = start.elapsed();
+            self.total += elapsed;
             self.iters += per_batch;
+            self.batch_ns_per_iter
+                .push(elapsed.as_nanos() as f64 / per_batch as f64);
+        }
+    }
+
+    /// Median of the per-batch ns/iteration samples (0 when nothing
+    /// was measured).
+    fn median_ns_per_iter(&self) -> f64 {
+        let mut samples = self.batch_ns_per_iter.clone();
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let n = samples.len();
+        if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
         }
     }
 }
@@ -122,6 +180,7 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             total: Duration::ZERO,
             iters: 0,
+            batch_ns_per_iter: Vec::new(),
         };
         f(&mut bencher);
         self.report(&id.label, &bencher);
@@ -143,6 +202,7 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             total: Duration::ZERO,
             iters: 0,
+            batch_ns_per_iter: Vec::new(),
         };
         f(&mut bencher, input);
         self.report(&id.label, &bencher);
@@ -157,22 +217,95 @@ impl BenchmarkGroup<'_> {
             println!("{}/{label:40} (no iterations)", self.name);
             return;
         }
-        let per_iter_ns = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+        let mean_ns = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+        let median_ns = bencher.median_ns_per_iter();
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) => {
-                format!("  {:>12.0} elem/s", n as f64 * 1e9 / per_iter_ns)
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / median_ns)
             }
             Some(Throughput::Bytes(n)) => {
-                format!("  {:>12.0} B/s", n as f64 * 1e9 / per_iter_ns)
+                format!("  {:>12.0} B/s", n as f64 * 1e9 / median_ns)
             }
             None => String::new(),
         };
         println!(
-            "{}/{label:40} {:>14} /iter{rate}",
+            "{}/{label:40} {:>14} median ({} mean) /iter{rate}",
             self.name,
-            format_ns(per_iter_ns)
+            format_ns(median_ns),
+            format_ns(mean_ns),
         );
+        self.emit_json(label, bencher, mean_ns, median_ns);
     }
+
+    /// Appends one JSON-lines record for the finished case when
+    /// `HEAPMD_BENCH_JSON` names a sink file.
+    fn emit_json(&self, label: &str, bencher: &Bencher, mean_ns: f64, median_ns: f64) {
+        let Ok(path) = std::env::var("HEAPMD_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let phase = std::env::var("HEAPMD_BENCH_PHASE").unwrap_or_else(|_| "unspecified".into());
+        let mut record = String::with_capacity(256);
+        record.push('{');
+        record.push_str("\"schema\":\"heapmd-bench-v1\"");
+        record.push_str(&format!(",\"phase\":{}", json_str(&phase)));
+        record.push_str(&format!(",\"group\":{}", json_str(&self.name)));
+        record.push_str(&format!(",\"bench\":{}", json_str(label)));
+        record.push_str(&format!(",\"iters\":{}", bencher.iters));
+        record.push_str(&format!(",\"ns_per_iter_median\":{median_ns:.2}"));
+        record.push_str(&format!(",\"ns_per_iter_mean\":{mean_ns:.2}"));
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                record.push_str(&format!(",\"elements_per_iter\":{n}"));
+                record.push_str(&format!(
+                    ",\"ns_per_event_median\":{:.3}",
+                    median_ns / n as f64
+                ));
+                record.push_str(&format!(
+                    ",\"events_per_sec\":{:.0}",
+                    n as f64 * 1e9 / median_ns
+                ));
+            }
+            Some(Throughput::Bytes(n)) => {
+                record.push_str(&format!(",\"bytes_per_iter\":{n}"));
+                record.push_str(&format!(
+                    ",\"bytes_per_sec\":{:.0}",
+                    n as f64 * 1e9 / median_ns
+                ));
+            }
+            None => {}
+        }
+        record.push('}');
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| writeln!(f, "{record}"));
+        if let Err(e) = appended {
+            eprintln!("warning: cannot append bench record to {path}: {e}");
+        }
+    }
+}
+
+/// Minimal JSON string escaping for bench labels and phase names.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn format_ns(ns: f64) -> String {
@@ -254,5 +387,27 @@ mod tests {
         });
         group.finish();
         assert!(ran > WARMUP_ITERS);
+    }
+
+    #[test]
+    fn median_of_batches_is_computed() {
+        let b = Bencher {
+            total: Duration::from_nanos(600),
+            iters: 6,
+            batch_ns_per_iter: vec![300.0, 100.0, 200.0],
+        };
+        assert_eq!(b.median_ns_per_iter(), 200.0);
+        let even = Bencher {
+            total: Duration::ZERO,
+            iters: 4,
+            batch_ns_per_iter: vec![100.0, 400.0, 200.0, 300.0],
+        };
+        assert_eq!(even.median_ns_per_iter(), 250.0);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a/b"), "\"a/b\"");
+        assert_eq!(json_str("q\"\\"), "\"q\\\"\\\\\"");
     }
 }
