@@ -3,11 +3,14 @@
 //! ```text
 //! heapmd list                                   # programs and catalogued bugs
 //! heapmd run <program> [--input K] [--version V] [--bug FAULT] [--trace-out FILE]
+//!                      [--model FILE] [--incidents DIR]
 //! heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]
 //!                        [--checkpoint-every N] [--resume] [--threads N]
 //! heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT]
+//!                        [--incidents DIR]
 //! heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT]
 //! heapmd replay --model FILE --trace FILE [--salvage]
+//! heapmd inspect <bundle.hmdi> [--salvage]      # render an incident bundle
 //! ```
 //!
 //! Robustness features:
@@ -22,6 +25,12 @@
 //!   uninterrupted run would have.
 //! - `replay` auto-detects framed streams vs. JSON traces; `--salvage`
 //!   accepts truncated/corrupted streams and reports what was lost.
+//! - `run --model FILE` / `check … --incidents DIR` attach the anomaly
+//!   detector with the flight recorder enabled: every surviving range
+//!   violation is written as a CRC-framed incident bundle, which
+//!   `inspect` renders as ASCII charts with the calibrated bounds,
+//!   implicated functions, and the armed-window stack digest
+//!   (`inspect --salvage` recovers damaged bundles).
 //!
 //! Global flags (any subcommand):
 //!
@@ -31,17 +40,27 @@
 //!   structured events (heartbeats, anomalies, logs, final counter
 //!   totals) as JSON lines;
 //! - `--obs-prom FILE` — enable instrumentation and dump all metrics in
-//!   Prometheus text exposition format on exit.
+//!   Prometheus text exposition format on exit;
+//! - `--trace-events FILE` — collect span timings and write a Chrome
+//!   trace-event JSON on exit (openable in about:tracing / Perfetto).
 //!
 //! Models are the JSON "summarized metric reports" of the paper's
 //! Figure 2; traces are recorded with [`heapmd::Process::enable_trace`].
 
 use faults::FaultPlan;
-use heapmd::{FuncId, HeapModel, ModelBuilder, Process, Trace, TrainCheckpoint};
+use heapmd::plot::{chart, RefLine};
+use heapmd::{
+    AnomalyDetector, FuncId, HeapModel, IncidentBundle, IncidentLog, LogPhase, ModelBuilder,
+    Process, Trace, TrainCheckpoint,
+};
 use heapmd_obs::{debug, error, info};
+use std::cell::RefCell;
 use std::path::Path;
+use std::rc::Rc;
 use workloads::bugs::{CATALOG, SWAT_ONLY};
-use workloads::harness::{check, run_many, run_once, settings_for};
+use workloads::harness::{
+    check, check_with_incidents, run_many, run_once, settings_for, FLIGHT_RECORDER_POINTS,
+};
 use workloads::{commercial_at_version, registry, Input, Workload, WorkloadKind};
 
 fn find_program(name: &str, version: u8) -> Option<Box<dyn Workload>> {
@@ -86,7 +105,7 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE]"
+        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE] [--model FILE] [--incidents DIR]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--incidents DIR]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage]\n  heapmd inspect <bundle.hmdi> [--salvage]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
     );
     std::process::exit(2);
 }
@@ -126,6 +145,8 @@ fn cmd_run(args: &[String]) -> i32 {
     let input_id: u32 = num_flag(args, "--input", "a number", 1000u32);
     let version: u8 = num_flag(args, "--version", "1-5", 1u8);
     let trace_out = arg_value(args, "--trace-out");
+    let model_path = arg_value(args, "--model");
+    let incident_dir = arg_value(args, "--incidents");
     let Some(w) = find_program(program, version) else {
         error!("unknown program {program} (see `heapmd list`)");
         return 1;
@@ -136,7 +157,34 @@ fn cmd_run(args: &[String]) -> i32 {
         "running {program} v{version} on input {input_id} (frq {})",
         settings.frq
     );
-    let mut p = Process::new(settings);
+    let mut p = Process::new(settings.clone());
+    // With a model, the run doubles as a flight-recorded check: the
+    // detector rides along and emits incident bundles when it fires.
+    let detector = match &model_path {
+        Some(path) => match HeapModel::load(path) {
+            Ok(model) => {
+                let det = Rc::new(RefCell::new(AnomalyDetector::new(model, settings)));
+                if let Some(dir) = &incident_dir {
+                    det.borrow_mut()
+                        .log_incidents_to(IncidentLog::new(dir, w.name()));
+                }
+                p.enable_flight_recorder(FLIGHT_RECORDER_POINTS);
+                p.attach(det.clone());
+                Some(det)
+            }
+            Err(e) => {
+                error!("cannot load model {path}: {e}");
+                return 1;
+            }
+        },
+        None => {
+            if incident_dir.is_some() {
+                eprintln!("--incidents requires --model (nothing detects without one)");
+                return 2;
+            }
+            None
+        }
+    };
     if let Some(path) = &trace_out {
         let file = match std::fs::File::create(path) {
             Ok(f) => f,
@@ -180,6 +228,21 @@ fn cmd_run(args: &[String]) -> i32 {
             "final graph: {} nodes, {} edges, {} dangling slots",
             last.nodes, last.edges, last.dangling
         );
+    }
+    if let Some(det) = detector {
+        let mut d = det.borrow_mut();
+        let bugs = d.take_bugs();
+        for path in d.incident_log().map(|l| l.paths()).unwrap_or_default() {
+            println!("incident bundle written to {}", path.display());
+        }
+        if !bugs.is_empty() {
+            println!("{} anomaly report(s):", bugs.len());
+            for b in &bugs {
+                println!("  {b}");
+            }
+            return 3;
+        }
+        println!("no anomalies against {}", model_path.unwrap_or_default());
     }
     0
 }
@@ -323,7 +386,22 @@ fn cmd_check(args: &[String]) -> i32 {
         }
     };
     let mut plan = fault_plan_for(args);
-    let bugs = check(w.as_ref(), &model, &Input::new(input_id), &mut plan);
+    let bugs = match arg_value(args, "--incidents") {
+        Some(dir) => {
+            let outcome = check_with_incidents(
+                w.as_ref(),
+                &model,
+                &Input::new(input_id),
+                &mut plan,
+                Some(Path::new(&dir)),
+            );
+            for path in &outcome.bundle_paths {
+                println!("incident bundle written to {}", path.display());
+            }
+            outcome.bugs
+        }
+        None => check(w.as_ref(), &model, &Input::new(input_id), &mut plan),
+    };
     if bugs.is_empty() {
         println!("no anomalies on input {input_id}");
         0
@@ -338,6 +416,157 @@ fn cmd_check(args: &[String]) -> i32 {
         }
         3
     }
+}
+
+/// Chart geometry for `inspect`.
+const CHART_WIDTH: usize = 64;
+const CHART_HEIGHT: usize = 10;
+
+/// Renders an incident bundle: metadata, per-series charts (the
+/// offending metric gets its calibrated bounds as reference lines),
+/// the degree histogram, implicated functions, and the stack digest.
+fn render_bundle(bundle: &IncidentBundle) -> String {
+    let m = &bundle.meta;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "source   {}\nmetric   {} — {}\nvalue    {:.3} outside calibrated [{:.3}, {:.3}], slope {:+.3}\n",
+        m.source, m.metric, m.kind, m.value, m.range.0, m.range.1, m.slope
+    ));
+    out.push_str(&format!(
+        "where    sample #{} ({} fn entries), {} samples seen",
+        m.sample_seq, m.fn_entries, m.samples_seen
+    ));
+    match m.armed_at_seq {
+        Some(at) => out.push_str(&format!(", armed since sample #{at}\n")),
+        None => out.push('\n'),
+    }
+
+    let offending = format!("metric.{}", m.metric.short_name());
+    if bundle.series.is_empty() {
+        out.push_str("\n(no flight-recorder series captured)\n");
+    }
+    for s in &bundle.series {
+        let ys: Vec<f64> = s.points.iter().map(|&(_, y)| y).collect();
+        let refs: &[RefLine] = if s.name == offending {
+            &[
+                RefLine {
+                    value: m.range.0,
+                    glyph: '-',
+                    label: "min",
+                },
+                RefLine {
+                    value: m.range.1,
+                    glyph: '=',
+                    label: "max",
+                },
+            ]
+        } else {
+            &[]
+        };
+        let title = format!(
+            "\n{} (stride {}, {} of {} points)",
+            s.name,
+            s.stride,
+            ys.len(),
+            s.seen
+        );
+        out.push_str(&chart(&title, &ys, CHART_WIDTH, CHART_HEIGHT, refs));
+    }
+
+    if let Some(d) = &bundle.degrees {
+        out.push_str(&format!(
+            "\nheap-graph degree histogram ({} nodes, {} with indeg == outdeg):\n",
+            d.nodes, d.in_eq_out
+        ));
+        let fmt_row = |label: &str, buckets: &[u64]| -> String {
+            let cells: Vec<String> = buckets
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| {
+                    if i + 1 == buckets.len() {
+                        format!("{}+:{n}", i)
+                    } else {
+                        format!("{i}:{n}")
+                    }
+                })
+                .collect();
+            format!("  {label:<7} {}\n", cells.join("  "))
+        };
+        out.push_str(&fmt_row("indeg", &d.indeg));
+        out.push_str(&fmt_row("outdeg", &d.outdeg));
+    }
+
+    let funcs = bundle.implicated_functions();
+    if !funcs.is_empty() {
+        out.push_str(&format!("\nimplicated functions: {}\n", funcs.join(", ")));
+    }
+    if !bundle.stacks.is_empty() {
+        out.push_str(&format!(
+            "\narmed-window stack digest ({} entries):\n",
+            bundle.stacks.len()
+        ));
+        for entry in &bundle.stacks {
+            let phase = match entry.phase {
+                LogPhase::Before => "before",
+                LogPhase::During => "DURING",
+                LogPhase::After => "after",
+            };
+            let stack = if entry.stack.is_empty() {
+                "(no stack)".to_string()
+            } else {
+                entry.stack.join(" > ")
+            };
+            out.push_str(&format!(
+                "  [{phase:<6}] tick {:<8} {:<32} {stack}\n",
+                entry.tick, entry.event
+            ));
+        }
+    }
+    out
+}
+
+fn cmd_inspect(args: &[String]) -> i32 {
+    let Some(path) = args.first() else { usage() };
+    let salvage = args.iter().any(|a| a == "--salvage");
+    let bundle = if salvage {
+        match IncidentBundle::salvage(path) {
+            Ok((Some(bundle), stats)) => {
+                if !stats.complete {
+                    let (offset, reason) = stats
+                        .corruption
+                        .unwrap_or((stats.total_bytes, "truncated".to_string()));
+                    println!(
+                        "salvaged {} record(s), lost {} ({} bytes total); damage at byte {offset}: {reason}",
+                        stats.records, stats.skipped, stats.total_bytes
+                    );
+                }
+                bundle
+            }
+            Ok((None, stats)) => {
+                error!(
+                    "nothing salvageable in {path}: no intact metadata record in {} bytes",
+                    stats.total_bytes
+                );
+                return 1;
+            }
+            Err(e) => {
+                error!("cannot read bundle {path}: {e}");
+                return 1;
+            }
+        }
+    } else {
+        match IncidentBundle::load(path) {
+            Ok(b) => b,
+            Err(e) => {
+                error!("cannot load bundle {path}: {e}");
+                eprintln!("hint: `--salvage` recovers what a damaged bundle still holds");
+                return 1;
+            }
+        }
+    };
+    println!("incident bundle {path}");
+    print!("{}", render_bundle(&bundle));
+    0
 }
 
 fn fault_plan_for(args: &[String]) -> FaultPlan {
@@ -491,6 +720,11 @@ fn main() {
     }
     let obs_out = take_flag_value(&mut args, "--obs-out");
     let obs_prom = take_flag_value(&mut args, "--obs-prom");
+    let trace_events = take_flag_value(&mut args, "--trace-events");
+    if trace_events.is_some() {
+        heapmd_obs::set_enabled(true);
+        heapmd_obs::trace_event::set_collecting(true);
+    }
     if let Some(path) = &obs_out {
         heapmd_obs::set_enabled(true);
         if let Err(e) = heapmd_obs::export::set_sink_file(Path::new(path)) {
@@ -510,6 +744,7 @@ fn main() {
         Some("check") => cmd_check(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
         _ => usage(),
     };
 
@@ -520,6 +755,15 @@ fn main() {
     if let Some(path) = &obs_prom {
         if let Err(e) = heapmd_obs::export::write_prometheus_file(Path::new(path)) {
             error!("cannot write --obs-prom {path}: {e}");
+        }
+    }
+    if let Some(path) = &trace_events {
+        match heapmd_obs::trace_event::write_chrome_trace(Path::new(path)) {
+            Ok(()) => debug!(
+                "{} span event(s) written to {path}",
+                heapmd_obs::trace_event::event_count()
+            ),
+            Err(e) => error!("cannot write --trace-events {path}: {e}"),
         }
     }
     std::process::exit(code);

@@ -2,6 +2,7 @@
 
 use crate::bug::{AnomalyKind, BugReport, Direction, LogPhase, StackLogEntry};
 use crate::fluctuation::FluctuationStats;
+use crate::incident::{DegreeSnapshot, IncidentBundle, IncidentLog, SeriesData};
 use crate::model::{HeapModel, StableMetric};
 use crate::monitor::{Monitor, MonitorCtx};
 use crate::phase_model::LocalMetric;
@@ -26,6 +27,16 @@ struct LocalState {
     in_violation: bool,
 }
 
+/// Flight-recorder context snapshotted when an excursion opens, held
+/// until the bug finalizes (the report may still grow after-context).
+#[derive(Debug, Default)]
+struct PendingCapture {
+    slope: f64,
+    armed_at_seq: Option<u64>,
+    series: Vec<SeriesData>,
+    degrees: Option<DegreeSnapshot>,
+}
+
 /// Per-stable-metric checking state.
 #[derive(Debug)]
 struct MetricState {
@@ -33,6 +44,7 @@ struct MetricState {
     last: Option<f64>,
     in_violation: bool,
     pending: Option<BugReport>,
+    capture: Option<PendingCapture>,
     after_budget: usize,
     pinned_low: usize,
     pinned_high: usize,
@@ -103,8 +115,15 @@ pub struct AnomalyDetector {
     unstable: Vec<(MetricKind, Vec<f64>)>,
     log: CircularBuffer<StackLogEntry>,
     armed: bool,
+    /// Sample seq at which the current armed window opened.
+    armed_at: Option<u64>,
     samples_seen: usize,
     bugs: Vec<BugReport>,
+    /// Bundles staged at bug finalization; survivors of the shutdown
+    /// trim move to `incidents` (and the attached log) in `finish_scan`.
+    pending_incidents: Vec<IncidentBundle>,
+    incidents: Vec<IncidentBundle>,
+    incident_log: Option<IncidentLog>,
     startup_checked: bool,
     post_warmup_samples: usize,
 }
@@ -120,6 +139,7 @@ impl AnomalyDetector {
                 last: None,
                 in_violation: false,
                 pending: None,
+                capture: None,
                 after_budget: 0,
                 pinned_low: 0,
                 pinned_high: 0,
@@ -143,8 +163,12 @@ impl AnomalyDetector {
             local_states,
             unstable,
             armed: false,
+            armed_at: None,
             samples_seen: 0,
             bugs: Vec::new(),
+            pending_incidents: Vec::new(),
+            incidents: Vec::new(),
+            incident_log: None,
             startup_checked: false,
             post_warmup_samples: 0,
         }
@@ -164,6 +188,30 @@ impl AnomalyDetector {
     /// Returns `true` if any anomaly has been reported.
     pub fn has_anomalies(&self) -> bool {
         !self.bugs.is_empty()
+    }
+
+    /// Attaches an [`IncidentLog`]: every range-violation incident that
+    /// survives the shutdown trim is also persisted as a bundle file
+    /// under the log's directory at finish.
+    pub fn log_incidents_to(&mut self, log: IncidentLog) {
+        self.incident_log = Some(log);
+    }
+
+    /// The attached incident log, if any — exposes the paths written.
+    pub fn incident_log(&self) -> Option<&IncidentLog> {
+        self.incident_log.as_ref()
+    }
+
+    /// Incident bundles for range violations that survived the
+    /// shutdown trim. Populated by `finish_scan` (i.e. after
+    /// [`crate::Process::finish`] when attached as a monitor).
+    pub fn incidents(&self) -> &[IncidentBundle] {
+        &self.incidents
+    }
+
+    /// Takes ownership of the incident bundles.
+    pub fn take_incidents(&mut self) -> Vec<IncidentBundle> {
+        std::mem::take(&mut self.incidents)
     }
 
     /// Checks a completed [`MetricReport`] offline (post-mortem mode
@@ -203,8 +251,11 @@ impl AnomalyDetector {
     }
 
     /// Core per-sample logic, shared by online and offline modes.
-    /// `ctx_stack` provides the call stack when running online.
-    fn scan_sample(&mut self, sample: &MetricSample, ctx_stack: Option<Vec<String>>) {
+    /// `ctx` provides the call stack, heap graph, and flight recorder
+    /// when running online; offline checking passes `None` and the
+    /// resulting reports carry no stacks or series.
+    fn scan_sample(&mut self, sample: &MetricSample, ctx: Option<&MonitorCtx<'_>>) {
+        let ctx_stack: Option<Vec<String>> = ctx.map(|c| c.stack_names());
         self.samples_seen += 1;
         let warmup = self.samples_seen <= self.settings.warmup_samples;
 
@@ -295,6 +346,19 @@ impl AnomalyDetector {
                             context,
                         });
                         st.after_budget = AFTER_CONTEXT_EVENTS;
+                        // Flight-recorder snapshot at the crossing. When
+                        // arming starts on this very sample (a jump that
+                        // crossed without an approach) the window opens
+                        // here too.
+                        st.capture = Some(PendingCapture {
+                            slope,
+                            armed_at_seq: self.armed_at.or(Some(sample.seq as u64)),
+                            series: ctx
+                                .and_then(|c| c.recorder)
+                                .map(|r| r.snapshot().iter().map(SeriesData::from).collect())
+                                .unwrap_or_default(),
+                            degrees: ctx.map(|c| DegreeSnapshot::capture(c.graph.histogram())),
+                        });
                     }
                 }
                 None => {
@@ -302,8 +366,8 @@ impl AnomalyDetector {
                     if st.in_violation {
                         st.in_violation = false;
                         if let Some(bug) = st.pending.take() {
-                            crate::bug::emit_anomaly_event(&bug, "detector");
-                            self.bugs.push(bug);
+                            let capture = st.capture.take();
+                            self.finalize_bug(bug, capture);
                         }
                     }
                 }
@@ -346,6 +410,7 @@ impl AnomalyDetector {
         // Rising edge of the slope heuristic: the circular call-stack
         // buffer starts recording here, so surface why it armed.
         if any_armed && !self.armed {
+            self.armed_at = Some(sample.seq as u64);
             heapmd_obs::count!("heapmd_detector_armed_total");
             heapmd_obs::export::emit_event("detector_armed", |o| {
                 o.field_u64("sample_seq", sample.seq as u64)
@@ -361,15 +426,41 @@ impl AnomalyDetector {
             });
         }
         self.armed = any_armed;
+        if !any_armed {
+            self.armed_at = None;
+        }
+    }
+
+    /// Emits a finalized range-violation bug and stages its incident
+    /// bundle. Bundles are only materialized (and written to any
+    /// attached log) in `finish_scan`, for bugs that survive the
+    /// shutdown trim.
+    fn finalize_bug(&mut self, bug: BugReport, capture: Option<PendingCapture>) {
+        let cap = capture.unwrap_or_default();
+        self.pending_incidents.push(IncidentBundle::from_report(
+            "detector",
+            &bug,
+            cap.slope,
+            cap.armed_at_seq,
+            self.samples_seen as u64,
+            cap.series,
+            cap.degrees,
+        ));
+        crate::bug::emit_anomaly_event(&bug, "detector");
+        self.bugs.push(bug);
     }
 
     fn finish_scan(&mut self) {
+        let _span = heapmd_obs::span!("detector_finish");
         // Flush excursions still open at end of run.
+        let mut flushed = Vec::new();
         for st in &mut self.states {
             if let Some(bug) = st.pending.take() {
-                crate::bug::emit_anomaly_event(&bug, "detector");
-                self.bugs.push(bug);
+                flushed.push((bug, st.capture.take()));
             }
+        }
+        for (bug, capture) in flushed {
+            self.finalize_bug(bug, capture);
         }
         // Shutdown trim: the model ignores the final `trim_frac` of
         // metric computation points as teardown (§2.1); drop range
@@ -383,6 +474,32 @@ impl AnomalyDetector {
                 AnomalyKind::RangeViolation { .. } | AnomalyKind::LocalRangeViolation
             ) || b.sample_seq < cutoff
         });
+        // Incident bundles follow the same trim: only bundles whose bug
+        // survived are materialized, so arming that never fires — or an
+        // excursion confined to teardown — leaves no bundle behind.
+        let bugs = &self.bugs;
+        let kept: Vec<IncidentBundle> = self
+            .pending_incidents
+            .drain(..)
+            .filter(|inc| {
+                bugs.iter().any(|b| {
+                    matches!(b.kind, AnomalyKind::RangeViolation { .. })
+                        && b.metric == inc.meta.metric
+                        && b.sample_seq as u64 == inc.meta.sample_seq
+                })
+            })
+            .collect();
+        if let Some(log) = self.incident_log.as_mut() {
+            for inc in &kept {
+                if let Err(err) = log.write(inc) {
+                    heapmd_obs::count!("heapmd_incident_write_errors_total");
+                    heapmd_obs::export::emit_event("incident_write_failed", |o| {
+                        o.field_str("error", &err.to_string());
+                    });
+                }
+            }
+        }
+        self.incidents.extend(kept);
         // Poorly disguised: pinned at an extreme for most of the run,
         // without ever crossing.
         let total = self.post_warmup_samples;
@@ -466,7 +583,7 @@ impl Monitor for AnomalyDetector {
     }
 
     fn on_sample(&mut self, ctx: &MonitorCtx<'_>, sample: &MetricSample) {
-        self.scan_sample(sample, Some(ctx.stack_names()));
+        self.scan_sample(sample, Some(ctx));
     }
 
     fn on_finish(&mut self, _ctx: &MonitorCtx<'_>) {
@@ -736,6 +853,119 @@ mod tests {
         assert_eq!(local.len(), 1, "{:?}", det.bugs);
         assert_eq!(local[0].metric, MetricKind::Leaves);
         assert_eq!(local[0].sample_seq, 4);
+    }
+
+    /// Steps `values` one sample at a time, returning the detector and
+    /// whether arming was ever observed.
+    fn run_stepped(
+        values: &[f64],
+        kind: MetricKind,
+        min: f64,
+        max: f64,
+    ) -> (AnomalyDetector, bool) {
+        let mut det = AnomalyDetector::new(model_with(kind, min, max), settings());
+        let mut ever_armed = false;
+        for (i, &v) in values.iter().enumerate() {
+            det.scan_sample(&sample(i, kind, v), None);
+            ever_armed |= det.armed;
+        }
+        det.finish_scan();
+        (det, ever_armed)
+    }
+
+    #[test]
+    fn zero_slope_at_the_bound_does_not_arm() {
+        // Sitting exactly on each calibrated bound with zero slope:
+        // arming requires adverse drift (slope strictly toward the
+        // extreme), so a flat series at the edge must stay disarmed.
+        // [13, 18] with range_margin 0.5 → effective bounds 12.5/18.5.
+        for edge in [18.5, 12.5] {
+            let (det, ever_armed) = run_stepped(
+                &[edge, edge, edge, edge, 15.0, 15.0, 15.0, 15.0],
+                MetricKind::Indeg1,
+                13.0,
+                18.0,
+            );
+            assert!(!ever_armed, "flat series at {edge} must not arm");
+            assert!(det.bugs.is_empty(), "unexpected: {:?}", det.bugs);
+            assert!(det.incidents().is_empty());
+        }
+    }
+
+    #[test]
+    fn touching_min_and_max_in_one_run_stays_clean() {
+        // Touches both effective bounds exactly (12.5 and 18.5), with
+        // adverse slopes on the way — the detector arms, but a value ON
+        // the bound is not a violation, so no bugs and no bundles.
+        let (det, ever_armed) = run_stepped(
+            &[15.0, 15.0, 12.5, 18.5, 15.0, 12.5, 18.5, 15.0, 15.0, 15.0],
+            MetricKind::Indeg1,
+            13.0,
+            18.0,
+        );
+        assert!(ever_armed, "bound-touching with adverse slope should arm");
+        assert!(det.bugs.is_empty(), "unexpected: {:?}", det.bugs);
+        assert!(det.incidents().is_empty());
+    }
+
+    #[test]
+    fn arming_that_never_fires_writes_no_incident_bundles() {
+        let dir =
+            std::env::temp_dir().join(format!("heapmd-detector-noarm-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut det = AnomalyDetector::new(model_with(MetricKind::Indeg1, 13.0, 18.0), settings());
+        det.log_incidents_to(crate::IncidentLog::new(&dir, "t"));
+        // Approaches the max with positive slope (arming) but retreats
+        // without ever crossing 18.5.
+        let values = [15.0, 15.0, 15.0, 18.3, 18.4, 18.45, 15.0, 15.0, 15.0, 15.0];
+        let mut ever_armed = false;
+        for (i, &v) in values.iter().enumerate() {
+            det.scan_sample(&sample(i, MetricKind::Indeg1, v), None);
+            ever_armed |= det.armed;
+        }
+        det.finish_scan();
+        assert!(ever_armed, "the approach should have armed logging");
+        assert!(det.bugs.is_empty(), "unexpected: {:?}", det.bugs);
+        assert!(det.incidents().is_empty());
+        assert!(det.incident_log().unwrap().paths().is_empty());
+        assert!(!dir.exists(), "no bundle file may be created");
+    }
+
+    #[test]
+    fn excursion_confined_to_teardown_leaves_no_bundle() {
+        // 20 samples, trim_frac 0.10 → the last 2 are teardown. An
+        // excursion that only begins there is trimmed, and its staged
+        // incident bundle must be dropped with it.
+        let mut values = vec![15.0; 18];
+        values.extend([19.0, 20.0]);
+        let (det, _) = run_stepped(&values, MetricKind::Indeg1, 13.0, 18.0);
+        assert!(det.bugs.is_empty(), "unexpected: {:?}", det.bugs);
+        assert!(det.incidents().is_empty());
+        assert!(det.pending_incidents.is_empty(), "staging must drain");
+    }
+
+    #[test]
+    fn crossing_after_an_approach_yields_an_incident_with_armed_window() {
+        let values = [
+            15.0, 15.0, 15.0, 18.3, 19.5, 15.0, 15.0, 15.0, 15.0, 15.0, 15.0, 15.0,
+        ];
+        let (det, _) = run_stepped(&values, MetricKind::Indeg1, 13.0, 18.0);
+        assert_eq!(det.bugs.len(), 1);
+        assert_eq!(det.incidents().len(), 1);
+        let inc = &det.incidents()[0];
+        assert!(inc.validate().is_ok());
+        assert_eq!(inc.meta.source, "detector");
+        assert_eq!(inc.meta.metric, MetricKind::Indeg1);
+        assert_eq!(inc.meta.value, 19.5);
+        assert_eq!(inc.meta.sample_seq, 4);
+        assert_eq!(inc.meta.armed_at_seq, Some(3), "armed on the approach");
+        assert!((inc.meta.slope - 1.2).abs() < 1e-9);
+        // Finalized when the excursion closed at sample index 5.
+        assert_eq!(inc.meta.samples_seen, 6);
+        // Offline scan: no recorder or heap graph was attached.
+        assert!(inc.series.is_empty());
+        assert!(inc.degrees.is_none());
+        assert!(!inc.stacks.is_empty(), "carries the during-crossing entry");
     }
 
     #[test]

@@ -1,0 +1,799 @@
+//! Incident bundles: the durable flight-recorder artifact.
+//!
+//! The paper's detector logs call stacks into a circular buffer while a
+//! stable metric drifts toward a calibrated bound (§3.2), so a report
+//! can show context before, during, and after the crossing — but that
+//! context, the metric time series, and the heap-graph shape around the
+//! crossing were transient in this reproduction: computed, printed, and
+//! thrown away. An [`IncidentBundle`] freezes all of it the moment an
+//! anomaly fires, so a single incident at scale can be triaged offline
+//! (`heapmd inspect`) without rerunning the workload.
+//!
+//! # Wire format
+//!
+//! Same length-framed, CRC-checked JSONL as the trace stream, under its
+//! own magic:
+//!
+//! ```text
+//! HMDI1 <len:08x> <crc:08x> <payload-json>\n
+//! ```
+//!
+//! A healthy bundle is `Header`, one `Meta`, zero or more `Stack` /
+//! `Series` records, at most one `Degrees`, then an `End { records }`
+//! trailer counting everything before it. Splitting the bundle across
+//! records is deliberate: a single bit flip damages one record, and
+//! [`IncidentBundle::salvage_bytes`] resynchronizes at the next line
+//! that starts with the magic, so the rest of the bundle survives.
+//!
+//! Bundles are written via [`crate::persist::write_atomic`], so a crash
+//! mid-write leaves either the previous artifact or none — never a
+//! torn file.
+
+use crate::bug::{AnomalyKind, BugReport, StackLogEntry};
+use crate::error::HeapMdError;
+use crate::trace_stream::{frame_with_magic, parse_frame};
+use heap_graph::{DegreeHistogram, MetricKind};
+use heapmd_obs::SeriesSnapshot;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix identifying a version-1 incident-bundle record.
+pub const INCIDENT_MAGIC: &str = "HMDI1";
+
+/// Current incident-bundle format version. Readers reject bundles from
+/// the future; older versions are upgraded on read (there are none yet).
+pub const INCIDENT_FORMAT_VERSION: u32 = 1;
+
+/// Highest degree bucket captured per direction in [`DegreeSnapshot`]
+/// (degrees past it are summed into the last bucket).
+pub const DEGREE_BUCKETS: usize = 9;
+
+/// One record in a bundle. Externally tagged, struct variants only
+/// (the vendored serde stand-in round-trips those faithfully).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum BundleRecord {
+    /// First record of every bundle.
+    Header {
+        /// Bundle format version.
+        format: u32,
+    },
+    /// The incident's identity: what fired, where, against what range.
+    Meta {
+        /// The metadata payload.
+        meta: IncidentMeta,
+    },
+    /// One armed-window call-stack snapshot.
+    Stack {
+        /// The circular-buffer entry.
+        entry: StackLogEntry,
+    },
+    /// One recorded metric/rate time series.
+    Series {
+        /// The series payload.
+        series: SeriesData,
+    },
+    /// Heap-graph degree histogram at detection time.
+    Degrees {
+        /// The degree snapshot.
+        degrees: DegreeSnapshot,
+    },
+    /// Clean end-of-bundle trailer.
+    End {
+        /// Number of records that should precede this trailer.
+        records: u64,
+    },
+}
+
+/// The incident's identity and calibration context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentMeta {
+    /// Bundle format version (absent in hand-written files ⇒ 0).
+    #[serde(default)]
+    pub version: u32,
+    /// Which checker raised the incident (`detector` or `online`).
+    pub source: String,
+    /// The metric that misbehaved.
+    pub metric: MetricKind,
+    /// The anomaly classification.
+    pub kind: AnomalyKind,
+    /// The metric's value at detection time.
+    pub value: f64,
+    /// The calibrated `[min, max]` range it violated.
+    pub range: (f64, f64),
+    /// Per-sample slope at the crossing (the adverse-drift signal that
+    /// armed logging).
+    pub slope: f64,
+    /// Sample index (metric computation point) of the detection.
+    pub sample_seq: u64,
+    /// Cumulative function entries at detection.
+    pub fn_entries: u64,
+    /// Sample index at which armed logging began, when the detector
+    /// armed before firing.
+    pub armed_at_seq: Option<u64>,
+    /// Total metric computation points seen by the checker at capture.
+    pub samples_seen: u64,
+}
+
+/// One captured time series (a [`SeriesSnapshot`] in serializable form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesData {
+    /// Series name, e.g. `metric.Indeg=1` or `rate.allocs`.
+    pub name: String,
+    /// Downsampling stride at capture (1 = every point retained).
+    pub stride: u64,
+    /// Points ever appended to the series before downsampling.
+    pub seen: u64,
+    /// Retained `(x, y)` points, oldest first.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl From<&SeriesSnapshot> for SeriesData {
+    fn from(s: &SeriesSnapshot) -> Self {
+        SeriesData {
+            name: s.name.clone(),
+            stride: s.stride,
+            seen: s.seen,
+            points: s.points.clone(),
+        }
+    }
+}
+
+/// Compact copy of the heap-graph degree histogram at detection time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeSnapshot {
+    /// Live nodes in the graph.
+    pub nodes: u64,
+    /// Nodes with indegree `d` for `d in 0..DEGREE_BUCKETS-1`; the last
+    /// bucket sums all higher degrees.
+    pub indeg: Vec<u64>,
+    /// Same, for outdegree.
+    pub outdeg: Vec<u64>,
+    /// Nodes whose indegree equals their outdegree.
+    pub in_eq_out: u64,
+}
+
+impl DegreeSnapshot {
+    /// Captures the current histogram, bucketing degrees past
+    /// [`DEGREE_BUCKETS`] into the final slot.
+    pub fn capture(h: &DegreeHistogram) -> Self {
+        let bucket = |count_at: &dyn Fn(usize) -> u64| -> Vec<u64> {
+            let mut v: Vec<u64> = (0..DEGREE_BUCKETS - 1).map(count_at).collect();
+            let covered: u64 = v.iter().sum();
+            v.push(h.nodes().saturating_sub(covered));
+            v
+        };
+        DegreeSnapshot {
+            nodes: h.nodes(),
+            indeg: bucket(&|d| h.with_indegree(d as u32)),
+            outdeg: bucket(&|d| h.with_outdegree(d as u32)),
+            in_eq_out: h.in_eq_out(),
+        }
+    }
+}
+
+/// A complete incident: metadata, armed-window stacks, recorded series,
+/// and the degree histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentBundle {
+    /// What fired and against which calibration.
+    pub meta: IncidentMeta,
+    /// Armed-window call stacks, oldest first.
+    pub stacks: Vec<StackLogEntry>,
+    /// Recorded metric/rate series (empty when no flight recorder was
+    /// attached).
+    pub series: Vec<SeriesData>,
+    /// Degree histogram at detection, when captured.
+    pub degrees: Option<DegreeSnapshot>,
+}
+
+/// What a bundle salvage recovered, and what it had to give up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BundleSalvageStats {
+    /// Valid records consumed (header and trailer included).
+    pub records: u64,
+    /// Records lost to damage (resync skips).
+    pub skipped: u64,
+    /// Total bytes in the artifact.
+    pub total_bytes: u64,
+    /// `true` when every record parsed and the `End` trailer matched.
+    pub complete: bool,
+    /// Byte offset and description of the first damage, when any.
+    pub corruption: Option<(u64, String)>,
+}
+
+impl IncidentBundle {
+    /// Builds a bundle from a detector report plus its capture context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_report(
+        source: &str,
+        bug: &BugReport,
+        slope: f64,
+        armed_at_seq: Option<u64>,
+        samples_seen: u64,
+        series: Vec<SeriesData>,
+        degrees: Option<DegreeSnapshot>,
+    ) -> Self {
+        IncidentBundle {
+            meta: IncidentMeta {
+                version: INCIDENT_FORMAT_VERSION,
+                source: source.to_string(),
+                metric: bug.metric,
+                kind: bug.kind,
+                value: bug.value,
+                range: bug.range,
+                slope,
+                sample_seq: bug.sample_seq as u64,
+                fn_entries: bug.fn_entries,
+                armed_at_seq,
+                samples_seen,
+            },
+            stacks: bug.context.clone(),
+            series,
+            degrees,
+        }
+    }
+
+    /// Functions implicated by the armed-window stacks, innermost
+    /// first, deduplicated — the same digest as
+    /// [`crate::BugReport::implicated_functions`].
+    pub fn implicated_functions(&self) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for entry in &self.stacks {
+            for name in entry.stack.iter().rev() {
+                if seen.insert(name.clone()) {
+                    out.push(name.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Structural validation: version, finite calibration, ordered
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapMdError::Corrupt`] naming the offending field.
+    pub fn validate(&self) -> Result<(), HeapMdError> {
+        let m = &self.meta;
+        if m.version > INCIDENT_FORMAT_VERSION {
+            return Err(HeapMdError::corrupt(
+                0,
+                format!(
+                    "incident bundle version {} is newer than supported {INCIDENT_FORMAT_VERSION}",
+                    m.version
+                ),
+            ));
+        }
+        if !m.value.is_finite() || !m.slope.is_finite() {
+            return Err(HeapMdError::corrupt(0, "non-finite value or slope"));
+        }
+        if !m.range.0.is_finite() || !m.range.1.is_finite() || m.range.0 > m.range.1 {
+            return Err(HeapMdError::corrupt(
+                0,
+                format!("invalid calibrated range [{}, {}]", m.range.0, m.range.1),
+            ));
+        }
+        Ok(())
+    }
+
+    fn records(&self) -> Vec<BundleRecord> {
+        let mut out = Vec::with_capacity(3 + self.stacks.len() + self.series.len());
+        out.push(BundleRecord::Header {
+            format: INCIDENT_FORMAT_VERSION,
+        });
+        out.push(BundleRecord::Meta {
+            meta: self.meta.clone(),
+        });
+        for entry in &self.stacks {
+            out.push(BundleRecord::Stack {
+                entry: entry.clone(),
+            });
+        }
+        for series in &self.series {
+            out.push(BundleRecord::Series {
+                series: series.clone(),
+            });
+        }
+        if let Some(degrees) = &self.degrees {
+            out.push(BundleRecord::Degrees {
+                degrees: degrees.clone(),
+            });
+        }
+        out
+    }
+
+    /// Renders the bundle into its framed on-disk bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapMdError::Serde`] if a record fails to serialize.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, HeapMdError> {
+        let records = self.records();
+        let mut out = String::new();
+        for record in &records {
+            out.push_str(&frame_with_magic(
+                INCIDENT_MAGIC,
+                &serde_json::to_string(record)?,
+            ));
+        }
+        out.push_str(&frame_with_magic(
+            INCIDENT_MAGIC,
+            &serde_json::to_string(&BundleRecord::End {
+                records: records.len() as u64,
+            })?,
+        ));
+        Ok(out.into_bytes())
+    }
+
+    /// Validates and writes the bundle to `path` atomically (tmp
+    /// sibling + rename via [`crate::persist::write_atomic`]).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapMdError::Corrupt`] from validation, [`HeapMdError::Serde`]
+    /// / [`HeapMdError::Io`] from rendering and writing.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), HeapMdError> {
+        self.validate()?;
+        crate::persist::write_atomic(path, &self.to_bytes()?)?;
+        Ok(())
+    }
+
+    /// Strictly parses a complete, undamaged bundle.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapMdError::Corrupt`] (with the byte offset of the damage) on
+    /// any framing, checksum, or structural violation, a missing `Meta`,
+    /// or a miscounting/missing `End` trailer.
+    pub fn from_bytes_strict(bytes: &[u8]) -> Result<Self, HeapMdError> {
+        let (bundle, stats) = Self::salvage_bytes(bytes);
+        if let Some((offset, reason)) = stats.corruption {
+            return Err(HeapMdError::Corrupt { offset, reason });
+        }
+        if !stats.complete {
+            return Err(HeapMdError::corrupt(
+                stats.total_bytes,
+                "bundle truncated before End trailer",
+            ));
+        }
+        let bundle = bundle.ok_or_else(|| HeapMdError::corrupt(0, "bundle has no Meta record"))?;
+        bundle.validate()?;
+        Ok(bundle)
+    }
+
+    /// Strictly loads a bundle from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapMdError::Io`] on read failure; otherwise as
+    /// [`Self::from_bytes_strict`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, HeapMdError> {
+        Self::from_bytes_strict(&std::fs::read(path)?)
+    }
+
+    /// Recovers whatever records survive in a damaged bundle.
+    ///
+    /// Unlike the trace stream's prefix salvage, bundle salvage
+    /// *resynchronizes*: after a bad record it scans for the next line
+    /// starting with the magic and keeps going, so one flipped bit
+    /// costs one record, not the rest of the artifact. Returns `None`
+    /// for the bundle only when no `Meta` record could be recovered.
+    pub fn salvage_bytes(bytes: &[u8]) -> (Option<Self>, BundleSalvageStats) {
+        let mut meta: Option<IncidentMeta> = None;
+        let mut stacks = Vec::new();
+        let mut series = Vec::new();
+        let mut degrees = None;
+        let mut records: u64 = 0;
+        let mut skipped: u64 = 0;
+        let mut complete = false;
+        let mut corruption: Option<(u64, String)> = None;
+        let mut pos = 0usize;
+
+        while pos < bytes.len() {
+            let parsed = parse_frame(INCIDENT_MAGIC, bytes, pos).and_then(|(payload, next)| {
+                serde_json::from_str::<BundleRecord>(payload)
+                    .map(|r| (r, next))
+                    .map_err(|e| format!("payload JSON: {e}"))
+            });
+            match parsed {
+                Ok((record, next)) => {
+                    pos = next;
+                    match record {
+                        BundleRecord::Header { format } => {
+                            if format > INCIDENT_FORMAT_VERSION {
+                                corruption.get_or_insert((
+                                    pos as u64,
+                                    format!("unsupported bundle format {format}"),
+                                ));
+                                break;
+                            }
+                            records += 1;
+                        }
+                        BundleRecord::Meta { meta: m } => {
+                            meta = Some(m);
+                            records += 1;
+                        }
+                        BundleRecord::Stack { entry } => {
+                            stacks.push(entry);
+                            records += 1;
+                        }
+                        BundleRecord::Series { series: s } => {
+                            series.push(s);
+                            records += 1;
+                        }
+                        BundleRecord::Degrees { degrees: d } => {
+                            degrees = Some(d);
+                            records += 1;
+                        }
+                        BundleRecord::End { records: declared } => {
+                            if declared == records && corruption.is_none() && pos == bytes.len() {
+                                complete = true;
+                            } else if declared != records {
+                                corruption.get_or_insert((
+                                    pos as u64,
+                                    format!(
+                                        "End trailer declares {declared} records, \
+                                         bundle carries {records}"
+                                    ),
+                                ));
+                            } else if pos != bytes.len() {
+                                corruption.get_or_insert((
+                                    pos as u64,
+                                    "trailing bytes after End trailer".into(),
+                                ));
+                            }
+                            break;
+                        }
+                    }
+                }
+                Err(reason) => {
+                    corruption.get_or_insert((pos as u64, reason));
+                    skipped += 1;
+                    match resync(bytes, pos) {
+                        Some(next) => pos = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        let bundle = meta.map(|meta| IncidentBundle {
+            meta,
+            stacks,
+            series,
+            degrees,
+        });
+        (
+            bundle,
+            BundleSalvageStats {
+                records,
+                skipped,
+                total_bytes: bytes.len() as u64,
+                complete,
+                corruption,
+            },
+        )
+    }
+
+    /// Salvages a bundle from `path`, reporting recovery stats through
+    /// `heapmd-obs` (`heapmd_incident_salvage_*`).
+    ///
+    /// # Errors
+    ///
+    /// Only [`HeapMdError::Io`]; damage is described in the returned
+    /// stats instead of failing the read.
+    pub fn salvage(
+        path: impl AsRef<Path>,
+    ) -> Result<(Option<Self>, BundleSalvageStats), HeapMdError> {
+        let (bundle, stats) = Self::salvage_bytes(&std::fs::read(path)?);
+        heapmd_obs::count!("heapmd_incident_salvage_runs_total");
+        if !stats.complete {
+            heapmd_obs::count!("heapmd_incident_salvage_incomplete_total");
+            heapmd_obs::count!(
+                "heapmd_incident_salvage_skipped_records_total",
+                stats.skipped
+            );
+        }
+        Ok((bundle, stats))
+    }
+}
+
+/// Finds the start of the next record line at or after `pos + 1`: the
+/// next occurrence of the magic immediately following a newline.
+fn resync(bytes: &[u8], pos: usize) -> Option<usize> {
+    let magic = INCIDENT_MAGIC.as_bytes();
+    let mut i = pos + 1;
+    while i + magic.len() <= bytes.len() {
+        if bytes[i - 1] == b'\n' && bytes[i..].starts_with(magic) {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// A directory sink for incident bundles with deterministic filenames.
+///
+/// Bundles land as `<prefix>-incident-<n>-<metric>.hmdi` (zero-padded
+/// ordinal, slugged metric name), written atomically. The log never
+/// fails the pipeline: write errors are counted, warned, and returned,
+/// but callers are expected to keep running.
+#[derive(Debug, Clone)]
+pub struct IncidentLog {
+    dir: PathBuf,
+    prefix: String,
+    written: Vec<PathBuf>,
+}
+
+impl IncidentLog {
+    /// A log writing into `dir` under `prefix`.
+    pub fn new(dir: impl Into<PathBuf>, prefix: impl Into<String>) -> Self {
+        IncidentLog {
+            dir: dir.into(),
+            prefix: prefix.into(),
+            written: Vec::new(),
+        }
+    }
+
+    /// Writes `bundle` as the next numbered file in the directory
+    /// (creating it if needed) and emits an `incident` obs event.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapMdError::Io`] / [`HeapMdError::Serde`] /
+    /// [`HeapMdError::Corrupt`] from validation and writing.
+    pub fn write(&mut self, bundle: &IncidentBundle) -> Result<PathBuf, HeapMdError> {
+        std::fs::create_dir_all(&self.dir)?;
+        let name = format!(
+            "{}-incident-{:03}-{}.hmdi",
+            self.prefix,
+            self.written.len(),
+            slug(bundle.meta.metric.short_name())
+        );
+        let path = self.dir.join(name);
+        bundle.save(&path)?;
+        self.written.push(path.clone());
+        heapmd_obs::count!("heapmd_incidents_written_total");
+        heapmd_obs::export::emit_event("incident", |o| {
+            o.field_str("path", &path.to_string_lossy())
+                .field_str("source", &bundle.meta.source)
+                .field_str("metric", bundle.meta.metric.short_name())
+                .field_str("kind", bundle.meta.kind.slug())
+                .field_f64("value", bundle.meta.value)
+                .field_u64("sample_seq", bundle.meta.sample_seq)
+                .field_u64("stacks", bundle.stacks.len() as u64)
+                .field_u64("series", bundle.series.len() as u64);
+        });
+        Ok(path)
+    }
+
+    /// Paths written so far, in write order.
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.written
+    }
+}
+
+/// Lowercases and maps non-alphanumerics to `_` (e.g. `Indeg=1` →
+/// `indeg_1`) for filenames.
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bug::{Direction, LogPhase};
+
+    fn sample_bundle() -> IncidentBundle {
+        IncidentBundle {
+            meta: IncidentMeta {
+                version: INCIDENT_FORMAT_VERSION,
+                source: "detector".into(),
+                metric: MetricKind::Indeg1,
+                kind: AnomalyKind::RangeViolation {
+                    direction: Direction::AboveMax,
+                },
+                value: 27.5,
+                range: (12.0, 19.5),
+                slope: 0.75,
+                sample_seq: 41,
+                fn_entries: 4_100,
+                armed_at_seq: Some(38),
+                samples_seen: 44,
+            },
+            stacks: vec![
+                StackLogEntry {
+                    tick: 90,
+                    stack: vec!["main".into(), "TreeInsert".into()],
+                    event: "alloc 40B".into(),
+                    phase: LogPhase::Before,
+                },
+                StackLogEntry {
+                    tick: 100,
+                    stack: vec!["main".into(), "TreeInsert".into(), "LinkChild".into()],
+                    event: "ptr write".into(),
+                    phase: LogPhase::During,
+                },
+            ],
+            series: vec![
+                SeriesData {
+                    name: "metric.Indeg=1".into(),
+                    stride: 2,
+                    seen: 44,
+                    points: vec![(0, 14.0), (2, 15.5), (4, 21.0), (6, 27.5)],
+                },
+                SeriesData {
+                    name: "rate.allocs".into(),
+                    stride: 1,
+                    seen: 44,
+                    points: vec![(0, 8.0), (1, 9.0)],
+                },
+            ],
+            degrees: Some(DegreeSnapshot {
+                nodes: 120,
+                indeg: vec![10, 60, 30, 10, 5, 3, 1, 1, 0],
+                outdeg: vec![20, 70, 20, 5, 3, 1, 1, 0, 0],
+                in_eq_out: 44,
+            }),
+        }
+    }
+
+    #[test]
+    fn bundle_round_trips_through_bytes() {
+        let b = sample_bundle();
+        let bytes = b.to_bytes().unwrap();
+        let back = IncidentBundle::from_bytes_strict(&bytes).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn bundle_round_trips_through_atomic_file() {
+        let b = sample_bundle();
+        let dir = std::env::temp_dir().join("heapmd-incident-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.hmdi");
+        b.save(&path).unwrap();
+        assert_eq!(IncidentBundle::load(&path).unwrap(), b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_single_bit_flip_salvages_or_errors_cleanly() {
+        let b = sample_bundle();
+        let bytes = b.to_bytes().unwrap();
+        for byte in 0..bytes.len() {
+            let mut damaged = bytes.clone();
+            damaged[byte] ^= 0x04;
+            // Strict must reject or return an equal bundle (a flip in a
+            // JSON f64's unused digits can round-trip equal; anything
+            // else must be caught by the CRC).
+            if let Ok(parsed) = IncidentBundle::from_bytes_strict(&damaged) {
+                assert_eq!(parsed, b, "undetected corruption at byte {byte}");
+                continue;
+            }
+            // Salvage never panics and loses at most the damaged
+            // record: the other records all survive.
+            let (salvaged, stats) = IncidentBundle::salvage_bytes(&damaged);
+            assert!(stats.corruption.is_some(), "flip at {byte} left no trace");
+            assert!(stats.skipped <= 2, "flip at {byte} lost {}", stats.skipped);
+            if let Some(s) = salvaged {
+                // A flipped record terminator can hide the start of the
+                // following record too, so up to two records may go.
+                let total = 1 + s.stacks.len() + s.series.len() + usize::from(s.degrees.is_some());
+                assert!(total >= 4, "flip at {byte} lost too much: {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_recovers_series_when_a_stack_record_is_destroyed() {
+        let b = sample_bundle();
+        let bytes = b.to_bytes().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        // Destroy the first Stack record's payload thoroughly.
+        let damaged = text.replacen("alloc 40B", "XXXXX 40B", 1);
+        let (salvaged, stats) = IncidentBundle::salvage_bytes(damaged.as_bytes());
+        let s = salvaged.expect("meta survives");
+        assert_eq!(s.meta, b.meta);
+        assert_eq!(s.series, b.series);
+        assert_eq!(s.degrees, b.degrees);
+        assert_eq!(s.stacks.len(), 1, "only the damaged stack is lost");
+        assert_eq!(stats.skipped, 1);
+        assert!(!stats.complete);
+    }
+
+    #[test]
+    fn truncated_bundle_fails_strict_but_salvages() {
+        let b = sample_bundle();
+        let bytes = b.to_bytes().unwrap();
+        let damaged = &bytes[..bytes.len() * 3 / 4];
+        assert!(matches!(
+            IncidentBundle::from_bytes_strict(damaged),
+            Err(HeapMdError::Corrupt { .. })
+        ));
+        let (salvaged, stats) = IncidentBundle::salvage_bytes(damaged);
+        assert!(salvaged.is_some());
+        assert!(!stats.complete);
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut b = sample_bundle();
+        b.meta.version = INCIDENT_FORMAT_VERSION + 1;
+        assert!(matches!(b.validate(), Err(HeapMdError::Corrupt { .. })));
+        assert!(b.save(std::env::temp_dir().join("never.hmdi")).is_err());
+    }
+
+    #[test]
+    fn non_finite_and_inverted_ranges_are_rejected() {
+        let mut b = sample_bundle();
+        b.meta.value = f64::NAN;
+        assert!(b.validate().is_err());
+        let mut b = sample_bundle();
+        b.meta.range = (5.0, 1.0);
+        assert!(b.validate().is_err());
+        let mut b = sample_bundle();
+        b.meta.slope = f64::INFINITY;
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn empty_input_has_no_meta_and_is_incomplete() {
+        let (bundle, stats) = IncidentBundle::salvage_bytes(b"");
+        assert!(bundle.is_none());
+        assert!(!stats.complete);
+        assert!(matches!(
+            IncidentBundle::from_bytes_strict(b""),
+            Err(HeapMdError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn incident_log_writes_numbered_slugged_files() {
+        let dir =
+            std::env::temp_dir().join(format!("heapmd-incident-log-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut log = IncidentLog::new(&dir, "check");
+        let b = sample_bundle();
+        let p0 = log.write(&b).unwrap();
+        let p1 = log.write(&b).unwrap();
+        assert!(p0.ends_with("check-incident-000-indeg_1.hmdi"));
+        assert!(p1.ends_with("check-incident-001-indeg_1.hmdi"));
+        assert_eq!(log.paths().to_vec(), vec![p0.clone(), p1.clone()]);
+        assert_eq!(IncidentBundle::load(&p0).unwrap(), b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn degree_snapshot_buckets_cover_all_nodes() {
+        use heap_graph::HeapGraph;
+        use sim_heap::{Addr, ObjectId};
+        let mut g = HeapGraph::new();
+        for i in 0..10u64 {
+            g.on_alloc(ObjectId(i), Addr::new(0x1000 + i * 64), 32);
+        }
+        for i in 1..10u64 {
+            g.on_ptr_write(ObjectId(0), i * 8, Addr::new(0x1000 + i * 64));
+        }
+        let snap = DegreeSnapshot::capture(g.histogram());
+        assert_eq!(snap.nodes, 10);
+        assert_eq!(snap.indeg.len(), DEGREE_BUCKETS);
+        assert_eq!(snap.outdeg.len(), DEGREE_BUCKETS);
+        assert_eq!(snap.indeg.iter().sum::<u64>(), snap.nodes);
+        assert_eq!(snap.outdeg.iter().sum::<u64>(), snap.nodes);
+        // One hub with outdegree 9 (falls in the overflow bucket
+        // tally), nine leaves with indegree 1.
+        assert_eq!(snap.indeg[1], 9);
+        assert_eq!(snap.outdeg[0], 9);
+    }
+}

@@ -64,6 +64,7 @@ mod checkpoint;
 mod detector;
 mod error;
 mod fluctuation;
+mod incident;
 mod model;
 mod monitor;
 mod online;
@@ -87,6 +88,10 @@ pub use checkpoint::{TrainCheckpoint, CHECKPOINT_FORMAT_VERSION};
 pub use detector::AnomalyDetector;
 pub use error::HeapMdError;
 pub use fluctuation::{percent_changes, FluctuationStats};
+pub use incident::{
+    BundleSalvageStats, DegreeSnapshot, IncidentBundle, IncidentLog, IncidentMeta, SeriesData,
+    DEGREE_BUCKETS, INCIDENT_FORMAT_VERSION, INCIDENT_MAGIC,
+};
 pub use model::{
     HeapModel, MetricSummary, ModelBuilder, ModelOutcome, StableMetric, MODEL_FORMAT_VERSION,
 };

@@ -424,6 +424,7 @@ impl ModelBuilder {
     /// training inputs; training runs straying outside the envelope of
     /// the *stable* runs are additionally flagged as suspect (§4.1).
     pub fn build(&self) -> ModelOutcome {
+        let _span = heapmd_obs::span!("model_build");
         let analysable: Vec<&RunSummary> =
             self.runs.iter().filter(|r| r.metrics.is_some()).collect();
         let total = analysable.len();

@@ -3,6 +3,7 @@
 use crate::callstack::{FuncId, FunctionTable};
 use crate::report::MetricSample;
 use heap_graph::HeapGraph;
+use heapmd_obs::SeriesRecorder;
 use sim_heap::{HeapEvent, SimHeap};
 
 /// Read-only view of the execution state handed to monitors.
@@ -18,6 +19,10 @@ pub struct MonitorCtx<'a> {
     pub funcs: &'a FunctionTable,
     /// Cumulative function entries.
     pub fn_entries: u64,
+    /// The process's flight recorder, when one is enabled
+    /// ([`crate::Process::enable_flight_recorder`]). Monitors snapshot
+    /// it into incident bundles at detection time.
+    pub recorder: Option<&'a SeriesRecorder>,
 }
 
 impl MonitorCtx<'_> {

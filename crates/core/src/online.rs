@@ -13,10 +13,15 @@
 //! primary interface ([`crate::ModelBuilder`] + [`crate::AnomalyDetector`]).
 
 use crate::bug::{AnomalyKind, BugReport, Direction};
+use crate::incident::{DegreeSnapshot, IncidentBundle, SeriesData};
 use crate::monitor::{Monitor, MonitorCtx};
 use crate::report::MetricSample;
 use crate::settings::Settings;
 use heap_graph::{MetricKind, METRIC_COUNT};
+
+/// Upper bound on retained incident bundles: online mode can report on
+/// every relaxation early in a run, and bundles carry series snapshots.
+const MAX_INCIDENTS: usize = 16;
 
 /// One metric's learned interval.
 #[derive(Debug, Clone, Copy, Default)]
@@ -53,6 +58,7 @@ pub struct OnlineLearner {
     learned: [Learned; METRIC_COUNT],
     samples_seen: usize,
     reports: Vec<BugReport>,
+    incidents: Vec<IncidentBundle>,
 }
 
 impl OnlineLearner {
@@ -65,7 +71,20 @@ impl OnlineLearner {
             learned: [Learned::default(); METRIC_COUNT],
             samples_seen: 0,
             reports: Vec::new(),
+            incidents: Vec::new(),
         }
+    }
+
+    /// Incident bundles captured when reports were raised while running
+    /// as an attached monitor (capped at a small fixed number; online
+    /// bundles carry no call stacks — there is no armed window).
+    pub fn incidents(&self) -> &[IncidentBundle] {
+        &self.incidents
+    }
+
+    /// Takes ownership of the incident bundles.
+    pub fn take_incidents(&mut self) -> Vec<IncidentBundle> {
+        std::mem::take(&mut self.incidents)
     }
 
     /// Anomaly reports so far. Each carries the range *as learned at
@@ -131,8 +150,33 @@ impl OnlineLearner {
 }
 
 impl Monitor for OnlineLearner {
-    fn on_sample(&mut self, _ctx: &MonitorCtx<'_>, sample: &MetricSample) {
+    fn on_sample(&mut self, ctx: &MonitorCtx<'_>, sample: &MetricSample) {
+        let before = self.reports.len();
         self.observe(sample);
+        // Flight-recorder capture for reports this sample raised.
+        if self.reports.len() == before || self.incidents.len() >= MAX_INCIDENTS {
+            return;
+        }
+        let series: Vec<SeriesData> = ctx
+            .recorder
+            .map(|r| r.snapshot().iter().map(SeriesData::from).collect())
+            .unwrap_or_default();
+        let degrees = DegreeSnapshot::capture(ctx.graph.histogram());
+        for i in before..self.reports.len() {
+            if self.incidents.len() >= MAX_INCIDENTS {
+                break;
+            }
+            let bundle = IncidentBundle::from_report(
+                "online",
+                &self.reports[i],
+                0.0,
+                None,
+                self.samples_seen as u64,
+                series.clone(),
+                Some(degrees.clone()),
+            );
+            self.incidents.push(bundle);
+        }
     }
 }
 

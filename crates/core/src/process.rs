@@ -8,6 +8,7 @@ use crate::settings::Settings;
 use crate::trace::Trace;
 use crate::trace_stream::TraceWriter;
 use heap_graph::HeapGraph;
+use heapmd_obs::SeriesRecorder;
 use sim_heap::{Addr, AllocSite, HeapError, HeapEvent, SimHeap, NULL};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -64,6 +65,12 @@ pub struct Process {
     /// First error that killed the stream, kept for
     /// [`finish_stream`](Self::finish_stream) to report.
     stream_error: Option<HeapMdError>,
+    /// Flight recorder: bounded time series of every metric plus
+    /// alloc/free/store rates, fed at each metric computation point.
+    recorder: Option<SeriesRecorder>,
+    /// Heap op totals at the previous computation point, for the rate
+    /// series deltas: `(allocs, frees, ptr_writes)`.
+    last_op_totals: (u64, u64, u64),
 }
 
 impl Process {
@@ -83,6 +90,8 @@ impl Process {
             trace: None,
             stream: None,
             stream_error: None,
+            recorder: None,
+            last_op_totals: (0, 0, 0),
         }
     }
 
@@ -97,6 +106,23 @@ impl Process {
         if self.trace.is_none() {
             self.trace = Some(Trace::new());
         }
+    }
+
+    /// Turns on the flight recorder: from the next metric computation
+    /// point on, every metric's value plus the alloc/free/store rates
+    /// are captured into a bounded [`SeriesRecorder`] (at most
+    /// `capacity_per_series` retained points per series; long runs are
+    /// downsampled, never truncated). Monitors see the recorder via
+    /// [`MonitorCtx::recorder`] and snapshot it into incident bundles.
+    pub fn enable_flight_recorder(&mut self, capacity_per_series: usize) {
+        if self.recorder.is_none() {
+            self.recorder = Some(SeriesRecorder::new(capacity_per_series));
+        }
+    }
+
+    /// The flight recorder, when enabled.
+    pub fn recorder(&self) -> Option<&SeriesRecorder> {
+        self.recorder.as_ref()
     }
 
     /// Streams every subsequent event to `sink` in the crash-safe
@@ -487,12 +513,14 @@ impl Process {
     /// Finishes the run: notifies monitors and returns the metric
     /// report.
     pub fn finish(mut self, run: impl Into<String>) -> MetricReport {
+        let _span = heapmd_obs::span!("process_finish");
         let ctx = MonitorCtx {
             graph: &self.graph,
             heap: &self.heap,
             stack: &self.stack,
             funcs: &self.funcs,
             fn_entries: self.fn_entries,
+            recorder: self.recorder.as_ref(),
         };
         for m in &self.monitors {
             m.borrow_mut().on_finish(&ctx);
@@ -532,6 +560,7 @@ impl Process {
                 stack: &self.stack,
                 funcs: &self.funcs,
                 fn_entries: self.fn_entries,
+                recorder: self.recorder.as_ref(),
             };
             for m in &self.monitors {
                 m.borrow_mut().on_event(&ctx, ev);
@@ -540,6 +569,7 @@ impl Process {
     }
 
     fn sample(&mut self) {
+        let _span = heapmd_obs::span!("metric_computation_point");
         let ext = self.graph.extended_metrics();
         let sample = MetricSample {
             seq: self.samples.len(),
@@ -551,6 +581,21 @@ impl Process {
             dangling: ext.dangling_slots,
         };
         self.samples.push(sample);
+        if let Some(rec) = self.recorder.as_mut() {
+            let x = sample.seq as u64;
+            for (kind, value) in sample.metrics.iter() {
+                let mut name = String::from("metric.");
+                name.push_str(kind.short_name());
+                rec.record(&name, x, value);
+            }
+            let stats = self.heap.stats();
+            let (allocs, frees, stores) = (stats.allocs, stats.frees, stats.ptr_writes);
+            let (pa, pf, ps) = self.last_op_totals;
+            rec.record("rate.allocs", x, (allocs - pa) as f64);
+            rec.record("rate.frees", x, (frees - pf) as f64);
+            rec.record("rate.ptr_writes", x, (stores - ps) as f64);
+            self.last_op_totals = (allocs, frees, stores);
+        }
         heapmd_obs::count!("heapmd_samples_total");
         heapmd_obs::gauge_set!("heapmd_graph_nodes", ext.nodes);
         heapmd_obs::gauge_set!("heapmd_graph_edges", ext.edges);
@@ -576,6 +621,7 @@ impl Process {
                 stack: &self.stack,
                 funcs: &self.funcs,
                 fn_entries: self.fn_entries,
+                recorder: self.recorder.as_ref(),
             };
             for m in &self.monitors {
                 m.borrow_mut().on_sample(&ctx, &sample);

@@ -70,6 +70,15 @@ impl<T> CircularBuffer<T> {
         self.items.iter()
     }
 
+    /// Iterates oldest → newest, with that ordering as an explicit,
+    /// documented contract regardless of how often the buffer has
+    /// wrapped. Consumers that persist the contents (the incident
+    /// bundle writer) use this so the guarantee survives refactors of
+    /// the backing storage; `iter` merely inherits it from [`VecDeque`].
+    pub fn iter_ordered(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
     /// Drains the contents oldest → newest, leaving the buffer empty.
     pub fn drain(&mut self) -> Vec<T> {
         self.items.drain(..).collect()
@@ -159,6 +168,47 @@ mod tests {
         assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![26, 27, 28, 29]);
         assert_eq!(b.drain(), vec![26, 27, 28, 29]);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn iter_ordered_is_oldest_first_before_any_wrap() {
+        let mut b = CircularBuffer::new(5);
+        for i in 0..3 {
+            b.push(i);
+        }
+        assert_eq!(b.iter_ordered().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn iter_ordered_is_oldest_first_across_the_wrap_boundary() {
+        let mut b = CircularBuffer::new(4);
+        // Land the write cursor mid-buffer: 6 pushes into capacity 4
+        // wraps twice past the boundary.
+        for i in 0..6 {
+            b.push(i);
+        }
+        assert_eq!(
+            b.iter_ordered().copied().collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        // Exactly at the wrap point (a multiple of capacity).
+        for i in 6..8 {
+            b.push(i);
+        }
+        assert_eq!(
+            b.iter_ordered().copied().collect::<Vec<_>>(),
+            vec![4, 5, 6, 7]
+        );
+        assert!(b.iter_ordered().copied().eq(b.iter().copied()));
+    }
+
+    #[test]
+    fn iter_ordered_on_zero_capacity_is_a_no_op() {
+        let mut b = CircularBuffer::new(0);
+        for i in 0..5 {
+            b.push(i);
+        }
+        assert_eq!(b.iter_ordered().count(), 0);
     }
 
     #[test]

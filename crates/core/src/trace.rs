@@ -308,6 +308,7 @@ impl Replayer {
             stack: &self.stack,
             funcs: &self.funcs,
             fn_entries: self.fn_entries,
+            recorder: None,
         };
         for m in monitors.iter_mut() {
             m.on_event(&ctx, ev);
@@ -322,6 +323,7 @@ impl Replayer {
                 stack: &self.stack,
                 funcs: &self.funcs,
                 fn_entries: self.fn_entries,
+                recorder: None,
             };
             for m in monitors.iter_mut() {
                 m.on_sample(&ctx, &sample);
@@ -336,6 +338,7 @@ impl Replayer {
             stack: &self.stack,
             funcs: &self.funcs,
             fn_entries: self.fn_entries,
+            recorder: None,
         };
         for m in monitors.iter_mut() {
             m.on_finish(&ctx);

@@ -45,10 +45,6 @@ use std::path::Path;
 /// Magic prefix identifying a version-1 streaming trace record.
 pub const STREAM_MAGIC: &str = "HMDT1";
 
-/// Fixed byte length of the record prefix: magic, space, 8-hex length,
-/// space, 8-hex CRC, space.
-const FRAME_PREFIX_LEN: usize = STREAM_MAGIC.len() + 1 + 8 + 1 + 8 + 1;
-
 /// One record in the stream. Externally tagged, struct variants only
 /// (the vendored serde stand-in round-trips those faithfully).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -170,11 +166,80 @@ impl<W: Write> TraceWriter<W> {
 /// Frames one payload into a full record line (exposed to the test
 /// suites so corpus files can be crafted without a writer).
 pub fn frame_record(payload: &str) -> String {
+    frame_with_magic(STREAM_MAGIC, payload)
+}
+
+/// Frames one payload under an arbitrary magic. Shared by the trace
+/// stream (`HMDT1`) and incident bundles (`HMDI1`), which use the same
+/// length + CRC framing with different record vocabularies.
+pub(crate) fn frame_with_magic(magic: &str, payload: &str) -> String {
     format!(
-        "{STREAM_MAGIC} {:08x} {:08x} {payload}\n",
+        "{magic} {:08x} {:08x} {payload}\n",
         payload.len(),
         crc32(payload.as_bytes()),
     )
+}
+
+/// Parses one framed payload under `magic` starting at `pos`; returns
+/// the payload text and the offset just past the record's newline, or a
+/// description of the damage. Validation is strict: exact magic, single
+/// spaces, fixed-width lowercase hex, matching CRC, trailing newline,
+/// UTF-8 payload.
+pub(crate) fn parse_frame<'a>(
+    magic: &str,
+    bytes: &'a [u8],
+    pos: usize,
+) -> Result<(&'a str, usize), String> {
+    let prefix_len = magic.len() + 1 + 8 + 1 + 8 + 1;
+    let rest = &bytes[pos..];
+    if rest.len() < prefix_len {
+        return Err("truncated record prefix".into());
+    }
+    let prefix = &rest[..prefix_len];
+    let prefix = std::str::from_utf8(prefix).map_err(|_| "record prefix is not UTF-8")?;
+    let found_magic = &prefix[..magic.len()];
+    if found_magic != magic {
+        return Err(format!("bad magic {found_magic:?}"));
+    }
+    let len_hex = &prefix[magic.len() + 1..magic.len() + 9];
+    let crc_hex = &prefix[magic.len() + 10..magic.len() + 18];
+    if prefix.as_bytes()[magic.len()] != b' '
+        || prefix.as_bytes()[magic.len() + 9] != b' '
+        || prefix.as_bytes()[prefix_len - 1] != b' '
+    {
+        return Err("malformed record prefix".into());
+    }
+    // The writer emits lowercase hex only; `from_str_radix` would also
+    // accept uppercase (and a leading `+`), which would let some
+    // single-bit flips in the prefix pass undetected.
+    let strict_hex = |s: &str| {
+        s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    };
+    if !strict_hex(len_hex) || !strict_hex(crc_hex) {
+        return Err("malformed record prefix".into());
+    }
+    let len = usize::from_str_radix(len_hex, 16).map_err(|_| "unparsable length field")?;
+    let declared_crc = u32::from_str_radix(crc_hex, 16).map_err(|_| "unparsable CRC field")?;
+    let payload_start = prefix_len;
+    let payload_end = payload_start
+        .checked_add(len)
+        .ok_or("length field overflow")?;
+    if payload_end + 1 > rest.len() {
+        return Err("record truncated mid-payload".into());
+    }
+    if rest[payload_end] != b'\n' {
+        return Err("missing record terminator".into());
+    }
+    let payload = &rest[payload_start..payload_end];
+    let actual_crc = crc32(payload);
+    if actual_crc != declared_crc {
+        return Err(format!(
+            "checksum mismatch: declared {declared_crc:08x}, computed {actual_crc:08x}"
+        ));
+    }
+    let payload = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8")?;
+    Ok((payload, pos + payload_end + 1))
 }
 
 /// What a salvage pass recovered, and what it had to give up.
@@ -342,57 +407,10 @@ fn parse_stream(bytes: &[u8]) -> (Trace, SalvageStats) {
 /// Parses one record starting at `pos`; returns the record and the
 /// offset just past its newline, or a description of the damage.
 fn parse_record(bytes: &[u8], pos: usize) -> Result<(StreamRecord, usize), String> {
-    let rest = &bytes[pos..];
-    if rest.len() < FRAME_PREFIX_LEN {
-        return Err("truncated record prefix".into());
-    }
-    let prefix = &rest[..FRAME_PREFIX_LEN];
-    let prefix = std::str::from_utf8(prefix).map_err(|_| "record prefix is not UTF-8")?;
-    let magic = &prefix[..STREAM_MAGIC.len()];
-    if magic != STREAM_MAGIC {
-        return Err(format!("bad magic {magic:?}"));
-    }
-    let len_hex = &prefix[STREAM_MAGIC.len() + 1..STREAM_MAGIC.len() + 9];
-    let crc_hex = &prefix[STREAM_MAGIC.len() + 10..STREAM_MAGIC.len() + 18];
-    if prefix.as_bytes()[STREAM_MAGIC.len()] != b' '
-        || prefix.as_bytes()[STREAM_MAGIC.len() + 9] != b' '
-        || prefix.as_bytes()[FRAME_PREFIX_LEN - 1] != b' '
-    {
-        return Err("malformed record prefix".into());
-    }
-    // The writer emits lowercase hex only; `from_str_radix` would also
-    // accept uppercase (and a leading `+`), which would let some
-    // single-bit flips in the prefix pass undetected.
-    let strict_hex = |s: &str| {
-        s.bytes()
-            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
-    };
-    if !strict_hex(len_hex) || !strict_hex(crc_hex) {
-        return Err("malformed record prefix".into());
-    }
-    let len = usize::from_str_radix(len_hex, 16).map_err(|_| "unparsable length field")?;
-    let declared_crc = u32::from_str_radix(crc_hex, 16).map_err(|_| "unparsable CRC field")?;
-    let payload_start = FRAME_PREFIX_LEN;
-    let payload_end = payload_start
-        .checked_add(len)
-        .ok_or("length field overflow")?;
-    if payload_end + 1 > rest.len() {
-        return Err("record truncated mid-payload".into());
-    }
-    if rest[payload_end] != b'\n' {
-        return Err("missing record terminator".into());
-    }
-    let payload = &rest[payload_start..payload_end];
-    let actual_crc = crc32(payload);
-    if actual_crc != declared_crc {
-        return Err(format!(
-            "checksum mismatch: declared {declared_crc:08x}, computed {actual_crc:08x}"
-        ));
-    }
-    let payload = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8")?;
+    let (payload, next) = parse_frame(STREAM_MAGIC, bytes, pos)?;
     let record: StreamRecord =
         serde_json::from_str(payload).map_err(|e| format!("payload JSON: {e}"))?;
-    Ok((record, pos + payload_end + 1))
+    Ok((record, next))
 }
 
 impl Trace {

@@ -171,6 +171,45 @@ pub fn emit_counters_event() {
     });
 }
 
+/// Rewrites `name` into a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_`, and a
+/// leading digit gets a `_` prefix. Empty input becomes `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if valid {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes `value` for use inside a Prometheus label value (the part
+/// between the quotes): backslash, double quote, and line feed get
+/// backslash escapes per the text exposition format.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders the global registry in Prometheus text exposition format.
 pub fn prometheus_text() -> String {
     crate::registry().prometheus_text()
@@ -278,6 +317,49 @@ mod tests {
         clear_sink();
         let text = String::from_utf8(out.lock().unwrap().clone()).unwrap();
         assert!(text.contains("\"retried_evt\""), "event landed: {text:?}");
+    }
+
+    #[test]
+    fn metric_names_are_sanitized_to_exposition_grammar() {
+        assert_eq!(
+            sanitize_metric_name("heapmd_events_total"),
+            "heapmd_events_total"
+        );
+        assert_eq!(sanitize_metric_name("ns:sub_total"), "ns:sub_total");
+        assert_eq!(
+            sanitize_metric_name("evil name\"with\\junk"),
+            "evil_name_with_junk"
+        );
+        assert_eq!(sanitize_metric_name("dots.and-dashes"), "dots_and_dashes");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("line\nbreak"), "line_break");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_backslashes_newlines() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(
+            escape_label_value("\\\"\n"),
+            "\\\\\\\"\\n",
+            "all three specials in one value"
+        );
+    }
+
+    #[test]
+    fn prometheus_dump_is_line_safe_for_hostile_names() {
+        let _guard = sink_test_guard();
+        crate::registry().counter("bad\nname\"x").inc();
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE bad_name_x counter"));
+        assert!(text.contains("bad_name_x 1"));
+        assert!(
+            !text.contains("bad\nname"),
+            "raw hostile name must not leak into the dump"
+        );
     }
 
     #[test]

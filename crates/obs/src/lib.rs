@@ -11,7 +11,10 @@
 //!   `HEAPMD_LOG` environment variable or [`set_log_level`];
 //! - two exporters: a JSON-lines event/heartbeat stream
 //!   ([`export::set_sink_file`], [`export::emit_event`]) and a
-//!   Prometheus-style text dump ([`export::prometheus_text`]).
+//!   Prometheus-style text dump ([`export::prometheus_text`]);
+//! - flight-recorder support: a bounded [`SeriesRecorder`] for metric
+//!   time series and a span-tree collector with a Chrome trace-event
+//!   exporter ([`trace_event::write_chrome_trace`]).
 //!
 //! # Cost model
 //!
@@ -39,11 +42,14 @@
 pub mod export;
 pub mod json;
 pub mod logger;
+pub mod recorder;
 pub mod registry;
 pub mod span;
 pub mod throughput;
+pub mod trace_event;
 
 pub use logger::{log_enabled, set_log_level, Level};
+pub use recorder::{SeriesRecorder, SeriesSnapshot};
 pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
 pub use span::{MaybeTimer, Span};
 

@@ -1,0 +1,216 @@
+//! Bounded time-series capture for the flight recorder.
+//!
+//! A [`SeriesRecorder`] holds a small set of named series, each a
+//! sequence of `(x, y)` points appended at metric computation points.
+//! Every series is bounded: when a series reaches its capacity the
+//! recorder *decimates* it — it keeps every other retained point and
+//! doubles the record stride — so memory stays constant while the
+//! retained points always span the whole run. This is the classic
+//! deterministic variant of reservoir downsampling: after `k` doubling
+//! rounds the series holds the points whose append index is a multiple
+//! of `2^k`, evenly spaced from the first sample to (within one stride
+//! of) the latest.
+//!
+//! The recorder is a plain data structure — it does not consult
+//! [`crate::obs_enabled`]; the owner decides whether one exists at all
+//! (e.g. `Process::enable_flight_recorder`). Recording a point is a
+//! linear scan over the (few) series names plus a `Vec` push.
+
+/// An owned copy of one recorded series, for embedding in artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Series name, e.g. `metric.out0` or `rate.allocs`.
+    pub name: String,
+    /// Current record stride: a point was retained every `stride`
+    /// appends. 1 until the first decimation.
+    pub stride: u64,
+    /// Total points ever appended (before downsampling).
+    pub seen: u64,
+    /// The retained `(x, y)` points, oldest first.
+    pub points: Vec<(u64, f64)>,
+}
+
+#[derive(Debug)]
+struct Series {
+    name: String,
+    stride: u64,
+    seen: u64,
+    points: Vec<(u64, f64)>,
+}
+
+/// Constant-memory recorder of named `(x, y)` time series.
+#[derive(Debug, Default)]
+pub struct SeriesRecorder {
+    capacity: usize,
+    series: Vec<Series>,
+}
+
+impl SeriesRecorder {
+    /// A recorder keeping at most `capacity_per_series` points per
+    /// series (rounded up to 2; decimation needs an even window).
+    pub fn new(capacity_per_series: usize) -> Self {
+        SeriesRecorder {
+            capacity: capacity_per_series.max(2),
+            series: Vec::new(),
+        }
+    }
+
+    /// Per-series retained-point bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends `(x, y)` to the named series, creating it on first use.
+    /// Non-finite `y` values are dropped (they cannot be serialized
+    /// into artifacts and never carry range information).
+    pub fn record(&mut self, name: &str, x: u64, y: f64) {
+        if !y.is_finite() {
+            return;
+        }
+        let capacity = self.capacity;
+        let s = match self.series.iter_mut().find(|s| s.name == name) {
+            Some(s) => s,
+            None => {
+                self.series.push(Series {
+                    name: name.to_string(),
+                    stride: 1,
+                    seen: 0,
+                    points: Vec::with_capacity(capacity),
+                });
+                self.series.last_mut().expect("just pushed")
+            }
+        };
+        if s.seen % s.stride == 0 {
+            if s.points.len() == capacity {
+                // Keep every other retained point; the survivors are
+                // exactly the appends at multiples of the new stride.
+                let mut i = 0;
+                s.points.retain(|_| {
+                    let keep = i % 2 == 0;
+                    i += 1;
+                    keep
+                });
+                s.stride *= 2;
+            }
+            if s.seen % s.stride == 0 {
+                s.points.push((x, y));
+            }
+        }
+        s.seen += 1;
+    }
+
+    /// Names of all series recorded so far, in first-recorded order.
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// The retained points of `name`, oldest first.
+    pub fn points(&self, name: &str) -> Option<&[(u64, f64)]> {
+        self.series
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.points.as_slice())
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Owned copies of every series, for embedding in an incident
+    /// bundle.
+    pub fn snapshot(&self) -> Vec<SeriesSnapshot> {
+        self.series
+            .iter()
+            .map(|s| SeriesSnapshot {
+                name: s.name.clone(),
+                stride: s.stride,
+                seen: s.seen,
+                points: s.points.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_capacity_then_decimates() {
+        let mut r = SeriesRecorder::new(8);
+        for i in 0..8u64 {
+            r.record("m", i, i as f64);
+        }
+        assert_eq!(r.points("m").unwrap().len(), 8);
+        // The 9th append triggers decimation: survivors are even
+        // indices, stride doubles, and the new point (index 8) lands.
+        r.record("m", 8, 8.0);
+        let pts = r.points("m").unwrap();
+        assert_eq!(pts, &[(0, 0.0), (2, 2.0), (4, 4.0), (6, 6.0), (8, 8.0)]);
+    }
+
+    #[test]
+    fn long_runs_stay_bounded_and_span_the_run() {
+        let mut r = SeriesRecorder::new(16);
+        for i in 0..10_000u64 {
+            r.record("m", i, i as f64);
+        }
+        let pts = r.points("m").unwrap();
+        assert!(pts.len() <= 16, "capacity exceeded: {}", pts.len());
+        assert!(pts.len() >= 8, "over-decimated: {}", pts.len());
+        assert_eq!(pts[0], (0, 0.0), "first point must survive");
+        let snap = &r.snapshot()[0];
+        assert_eq!(snap.seen, 10_000);
+        assert!(snap.stride.is_power_of_two());
+        // Retained points are evenly spaced at the stride.
+        for w in pts.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, snap.stride);
+        }
+        // The last retained point is within one stride of the end.
+        assert!(10_000 - pts.last().unwrap().0 <= snap.stride);
+    }
+
+    #[test]
+    fn series_are_independent() {
+        let mut r = SeriesRecorder::new(4);
+        for i in 0..100u64 {
+            r.record("a", i, 1.0);
+        }
+        r.record("b", 0, 2.0);
+        assert!(r.points("a").unwrap().len() <= 4);
+        assert_eq!(r.points("b").unwrap(), &[(0, 2.0)]);
+        assert_eq!(r.series_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let mut r = SeriesRecorder::new(4);
+        r.record("m", 0, f64::NAN);
+        r.record("m", 1, f64::INFINITY);
+        assert!(r.is_empty());
+        r.record("m", 2, 1.5);
+        assert_eq!(r.points("m").unwrap(), &[(2, 1.5)]);
+    }
+
+    #[test]
+    fn tiny_capacity_is_clamped() {
+        let mut r = SeriesRecorder::new(0);
+        for i in 0..50u64 {
+            r.record("m", i, 0.0);
+        }
+        assert!(r.points("m").unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn decimation_is_deterministic() {
+        let run = |n: u64| {
+            let mut r = SeriesRecorder::new(8);
+            for i in 0..n {
+                r.record("m", i, (i * 3) as f64);
+            }
+            r.snapshot()
+        };
+        assert_eq!(run(1000), run(1000));
+    }
+}

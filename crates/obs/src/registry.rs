@@ -253,33 +253,42 @@ impl Registry {
     }
 
     /// Renders every instrument in Prometheus text exposition format.
+    /// Instrument names are sanitized to the exposition grammar and
+    /// label values escaped (see [`crate::export::sanitize_metric_name`]
+    /// and [`crate::export::escape_label_value`]), so a hostile or
+    /// merely unusual instrument name cannot corrupt the dump.
     pub fn prometheus_text(&self) -> String {
+        use crate::export::{escape_label_value, sanitize_metric_name};
         use std::fmt::Write as _;
 
         let snap = self.snapshot();
         let mut out = String::new();
         for (name, total) in &snap.counters {
+            let name = sanitize_metric_name(name);
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {total}");
         }
         for (name, value) in &snap.gauges {
+            let name = sanitize_metric_name(name);
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {value}");
         }
         for h in &snap.histograms {
-            let _ = writeln!(out, "# TYPE {} histogram", h.name);
+            let name = sanitize_metric_name(&h.name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
             for (bound, count) in &h.buckets {
-                match bound {
-                    Some(b) => {
-                        let _ = writeln!(out, "{}_bucket{{le=\"{b}\"}} {count}", h.name);
-                    }
-                    None => {
-                        let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {count}", h.name);
-                    }
-                }
+                let le = match bound {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {count}",
+                    escape_label_value(&le)
+                );
             }
-            let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
-            let _ = writeln!(out, "{}_count {}", h.name, h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
         }
         out
     }

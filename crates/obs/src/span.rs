@@ -7,6 +7,7 @@
 //! `timer!`/`span!` macros) performs to decide which variant to build.
 
 use crate::registry::Histogram;
+use crate::trace_event::{self, SpanCtx};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,18 +40,22 @@ impl Drop for MaybeTimer {
 }
 
 /// A named region: on drop, emits a `span` event (with the measured
-/// duration) to the JSONL sink when one is active, and logs the region
-/// at trace level.
+/// duration, span/parent ids, and thread id) to the JSONL sink when one
+/// is active, logs the region at trace level, and — when
+/// [`crate::trace_event::set_collecting`] is on — buffers the finished
+/// span for Chrome trace-event export.
 #[must_use = "a span measures until it is dropped; binding to _ drops immediately"]
 pub struct Span {
-    inner: Option<(&'static str, Instant)>,
+    inner: Option<(&'static str, Instant, SpanCtx)>,
 }
 
 impl Span {
-    /// Starts a live span over `name`.
+    /// Starts a live span over `name`, assigning it a process-unique
+    /// id linked to the span currently open on this thread.
     pub fn started(name: &'static str) -> Self {
+        let ctx = trace_event::enter();
         Span {
-            inner: Some((name, Instant::now())),
+            inner: Some((name, Instant::now(), ctx)),
         }
     }
 
@@ -62,10 +67,18 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((name, start)) = self.inner.take() {
+        if let Some((name, start, ctx)) = self.inner.take() {
+            let end = Instant::now();
+            trace_event::exit(&ctx, name, start, end);
             let nanos = saturating_nanos(start);
             crate::export::emit_event("span", |o| {
-                o.field_str("name", name).field_u64("dur_ns", nanos);
+                o.field_str("name", name)
+                    .field_u64("dur_ns", nanos)
+                    .field_u64("span_id", ctx.id)
+                    .field_u64("tid", ctx.tid);
+                if let Some(p) = ctx.parent {
+                    o.field_u64("parent_id", p);
+                }
             });
             crate::trace!("span {name} took {nanos}ns");
         }

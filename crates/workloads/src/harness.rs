@@ -3,11 +3,17 @@
 use crate::{Input, Workload};
 use faults::FaultPlan;
 use heapmd::{
-    AnomalyDetector, BugReport, HeapModel, MetricReport, ModelBuilder, ModelOutcome, Monitor,
-    Process, Settings,
+    AnomalyDetector, BugReport, HeapModel, IncidentBundle, IncidentLog, MetricReport, ModelBuilder,
+    ModelOutcome, Monitor, Process, Settings,
 };
 use std::cell::RefCell;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
+
+/// Per-series point budget for the flight recorder attached by
+/// [`check_with_incidents`]: enough to span long runs after
+/// stride-doubling, small enough to keep bundles a few KB.
+pub const FLIGHT_RECORDER_POINTS: usize = 512;
 
 /// The settings a program is normally analysed under: paper thresholds,
 /// program-specific `frq`.
@@ -31,8 +37,11 @@ pub fn run_once(
     settings: &Settings,
 ) -> MetricReport {
     let mut p = Process::new(settings.clone());
-    w.run(&mut p, plan, input)
-        .unwrap_or_else(|e| panic!("{} on input {} failed: {e}", w.name(), input.id));
+    {
+        let _span = heapmd_obs::span!("workload_run");
+        w.run(&mut p, plan, input)
+            .unwrap_or_else(|e| panic!("{} on input {} failed: {e}", w.name(), input.id));
+    }
     p.finish(format!("{}/input-{}", w.name(), input.id))
 }
 
@@ -52,8 +61,11 @@ pub fn run_monitored(
     for m in monitors {
         p.attach(m.clone());
     }
-    w.run(&mut p, plan, input)
-        .unwrap_or_else(|e| panic!("{} on input {} failed: {e}", w.name(), input.id));
+    {
+        let _span = heapmd_obs::span!("workload_run");
+        w.run(&mut p, plan, input)
+            .unwrap_or_else(|e| panic!("{} on input {} failed: {e}", w.name(), input.id));
+    }
     p.finish(format!("{}/input-{}", w.name(), input.id))
 }
 
@@ -150,6 +162,58 @@ pub fn check(
     let _ = run_monitored(w, input, plan, &settings, &monitors);
     let mut d = detector.borrow_mut();
     d.take_bugs()
+}
+
+/// What a flight-recorded check produced.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// The detector's bug reports.
+    pub bugs: Vec<BugReport>,
+    /// Incident bundles for range violations that survived the
+    /// shutdown trim.
+    pub incidents: Vec<IncidentBundle>,
+    /// Bundle files written, when an incident directory was given.
+    pub bundle_paths: Vec<PathBuf>,
+}
+
+/// Like [`check`], but with the process flight recorder enabled so any
+/// incident carries metric/rate series and a degree histogram; bundles
+/// are additionally persisted under `incident_dir` when given.
+pub fn check_with_incidents(
+    w: &dyn Workload,
+    model: &HeapModel,
+    input: &Input,
+    plan: &mut FaultPlan,
+    incident_dir: Option<&Path>,
+) -> CheckOutcome {
+    let settings = settings_for(w);
+    let detector = Rc::new(RefCell::new(AnomalyDetector::new(
+        model.clone(),
+        settings.clone(),
+    )));
+    if let Some(dir) = incident_dir {
+        detector
+            .borrow_mut()
+            .log_incidents_to(IncidentLog::new(dir, w.name()));
+    }
+    let mut p = Process::new(settings);
+    p.enable_flight_recorder(FLIGHT_RECORDER_POINTS);
+    p.attach(detector.clone());
+    {
+        let _span = heapmd_obs::span!("workload_run");
+        w.run(&mut p, plan, input)
+            .unwrap_or_else(|e| panic!("{} on input {} failed: {e}", w.name(), input.id));
+    }
+    let _ = p.finish(format!("{}/input-{}", w.name(), input.id));
+    let mut d = detector.borrow_mut();
+    CheckOutcome {
+        bugs: d.take_bugs(),
+        incidents: d.take_incidents(),
+        bundle_paths: d
+            .incident_log()
+            .map(|l| l.paths().to_vec())
+            .unwrap_or_default(),
+    }
 }
 
 #[cfg(test)]
