@@ -1,9 +1,12 @@
 //! Splits the graph_update bench cost between the simulated heap and
-//! the heap-graph, so optimization effort goes where the time is.
+//! the heap-graph, so optimization effort goes where the time is —
+//! plus a codec section showing what block-decode buffer reuse saves
+//! on the replay hot path.
 //!
 //! Run: `cargo run --release -p heapmd-bench --example profile_hotpath`
 
 use heap_graph::HeapGraph;
+use heapmd::{BinaryTraceImage, Process, Settings};
 use sim_heap::{Addr, AllocSite, SimHeap};
 use std::time::Instant;
 
@@ -82,6 +85,44 @@ fn main() {
             graph.on_alloc(eff.id, eff.addr, eff.size);
             let freed = heap.free(eff.addr).unwrap();
             graph.on_free(freed.id);
+        }
+    });
+
+    // Codec hot path: decoding the same multi-block binary trace with
+    // one reused event buffer vs. a fresh allocation per block. The
+    // pipelined replay engine recycles buffers through a return
+    // channel, so the "reused buffer" line is the shipping behavior.
+    let image = {
+        let settings = Settings::builder().frq(100).build().unwrap();
+        let mut p = Process::new(settings);
+        p.enable_trace();
+        let mut prev = None;
+        for _ in 0..N {
+            p.enter("build");
+            let a = p.malloc(24, "node").unwrap();
+            if let Some(prev) = prev {
+                p.write_ptr(a, prev).unwrap();
+            }
+            prev = Some(a);
+            p.leave();
+        }
+        let trace = p.take_trace().unwrap();
+        BinaryTraceImage::open(trace.encode_binary()).unwrap()
+    };
+
+    time("codec: fresh buffer/block", || {
+        for entry in image.event_blocks() {
+            let mut events = Vec::new();
+            image.decode_block_into(entry, &mut events).unwrap();
+            std::hint::black_box(&events);
+        }
+    });
+
+    let mut events = Vec::new();
+    time("codec: reused buffer", || {
+        for entry in image.event_blocks() {
+            image.decode_block_into(entry, &mut events).unwrap();
+            std::hint::black_box(&events);
         }
     });
 }

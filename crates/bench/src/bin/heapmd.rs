@@ -3,28 +3,38 @@
 //! ```text
 //! heapmd list                                   # programs and catalogued bugs
 //! heapmd run <program> [--input K] [--version V] [--bug FAULT] [--trace-out FILE]
-//!                      [--model FILE] [--incidents DIR]
+//!                      [--format binary|jsonl] [--model FILE] [--incidents DIR]
 //! heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]
 //!                        [--checkpoint-every N] [--resume] [--threads N]
+//!                        [--format binary|jsonl]
 //! heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT]
 //!                        [--incidents DIR]
+//! heapmd check --model FILE --trace FILE [--trace FILE …] [--jobs N] [--salvage]
 //! heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT]
-//! heapmd replay --model FILE --trace FILE [--salvage]
-//! heapmd inspect <bundle.hmdi> [--salvage]      # render an incident bundle
+//!                         [--format binary|jsonl] [--stream]
+//! heapmd replay --model FILE --trace FILE [--salvage] [--format binary|jsonl]
+//! heapmd inspect <artifact> [--salvage]         # bundle or trace, by magic
 //! ```
 //!
 //! Robustness features:
 //!
 //! - `run --trace-out FILE` streams the heap-event trace incrementally
-//!   in the crash-safe framed format ([`heapmd::TraceWriter`]): if the
-//!   run dies mid-way, `replay --salvage` recovers the longest valid
-//!   prefix.
+//!   in a crash-safe format: framed JSONL ([`heapmd::TraceWriter`]) or,
+//!   with `--format binary`, the block-based binary codec
+//!   ([`heapmd::BinaryTraceWriter`]) whose completed blocks salvage at
+//!   block granularity; if the run dies mid-way, `replay --salvage`
+//!   recovers what was flushed.
 //! - `train --checkpoint-every N` writes an atomic resume checkpoint
-//!   (`<out>.ckpt`) after every N training inputs; `train --resume`
-//!   picks training back up from it and produces the same model an
-//!   uninterrupted run would have.
-//! - `replay` auto-detects framed streams vs. JSON traces; `--salvage`
-//!   accepts truncated/corrupted streams and reports what was lost.
+//!   (`<out>.ckpt`) after every N training inputs (`--format binary`
+//!   wraps it in the CRC-protected container); `train --resume`
+//!   auto-detects either and produces the same model an uninterrupted
+//!   run would have.
+//! - `replay` / `check --trace` auto-detect binary vs. framed JSONL vs.
+//!   JSON traces by magic bytes; `--salvage` accepts damaged inputs and
+//!   reports what was lost. Binary traces replay through the pipelined
+//!   decoder → detector engine.
+//! - `check --trace A --trace B … --jobs N` fans offline trace checks
+//!   across a scoped thread pool with deterministic input-order output.
 //! - `run --model FILE` / `check … --incidents DIR` attach the anomaly
 //!   detector with the flight recorder enabled: every surviving range
 //!   violation is written as a CRC-framed incident bundle, which
@@ -50,12 +60,13 @@
 use faults::FaultPlan;
 use heapmd::plot::{chart, RefLine};
 use heapmd::{
-    AnomalyDetector, FuncId, HeapModel, IncidentBundle, IncidentLog, LogPhase, ModelBuilder,
-    Process, Trace, TrainCheckpoint,
+    AnomalyDetector, ArtifactKind, BinaryTraceImage, FuncId, HeapModel, IncidentBundle,
+    IncidentLog, LogPhase, ModelBuilder, Process, SalvageStats, StreamFormat, Trace,
+    TrainCheckpoint,
 };
 use heapmd_obs::{debug, error, info};
 use std::cell::RefCell;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use workloads::bugs::{CATALOG, SWAT_ONLY};
 use workloads::harness::{
@@ -91,6 +102,34 @@ fn num_flag<T: std::str::FromStr>(args: &[String], flag: &str, what: &str, defau
     }
 }
 
+/// Collects every value of a repeatable flag, in order.
+fn arg_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses the optional `--format binary|jsonl` flag, exiting with a
+/// usage error (code 2) on an unrecognized value.
+fn format_flag(args: &[String]) -> Option<StreamFormat> {
+    arg_value(args, "--format").map(|v| {
+        StreamFormat::parse(&v).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        })
+    })
+}
+
 /// Removes `flag` and its value from `args`, returning the value.
 fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
@@ -105,7 +144,7 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE] [--model FILE] [--incidents DIR]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--incidents DIR]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage]\n  heapmd inspect <bundle.hmdi> [--salvage]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
+        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE] [--format binary|jsonl] [--model FILE] [--incidents DIR]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N] [--format binary|jsonl]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--incidents DIR]\n  heapmd check --model FILE --trace FILE [--trace FILE ...] [--jobs N] [--salvage]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--format binary|jsonl] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage] [--format binary|jsonl]\n  heapmd inspect <artifact> [--salvage]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
     );
     std::process::exit(2);
 }
@@ -193,10 +232,14 @@ fn cmd_run(args: &[String]) -> i32 {
                 return 1;
             }
         };
-        if let Err(e) = p.stream_trace_to(Box::new(std::io::BufWriter::new(file))) {
+        let format = format_flag(args).unwrap_or_default();
+        if let Err(e) = p.stream_trace_to_format(Box::new(std::io::BufWriter::new(file)), format) {
             error!("cannot start trace stream: {e}");
             return 1;
         }
+    } else if format_flag(args).is_some() {
+        eprintln!("--format only applies with --trace-out");
+        return 2;
     }
     if let Err(e) = w.run(&mut p, &mut plan, &Input::new(input_id)) {
         error!("workload run failed: {e}");
@@ -257,6 +300,9 @@ fn cmd_train(args: &[String]) -> i32 {
     let threads: usize = num_flag(args, "--threads", "a number", 1usize);
     let resume = args.iter().any(|a| a == "--resume");
     let ckpt_path = arg_value(args, "--checkpoint").unwrap_or_else(|| format!("{out}.ckpt"));
+    // Checkpoint serialization: `--format binary` wraps the JSON state
+    // in the CRC-protected container. `--resume` auto-detects either.
+    let ckpt_format = format_flag(args).unwrap_or_default();
     // Test hook: slow training down so the chaos suite can SIGKILL the
     // process mid-run deterministically.
     let throttle_ms: u64 = std::env::var("HEAPMD_TRAIN_THROTTLE_MS")
@@ -319,7 +365,10 @@ fn cmd_train(args: &[String]) -> i32 {
         builder.add_run(&report);
         let done = start + i as u64 + 1;
         if checkpoint_every > 0 && done.is_multiple_of(checkpoint_every) {
-            if let Err(e) = builder.checkpoint(done).save(&ckpt_path) {
+            if let Err(e) = builder
+                .checkpoint(done)
+                .save_format(&ckpt_path, ckpt_format)
+            {
                 error!("checkpoint write to {ckpt_path} failed: {e}");
                 return 1;
             }
@@ -368,6 +417,12 @@ fn cmd_train(args: &[String]) -> i32 {
 }
 
 fn cmd_check(args: &[String]) -> i32 {
+    // Offline mode: with `--trace` flags the check runs against
+    // recorded trace files instead of a live program.
+    let trace_paths = arg_values(args, "--trace");
+    if !trace_paths.is_empty() {
+        return cmd_check_offline(args, &trace_paths);
+    }
     let Some(program) = args.first() else { usage() };
     let Some(model_path) = arg_value(args, "--model") else {
         usage()
@@ -415,6 +470,60 @@ fn cmd_check(args: &[String]) -> i32 {
             }
         }
         3
+    }
+}
+
+/// `check --model FILE --trace A [--trace B …] [--jobs N] [--salvage]`:
+/// fans the trace checks across a scoped thread pool (binary traces go
+/// through the pipelined decoder → detector engine) and prints per-trace
+/// verdicts **in input order** regardless of worker scheduling.
+fn cmd_check_offline(args: &[String], trace_paths: &[String]) -> i32 {
+    let Some(model_path) = arg_value(args, "--model") else {
+        usage()
+    };
+    let jobs: usize = num_flag(args, "--jobs", "a number", 1usize);
+    let salvage = args.iter().any(|a| a == "--salvage");
+    let model = match HeapModel::load(&model_path) {
+        Ok(m) => m,
+        Err(e) => {
+            error!("cannot load model {model_path}: {e}");
+            return 1;
+        }
+    };
+    let settings = model.settings.clone();
+    let paths: Vec<PathBuf> = trace_paths.iter().map(PathBuf::from).collect();
+    info!("checking {} trace(s) with {jobs} job(s)", paths.len());
+    let results = heapmd::check_paths_parallel(&paths, &model, &settings, jobs, salvage);
+    let (mut failed, mut anomalies) = (false, false);
+    for (path, result) in trace_paths.iter().zip(results) {
+        match result {
+            Ok(bugs) if bugs.is_empty() => println!("{path}: no anomalies"),
+            Ok(bugs) => {
+                anomalies = true;
+                println!("{path}: {} anomaly report(s):", bugs.len());
+                for b in &bugs {
+                    println!("  {b}");
+                    let funcs = b.implicated_functions();
+                    if !funcs.is_empty() {
+                        println!("    implicated: {}", funcs.join(", "));
+                    }
+                }
+            }
+            Err(e) => {
+                failed = true;
+                error!("{path}: {e}");
+                if !salvage {
+                    eprintln!("hint: `--salvage` recovers what a damaged trace still holds");
+                }
+            }
+        }
+    }
+    if failed {
+        1
+    } else if anomalies {
+        3
+    } else {
+        0
     }
 }
 
@@ -528,6 +637,107 @@ fn render_bundle(bundle: &IncidentBundle) -> String {
 fn cmd_inspect(args: &[String]) -> i32 {
     let Some(path) = args.first() else { usage() };
     let salvage = args.iter().any(|a| a == "--salvage");
+    // The magic bytes pick the renderer; the extension is advisory
+    // only, so a mis-named artifact still inspects correctly and an
+    // unrecognized one gets a typed error instead of a parse panic.
+    let kind = match heapmd::sniff_file(path) {
+        Ok(k) => k,
+        Err(e) => {
+            error!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    match kind {
+        ArtifactKind::IncidentBundle => inspect_bundle(path, salvage),
+        ArtifactKind::BinaryTrace => inspect_binary_trace(path, salvage),
+        ArtifactKind::JsonlTrace | ArtifactKind::JsonTrace => inspect_trace(path, kind, salvage),
+        ArtifactKind::Unknown => {
+            error!(
+                "{path}: unrecognized artifact — magic bytes match neither a trace (binary or JSONL), a JSON document, nor an incident bundle"
+            );
+            1
+        }
+    }
+}
+
+/// `inspect` on a binary `.hmdt` trace: block/index summary instead of
+/// charts. Salvage mode reports what an incomplete file still holds.
+fn inspect_binary_trace(path: &str, salvage: bool) -> i32 {
+    if salvage {
+        let (trace, stats) = match Trace::salvage_binary(path) {
+            Ok(r) => r,
+            Err(e) => {
+                error!("cannot salvage {path}: {e}");
+                return 1;
+            }
+        };
+        report_salvage(path, &stats);
+        println!("binary trace {path} (salvaged)");
+        println!(
+            "  {} events, {} functions",
+            trace.len(),
+            trace.functions().len()
+        );
+        return 0;
+    }
+    let image = match std::fs::read(path)
+        .map_err(heapmd::HeapMdError::from)
+        .and_then(BinaryTraceImage::open)
+    {
+        Ok(i) => i,
+        Err(e) => {
+            error!("cannot open {path}: {e}");
+            eprintln!("hint: `--salvage` recovers what a damaged trace still holds");
+            return 1;
+        }
+    };
+    let index = image.index();
+    let event_blocks = image.event_blocks().count();
+    println!("binary trace {path}");
+    println!(
+        "  {} events in {} block(s) ({} total incl. tables/index), {} fn entries",
+        index.total_events,
+        event_blocks,
+        index.blocks.len(),
+        index.total_fn_enters
+    );
+    match image.functions() {
+        Ok(names) if names.is_empty() => println!("  no function table"),
+        Ok(names) => println!("  {} function(s): {}", names.len(), names.join(", ")),
+        Err(e) => {
+            error!("  function table unreadable: {e}");
+            return 1;
+        }
+    }
+    0
+}
+
+/// `inspect` on a JSONL-streamed or plain-JSON trace: event summary.
+fn inspect_trace(path: &str, kind: ArtifactKind, salvage: bool) -> i32 {
+    match heapmd::load_trace_auto(path, salvage) {
+        Ok((trace, stats)) => {
+            if let Some(stats) = &stats {
+                report_salvage(path, stats);
+            }
+            println!("{kind} {path}");
+            println!(
+                "  {} events, {} functions",
+                trace.len(),
+                trace.functions().len()
+            );
+            0
+        }
+        Err(e) => {
+            error!("cannot load trace {path}: {e}");
+            if !salvage {
+                eprintln!("hint: `--salvage` recovers what a damaged trace still holds");
+            }
+            1
+        }
+    }
+}
+
+fn inspect_bundle(path: &str, salvage: bool) -> i32 {
     let bundle = if salvage {
         match IncidentBundle::salvage(path) {
             Ok((Some(bundle), stats)) => {
@@ -613,10 +823,12 @@ fn cmd_record(args: &[String]) -> i32 {
         .collect();
     trace.set_functions(names);
     let n = trace.len();
-    let written = if stream {
-        trace.save_stream(&trace_path)
-    } else {
-        trace.save(&trace_path)
+    // `--format` picks the on-disk codec; bare `--stream` keeps its
+    // historical meaning (framed JSONL); neither means plain JSON.
+    let written = match format_flag(args) {
+        Some(format) => trace.save_format(&trace_path, format),
+        None if stream => trace.save_stream(&trace_path),
+        None => trace.save(&trace_path),
     };
     if let Err(e) = written {
         error!("cannot write trace to {trace_path}: {e}");
@@ -627,36 +839,20 @@ fn cmd_record(args: &[String]) -> i32 {
     0
 }
 
-/// Loads a trace for replay, auto-detecting the framed streaming format
-/// (magic `HMDT1`) vs. the plain JSON format. In `salvage` mode a
-/// damaged stream yields its longest valid prefix instead of an error.
-fn load_trace_auto(path: &str, salvage: bool) -> Result<Trace, heapmd::HeapMdError> {
-    let mut magic = [0u8; 5];
-    let is_stream = std::fs::File::open(path)
-        .map(|mut f| {
-            use std::io::Read;
-            f.read_exact(&mut magic).is_ok() && magic[..] == *heapmd::STREAM_MAGIC.as_bytes()
-        })
-        .unwrap_or(false);
-    if !is_stream {
-        return Trace::load(path);
-    }
-    if salvage {
-        let (trace, stats) = Trace::salvage_stream(path)?;
-        if stats.complete {
-            info!("stream {path} is complete ({} events)", stats.events);
-        } else {
-            let (offset, reason) = stats
-                .corruption
-                .unwrap_or((stats.valid_bytes, "truncated".to_string()));
-            println!(
-                "salvaged {} of {} bytes ({} events) from {path}; damage at byte {offset}: {reason}",
-                stats.valid_bytes, stats.total_bytes, stats.events
-            );
-        }
-        Ok(trace)
+/// Prints what salvage recovered from `path` (and where the damage
+/// was) when the artifact turned out to be incomplete.
+fn report_salvage(path: &str, stats: &SalvageStats) {
+    if stats.complete {
+        info!("{path} is complete ({} events)", stats.events);
     } else {
-        Trace::load_stream(path)
+        let (offset, reason) = stats
+            .corruption
+            .clone()
+            .unwrap_or((stats.valid_bytes, "truncated".to_string()));
+        println!(
+            "salvaged {} of {} bytes ({} events) from {path}; damage at byte {offset}: {reason}",
+            stats.valid_bytes, stats.total_bytes, stats.events
+        );
     }
 }
 
@@ -675,22 +871,60 @@ fn cmd_replay(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let trace = match load_trace_auto(&trace_path, salvage) {
-        Ok(t) => t,
-        Err(e) => {
-            error!("cannot load trace {trace_path}: {e}");
-            if !salvage {
-                eprintln!("hint: `--salvage` recovers the valid prefix of a damaged stream");
-            }
-            return 1;
-        }
-    };
     let settings = model.settings.clone();
-    info!("replaying {} events", trace.len());
-    let bugs = match trace.check(&model, &settings) {
+    // `--format` forces the parse; otherwise the magic bytes decide.
+    let kind = match format_flag(args) {
+        Some(StreamFormat::Binary) => ArtifactKind::BinaryTrace,
+        Some(StreamFormat::Jsonl) => ArtifactKind::JsonlTrace,
+        None => match heapmd::sniff_file(&trace_path) {
+            Ok(k) => k,
+            Err(e) => {
+                error!("cannot read trace {trace_path}: {e}");
+                return 1;
+            }
+        },
+    };
+    // Strict binary replay streams through the pipelined engine —
+    // blocks decode on a worker thread while the detector consumes
+    // them here — without materializing an in-memory `Trace`.
+    let checked = if kind == ArtifactKind::BinaryTrace && !salvage {
+        std::fs::read(&trace_path)
+            .map_err(heapmd::HeapMdError::from)
+            .and_then(BinaryTraceImage::open)
+            .and_then(|image| {
+                info!(
+                    "replaying {} events (pipelined, {} blocks)",
+                    image.index().total_events,
+                    image.index().blocks.len()
+                );
+                heapmd::check_binary(&image, &model, &settings)
+            })
+    } else {
+        let loaded = match kind {
+            ArtifactKind::BinaryTrace => {
+                Trace::salvage_binary(&trace_path).map(|(t, s)| (t, Some(s)))
+            }
+            ArtifactKind::JsonlTrace if salvage => {
+                Trace::salvage_stream(&trace_path).map(|(t, s)| (t, Some(s)))
+            }
+            ArtifactKind::JsonlTrace => Trace::load_stream(&trace_path).map(|t| (t, None)),
+            _ => heapmd::load_trace_auto(&trace_path, salvage),
+        };
+        loaded.and_then(|(trace, stats)| {
+            if let Some(stats) = &stats {
+                report_salvage(&trace_path, stats);
+            }
+            info!("replaying {} events", trace.len());
+            trace.check(&model, &settings)
+        })
+    };
+    let bugs = match checked {
         Ok(b) => b,
         Err(e) => {
-            error!("replay failed: {e}");
+            error!("cannot replay trace {trace_path}: {e}");
+            if !salvage {
+                eprintln!("hint: `--salvage` recovers what a damaged trace still holds");
+            }
             return 1;
         }
     };

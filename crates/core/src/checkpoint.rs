@@ -84,20 +84,52 @@ impl TrainCheckpoint {
     ///
     /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), HeapMdError> {
+        self.save_format(path, crate::StreamFormat::Jsonl)
+    }
+
+    /// Writes the checkpoint in the chosen on-disk format. JSONL keeps
+    /// the historical bare-JSON document; binary wraps the same JSON
+    /// payload in the `HMDB1` block container, adding a CRC-32 so a
+    /// bit-flipped checkpoint is detected as [`HeapMdError::Corrupt`]
+    /// instead of parsing into silently wrong state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Io`] / [`HeapMdError::Serde`].
+    pub fn save_format(
+        &self,
+        path: impl AsRef<Path>,
+        format: crate::StreamFormat,
+    ) -> Result<(), HeapMdError> {
         let json = serde_json::to_string(self)?;
-        crate::persist::write_atomic(path, json.as_bytes())?;
+        let bytes = match format {
+            crate::StreamFormat::Jsonl => json.into_bytes(),
+            crate::StreamFormat::Binary => {
+                crate::trace_codec::encode_meta_container(json.as_bytes())
+            }
+        };
+        crate::persist::write_atomic(path, &bytes)?;
         Ok(())
     }
 
-    /// Reads and validates a checkpoint written by [`save`](Self::save).
+    /// Reads and validates a checkpoint written by [`save`](Self::save)
+    /// or [`save_format`](Self::save_format), auto-detecting the format
+    /// by magic bytes.
     ///
     /// # Errors
     ///
     /// [`HeapMdError::Io`] when unreadable, [`HeapMdError::Corrupt`]
-    /// when the JSON is damaged, [`HeapMdError::Checkpoint`] when it
-    /// parses but fails validation.
+    /// when the JSON or the binary container (CRC, framing) is damaged,
+    /// [`HeapMdError::Checkpoint`] when it parses but fails validation.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, HeapMdError> {
-        let text = std::fs::read_to_string(path)?;
+        let bytes = std::fs::read(path)?;
+        let text = if bytes.starts_with(crate::BINARY_MAGIC) {
+            String::from_utf8(crate::trace_codec::decode_meta_container(&bytes)?)
+                .map_err(|_| HeapMdError::corrupt(0, "checkpoint payload is not UTF-8"))?
+        } else {
+            String::from_utf8(bytes)
+                .map_err(|_| HeapMdError::corrupt(0, "checkpoint is not UTF-8"))?
+        };
         let cp: TrainCheckpoint = serde_json::from_str(&text)
             .map_err(|e| HeapMdError::corrupt(0, format!("checkpoint JSON: {e}")))?;
         cp.validate()?;
@@ -244,6 +276,34 @@ mod tests {
         let got = resumed.build().model;
         assert_eq!(got.locally_stable, expected.locally_stable);
         assert_eq!(got, expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_checkpoints_round_trip_and_detect_bit_flips() {
+        let settings = Settings::default();
+        let mut b = ModelBuilder::new(settings).program("demo");
+        b.add_run(&report("r0", 40.0, 30));
+        b.add_run(&report("r1", 41.0, 30));
+        let cp = b.checkpoint(2);
+
+        let path = tmp("binary.ckpt");
+        cp.save_format(&path, crate::StreamFormat::Binary).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(crate::BINARY_MAGIC));
+        // Auto-detecting load round-trips the exact state.
+        assert_eq!(TrainCheckpoint::load(&path).unwrap(), cp);
+
+        // Any single corrupted byte in the payload is caught by the
+        // container CRC — the historical bare-JSON format would parse a
+        // flipped digit into silently wrong state.
+        let mut damaged = bytes.clone();
+        damaged[bytes.len() / 2] ^= 0x08;
+        std::fs::write(&path, &damaged).unwrap();
+        assert!(matches!(
+            TrainCheckpoint::load(&path),
+            Err(HeapMdError::Corrupt { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -77,6 +77,7 @@ mod ringbuf;
 mod settings;
 mod stability;
 mod trace;
+mod trace_codec;
 mod trace_stream;
 mod values;
 
@@ -104,6 +105,11 @@ pub use ringbuf::CircularBuffer;
 pub use settings::{Settings, SettingsBuilder};
 pub use stability::{classify, StabilityClass};
 pub use trace::Trace;
+pub use trace_codec::{
+    check_binary, check_paths_parallel, check_traces_parallel, load_trace_auto, replay_binary,
+    sniff_bytes, sniff_file, ArtifactKind, BinaryTraceImage, BinaryTraceReader, BinaryTraceWriter,
+    BlockEntry, BlockIndex, StreamFormat, BINARY_FORMAT_VERSION, BINARY_MAGIC, EVENTS_PER_BLOCK,
+};
 pub use trace_stream::{frame_record, SalvageStats, TraceReader, TraceWriter, STREAM_MAGIC};
 pub use values::{LocationSummary, ValueProfile};
 

@@ -6,6 +6,7 @@ use crate::monitor::{Monitor, MonitorCtx};
 use crate::report::{MetricReport, MetricSample};
 use crate::settings::Settings;
 use crate::trace::Trace;
+use crate::trace_codec::{BinaryTraceWriter, StreamFormat};
 use crate::trace_stream::TraceWriter;
 use heap_graph::HeapGraph;
 use heapmd_obs::SeriesRecorder;
@@ -60,8 +61,9 @@ pub struct Process {
     monitors: Vec<Rc<RefCell<dyn Monitor>>>,
     trace: Option<Trace>,
     /// Incremental crash-safe trace stream (see
-    /// [`stream_trace_to`](Self::stream_trace_to)).
-    stream: Option<TraceWriter<Box<dyn Write>>>,
+    /// [`stream_trace_to`](Self::stream_trace_to)), in either wire
+    /// format.
+    stream: Option<TraceSink>,
     /// First error that killed the stream, kept for
     /// [`finish_stream`](Self::finish_stream) to report.
     stream_error: Option<HeapMdError>,
@@ -141,7 +143,27 @@ impl Process {
     /// Returns [`HeapMdError::Io`] when the stream header cannot be
     /// written.
     pub fn stream_trace_to(&mut self, sink: Box<dyn Write>) -> Result<(), HeapMdError> {
-        self.stream = Some(TraceWriter::new(sink)?);
+        self.stream_trace_to_format(sink, StreamFormat::Jsonl)
+    }
+
+    /// Like [`stream_trace_to`](Self::stream_trace_to), but choosing
+    /// the wire format: crash-safe framed JSONL, or the block-based
+    /// binary codec ([`crate::BinaryTraceWriter`]) whose completed
+    /// blocks salvage at block granularity after a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Io`] when the stream header cannot be
+    /// written.
+    pub fn stream_trace_to_format(
+        &mut self,
+        sink: Box<dyn Write>,
+        format: StreamFormat,
+    ) -> Result<(), HeapMdError> {
+        self.stream = Some(match format {
+            StreamFormat::Jsonl => TraceSink::Jsonl(TraceWriter::new(sink)?),
+            StreamFormat::Binary => TraceSink::Binary(BinaryTraceWriter::new(sink)?),
+        });
         self.stream_error = None;
         Ok(())
     }
@@ -171,6 +193,14 @@ impl Process {
         let events = stream.events_written();
         stream.finish()?;
         Ok(events)
+    }
+
+    /// The wire format of the attached trace stream, if any.
+    pub fn stream_format(&self) -> Option<StreamFormat> {
+        self.stream.as_ref().map(|s| match s {
+            TraceSink::Jsonl(_) => StreamFormat::Jsonl,
+            TraceSink::Binary(_) => StreamFormat::Binary,
+        })
     }
 
     /// The settings in force.
@@ -630,6 +660,44 @@ impl Process {
     }
 }
 
+/// The trace stream sink behind [`Process::stream_trace_to_format`]:
+/// one wire format per attached stream. An enum (not a trait object)
+/// because `finish` consumes the writer.
+enum TraceSink {
+    Jsonl(TraceWriter<Box<dyn Write>>),
+    Binary(BinaryTraceWriter<Box<dyn Write>>),
+}
+
+impl TraceSink {
+    fn write_event(&mut self, ev: &HeapEvent) -> Result<(), HeapMdError> {
+        match self {
+            TraceSink::Jsonl(w) => w.write_event(ev),
+            TraceSink::Binary(w) => w.write_event(ev),
+        }
+    }
+
+    fn write_functions(&mut self, names: &[String]) -> Result<(), HeapMdError> {
+        match self {
+            TraceSink::Jsonl(w) => w.write_functions(names),
+            TraceSink::Binary(w) => w.write_functions(names),
+        }
+    }
+
+    fn events_written(&self) -> u64 {
+        match self {
+            TraceSink::Jsonl(w) => w.events_written(),
+            TraceSink::Binary(w) => w.events_written(),
+        }
+    }
+
+    fn finish(self) -> Result<(), HeapMdError> {
+        match self {
+            TraceSink::Jsonl(w) => w.finish().map(drop),
+            TraceSink::Binary(w) => w.finish().map(drop),
+        }
+    }
+}
+
 impl std::fmt::Debug for Process {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Process")
@@ -823,6 +891,43 @@ mod tests {
 
         let bytes = buf.lock().unwrap().clone();
         let back = crate::trace_stream::TraceReader::strict(&bytes[..]).unwrap();
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn binary_streamed_trace_matches_in_memory_trace() {
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let mut p = Process::new(settings(1));
+        p.enable_trace();
+        p.stream_trace_to_format(Box::new(SharedBuf(Arc::clone(&buf))), StreamFormat::Binary)
+            .unwrap();
+        assert_eq!(p.stream_format(), Some(StreamFormat::Binary));
+        p.enter("f");
+        let a = p.malloc(16, "x").unwrap();
+        p.free(a).unwrap();
+        p.leave();
+        let streamed_events = p.finish_stream().unwrap();
+        assert_eq!(streamed_events, 4);
+        let mut expected = p.take_trace().unwrap();
+        expected.set_functions(vec!["f".to_string()]);
+
+        let bytes = buf.lock().unwrap().clone();
+        let back = crate::trace_codec::BinaryTraceReader::strict(&bytes[..]).unwrap();
         assert_eq!(back, expected);
     }
 

@@ -154,8 +154,8 @@ impl Trace {
     ) -> Result<MetricReport, HeapMdError> {
         self.validate_function_ids()?;
         let mut replayer = Replayer::new(settings.clone(), &self.functions);
-        replayer.replay_batched(&self.events);
-        Ok(MetricReport::new(run, replayer.samples))
+        replayer.ingest_batch(&self.events);
+        Ok(MetricReport::new(run, replayer.take_samples()))
     }
 
     /// Replays the trace through the anomaly detector, post-mortem.
@@ -201,7 +201,13 @@ impl Trace {
 
 /// Minimal re-execution of a trace: rebuilds the heap-graph image and
 /// the sampling schedule from events alone.
-struct Replayer {
+///
+/// Crate-internal so the binary codec's pipelined engine
+/// ([`crate::trace_codec`]) can drive the same replayer block by block:
+/// [`ingest_batch`](Self::ingest_batch) is resumable, carrying a running
+/// global event offset so samples land with the same `tick` whether the
+/// stream arrives as one slice or as decoded blocks.
+pub(crate) struct Replayer {
     graph: HeapGraph,
     /// An empty heap stands in for the traced process's; monitors only
     /// use it for the logical clock, which we advance per event.
@@ -212,10 +218,13 @@ struct Replayer {
     fn_entries: u64,
     samples: Vec<MetricSample>,
     tick: u64,
+    /// Events consumed by prior [`ingest_batch`](Self::ingest_batch)
+    /// calls: the global event offset the next batch resumes from.
+    ingested: u64,
 }
 
 impl Replayer {
-    fn new(settings: Settings, function_names: &[String]) -> Self {
+    pub(crate) fn new(settings: Settings, function_names: &[String]) -> Self {
         let mut funcs = FunctionTable::new();
         for name in function_names {
             funcs.intern(name);
@@ -229,7 +238,13 @@ impl Replayer {
             fn_entries: 0,
             samples: Vec::new(),
             tick: 0,
+            ingested: 0,
         }
+    }
+
+    /// Hands over the samples recorded so far.
+    pub(crate) fn take_samples(&mut self) -> Vec<MetricSample> {
+        std::mem::take(&mut self.samples)
     }
 
     fn func_name(&mut self, raw: u32) -> crate::callstack::FuncId {
@@ -264,7 +279,14 @@ impl Replayer {
     /// with the same tick, and non-graph events inside a flushed span
     /// are ignored by the graph either way. `FnExit` only pops the
     /// (unobserved) call stack, so it needs no flush.
-    fn replay_batched(&mut self, events: &[HeapEvent]) {
+    ///
+    /// Resumable: ticks count from the running global offset, so
+    /// feeding a stream as N block-sized slices (the pipelined binary
+    /// decoder does exactly this, recycling one batch buffer instead of
+    /// allocating per block) produces samples bit-identical to one call
+    /// over the whole slice.
+    pub(crate) fn ingest_batch(&mut self, events: &[HeapEvent]) {
+        let base = self.ingested;
         let mut batch_start = 0;
         for (i, ev) in events.iter().enumerate() {
             match *ev {
@@ -274,7 +296,7 @@ impl Replayer {
                     let id = self.func_name(func);
                     self.stack.push(id);
                     self.fn_entries += 1;
-                    self.tick = i as u64 + 1;
+                    self.tick = base + i as u64 + 1;
                     if self.fn_entries.is_multiple_of(self.settings.frq) {
                         self.take_sample();
                     }
@@ -286,10 +308,11 @@ impl Replayer {
             }
         }
         self.graph.apply_batch(&events[batch_start..]);
-        self.tick = events.len() as u64;
+        self.ingested = base + events.len() as u64;
+        self.tick = self.ingested;
     }
 
-    fn step(&mut self, ev: &HeapEvent, monitors: &mut [&mut dyn Monitor]) {
+    pub(crate) fn step(&mut self, ev: &HeapEvent, monitors: &mut [&mut dyn Monitor]) {
         self.tick += 1;
         match *ev {
             HeapEvent::FnEnter { func } => {
@@ -331,7 +354,7 @@ impl Replayer {
         }
     }
 
-    fn finish(&mut self, monitors: &mut [&mut dyn Monitor]) {
+    pub(crate) fn finish(&mut self, monitors: &mut [&mut dyn Monitor]) {
         let ctx = MonitorCtx {
             graph: &self.graph,
             heap: &self.heap,
@@ -402,6 +425,26 @@ mod tests {
             stepped.step(ev, &mut []);
         }
         assert_eq!(batched.samples, stepped.samples);
+    }
+
+    #[test]
+    fn blockwise_ingest_matches_whole_slice_ingest() {
+        let (trace, _) = traced_run(5, 200);
+        let settings = Settings::builder().frq(5).build().unwrap();
+        let whole = trace.replay(&settings, "whole").unwrap();
+        // Feed the same stream in awkwardly sized chunks, as the
+        // pipelined binary decoder does block by block.
+        for chunk in [1usize, 7, 64, 1000] {
+            let mut r = Replayer::new(settings.clone(), trace.functions());
+            for part in trace.events().chunks(chunk) {
+                r.ingest_batch(part);
+            }
+            assert_eq!(
+                whole.samples,
+                r.take_samples(),
+                "chunk size {chunk} must not change the replay"
+            );
+        }
     }
 
     #[test]

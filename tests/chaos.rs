@@ -8,7 +8,8 @@
 use faults::io::{fault_ids::*, FaultyReader, FaultyWriter};
 use faults::{FaultConfig, FaultId, FaultPlan};
 use heapmd::{
-    HeapMdError, ModelBuilder, Process, Settings, Trace, TraceReader, TraceWriter, TrainCheckpoint,
+    BinaryTraceReader, BinaryTraceWriter, HeapMdError, ModelBuilder, Process, Settings,
+    StreamFormat, Trace, TraceReader, TraceWriter, TrainCheckpoint,
 };
 use std::io::{Read, Write};
 
@@ -253,6 +254,109 @@ fn checkpoints_round_trip_under_corruption_never_panic() {
     }
     std::fs::remove_file(&clean_path).ok();
     std::fs::remove_file(dir.join("damaged.ckpt")).ok();
+}
+
+/// Streams `trace` through the binary block writer behind a faulty
+/// sink; Ok(bytes) or a typed error.
+fn binary_through_faulty_writer(trace: &Trace, plan: FaultPlan) -> Result<Vec<u8>, HeapMdError> {
+    let mut w = BinaryTraceWriter::new(FaultyWriter::new(Vec::new(), plan))?;
+    for ev in trace.events() {
+        w.write_event(ev)?;
+    }
+    w.write_functions(trace.functions())?;
+    Ok(w.finish()?.into_inner())
+}
+
+#[test]
+fn binary_writes_under_every_fault_schedule_never_panic() {
+    let trace = sample_trace();
+    let clean = binary_through_faulty_writer(&trace, FaultPlan::new()).unwrap();
+    for fault in WRITER_FAULTS {
+        for config in schedules() {
+            let mut plan = FaultPlan::new();
+            plan.enable(fault, config);
+            match binary_through_faulty_writer(&trace, plan) {
+                Ok(bytes) => match BinaryTraceReader::strict(&bytes[..]) {
+                    Ok(back) => {
+                        if fault != IO_BIT_FLIP_WRITE {
+                            assert_eq!(back, trace, "{fault} {config:?} altered the trace");
+                        } else {
+                            assert_eq!(bytes, clean, "undetected corruption under {fault}");
+                        }
+                    }
+                    Err(HeapMdError::Corrupt { .. }) => {
+                        // Detected on read-back; block-granular salvage
+                        // must still succeed, and every recovered event
+                        // must exist in the original (salvage keeps whole
+                        // blocks, so damage never *invents* events).
+                        let (salvaged, stats) = BinaryTraceReader::salvage(&bytes[..]).unwrap();
+                        assert!(salvaged.len() <= trace.len());
+                        assert_eq!(stats.events as usize, salvaged.len());
+                    }
+                    Err(e) => panic!("{fault} {config:?}: wrong error type {e}"),
+                },
+                Err(HeapMdError::Io(_)) => {}
+                Err(e) => panic!("{fault} {config:?}: wrong error type {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn binary_reads_under_every_fault_schedule_never_panic() {
+    let trace = sample_trace();
+    let bytes = binary_through_faulty_writer(&trace, FaultPlan::new()).unwrap();
+    for fault in READER_FAULTS {
+        for config in schedules() {
+            let mut plan = FaultPlan::new();
+            plan.enable(fault, config);
+            match BinaryTraceReader::strict(FaultyReader::new(&bytes[..], plan.clone())) {
+                Ok(back) => assert_eq!(back, trace, "{fault} {config:?} altered the trace"),
+                Err(HeapMdError::Corrupt { .. }) | Err(HeapMdError::Io(_)) => {}
+                Err(e) => panic!("{fault} {config:?}: wrong error type {e}"),
+            }
+            // Salvage mode: only a true I/O error may fail; recovered
+            // blocks carry only events the original stream held.
+            match BinaryTraceReader::salvage(FaultyReader::new(&bytes[..], plan)) {
+                Ok((salvaged, stats)) => {
+                    assert!(salvaged.len() <= trace.len());
+                    assert_eq!(stats.events as usize, salvaged.len());
+                }
+                Err(HeapMdError::Io(_)) => assert_eq!(fault, IO_READ_ERROR),
+                Err(e) => panic!("{fault} {config:?}: wrong error type {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn process_survives_a_dying_binary_trace_sink_under_every_schedule() {
+    for fault in WRITER_FAULTS {
+        for config in schedules() {
+            let mut plan = FaultPlan::new();
+            plan.enable(fault, config);
+            let settings = Settings::builder().frq(10).build().unwrap();
+            let mut p = Process::new(settings);
+            let sink = Box::new(FaultyWriter::new(Vec::new(), plan));
+            match p.stream_trace_to_format(sink, StreamFormat::Binary) {
+                Ok(()) => {}
+                Err(HeapMdError::Io(_)) => continue,
+                Err(e) => panic!("{fault} {config:?}: wrong error type {e}"),
+            }
+            for _ in 0..20 {
+                p.enter("w");
+                let a = p.malloc(16, "x").unwrap();
+                p.free(a).unwrap();
+                p.leave();
+            }
+            assert_eq!(p.fn_entries(), 20, "{fault} {config:?} disturbed the run");
+            match p.finish_stream() {
+                Ok(_) | Err(HeapMdError::Io(_)) => {}
+                Err(e) => panic!("{fault} {config:?}: wrong error type {e}"),
+            }
+            let _ = p.finish("chaos");
+        }
+    }
 }
 
 #[test]
