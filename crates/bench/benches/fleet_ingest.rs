@@ -1,0 +1,106 @@
+//! Fleet daemon ingest throughput (PR 6): N concurrent tenants
+//! streaming binary traces into `heapmd::Server`, measured over the
+//! full lifecycle — accept, preamble, wire decode, shard ingest with
+//! live gauges, graceful shutdown, and the authoritative per-tenant
+//! verdict. Throughput is total events across the fan-out, so the
+//! `tenants/N` series shows how the sharded registry scales with
+//! concurrent streams (see BENCH_PR6.json).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use heapmd::serve::push_trace;
+use heapmd::{ModelBuilder, Process, ServeConfig, Server, Settings, Trace};
+use sim_heap::{Addr, NULL};
+use std::time::Duration;
+
+/// Mutator ops behind the bench trace; the same list-churn loop as the
+/// codec bench so events/s is comparable across the suite.
+const OPS: usize = 2_000;
+
+fn churn_trace() -> Trace {
+    let settings = Settings::builder().frq(100).build().unwrap();
+    let mut p = Process::new(settings);
+    p.enable_trace();
+    let mut head = NULL;
+    let mut live: Vec<Addr> = Vec::new();
+    for i in 0..OPS {
+        p.enter("loop_body");
+        let a = p.malloc(24, "node").unwrap();
+        if !head.is_null() {
+            p.write_ptr(a.offset(8), head).unwrap();
+        }
+        head = a;
+        live.push(a);
+        if i % 4 == 3 {
+            let victim = live.swap_remove(i % live.len());
+            if victim != head {
+                p.free(victim).unwrap();
+            }
+        }
+        p.leave();
+    }
+    let mut trace = p.take_trace().unwrap();
+    trace.set_functions(vec!["loop_body".into()]);
+    trace
+}
+
+/// One full daemon round: start, stream the trace from `tenants`
+/// concurrent connections, wait for every stream to finalize, shut
+/// down. Returns the summary so the verdict work cannot be elided.
+fn fleet_round(
+    trace: &Trace,
+    settings: &Settings,
+    model: &heapmd::HeapModel,
+    tenants: usize,
+) -> usize {
+    let mut config = ServeConfig::new(model.clone());
+    config.shards = 4;
+    let server = Server::start(config, "127.0.0.1:0", "127.0.0.1:0").expect("start daemon");
+    let ingest = server.ingest_addr().to_string();
+    std::thread::scope(|scope| {
+        for i in 0..tenants {
+            let ingest = ingest.clone();
+            scope.spawn(move || {
+                push_trace(&ingest, &format!("bench-{i}"), trace).expect("push");
+            });
+        }
+    });
+    let fleet = server.fleet();
+    loop {
+        // `connected == 0` alone is trivially true before the first
+        // preamble lands; require full registration first.
+        let snap = fleet.snapshot();
+        if snap.tenants_total as usize >= tenants && snap.connected == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    server.shutdown();
+    let summary = server.wait();
+    let _ = settings;
+    summary.tenants.len()
+}
+
+fn bench_fleet_ingest(c: &mut Criterion) {
+    let trace = churn_trace();
+    let events = trace.len() as u64;
+    let settings = Settings::builder().frq(100).build().unwrap();
+    let mut builder = ModelBuilder::new(settings.clone());
+    builder.add_run(&trace.replay(&settings, "train").unwrap());
+    let model = builder.build().model;
+
+    let mut group = c.benchmark_group("fleet_ingest");
+    for tenants in [1usize, 4, 16] {
+        group.throughput(Throughput::Elements(events * tenants as u64));
+        group.bench_function(BenchmarkId::new("tenants", tenants), |b| {
+            b.iter(|| {
+                let n = fleet_round(&trace, &settings, &model, tenants);
+                assert_eq!(n, tenants);
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_ingest);
+criterion_main!(benches);

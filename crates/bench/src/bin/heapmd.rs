@@ -14,6 +14,10 @@
 //!                         [--format binary|jsonl] [--stream]
 //! heapmd replay --model FILE --trace FILE [--salvage] [--format binary|jsonl]
 //! heapmd inspect <artifact> [--salvage]         # bundle or trace, by magic
+//! heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N]
+//!              [--queue-events N] [--incidents DIR] [--prom-dump FILE]
+//! heapmd top --connect ADDR [--once] [--interval-ms N]
+//! heapmd push --to ADDR --tenant NAME --trace FILE [--salvage]
 //! ```
 //!
 //! Robustness features:
@@ -41,6 +45,13 @@
 //!   `inspect` renders as ASCII charts with the calibrated bounds,
 //!   implicated functions, and the armed-window stack digest
 //!   (`inspect --salvage` recovers damaged bundles).
+//! - `serve` runs the fleet daemon ([`heapmd::Server`]): concurrent
+//!   binary trace streams over TCP or `unix:` sockets, per-tenant
+//!   verdicts bit-identical to `check`, Prometheus `/metrics` plus
+//!   `/fleet.tsv` / `/fleet.jsonl` rollups over HTTP, graceful
+//!   shutdown via `GET /shutdown`. `run --serve ADDR --tenant NAME`
+//!   streams a live run into the daemon; `push` replays a recorded
+//!   trace into it; `top` renders a live dashboard from the rollups.
 //!
 //! Global flags (any subcommand):
 //!
@@ -144,7 +155,7 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE] [--format binary|jsonl] [--model FILE] [--incidents DIR]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N] [--format binary|jsonl]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--incidents DIR]\n  heapmd check --model FILE --trace FILE [--trace FILE ...] [--jobs N] [--salvage]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--format binary|jsonl] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage] [--format binary|jsonl]\n  heapmd inspect <artifact> [--salvage]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
+        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE] [--format binary|jsonl] [--model FILE] [--incidents DIR] [--serve ADDR [--tenant NAME]]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N] [--format binary|jsonl]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--incidents DIR]\n  heapmd check --model FILE --trace FILE [--trace FILE ...] [--jobs N] [--salvage]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--format binary|jsonl] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage] [--format binary|jsonl]\n  heapmd inspect <artifact> [--salvage]\n  heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N] [--queue-events N] [--incidents DIR] [--prom-dump FILE]\n  heapmd top --connect ADDR [--once] [--interval-ms N]\n  heapmd push --to ADDR --tenant NAME --trace FILE [--salvage]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
     );
     std::process::exit(2);
 }
@@ -224,7 +235,12 @@ fn cmd_run(args: &[String]) -> i32 {
             None
         }
     };
+    let serve_addr = arg_value(args, "--serve");
     if let Some(path) = &trace_out {
+        if serve_addr.is_some() {
+            eprintln!("--serve and --trace-out are mutually exclusive (one stream sink per run)");
+            return 2;
+        }
         let file = match std::fs::File::create(path) {
             Ok(f) => f,
             Err(e) => {
@@ -237,6 +253,26 @@ fn cmd_run(args: &[String]) -> i32 {
             error!("cannot start trace stream: {e}");
             return 1;
         }
+    } else if let Some(addr) = &serve_addr {
+        // Live fleet streaming: the daemon speaks the binary codec, so
+        // the run streams exactly what `--trace-out --format binary`
+        // would have written to disk.
+        let tenant = arg_value(args, "--tenant").unwrap_or_else(|| format!("{program}-{input_id}"));
+        let sink = match heapmd::serve::connect_stream(addr, &tenant) {
+            Ok(s) => s,
+            Err(e) => {
+                error!("cannot connect to fleet daemon {addr}: {e}");
+                return 1;
+            }
+        };
+        info!("streaming live trace to {addr} as tenant {tenant}");
+        if let Err(e) = p.stream_trace_to_format(
+            Box::new(std::io::BufWriter::new(sink)),
+            StreamFormat::Binary,
+        ) {
+            error!("cannot start serve stream: {e}");
+            return 1;
+        }
     } else if format_flag(args).is_some() {
         eprintln!("--format only applies with --trace-out");
         return 2;
@@ -245,13 +281,14 @@ fn cmd_run(args: &[String]) -> i32 {
         error!("workload run failed: {e}");
         return 1;
     }
-    if let Some(path) = &trace_out {
+    if trace_out.is_some() || serve_addr.is_some() {
+        let sink_name = trace_out.as_deref().or(serve_addr.as_deref()).unwrap_or("");
         match p.finish_stream() {
-            Ok(events) => println!("{events} events streamed to {path}"),
+            Ok(events) => println!("{events} events streamed to {sink_name}"),
             Err(e) => {
                 // The run itself succeeded; a dead trace sink is a
                 // degraded outcome, not a failed one.
-                error!("trace stream to {path} failed: {e}");
+                error!("trace stream to {sink_name} failed: {e}");
             }
         }
     }
@@ -940,8 +977,234 @@ fn cmd_replay(args: &[String]) -> i32 {
     }
 }
 
+fn cmd_serve(args: &[String]) -> i32 {
+    let Some(model_path) = arg_value(args, "--model") else {
+        usage()
+    };
+    let listen = arg_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:7700".to_string());
+    let http = arg_value(args, "--http").unwrap_or_else(|| "127.0.0.1:7701".to_string());
+    let model = match HeapModel::load(&model_path) {
+        Ok(m) => m,
+        Err(e) => {
+            error!("cannot load model {model_path}: {e}");
+            return 1;
+        }
+    };
+    let mut config = heapmd::ServeConfig::new(model);
+    config.shards = num_flag(args, "--shards", "a number", config.shards);
+    config.queue_events = num_flag(args, "--queue-events", "a number", config.queue_events);
+    config.incident_dir = arg_value(args, "--incidents").map(PathBuf::from);
+    config.prom_dump = arg_value(args, "--prom-dump").map(PathBuf::from);
+    // The daemon *is* an observability plane; its own instrumentation
+    // (stage throughput, build info, uptime) is always on.
+    heapmd_obs::set_enabled(true);
+    let server = match heapmd::Server::start(config, &listen, &http) {
+        Ok(s) => s,
+        Err(e) => {
+            error!("cannot start fleet daemon: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "fleet daemon up: ingest {} http {}",
+        server.ingest_addr(),
+        server.http_addr()
+    );
+    println!(
+        "scrape http://{0}/metrics ; watch with `heapmd top --connect {0}` ; stop with GET http://{0}/shutdown",
+        server.http_addr()
+    );
+    let summary = server.wait();
+    let mut anomalies = false;
+    for (tenant, o) in &summary.tenants {
+        let state = match (&o.evicted, &o.error, o.partial) {
+            (Some(reason), _, _) => format!("evicted ({reason})"),
+            (_, Some(err), _) => format!("error ({err})"),
+            (_, _, true) => "partial".to_string(),
+            _ => "complete".to_string(),
+        };
+        println!(
+            "tenant {tenant}: {} events, {} bug(s), {} bundle(s), {state}",
+            o.events,
+            o.bugs.len(),
+            o.bundle_paths.len()
+        );
+        for b in &o.bugs {
+            println!("  {b}");
+        }
+        anomalies |= !o.bugs.is_empty();
+    }
+    if let Some(err) = &summary.prom_dump_error {
+        eprintln!("heapmd: warning[obs-prom-dropped]: final Prometheus dump failed: {err}");
+        return 4;
+    }
+    if anomalies {
+        3
+    } else {
+        0
+    }
+}
+
+/// Minimal HTTP/1.0 GET against the daemon's control endpoint,
+/// returning the response body.
+fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default())
+}
+
+/// Renders one `heapmd top` frame from a `/fleet.tsv` dump, appending
+/// the fleet events/s reading to `history` for the rate chart.
+fn render_top(addr: &str, tsv: &str, history: &mut Vec<f64>) -> String {
+    let mut out = String::new();
+    let mut tenant_rows = Vec::new();
+    let mut rollups = Vec::new();
+    for line in tsv.lines() {
+        let cols: Vec<&str> = line.split('\t').collect();
+        match cols.first().copied() {
+            Some("fleet") if cols.len() >= 9 => {
+                history.push(cols[6].parse().unwrap_or(0.0));
+                out.push_str(&format!(
+                    "heapmd top — {addr}  up {}s  tenants {} ({} live, {} anomalous)  events {}  incidents {}  evictions {}\n",
+                    cols[1], cols[4], cols[2], cols[3], cols[5], cols[7], cols[8]
+                ));
+            }
+            Some("metric") if cols.len() >= 5 => {
+                rollups.push(format!(
+                    "  {:<10} p50 {:>10}  p95 {:>10}  max {:>10}",
+                    cols[1], cols[2], cols[3], cols[4]
+                ));
+            }
+            Some("tenant") if cols.len() >= 12 => {
+                tenant_rows.push(format!(
+                    "  {:<24} {:>10} {:>10}/s {:>7} {:>6} {:>5} {:>5}  {:<7} {:<9} {}",
+                    cols[1],
+                    cols[2],
+                    cols[3],
+                    cols[4],
+                    cols[5],
+                    cols[6],
+                    cols[7],
+                    cols[8],
+                    cols[10],
+                    cols[11]
+                ));
+            }
+            _ => {}
+        }
+    }
+    if history.len() > 120 {
+        let drop = history.len() - 120;
+        history.drain(..drop);
+    }
+    out.push('\n');
+    out.push_str(&chart("fleet events/s", history, 72, 8, &[]));
+    if !rollups.is_empty() {
+        out.push_str("\ndistance from calibrated range (fleet percentiles):\n");
+        for r in rollups {
+            out.push_str(&r);
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!(
+        "\n  {:<24} {:>10} {:>12} {:>7} {:>6} {:>5} {:>5}  {:<7} {:<9} {}\n",
+        "TENANT",
+        "EVENTS",
+        "RATE",
+        "SAMPLES",
+        "CROSS",
+        "INCID",
+        "BUGS",
+        "STATE",
+        "METRICS",
+        "LAST ANOMALY"
+    ));
+    if tenant_rows.is_empty() {
+        out.push_str("  (no tenants yet)\n");
+    }
+    for row in tenant_rows {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+fn cmd_top(args: &[String]) -> i32 {
+    let Some(addr) = arg_value(args, "--connect") else {
+        usage()
+    };
+    let once = args.iter().any(|a| a == "--once");
+    let interval_ms: u64 = num_flag(args, "--interval-ms", "milliseconds", 1000u64);
+    let mut history = Vec::new();
+    loop {
+        let tsv = match http_get(&addr, "/fleet.tsv") {
+            Ok(body) => body,
+            Err(e) => {
+                error!("cannot poll fleet daemon {addr}: {e}");
+                return 1;
+            }
+        };
+        let frame = render_top(&addr, &tsv, &mut history);
+        if once {
+            print!("{frame}");
+            return 0;
+        }
+        // Clear + home between frames so the dashboard repaints in
+        // place, like top(1).
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+    }
+}
+
+fn cmd_push(args: &[String]) -> i32 {
+    let Some(addr) = arg_value(args, "--to") else {
+        usage()
+    };
+    let Some(tenant) = arg_value(args, "--tenant") else {
+        usage()
+    };
+    let Some(trace_path) = arg_value(args, "--trace") else {
+        usage()
+    };
+    let salvage = args.iter().any(|a| a == "--salvage");
+    let (trace, stats) = match heapmd::load_trace_auto(&trace_path, salvage) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            error!("cannot load trace {trace_path}: {e}");
+            return 1;
+        }
+    };
+    if let Some(stats) = &stats {
+        report_salvage(&trace_path, stats);
+    }
+    match heapmd::serve::push_trace(&addr, &tenant, &trace) {
+        Ok(n) => {
+            println!("{n} events pushed to {addr} as tenant {tenant}");
+            0
+        }
+        Err(e) => {
+            error!("cannot push trace to {addr}: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Stamp process start first so `heapmd_uptime_seconds` covers the
+    // whole run in every Prometheus dump.
+    heapmd_obs::export::mark_process_start();
 
     if let Some(level) = take_flag_value(&mut args, "--log-level") {
         match heapmd_obs::Level::parse(&level) {
@@ -979,6 +1242,9 @@ fn main() {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
+        Some("push") => cmd_push(&args[1..]),
         _ => usage(),
     };
 
@@ -986,9 +1252,16 @@ fn main() {
         heapmd_obs::export::emit_counters_event();
         heapmd_obs::export::clear_sink();
     }
+    let mut code = code;
     if let Some(path) = &obs_prom {
         if let Err(e) = heapmd_obs::export::write_prometheus_file(Path::new(path)) {
-            error!("cannot write --obs-prom {path}: {e}");
+            // A lost metrics dump must not masquerade as a clean exit:
+            // typed warning on stderr plus a distinct exit code (unless
+            // the run already failed for a stronger reason).
+            eprintln!("heapmd: warning[obs-prom-dropped]: metrics dump to {path} failed: {e}");
+            if code == 0 {
+                code = 4;
+            }
         }
     }
     if let Some(path) = &trace_events {

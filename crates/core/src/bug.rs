@@ -95,7 +95,7 @@ pub struct StackLogEntry {
 /// calibrated range, and the call-stack context logged around the
 /// crossing — the paper's mechanism for pinpointing the responsible
 /// function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BugReport {
     /// The metric that misbehaved.
     pub metric: MetricKind,
@@ -111,6 +111,23 @@ pub struct BugReport {
     pub fn_entries: u64,
     /// Call-stack context before/during/after the crossing.
     pub context: Vec<StackLogEntry>,
+}
+
+/// Bitwise float equality: an [`AnomalyKind::UnexpectedStability`]
+/// report carries a `(NaN, NaN)` range, and IEEE `NaN != NaN` would
+/// make two byte-identical reports compare unequal (breaking the
+/// serve daemon's verdict-equivalence checks).
+impl PartialEq for BugReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.metric == other.metric
+            && self.kind == other.kind
+            && self.value.to_bits() == other.value.to_bits()
+            && self.range.0.to_bits() == other.range.0.to_bits()
+            && self.range.1.to_bits() == other.range.1.to_bits()
+            && self.sample_seq == other.sample_seq
+            && self.fn_entries == other.fn_entries
+            && self.context == other.context
+    }
 }
 
 impl fmt::Display for BugReport {

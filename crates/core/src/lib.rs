@@ -74,6 +74,7 @@ pub mod plot;
 mod process;
 mod report;
 mod ringbuf;
+pub mod serve;
 mod settings;
 mod stability;
 mod trace;
@@ -102,13 +103,15 @@ pub use phase_model::{merge_ranges, segment, LocalMetric, Plateau};
 pub use process::Process;
 pub use report::{MetricReport, MetricSample};
 pub use ringbuf::CircularBuffer;
+pub use serve::{ServeConfig, ServeSummary, Server, TenantOutcome, SERVE_PREAMBLE};
 pub use settings::{Settings, SettingsBuilder};
 pub use stability::{classify, StabilityClass};
-pub use trace::Trace;
+pub use trace::{Trace, TraceCheckOutcome};
 pub use trace_codec::{
     check_binary, check_paths_parallel, check_traces_parallel, load_trace_auto, replay_binary,
     sniff_bytes, sniff_file, ArtifactKind, BinaryTraceImage, BinaryTraceReader, BinaryTraceWriter,
-    BlockEntry, BlockIndex, StreamFormat, BINARY_FORMAT_VERSION, BINARY_MAGIC, EVENTS_PER_BLOCK,
+    BlockEntry, BlockIndex, StreamFormat, WireFrame, WireReader, BINARY_FORMAT_VERSION,
+    BINARY_MAGIC, EVENTS_PER_BLOCK,
 };
 pub use trace_stream::{frame_record, SalvageStats, TraceReader, TraceWriter, STREAM_MAGIC};
 pub use values::{LocationSummary, ValueProfile};

@@ -1,0 +1,1059 @@
+//! `heapmd serve`: a long-running fleet daemon that ingests concurrent
+//! binary trace streams from many processes and checks each tenant
+//! against a shared calibrated model.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  client ──HMDSERVE1 tenant\n──┐
+//!  client ───.hmdt blocks───────┤ accept loop ──(hash(tenant) % N)──▶ shard 0..N
+//!  client ──────────────────────┘      │                                 │
+//!                                      ▼                                 ▼
+//!                                 FleetRegistry ◀── live gauges ── Replayer + model
+//!                                      │                                 │
+//!                HTTP /metrics /fleet.tsv /fleet.jsonl /shutdown    IncidentLog
+//! ```
+//!
+//! - **Wire format.** A connection is one text preamble line
+//!   (`HMDSERVE1 <tenant>\n`) followed by a raw `.hmdt` binary trace —
+//!   the same length-framed, CRC-checked block codec
+//!   ([`crate::trace_codec`]) that `record --format binary` writes, so
+//!   a process can stream to a file and a daemon with identical bytes.
+//!   Frames decode through [`WireReader`]; any structural damage evicts
+//!   exactly the offending tenant, never the daemon.
+//! - **Sharding & backpressure.** Tenants hash-assign to one of N
+//!   worker shards over bounded per-tenant queues (a pending-event
+//!   counter shared between the connection handler and the shard). A
+//!   full queue backpressures the client for as long as the shard keeps
+//!   draining it; only a queue that makes no progress for a whole grace
+//!   window gets its tenant evicted as stalled.
+//! - **Verdicts.** Shards feed a resumable [`Replayer`] per tenant for
+//!   live per-metric gauges, and buffer the event stream; on clean end
+//!   of stream the buffered trace runs through the exact
+//!   [`Trace::check_logged`] path, so the daemon verdict is
+//!   bit-identical to `heapmd check` on the same trace, with incident
+//!   bundles captured into a per-tenant [`IncidentLog`] directory.
+//! - **Shutdown.** The toolchain forbids `unsafe`, so there is no
+//!   signal handler; graceful shutdown arrives via the HTTP control
+//!   endpoint (`GET /shutdown`) or [`Server::shutdown`]. In-flight
+//!   streams drain whatever the kernel already buffered, the prefixes
+//!   are finalized as partial verdicts, every incident bundle flushed,
+//!   and the final Prometheus dump written.
+
+use crate::bug::BugReport;
+use crate::error::HeapMdError;
+use crate::incident::IncidentLog;
+use crate::model::{HeapModel, StableMetric};
+use crate::report::MetricSample;
+use crate::settings::Settings;
+use crate::trace::{Replayer, Trace};
+use crate::trace_codec::{BinaryTraceWriter, BlockIndex, WireFrame, WireReader};
+use heapmd_obs::fleet::{
+    FleetRegistry, MetricGauge, TenantStats, STATUS_NEAR_EDGE, STATUS_OK, STATUS_OUT,
+};
+use sim_heap::HeapEvent;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// First token of the connection preamble line.
+pub const SERVE_PREAMBLE: &str = "HMDSERVE1";
+
+/// Idle poll period of the nonblocking accept loops.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// How long a full per-tenant queue may go without draining a single
+/// event before the tenant is evicted as stalled. Progress resets the
+/// clock, so a merely slow shard backpressures instead of evicting.
+const BACKPRESSURE_GRACE: Duration = Duration::from_secs(5);
+/// Poll period while waiting for queue room.
+const BACKPRESSURE_POLL: Duration = Duration::from_millis(5);
+/// Read timeout on ingest sockets: the latency with which a blocked
+/// connection handler notices the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(25);
+/// Window over which per-tenant ingest rates are computed.
+const RATE_WINDOW: Duration = Duration::from_millis(250);
+/// Longest accepted preamble line (name cap is 64 + token + space).
+const MAX_PREAMBLE: usize = 96;
+
+/// Whether `name` is a valid tenant name: 1–64 bytes of
+/// `[A-Za-z0-9._:-]`. The restriction keeps names safe as label
+/// values, file names, and TSV cells.
+pub fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b':' | b'-'))
+}
+
+// ---------------------------------------------------------------------
+// Transport: TCP or Unix sockets behind one façade
+// ---------------------------------------------------------------------
+
+enum AnyListener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl AnyListener {
+    /// Binds `spec`: `unix:<path>` for a Unix socket (replacing a stale
+    /// socket file), anything else as a TCP `host:port`. Returns the
+    /// listener (nonblocking) and its resolved address string.
+    fn bind(spec: &str) -> io::Result<(AnyListener, String)> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                return Ok((AnyListener::Unix(listener), spec.to_string()));
+            }
+            #[cfg(not(unix))]
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are unavailable on this platform",
+            ));
+        }
+        let listener = TcpListener::bind(spec)?;
+        let addr = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+        Ok((AnyListener::Tcp(listener), addr))
+    }
+
+    fn accept(&self) -> io::Result<AnyStream> {
+        match self {
+            AnyListener::Tcp(l) => l.accept().map(|(s, _)| AnyStream::Tcp(s)),
+            #[cfg(unix)]
+            AnyListener::Unix(l) => l.accept().map(|(s, _)| AnyStream::Unix(s)),
+        }
+    }
+}
+
+enum AnyStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl AnyStream {
+    fn set_blocking(&self) -> io::Result<()> {
+        match self {
+            AnyStream::Tcp(s) => s.set_nonblocking(false),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.set_nonblocking(false),
+        }
+    }
+
+    /// Bounds every read so a blocked handler can notice the shutdown
+    /// flag without the socket being torn down under it.
+    fn set_read_timeout(&self, dur: Duration) -> io::Result<()> {
+        match self {
+            AnyStream::Tcp(s) => s.set_read_timeout(Some(dur)),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.set_read_timeout(Some(dur)),
+        }
+    }
+}
+
+/// Read adapter that turns the shutdown flag into a clean end of
+/// stream. While the daemon runs, read timeouts simply retry; once
+/// shutdown is flagged, bytes the kernel already buffered still read
+/// out normally and the first timeout after that reports EOF. Handlers
+/// therefore salvage everything the client managed to send — force
+/// closing the socket instead would discard the buffered tail (and
+/// with it, typically, the function table at the end of the stream).
+struct DrainingStream {
+    inner: AnyStream,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Read for DrainingStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.inner.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.shutdown.load(Relaxed) {
+                        return Ok(0);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+impl Read for AnyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            AnyStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for AnyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            AnyStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            AnyStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration and outcomes
+// ---------------------------------------------------------------------
+
+/// Daemon configuration (transport addresses travel separately, see
+/// [`Server::start`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The shared calibrated model every tenant checks against.
+    pub model: HeapModel,
+    /// Worker shard count (tenants hash-assign; min 1).
+    pub shards: usize,
+    /// Per-tenant pending-event bound before backpressure, then
+    /// eviction, kicks in.
+    pub queue_events: u64,
+    /// Root directory for per-tenant incident bundles (one
+    /// subdirectory per tenant), if incident capture is on.
+    pub incident_dir: Option<PathBuf>,
+    /// Where the final Prometheus dump (registry + fleet section) is
+    /// written at shutdown.
+    pub prom_dump: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// Defaults: 4 shards, 65 536 queued events per tenant, no incident
+    /// capture, no final dump.
+    pub fn new(model: HeapModel) -> Self {
+        ServeConfig {
+            model,
+            shards: 4,
+            queue_events: 1 << 16,
+            incident_dir: None,
+            prom_dump: None,
+        }
+    }
+}
+
+/// How one tenant's stream ended.
+#[derive(Debug)]
+pub struct TenantOutcome {
+    /// Tenant name.
+    pub tenant: String,
+    /// Events ingested and replayed.
+    pub events: u64,
+    /// The detector's verdict (bit-identical to `check` on the same
+    /// trace when the stream completed cleanly).
+    pub bugs: Vec<BugReport>,
+    /// Incident bundles flushed for this tenant.
+    pub bundle_paths: Vec<PathBuf>,
+    /// The stream never reached its index/footer; the verdict covers
+    /// the buffered prefix (shutdown, or an eviction mid-stream).
+    pub partial: bool,
+    /// Why the tenant was kicked, when it was.
+    pub evicted: Option<String>,
+    /// Replay/check failure, if the buffered trace was unusable.
+    pub error: Option<String>,
+}
+
+/// Everything the daemon produced over its lifetime.
+#[derive(Debug, Default)]
+pub struct ServeSummary {
+    /// Final outcome per tenant (a reconnecting tenant keeps its last).
+    pub tenants: BTreeMap<String, TenantOutcome>,
+    /// Set when the final Prometheus dump could not be written; the
+    /// CLI turns this into a typed warning and a distinct exit code.
+    pub prom_dump_error: Option<String>,
+}
+
+// ---------------------------------------------------------------------
+// Shard workers
+// ---------------------------------------------------------------------
+
+enum ShardMsg {
+    Start {
+        tenant: String,
+        stats: Arc<TenantStats>,
+        pending: Arc<AtomicU64>,
+    },
+    Events {
+        tenant: String,
+        events: Vec<HeapEvent>,
+    },
+    Functions {
+        tenant: String,
+        names: Vec<String>,
+    },
+    End {
+        tenant: String,
+        index: BlockIndex,
+    },
+    Abort {
+        tenant: String,
+        reason: String,
+        /// Finalize the buffered prefix (shutdown) instead of dropping
+        /// it (corrupt stream / slow consumer).
+        salvage: bool,
+    },
+}
+
+struct ShardTenant {
+    stats: Arc<TenantStats>,
+    pending: Arc<AtomicU64>,
+    events: Vec<HeapEvent>,
+    functions: Vec<String>,
+    replayer: Replayer,
+    /// Per stable metric: was the last live sample out of range.
+    last_out: Vec<bool>,
+    window_start: Instant,
+    window_events: u64,
+}
+
+fn shard_for(tenant: &str, shards: usize) -> usize {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    tenant.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// Looks `kind` up in a sample's metric vector.
+fn metric_value(sample: &MetricSample, kind: heap_graph::MetricKind) -> f64 {
+    sample.metrics.get(kind)
+}
+
+/// Folds a batch of new live samples into the tenant's gauges: latest
+/// value/distance/status per stable metric, range-crossing transitions,
+/// and the advisory arm flag (near-edge or out — the authoritative
+/// detector, slope condition included, runs at finalize).
+fn update_live(
+    t: &mut ShardTenant,
+    samples: &[MetricSample],
+    stable: &[StableMetric],
+    s: &Settings,
+) {
+    for _ in samples {
+        t.stats.record_sample();
+    }
+    let mut gauges = Vec::with_capacity(stable.len());
+    let mut crossings = 0u64;
+    let mut armed = false;
+    for (i, sm) in stable.iter().enumerate() {
+        let lo = sm.min - s.range_margin;
+        let hi = sm.max + s.range_margin;
+        let near = (sm.max - sm.min).max(0.5) * s.near_edge_frac;
+        let mut was_out = t.last_out[i];
+        let (mut value, mut distance, mut status) = (0.0, 0.0, STATUS_OK);
+        for sample in samples {
+            let v = metric_value(sample, sm.kind);
+            let out = v < lo || v > hi;
+            if out && !was_out {
+                crossings += 1;
+            }
+            was_out = out;
+            value = v;
+            distance = if v < lo {
+                lo - v
+            } else if v > hi {
+                v - hi
+            } else {
+                0.0
+            };
+            status = if out {
+                STATUS_OUT
+            } else if v >= hi - near || v <= lo + near {
+                STATUS_NEAR_EDGE
+            } else {
+                STATUS_OK
+            };
+        }
+        t.last_out[i] = was_out;
+        armed |= status != STATUS_OK;
+        gauges.push(MetricGauge {
+            metric: sm.kind.short_name().to_string(),
+            value,
+            distance,
+            status,
+        });
+    }
+    if crossings > 0 {
+        t.stats.add_crossings(crossings);
+    }
+    t.stats.set_armed(armed);
+    t.stats.set_metrics(gauges);
+}
+
+/// Runs the buffered stream through the authoritative offline check and
+/// closes the tenant's books.
+fn finalize(
+    mut t: ShardTenant,
+    tenant: String,
+    partial: bool,
+    model: &HeapModel,
+    settings: &Settings,
+    incident_dir: Option<&PathBuf>,
+) -> TenantOutcome {
+    t.stats.set_connected(false);
+    t.stats.set_rate(0);
+    t.stats.set_queue_depth(0);
+    let events = t.events.len() as u64;
+    let mut trace = Trace::new();
+    for ev in t.events.drain(..) {
+        trace.push(ev);
+    }
+    trace.set_functions(std::mem::take(&mut t.functions));
+    // Tenant names are charset-validated (no separators), so they are
+    // safe as directory names.
+    let log = incident_dir.map(|d| IncidentLog::new(d.join(&tenant), tenant.clone()));
+    let outcome = match trace.check_logged(model, settings, log) {
+        Ok(out) => {
+            t.stats.record_bugs(out.bugs.len() as u64);
+            t.stats.add_incidents(out.bundle_paths.len() as u64);
+            if let Some(b) = out.bugs.first() {
+                t.stats
+                    .set_last_anomaly(&format!("{} {}", b.metric, b.kind.slug()));
+            }
+            TenantOutcome {
+                tenant,
+                events,
+                bugs: out.bugs,
+                bundle_paths: out.bundle_paths,
+                partial,
+                evicted: None,
+                error: None,
+            }
+        }
+        Err(e) => TenantOutcome {
+            tenant,
+            events,
+            bugs: Vec::new(),
+            bundle_paths: Vec::new(),
+            partial,
+            evicted: None,
+            error: Some(e.to_string()),
+        },
+    };
+    heapmd_obs::export::emit_event("tenant_verdict", |o| {
+        o.field_str("tenant", &outcome.tenant)
+            .field_u64("events", outcome.events)
+            .field_u64("bugs", outcome.bugs.len() as u64)
+            .field_bool("partial", outcome.partial);
+    });
+    outcome
+}
+
+fn shard_loop(
+    rx: Receiver<ShardMsg>,
+    model: Arc<HeapModel>,
+    settings: Settings,
+    incident_dir: Option<PathBuf>,
+) -> Vec<TenantOutcome> {
+    let stable = model.stable.clone();
+    let mut tenants: BTreeMap<String, ShardTenant> = BTreeMap::new();
+    let mut outcomes = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Start {
+                tenant,
+                stats,
+                pending,
+            } => {
+                let state = ShardTenant {
+                    stats,
+                    pending,
+                    events: Vec::new(),
+                    functions: Vec::new(),
+                    replayer: Replayer::new(settings.clone(), &[]),
+                    last_out: vec![false; stable.len()],
+                    window_start: Instant::now(),
+                    window_events: 0,
+                };
+                // A tenant reconnecting under the same name starts a
+                // fresh stream; the previous (unfinished) state is
+                // dropped rather than merged.
+                tenants.insert(tenant, state);
+            }
+            ShardMsg::Events { tenant, events } => {
+                let Some(t) = tenants.get_mut(&tenant) else {
+                    continue;
+                };
+                let n = events.len() as u64;
+                let clock = heapmd_obs::throughput::stage_clock();
+                t.replayer.ingest_batch(&events);
+                t.events.extend_from_slice(&events);
+                if let Some(t0) = clock {
+                    heapmd_obs::throughput::record_stage(
+                        "serve_ingest",
+                        n,
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                }
+                t.pending.fetch_sub(n.min(t.pending.load(Relaxed)), Relaxed);
+                t.stats.record_events(n);
+                t.stats.set_queue_depth(t.pending.load(Relaxed));
+                let samples = t.replayer.take_samples();
+                if !samples.is_empty() {
+                    update_live(t, &samples, &stable, &settings);
+                }
+                t.window_events += n;
+                let elapsed = t.window_start.elapsed();
+                if elapsed >= RATE_WINDOW {
+                    let rate = (t.window_events as u128 * 1_000_000_000 / elapsed.as_nanos().max(1))
+                        as u64;
+                    t.stats.set_rate(rate);
+                    t.window_start = Instant::now();
+                    t.window_events = 0;
+                }
+            }
+            ShardMsg::Functions { tenant, names } => {
+                if let Some(t) = tenants.get_mut(&tenant) {
+                    t.functions = names;
+                }
+            }
+            ShardMsg::End { tenant, index } => {
+                let Some(t) = tenants.remove(&tenant) else {
+                    continue;
+                };
+                if t.events.len() as u64 != index.total_events {
+                    let reason = format!(
+                        "index declares {} events, stream carried {}",
+                        index.total_events,
+                        t.events.len()
+                    );
+                    t.stats.set_evicted();
+                    outcomes.push(TenantOutcome {
+                        tenant,
+                        events: t.events.len() as u64,
+                        bugs: Vec::new(),
+                        bundle_paths: Vec::new(),
+                        partial: true,
+                        evicted: Some(reason),
+                        error: None,
+                    });
+                    continue;
+                }
+                outcomes.push(finalize(
+                    t,
+                    tenant,
+                    false,
+                    &model,
+                    &settings,
+                    incident_dir.as_ref(),
+                ));
+            }
+            ShardMsg::Abort {
+                tenant,
+                reason,
+                salvage,
+            } => {
+                let Some(t) = tenants.remove(&tenant) else {
+                    continue;
+                };
+                if salvage {
+                    outcomes.push(finalize(
+                        t,
+                        tenant,
+                        true,
+                        &model,
+                        &settings,
+                        incident_dir.as_ref(),
+                    ));
+                } else {
+                    t.stats.set_rate(0);
+                    t.stats.set_queue_depth(0);
+                    outcomes.push(TenantOutcome {
+                        tenant,
+                        events: t.events.len() as u64,
+                        bugs: Vec::new(),
+                        bundle_paths: Vec::new(),
+                        partial: true,
+                        evicted: Some(reason),
+                        error: None,
+                    });
+                }
+            }
+        }
+    }
+    // Channel closed (shutdown drained the accept loop): finalize
+    // whatever streams never sent an explicit end.
+    for (tenant, t) in tenants {
+        outcomes.push(finalize(
+            t,
+            tenant,
+            true,
+            &model,
+            &settings,
+            incident_dir.as_ref(),
+        ));
+    }
+    outcomes
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+/// Reads and validates the `HMDSERVE1 <tenant>\n` preamble.
+fn read_preamble(stream: &mut impl Read) -> Option<String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    while line.len() < MAX_PREAMBLE {
+        stream.read_exact(&mut byte).ok()?;
+        if byte[0] == b'\n' {
+            let text = std::str::from_utf8(&line).ok()?;
+            let tenant = text.strip_prefix(SERVE_PREAMBLE)?.strip_prefix(' ')?;
+            return valid_tenant(tenant).then(|| tenant.to_string());
+        }
+        line.push(byte[0]);
+    }
+    None
+}
+
+/// Waits for the tenant's queue to drop under `bound`; `false` means
+/// the queue made no progress at all for a whole grace window and the
+/// tenant should be evicted as stalled. Only this connection's thread
+/// increments `pending`, so any decrease observed here is shard
+/// progress, which resets the grace clock — a busy-but-alive shard
+/// backpressures the client indefinitely rather than evicting it.
+fn wait_for_room(pending: &AtomicU64, bound: u64, shutdown: &AtomicBool) -> bool {
+    let mut last = pending.load(Relaxed);
+    if last < bound {
+        return true;
+    }
+    let mut deadline = Instant::now() + BACKPRESSURE_GRACE;
+    loop {
+        if shutdown.load(Relaxed) {
+            // Let the shutdown path finalize the tenant instead.
+            return true;
+        }
+        std::thread::sleep(BACKPRESSURE_POLL);
+        let now = pending.load(Relaxed);
+        if now < bound {
+            return true;
+        }
+        if now < last {
+            last = now;
+            deadline = Instant::now() + BACKPRESSURE_GRACE;
+        } else if Instant::now() >= deadline {
+            return false;
+        }
+    }
+}
+
+fn handle_conn(
+    stream: AnyStream,
+    senders: Arc<Vec<Sender<ShardMsg>>>,
+    fleet: Arc<FleetRegistry>,
+    queue_events: u64,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(READ_POLL);
+    let mut stream = DrainingStream {
+        inner: stream,
+        shutdown: Arc::clone(&shutdown),
+    };
+    let Some(tenant) = read_preamble(&mut stream) else {
+        // EOF during shutdown is the daemon going away, not a client
+        // speaking the wrong protocol.
+        if !shutdown.load(Relaxed) {
+            fleet.record_protocol_error();
+        }
+        return;
+    };
+    let stats = fleet.connect(&tenant);
+    let pending = Arc::new(AtomicU64::new(0));
+    let tx = &senders[shard_for(&tenant, senders.len())];
+    if tx
+        .send(ShardMsg::Start {
+            tenant: tenant.clone(),
+            stats: Arc::clone(&stats),
+            pending: Arc::clone(&pending),
+        })
+        .is_err()
+    {
+        return;
+    }
+    let mut reader = WireReader::new(stream);
+    loop {
+        match reader.next_frame() {
+            Ok(WireFrame::Events(events)) => {
+                if !wait_for_room(&pending, queue_events, &shutdown) {
+                    fleet.evict(&stats);
+                    let _ = tx.send(ShardMsg::Abort {
+                        tenant,
+                        reason: format!("slow consumer: over {queue_events} queued events"),
+                        salvage: false,
+                    });
+                    return;
+                }
+                pending.fetch_add(events.len() as u64, Relaxed);
+                stats.set_queue_depth(pending.load(Relaxed));
+                if tx
+                    .send(ShardMsg::Events {
+                        tenant: tenant.clone(),
+                        events,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(WireFrame::Functions(names)) => {
+                let _ = tx.send(ShardMsg::Functions {
+                    tenant: tenant.clone(),
+                    names,
+                });
+            }
+            Ok(WireFrame::Meta) => {}
+            Ok(WireFrame::End(index)) => {
+                let _ = tx.send(ShardMsg::End { tenant, index });
+                return;
+            }
+            Err(e) => {
+                if shutdown.load(Relaxed) {
+                    // The stream drained to EOF because the daemon is
+                    // going down; everything that arrived still gets a
+                    // (partial) verdict.
+                    let _ = tx.send(ShardMsg::Abort {
+                        tenant,
+                        reason: "server shutdown".into(),
+                        salvage: true,
+                    });
+                } else {
+                    fleet.evict(&stats);
+                    let _ = tx.send(ShardMsg::Abort {
+                        tenant,
+                        reason: e.to_string(),
+                        salvage: false,
+                    });
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn accept_loop(
+    listener: AnyListener,
+    senders: Vec<Sender<ShardMsg>>,
+    fleet: Arc<FleetRegistry>,
+    queue_events: u64,
+    shutdown: Arc<AtomicBool>,
+) {
+    let senders = Arc::new(senders);
+    let mut handles = Vec::new();
+    while !shutdown.load(Relaxed) {
+        match listener.accept() {
+            Ok(stream) => {
+                let _ = stream.set_blocking();
+                heapmd_obs::count!("heapmd_serve_connections_total");
+                let senders = Arc::clone(&senders);
+                let fleet = Arc::clone(&fleet);
+                let shutdown = Arc::clone(&shutdown);
+                handles.push(std::thread::spawn(move || {
+                    handle_conn(stream, senders, fleet, queue_events, shutdown)
+                }));
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Handlers notice the flag within one read-timeout tick, drain what
+    // the kernel buffered, and hand their tenants to the shards.
+    for h in handles {
+        let _ = h.join();
+    }
+    // Dropping `senders` (the last clones die with the handlers) closes
+    // the shard channels, which drain and finalize.
+}
+
+// ---------------------------------------------------------------------
+// HTTP control endpoint
+// ---------------------------------------------------------------------
+
+fn handle_http(stream: &mut TcpStream, fleet: &FleetRegistry, shutdown: &AtomicBool) {
+    let mut buf = [0u8; 2048];
+    let mut n = 0;
+    loop {
+        match stream.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(k) => {
+                n += k;
+                if n == buf.len() || buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request.split_whitespace().nth(1).unwrap_or("");
+    let (status, ctype, body) = match path {
+        "/metrics" => (200, "text/plain; version=0.0.4", {
+            let mut text = heapmd_obs::export::prometheus_text();
+            text.push_str(&fleet.prometheus_text());
+            text
+        }),
+        "/fleet.tsv" => (200, "text/tab-separated-values", fleet.tsv()),
+        "/fleet.jsonl" => (200, "application/x-ndjson", fleet.firehose_jsonl()),
+        "/healthz" => (200, "text/plain", "ok\n".to_string()),
+        "/shutdown" => {
+            shutdown.store(true, Relaxed);
+            (200, "text/plain", "shutting down\n".to_string())
+        }
+        _ => (404, "text/plain", "not found\n".to_string()),
+    };
+    let reason = if status == 200 { "OK" } else { "Not Found" };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn http_loop(listener: TcpListener, fleet: Arc<FleetRegistry>, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Relaxed) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(1000)));
+                handle_http(&mut stream, &fleet, &shutdown);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------
+
+/// A running fleet daemon. Construct with [`Server::start`]; block on
+/// [`Server::wait`]; stop via [`Server::shutdown`] or the HTTP
+/// `/shutdown` endpoint.
+pub struct Server {
+    ingest_addr: String,
+    http_addr: String,
+    fleet: Arc<FleetRegistry>,
+    shutdown: Arc<AtomicBool>,
+    accept: JoinHandle<()>,
+    http: JoinHandle<()>,
+    shards: Vec<JoinHandle<Vec<TenantOutcome>>>,
+    prom_dump: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds the ingest socket (`host:port` or `unix:<path>`) and the
+    /// HTTP control socket (`host:port`; port 0 picks a free one) and
+    /// spawns the accept, HTTP, and shard worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapMdError::Io`] when either socket cannot be bound.
+    pub fn start(config: ServeConfig, listen: &str, http: &str) -> Result<Server, HeapMdError> {
+        heapmd_obs::export::mark_process_start();
+        let (ingest, ingest_addr) = AnyListener::bind(listen)?;
+        let http_listener = TcpListener::bind(http)?;
+        let http_addr = http_listener.local_addr()?.to_string();
+        http_listener.set_nonblocking(true)?;
+
+        let fleet = Arc::new(FleetRegistry::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let model = Arc::new(config.model);
+        let settings = model.settings.clone();
+
+        let shard_count = config.shards.max(1);
+        let mut senders = Vec::with_capacity(shard_count);
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            let model = Arc::clone(&model);
+            let settings = settings.clone();
+            let incident_dir = config.incident_dir.clone();
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("hmd-shard-{i}"))
+                    .spawn(move || shard_loop(rx, model, settings, incident_dir))?,
+            );
+        }
+        let accept = {
+            let fleet = Arc::clone(&fleet);
+            let shutdown = Arc::clone(&shutdown);
+            let queue_events = config.queue_events.max(1);
+            std::thread::Builder::new()
+                .name("hmd-accept".into())
+                .spawn(move || accept_loop(ingest, senders, fleet, queue_events, shutdown))?
+        };
+        let http = {
+            let fleet = Arc::clone(&fleet);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("hmd-http".into())
+                .spawn(move || http_loop(http_listener, fleet, shutdown))?
+        };
+        Ok(Server {
+            ingest_addr,
+            http_addr,
+            fleet,
+            shutdown,
+            accept,
+            http,
+            shards,
+            prom_dump: config.prom_dump,
+        })
+    }
+
+    /// The resolved ingest address (`host:port`, or the `unix:<path>`
+    /// spec as given).
+    pub fn ingest_addr(&self) -> &str {
+        &self.ingest_addr
+    }
+
+    /// The resolved HTTP control address.
+    pub fn http_addr(&self) -> &str {
+        &self.http_addr
+    }
+
+    /// The daemon's tenant registry (live rollups).
+    pub fn fleet(&self) -> Arc<FleetRegistry> {
+        Arc::clone(&self.fleet)
+    }
+
+    /// Requests graceful shutdown: stop accepting, close in-flight
+    /// streams, finalize buffered prefixes, flush incidents, write the
+    /// final dump. Returns immediately; [`Server::wait`] observes it.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Relaxed);
+    }
+
+    /// Blocks until shutdown (via [`Server::shutdown`] or HTTP
+    /// `/shutdown`), then drains every shard and returns the summary.
+    pub fn wait(self) -> ServeSummary {
+        let _ = self.accept.join();
+        let mut summary = ServeSummary::default();
+        for shard in self.shards {
+            if let Ok(outcomes) = shard.join() {
+                for o in outcomes {
+                    summary.tenants.insert(o.tenant.clone(), o);
+                }
+            }
+        }
+        let _ = self.http.join();
+        if let Some(path) = &self.prom_dump {
+            let mut text = heapmd_obs::export::prometheus_text();
+            text.push_str(&self.fleet.prometheus_text());
+            if let Err(e) = std::fs::write(path, text) {
+                summary.prom_dump_error = Some(format!("{}: {e}", path.display()));
+            }
+        }
+        summary
+    }
+}
+
+// ---------------------------------------------------------------------
+// Clients
+// ---------------------------------------------------------------------
+
+fn connect_any(addr: &str) -> Result<AnyStream, HeapMdError> {
+    if let Some(path) = addr.strip_prefix("unix:") {
+        #[cfg(unix)]
+        return Ok(AnyStream::Unix(UnixStream::connect(path)?));
+        #[cfg(not(unix))]
+        return Err(HeapMdError::InvalidInput(format!(
+            "unix socket address {path:?} unsupported on this platform"
+        )));
+    }
+    Ok(AnyStream::Tcp(TcpStream::connect(addr)?))
+}
+
+/// Connects to a daemon and sends the preamble, returning a sink
+/// suitable for [`crate::Process::stream_trace_to_format`] with
+/// [`crate::StreamFormat::Binary`] — live processes stream their trace
+/// to the fleet exactly as they would to a file.
+///
+/// # Errors
+///
+/// [`HeapMdError::InvalidInput`] for a bad tenant name,
+/// [`HeapMdError::Io`] on connect/write failure.
+pub fn connect_stream(addr: &str, tenant: &str) -> Result<Box<dyn Write>, HeapMdError> {
+    if !valid_tenant(tenant) {
+        return Err(HeapMdError::InvalidInput(format!(
+            "invalid tenant name {tenant:?} (want 1-64 chars of [A-Za-z0-9._:-])"
+        )));
+    }
+    let mut stream = connect_any(addr)?;
+    stream.write_all(format!("{SERVE_PREAMBLE} {tenant}\n").as_bytes())?;
+    Ok(Box::new(stream))
+}
+
+/// Pushes a recorded trace to a daemon as `tenant`, re-encoding it as a
+/// binary stream. Returns the number of events sent.
+///
+/// # Errors
+///
+/// Same as [`connect_stream`], plus encode/transport failures.
+pub fn push_trace(addr: &str, tenant: &str, trace: &Trace) -> Result<u64, HeapMdError> {
+    let sink = connect_stream(addr, tenant)?;
+    let mut writer = BinaryTraceWriter::new(io::BufWriter::new(sink))?;
+    for ev in trace.events() {
+        writer.write_event(ev)?;
+    }
+    writer.write_functions(trace.functions())?;
+    let mut inner = writer.finish()?;
+    inner.flush()?;
+    Ok(trace.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_names_are_charset_checked() {
+        assert!(valid_tenant("api-eu.web_1:prod"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant("has space"));
+        assert!(!valid_tenant("path/../escape"));
+        assert!(!valid_tenant(&"x".repeat(65)));
+        assert!(valid_tenant(&"x".repeat(64)));
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 7] {
+            for name in ["a", "tenant-42", "web.eu:1"] {
+                let s = shard_for(name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(name, shards), "deterministic");
+            }
+        }
+    }
+}

@@ -10,6 +10,7 @@
 use crate::callstack::FunctionTable;
 use crate::detector::AnomalyDetector;
 use crate::error::HeapMdError;
+use crate::incident::{IncidentBundle, IncidentLog};
 use crate::model::HeapModel;
 use crate::monitor::{Monitor, MonitorCtx};
 use crate::report::{MetricReport, MetricSample};
@@ -17,7 +18,7 @@ use crate::settings::Settings;
 use heap_graph::HeapGraph;
 use serde::{Deserialize, Serialize};
 use sim_heap::{HeapEvent, SimHeap};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A recorded instrumentation event stream.
 ///
@@ -173,6 +174,24 @@ impl Trace {
         model: &HeapModel,
         settings: &Settings,
     ) -> Result<Vec<crate::bug::BugReport>, HeapMdError> {
+        self.check_logged(model, settings, None).map(|o| o.bugs)
+    }
+
+    /// [`check`](Self::check) with incident capture: when `log` is
+    /// given, the detector persists one CRC-framed bundle per surviving
+    /// range violation into the log's directory, exactly as the online
+    /// `check --incidents` path does. The verdict is bit-identical to
+    /// [`check`](Self::check) — logging only adds persistence.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`check`](Self::check).
+    pub fn check_logged(
+        &self,
+        model: &HeapModel,
+        settings: &Settings,
+        log: Option<IncidentLog>,
+    ) -> Result<TraceCheckOutcome, HeapMdError> {
         self.validate_function_ids()?;
         // The trace's length is known up front: align the startup skip
         // with the trim model construction applied (as
@@ -189,14 +208,36 @@ impl Trace {
             .max(settings.trim_count(total_samples));
         let settings = settings;
         let mut detector = AnomalyDetector::new(model.clone(), settings.clone());
+        if let Some(log) = log {
+            detector.log_incidents_to(log);
+        }
         let mut replayer = Replayer::new(settings.clone(), &self.functions);
         let mut monitors: [&mut dyn Monitor; 1] = [&mut detector];
         for ev in &self.events {
             replayer.step(ev, &mut monitors);
         }
         replayer.finish(&mut monitors);
-        Ok(detector.take_bugs())
+        Ok(TraceCheckOutcome {
+            bundle_paths: detector
+                .incident_log()
+                .map(|l| l.paths().to_vec())
+                .unwrap_or_default(),
+            bugs: detector.take_bugs(),
+            incidents: detector.take_incidents(),
+        })
     }
+}
+
+/// What a logged offline check produced (see [`Trace::check_logged`]).
+#[derive(Debug)]
+pub struct TraceCheckOutcome {
+    /// The detector's bug reports.
+    pub bugs: Vec<crate::bug::BugReport>,
+    /// Incident bundles for range violations that survived the
+    /// shutdown trim.
+    pub incidents: Vec<IncidentBundle>,
+    /// Bundle files written by the incident log.
+    pub bundle_paths: Vec<PathBuf>,
 }
 
 /// Minimal re-execution of a trace: rebuilds the heap-graph image and

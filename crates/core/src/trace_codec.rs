@@ -1493,6 +1493,159 @@ fn run_pool<T: Send>(n: usize, jobs: usize, work: impl Fn(usize) -> T + Sync) ->
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Wire reader (live streams)
+// ---------------------------------------------------------------------
+
+/// One decoded frame from a live binary trace stream (see
+/// [`WireReader`]).
+#[derive(Debug)]
+pub enum WireFrame {
+    /// A block of heap events.
+    Events(Vec<HeapEvent>),
+    /// The interned function-name table (written at stream finish).
+    Functions(Vec<String>),
+    /// A metadata block; carries nothing replay needs.
+    Meta,
+    /// The trailing index plus a verified footer: the clean end of the
+    /// stream. No further frames follow.
+    End(BlockIndex),
+}
+
+/// Incremental frame-at-a-time reader for `.hmdt` bytes arriving over a
+/// socket (the `heapmd serve` wire format).
+///
+/// Unlike [`BinaryTraceImage`], which wants the whole file, this reads
+/// exactly one length-framed block per [`next_frame`](Self::next_frame)
+/// call, CRC-checking each before decoding, so a daemon can replay a
+/// tenant's stream while the tenant is still running. Any structural
+/// damage — truncation, a flipped bit, a bogus length — surfaces as
+/// [`HeapMdError::Corrupt`] with the stream offset, never a panic, so
+/// the serving layer can evict exactly the offending stream.
+pub struct WireReader<R: Read> {
+    inner: R,
+    consumed: u64,
+    header_done: bool,
+    finished: bool,
+}
+
+impl<R: Read> WireReader<R> {
+    /// Wraps a byte stream positioned at the 8-byte `.hmdt` header.
+    pub fn new(inner: R) -> Self {
+        WireReader {
+            inner,
+            consumed: 0,
+            header_done: false,
+            finished: false,
+        }
+    }
+
+    /// Bytes consumed from the stream so far.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Whether the stream reached its verified end frame.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), HeapMdError> {
+        self.inner.read_exact(buf).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => {
+                HeapMdError::corrupt(self.consumed, "stream truncated")
+            }
+            _ => HeapMdError::from(e),
+        })?;
+        self.consumed += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Reads, verifies, and decodes the next frame.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapMdError::Io`] on transport failure, [`HeapMdError::Corrupt`]
+    /// on structural damage or on any read past [`WireFrame::End`].
+    pub fn next_frame(&mut self) -> Result<WireFrame, HeapMdError> {
+        if self.finished {
+            return Err(HeapMdError::corrupt(
+                self.consumed,
+                "read past end of stream",
+            ));
+        }
+        if !self.header_done {
+            let mut header = [0u8; 8];
+            self.fill(&mut header)?;
+            check_header(&header)?;
+            self.header_done = true;
+        }
+        let block_start = self.consumed;
+        let mut head = [0u8; BLOCK_HEADER_LEN];
+        self.fill(&mut head)?;
+        if head[..4] != BLOCK_MAGIC {
+            return Err(HeapMdError::corrupt(block_start, "bad block magic"));
+        }
+        let kind = head[4];
+        let count = u32::from_le_bytes(head[5..9].try_into().unwrap());
+        let len = u32::from_le_bytes(head[9..13].try_into().unwrap());
+        let declared_crc = u32::from_le_bytes(head[13..17].try_into().unwrap());
+        if len > MAX_BLOCK_LEN {
+            return Err(HeapMdError::corrupt(
+                block_start,
+                format!("block length {len} exceeds cap {MAX_BLOCK_LEN}"),
+            ));
+        }
+        if !(KIND_EVENTS..=KIND_META).contains(&kind) {
+            return Err(HeapMdError::corrupt(
+                block_start,
+                format!("unknown block kind {kind}"),
+            ));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.fill(&mut payload)?;
+        let actual = crc32(&payload);
+        if actual != declared_crc {
+            return Err(HeapMdError::corrupt(
+                block_start,
+                format!(
+                    "block checksum mismatch: declared {declared_crc:08x}, computed {actual:08x}"
+                ),
+            ));
+        }
+        match kind {
+            KIND_EVENTS => {
+                let mut events = Vec::with_capacity(count as usize);
+                decode_events_payload(&payload, count, &mut events)
+                    .map_err(|r| HeapMdError::corrupt(block_start, r))?;
+                Ok(WireFrame::Events(events))
+            }
+            KIND_FUNCTIONS => decode_functions_payload(&payload, count)
+                .map(WireFrame::Functions)
+                .map_err(|r| HeapMdError::corrupt(block_start, r)),
+            KIND_META => Ok(WireFrame::Meta),
+            _ => {
+                let index = decode_index_payload(&payload, count)
+                    .map_err(|r| HeapMdError::corrupt(block_start, r))?;
+                let mut footer = [0u8; FOOTER_LEN];
+                self.fill(&mut footer)?;
+                let index_offset =
+                    parse_footer(&footer).map_err(|r| HeapMdError::corrupt(block_start, r))?;
+                if index_offset != block_start {
+                    return Err(HeapMdError::corrupt(
+                        block_start,
+                        format!(
+                            "footer points at index offset {index_offset}, stream has it at {block_start}"
+                        ),
+                    ));
+                }
+                self.finished = true;
+                Ok(WireFrame::End(index))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1834,5 +1987,66 @@ mod tests {
         assert_eq!(StreamFormat::parse("binary").unwrap(), StreamFormat::Binary);
         assert_eq!(StreamFormat::parse("jsonl").unwrap(), StreamFormat::Jsonl);
         assert!(StreamFormat::parse("yaml").is_err());
+    }
+
+    #[test]
+    fn wire_reader_replays_a_stream_frame_by_frame() {
+        let trace = sample_trace(EVENTS_PER_BLOCK / 2 + 200);
+        let bytes = trace.encode_binary();
+        let mut reader = WireReader::new(&bytes[..]);
+        let mut events = Vec::new();
+        let mut functions = Vec::new();
+        let index = loop {
+            match reader.next_frame().expect("intact stream") {
+                WireFrame::Events(mut v) => events.append(&mut v),
+                WireFrame::Functions(f) => functions = f,
+                WireFrame::Meta => {}
+                WireFrame::End(index) => break index,
+            }
+        };
+        assert!(reader.is_finished());
+        assert_eq!(events, trace.events());
+        assert_eq!(functions, trace.functions());
+        assert_eq!(index.total_events, trace.len() as u64);
+        assert_eq!(reader.bytes_consumed(), bytes.len() as u64);
+        assert!(
+            reader.next_frame().is_err(),
+            "reading past End must error, not loop"
+        );
+    }
+
+    #[test]
+    fn wire_reader_rejects_truncation_and_bit_flips_without_panicking() {
+        let trace = sample_trace(300);
+        let bytes = trace.encode_binary();
+        // Truncate at every prefix length that cuts a structure short.
+        for cut in [3usize, 8, 12, bytes.len() / 2, bytes.len() - 1] {
+            let mut reader = WireReader::new(&bytes[..cut.min(bytes.len())]);
+            let err = loop {
+                match reader.next_frame() {
+                    Ok(WireFrame::End(_)) => panic!("truncated stream reported a clean end"),
+                    Ok(_) => continue,
+                    Err(e) => break e,
+                }
+            };
+            assert!(
+                matches!(err, HeapMdError::Corrupt { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+        // Flip one bit at a spread of offsets; every damaged stream
+        // must end in Corrupt (bits in skipped regions may still decode
+        // — those stop at the footer offset check at the latest).
+        for pos in (0..bytes.len()).step_by(bytes.len() / 13 + 1) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            let mut reader = WireReader::new(&bad[..]);
+            for _ in 0..1000 {
+                match reader.next_frame() {
+                    Ok(WireFrame::End(_)) | Err(_) => break,
+                    Ok(_) => continue,
+                }
+            }
+        }
     }
 }

@@ -10,8 +10,8 @@ use crate::json::JsonObject;
 use std::io::{self, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
-use std::sync::Mutex;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
 static SINK_DEGRADED: AtomicBool = AtomicBool::new(false);
@@ -210,9 +210,55 @@ pub fn escape_label_value(value: &str) -> String {
     out
 }
 
-/// Renders the global registry in Prometheus text exposition format.
+static PROCESS_START: OnceLock<Instant> = OnceLock::new();
+
+/// Anchors the process uptime gauge. Long-running entry points (the
+/// `heapmd` CLI, the serve daemon) call this once at startup; every
+/// later dump then carries `heapmd_uptime_seconds`. Idempotent — the
+/// first call wins.
+pub fn mark_process_start() {
+    let _ = PROCESS_START.get_or_init(Instant::now);
+}
+
+/// Seconds since [`mark_process_start`]; `None` if it was never called.
+pub fn uptime_seconds() -> Option<u64> {
+    PROCESS_START.get().map(|t| t.elapsed().as_secs())
+}
+
+/// Build identity and exporter-health series appended to every dump:
+/// `heapmd_build_info` (the conventional always-1 gauge carrying the
+/// version as a label), `heapmd_uptime_seconds` when the entry point
+/// marked its start, and `heapmd_obs_sink_degraded` so a final dump
+/// records that the JSONL sink died mid-run even when nothing scraped
+/// the live process.
+pub fn runtime_info_text() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# TYPE heapmd_build_info gauge\nheapmd_build_info{{version=\"{}\"}} 1",
+        escape_label_value(env!("CARGO_PKG_VERSION"))
+    );
+    if let Some(secs) = uptime_seconds() {
+        let _ = writeln!(
+            out,
+            "# TYPE heapmd_uptime_seconds gauge\nheapmd_uptime_seconds {secs}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# TYPE heapmd_obs_sink_degraded gauge\nheapmd_obs_sink_degraded {}",
+        u8::from(sink_degraded())
+    );
+    out
+}
+
+/// Renders the global registry in Prometheus text exposition format,
+/// followed by the build/runtime series of [`runtime_info_text`].
 pub fn prometheus_text() -> String {
-    crate::registry().prometheus_text()
+    let mut out = crate::registry().prometheus_text();
+    out.push_str(&runtime_info_text());
+    out
 }
 
 /// Writes the Prometheus text exposition of the global registry to
@@ -360,6 +406,36 @@ mod tests {
             !text.contains("bad\nname"),
             "raw hostile name must not leak into the dump"
         );
+    }
+
+    #[test]
+    fn runtime_info_rides_every_prometheus_dump() {
+        let _guard = sink_test_guard();
+        let text = prometheus_text();
+        assert!(
+            text.contains("# TYPE heapmd_build_info gauge\nheapmd_build_info{version=\""),
+            "build info present: {text}"
+        );
+        assert!(text.contains("# TYPE heapmd_obs_sink_degraded gauge\nheapmd_obs_sink_degraded "));
+        mark_process_start();
+        assert!(prometheus_text().contains("\nheapmd_uptime_seconds "));
+    }
+
+    #[test]
+    fn degraded_sink_is_visible_in_the_final_dump() {
+        let _guard = sink_test_guard();
+        set_sink(Box::new(FlakySink {
+            failures_left: Arc::new(StdMutex::new(u32::MAX)),
+            out: Arc::new(StdMutex::new(Vec::new())),
+        }));
+        emit_event("doomed_for_dump", |o| {
+            o.field_u64("n", 1);
+        });
+        assert!(sink_degraded());
+        assert!(prometheus_text().contains("heapmd_obs_sink_degraded 1"));
+        set_sink(Box::new(SharedBuf(Arc::new(StdMutex::new(Vec::new())))));
+        assert!(prometheus_text().contains("heapmd_obs_sink_degraded 0"));
+        clear_sink();
     }
 
     #[test]

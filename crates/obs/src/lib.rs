@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod fleet;
 pub mod json;
 pub mod logger;
 pub mod recorder;
@@ -48,6 +49,7 @@ pub mod span;
 pub mod throughput;
 pub mod trace_event;
 
+pub use fleet::{FleetRegistry, FleetSnapshot, TenantStats};
 pub use logger::{log_enabled, set_log_level, Level};
 pub use recorder::{SeriesRecorder, SeriesSnapshot};
 pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};

@@ -6,6 +6,9 @@
 //! set of instruments per *batch* instead:
 //!
 //! - `{stage}_events_total` / `{stage}_batches_total` counters,
+//! - a `{stage}_busy_ns_total` counter (cumulative time inside the
+//!   stage, so a Prometheus scraper can derive true rates from two
+//!   counter samples: `rate(events_total) / rate(busy_ns_total)`),
 //! - a `{stage}_batch_ns` latency histogram,
 //! - `{stage}_ns_per_event` and `{stage}_events_per_sec` gauges holding
 //!   the most recent batch's rates.
@@ -47,6 +50,8 @@ pub fn record_stage(stage: &str, events: u64, elapsed_ns: u64) {
     let reg = registry();
     reg.counter(&format!("{stage}_events_total")).add(events);
     reg.counter(&format!("{stage}_batches_total")).inc();
+    reg.counter(&format!("{stage}_busy_ns_total"))
+        .add(elapsed_ns);
     reg.histogram(&format!("{stage}_batch_ns"), DEFAULT_LATENCY_BOUNDS_NS)
         .observe(elapsed_ns);
     reg.gauge(&format!("{stage}_ns_per_event"))
@@ -78,6 +83,10 @@ mod tests {
         set_enabled(false);
         assert_eq!(registry().counter("tp_test_on_events_total").get(), 1_000);
         assert_eq!(registry().counter("tp_test_on_batches_total").get(), 1);
+        assert_eq!(
+            registry().counter("tp_test_on_busy_ns_total").get(),
+            2_000_000
+        );
         assert_eq!(registry().gauge("tp_test_on_ns_per_event").get(), 2_000);
         assert_eq!(registry().gauge("tp_test_on_events_per_sec").get(), 500_000);
     }

@@ -1,0 +1,106 @@
+//! Golden-file test for the Prometheus text exposition: the exact
+//! bytes of a registry + fleet dump are pinned, so accidental format
+//! drift (label escaping, histogram buckets, family ordering) fails
+//! loudly instead of silently breaking scrapers.
+//!
+//! Regenerate deliberately with:
+//! `UPDATE_GOLDEN=1 cargo test -p heapmd-obs --test prom_golden`
+
+use heapmd_obs::fleet::{FleetRegistry, MetricGauge, STATUS_NEAR_EDGE, STATUS_OK, STATUS_OUT};
+use heapmd_obs::Registry;
+use std::path::Path;
+
+/// A deterministic dump exercising the tricky corners: hostile metric
+/// names (sanitized), hostile label values (escaped), custom histogram
+/// buckets, negative gauges, exact float formatting.
+fn render() -> String {
+    let reg = Registry::new();
+    reg.counter("heap events total!").add(7);
+    reg.gauge("drift_gauge").set(-42);
+    let hist = reg.histogram("frame_ns", &[100, 1000]);
+    hist.observe(50);
+    hist.observe(500);
+    hist.observe(5000);
+    let mut out = reg.prometheus_text();
+
+    let fleet = FleetRegistry::new();
+    let quiet = fleet.connect("tenant-a");
+    quiet.record_events(4096);
+    quiet.record_sample();
+    quiet.set_rate(2048);
+    quiet.set_metrics(vec![
+        MetricGauge {
+            metric: "indeg1".to_string(),
+            value: 1.5,
+            distance: 0.0,
+            status: STATUS_OK,
+        },
+        MetricGauge {
+            metric: "leaves".to_string(),
+            value: 0.25,
+            distance: 0.0,
+            status: STATUS_NEAR_EDGE,
+        },
+    ]);
+    // Hostile tenant name: quotes, backslash, newline — all must
+    // travel as escaped label values.
+    let hostile = fleet.connect("web \"eu\"\\1\n");
+    hostile.record_events(16);
+    hostile.record_sample();
+    hostile.record_bugs(2);
+    hostile.add_incidents(1);
+    hostile.set_last_anomaly("indeg1 upper");
+    hostile.set_metrics(vec![MetricGauge {
+        metric: "indeg1".to_string(),
+        value: 9.5,
+        distance: 2.5,
+        status: STATUS_OUT,
+    }]);
+    let evictee = fleet.connect("slowpoke");
+    fleet.evict(&evictee);
+    fleet.record_protocol_error();
+
+    let mut snap = fleet.snapshot();
+    snap.uptime_s = 42; // pin the only wall-clock-dependent field
+    out.push_str(&snap.prometheus_text());
+    out
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let got = render();
+
+    // Spot-check the properties the golden exists to protect, so a
+    // legitimate regeneration still can't smuggle these away.
+    assert!(
+        got.contains("heap_events_total_ 7"),
+        "sanitized name:\n{got}"
+    );
+    assert!(
+        got.contains("tenant=\"web \\\"eu\\\"\\\\1\\n\""),
+        "escaped label:\n{got}"
+    );
+    assert!(got.contains("frame_ns_bucket{le=\"100\"} 1"));
+    assert!(got.contains("frame_ns_bucket{le=\"+Inf\"} 3"));
+    assert!(got.contains("drift_gauge -42"));
+    assert!(got.contains("heapmd_fleet_tenants_total 3"));
+    assert!(got.contains("quantile=\"0.95\""));
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/fleet_metrics.golden.prom");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "Prometheus exposition drifted from {}; regenerate with UPDATE_GOLDEN=1 if intended",
+        path.display()
+    );
+}

@@ -1,0 +1,300 @@
+//! Fleet daemon end-to-end: concurrent tenant streams against
+//! [`heapmd::Server`] must yield verdicts bit-identical to the offline
+//! `check` path, survive corrupt streams by evicting exactly the
+//! offending tenant, and flush every incident bundle plus the final
+//! Prometheus dump on graceful shutdown.
+
+use faults::io::{fault_ids::*, FaultyWriter};
+use faults::{FaultConfig, FaultPlan};
+use heapmd::serve::push_trace;
+use heapmd::{FuncId, Process, ServeConfig, Server, Settings, Trace, SERVE_PREAMBLE};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use workloads::bugs::CATALOG;
+use workloads::harness::{settings_for, train};
+use workloads::{commercial_at_version, Input, Workload};
+
+/// Records a full heap-event trace of one workload run (what
+/// `heapmd record` does), with the function table attached.
+fn record_trace(w: &dyn Workload, input: u32, plan: &mut FaultPlan, settings: &Settings) -> Trace {
+    let mut p = Process::new(settings.clone());
+    p.enable_trace();
+    w.run(&mut p, plan, &Input::new(input))
+        .expect("workload run");
+    let mut trace = p.take_trace().expect("tracing enabled");
+    let names: Vec<String> = (0..p.functions().len())
+        .map(|i| p.functions().name(FuncId(i as u32)).to_string())
+        .collect();
+    trace.set_functions(names);
+    let _ = p.finish("record");
+    trace
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+/// Minimal HTTP/1.0 GET, returning the response body.
+fn http_get(addr: &str, path: &str) -> String {
+    use std::io::Read as _;
+    let mut stream = TcpStream::connect(addr).expect("connect http");
+    write!(stream, "GET {path} HTTP/1.0\r\nConnection: close\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default()
+}
+
+#[test]
+fn sixty_four_concurrent_tenants_match_offline_verdicts() {
+    let w = commercial_at_version("game_action", 1);
+    let settings = settings_for(w.as_ref());
+    let model = train(w.as_ref(), &Input::set(25)).model;
+    let bug = CATALOG
+        .iter()
+        .find(|b| b.fault.0 == "ga.scene_tree.skip_parent")
+        .expect("catalogued bug");
+
+    // 64 tenants: mostly clean runs, a few with the catalogued Figure
+    // 10 fault so anomalous verdicts cross the wire too.
+    let mut tenants = Vec::new();
+    for i in 0..64u32 {
+        let mut plan = if i % 17 == 0 {
+            bug.plan()
+        } else {
+            FaultPlan::new()
+        };
+        let trace = record_trace(w.as_ref(), 100 + i, &mut plan, &settings);
+        let expected = trace.check(&model, &model.settings).expect("offline check");
+        tenants.push((format!("tenant-{i:02}"), trace, expected));
+    }
+
+    let mut config = ServeConfig::new(model);
+    config.shards = 4;
+    let server = Server::start(config, "127.0.0.1:0", "127.0.0.1:0").expect("start daemon");
+    let ingest = server.ingest_addr().to_string();
+
+    std::thread::scope(|scope| {
+        for (name, trace, _) in &tenants {
+            let ingest = ingest.clone();
+            scope.spawn(move || {
+                let sent = push_trace(&ingest, name, trace).expect("push");
+                assert_eq!(sent, trace.len() as u64);
+            });
+        }
+    });
+
+    // All 64 registered and drained (connected drops only at finalize).
+    let fleet = server.fleet();
+    assert!(
+        wait_until(Duration::from_secs(60), || {
+            let snap = fleet.snapshot();
+            snap.tenants_total == 64 && snap.connected == 0
+        }),
+        "daemon never drained: {:?} tenants, {} connected",
+        fleet.snapshot().tenants_total,
+        fleet.snapshot().connected
+    );
+
+    // Live scrape: per-tenant series and fleet rollups on /metrics.
+    let metrics = http_get(server.http_addr(), "/metrics");
+    assert!(
+        metrics.contains("heapmd_fleet_tenants_total 64"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("heapmd_tenant_events_total{tenant=\"tenant-00\"}"));
+    assert!(metrics.contains("heapmd_tenant_events_total{tenant=\"tenant-63\"}"));
+    assert!(metrics.contains("heapmd_build_info{"));
+    let tsv = http_get(server.http_addr(), "/fleet.tsv");
+    assert_eq!(
+        tsv.lines().filter(|l| l.starts_with("tenant\t")).count(),
+        64
+    );
+    assert!(http_get(server.http_addr(), "/healthz").contains("ok"));
+
+    server.shutdown();
+    let summary = server.wait();
+    assert_eq!(summary.tenants.len(), 64);
+    assert!(summary.prom_dump_error.is_none());
+    let mut anomalous = 0;
+    for (name, _, expected) in &tenants {
+        let outcome = summary.tenants.get(name).expect("tenant outcome");
+        assert!(
+            !outcome.partial,
+            "{name} should have completed cleanly (evicted: {:?}, error: {:?})",
+            outcome.evicted, outcome.error
+        );
+        assert!(outcome.evicted.is_none(), "{name}: {:?}", outcome.evicted);
+        assert!(outcome.error.is_none(), "{name}: {:?}", outcome.error);
+        assert_eq!(
+            &outcome.bugs, expected,
+            "{name}: daemon verdict must be bit-identical to offline check"
+        );
+        anomalous += usize::from(!expected.is_empty());
+    }
+    assert!(
+        anomalous > 0,
+        "fault-planned tenants should have raised bugs"
+    );
+}
+
+#[test]
+fn corrupt_streams_evict_only_the_offending_tenant() {
+    let w = commercial_at_version("webapp", 1);
+    let settings = settings_for(w.as_ref());
+    let model = train(w.as_ref(), &Input::set(4)).model;
+    let trace = record_trace(w.as_ref(), 7, &mut FaultPlan::new(), &settings);
+    let expected = trace.check(&model, &model.settings).expect("offline check");
+    let base = trace.encode_binary();
+
+    // The damage matrix: truncations at structural boundaries plus
+    // faults::io bit flips sprayed at different periods.
+    let mut variants: Vec<(String, Vec<u8>)> = Vec::new();
+    for (i, cut) in [9usize, 25, base.len() / 2, base.len() - 6]
+        .into_iter()
+        .enumerate()
+    {
+        variants.push((format!("trunc-{i}"), base[..cut].to_vec()));
+    }
+    for (i, period) in [3u64, 17, 101].into_iter().enumerate() {
+        let mut plan = FaultPlan::new();
+        plan.enable(IO_BIT_FLIP_WRITE, FaultConfig::every(period));
+        let mut writer = FaultyWriter::new(Vec::new(), plan);
+        for chunk in base.chunks(64) {
+            writer.write_all(chunk).expect("buffered write");
+        }
+        variants.push((format!("bitflip-{i}"), writer.into_inner()));
+    }
+
+    let server =
+        Server::start(ServeConfig::new(model), "127.0.0.1:0", "127.0.0.1:0").expect("start daemon");
+    let ingest = server.ingest_addr().to_string();
+
+    for (name, bytes) in &variants {
+        let mut stream = TcpStream::connect(&ingest).expect("connect ingest");
+        writeln!(stream, "{SERVE_PREAMBLE} {name}").expect("preamble");
+        // The daemon may evict (and close) mid-write; a broken pipe
+        // here is the expected symptom, not a failure.
+        let _ = stream.write_all(bytes);
+        let _ = stream.flush();
+    }
+    // A garbage preamble must be counted, not crash the accept loop.
+    {
+        let mut stream = TcpStream::connect(&ingest).expect("connect ingest");
+        let _ = stream.write_all(b"NOT-A-PREAMBLE\njunk");
+    }
+
+    // The daemon survives and a healthy tenant still gets the exact
+    // offline verdict.
+    assert!(http_get(server.http_addr(), "/healthz").contains("ok"));
+    push_trace(&ingest, "healthy", &trace).expect("push healthy");
+
+    let fleet = server.fleet();
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            let snap = fleet.snapshot();
+            snap.connected == 0 && snap.protocol_errors_total >= 1
+        }),
+        "daemon never drained"
+    );
+    server.shutdown();
+    let summary = server.wait();
+
+    let healthy = summary.tenants.get("healthy").expect("healthy outcome");
+    assert!(healthy.evicted.is_none() && !healthy.partial);
+    assert_eq!(healthy.bugs, expected);
+    let mut evictions = 0;
+    for (name, _) in &variants {
+        // A bit flip can land in unchecked padding (e.g. the reserved
+        // header byte); such a stream legitimately completes. Everything
+        // the codec *did* flag must be an eviction, never a panic.
+        if let Some(outcome) = summary.tenants.get(name.as_str()) {
+            evictions += usize::from(outcome.evicted.is_some());
+        }
+    }
+    assert!(
+        evictions >= variants.len() - 1,
+        "most damaged streams should evict (got {evictions}/{})",
+        variants.len()
+    );
+}
+
+#[test]
+fn shutdown_flushes_partial_verdicts_incidents_and_prom_dump() {
+    let w = commercial_at_version("game_action", 1);
+    let settings = settings_for(w.as_ref());
+    let model = train(w.as_ref(), &Input::set(25)).model;
+    let spec = CATALOG
+        .iter()
+        .find(|b| b.fault.0 == "ga.scene_tree.skip_parent")
+        .expect("catalogued bug");
+    let trace = record_trace(w.as_ref(), 77, &mut spec.plan(), &settings);
+    let expected = trace.check(&model, &model.settings).expect("offline check");
+    assert!(!expected.is_empty(), "the Figure 10 bug must reproduce");
+
+    let dir = std::env::temp_dir().join(format!("heapmd-serve-flush-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let prom_path = dir.join("final.prom");
+    let mut config = ServeConfig::new(model);
+    config.incident_dir = Some(dir.join("incidents"));
+    config.prom_dump = Some(prom_path.clone());
+    let server = Server::start(config, "127.0.0.1:0", "127.0.0.1:0").expect("start daemon");
+
+    // Stream everything *except* the index/footer, then hold the socket
+    // open: from the daemon's view this tenant is mid-stream forever.
+    let bytes = trace.encode_binary();
+    let footer = &bytes[bytes.len() - 20..];
+    let index_offset = u64::from_le_bytes(footer[..8].try_into().unwrap()) as usize;
+    let mut stream = TcpStream::connect(server.ingest_addr()).expect("connect ingest");
+    writeln!(stream, "{SERVE_PREAMBLE} flusher").expect("preamble");
+    stream
+        .write_all(&bytes[..index_offset])
+        .expect("stream prefix");
+    stream.flush().expect("flush");
+
+    let fleet = server.fleet();
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            fleet.snapshot().tenants.iter().any(|t| t.name == "flusher")
+        }),
+        "tenant never registered"
+    );
+    // Graceful shutdown while the stream is open: the buffered prefix
+    // must still be finalized (all events arrived — only the index was
+    // withheld), incidents flushed, and the dump written.
+    server.shutdown();
+    let summary = server.wait();
+    drop(stream);
+
+    let outcome = summary.tenants.get("flusher").expect("flusher outcome");
+    assert!(
+        outcome.partial,
+        "index never arrived, so the verdict is partial"
+    );
+    assert!(outcome.evicted.is_none(), "shutdown is not an eviction");
+    assert_eq!(outcome.bugs, expected, "prefix held every event");
+    assert!(
+        !outcome.bundle_paths.is_empty(),
+        "incident bundles must flush"
+    );
+    for path in &outcome.bundle_paths {
+        assert!(path.exists(), "bundle {} missing", path.display());
+    }
+    assert!(summary.prom_dump_error.is_none());
+    let dump = std::fs::read_to_string(&prom_path).expect("final prom dump");
+    assert!(dump.contains("heapmd_build_info{"));
+    assert!(dump.contains("heapmd_fleet_tenants_total 1"));
+    assert!(dump.contains("heapmd_tenant_bugs_total{tenant=\"flusher\"}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
