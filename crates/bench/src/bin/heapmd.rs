@@ -16,8 +16,10 @@
 //! heapmd inspect <artifact> [--salvage]         # bundle or trace, by magic
 //! heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N]
 //!              [--queue-events N] [--incidents DIR] [--prom-dump FILE]
+//!              [--journal-dir DIR] [--model-dir DIR] [--session-timeout-ms N]
 //! heapmd top --connect ADDR [--once] [--interval-ms N]
 //! heapmd push --to ADDR --tenant NAME --trace FILE [--salvage]
+//!             [--session ID] [--retry N] [--backoff-ms N] [--no-resume]
 //! ```
 //!
 //! Robustness features:
@@ -52,6 +54,16 @@
 //!   shutdown via `GET /shutdown`. `run --serve ADDR --tenant NAME`
 //!   streams a live run into the daemon; `push` replays a recorded
 //!   trace into it; `top` renders a live dashboard from the rollups.
+//! - `push` and `run --serve` speak the resumable v2 session protocol
+//!   by default: bounded retry with jittered exponential backoff
+//!   (`--retry`, `--backoff-ms`), a local spill buffer of unacked
+//!   blocks, and transparent resume from the last daemon-acked block
+//!   after a disconnect (`--no-resume` falls back to the one-shot v1
+//!   stream). With `serve --journal-dir DIR` the daemon journals every
+//!   acked block, so sessions even survive a daemon crash/restart;
+//!   `serve --model-dir DIR` checks each tenant against
+//!   `DIR/<tenant>.hmdm` when present, falling back to the shared
+//!   `--model`.
 //!
 //! Global flags (any subcommand):
 //!
@@ -155,7 +167,7 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE] [--format binary|jsonl] [--model FILE] [--incidents DIR] [--serve ADDR [--tenant NAME]]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N] [--format binary|jsonl]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--incidents DIR]\n  heapmd check --model FILE --trace FILE [--trace FILE ...] [--jobs N] [--salvage]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--format binary|jsonl] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage] [--format binary|jsonl]\n  heapmd inspect <artifact> [--salvage]\n  heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N] [--queue-events N] [--incidents DIR] [--prom-dump FILE]\n  heapmd top --connect ADDR [--once] [--interval-ms N]\n  heapmd push --to ADDR --tenant NAME --trace FILE [--salvage]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
+        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE] [--format binary|jsonl] [--model FILE] [--incidents DIR] [--serve ADDR [--tenant NAME] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N] [--format binary|jsonl]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--incidents DIR]\n  heapmd check --model FILE --trace FILE [--trace FILE ...] [--jobs N] [--salvage]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--format binary|jsonl] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage] [--format binary|jsonl]\n  heapmd inspect <artifact> [--salvage]\n  heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N] [--queue-events N] [--incidents DIR] [--prom-dump FILE] [--journal-dir DIR] [--model-dir DIR] [--session-timeout-ms N]\n  heapmd top --connect ADDR [--once] [--interval-ms N]\n  heapmd push --to ADDR --tenant NAME --trace FILE [--salvage] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
     );
     std::process::exit(2);
 }
@@ -258,11 +270,22 @@ fn cmd_run(args: &[String]) -> i32 {
         // the run streams exactly what `--trace-out --format binary`
         // would have written to disk.
         let tenant = arg_value(args, "--tenant").unwrap_or_else(|| format!("{program}-{input_id}"));
-        let sink = match heapmd::serve::connect_stream(addr, &tenant) {
-            Ok(s) => s,
-            Err(e) => {
-                error!("cannot connect to fleet daemon {addr}: {e}");
-                return 1;
+        let sink: Box<dyn std::io::Write> = if args.iter().any(|a| a == "--no-resume") {
+            // Legacy v1 stream: no session, no reconnect.
+            match heapmd::serve::connect_stream(addr, &tenant) {
+                Ok(s) => Box::new(s),
+                Err(e) => {
+                    error!("cannot connect to fleet daemon {addr}: {e}");
+                    return 1;
+                }
+            }
+        } else {
+            match heapmd::connect_session(addr, &tenant, session_options(args)) {
+                Ok(s) => Box::new(s),
+                Err(e) => {
+                    error!("cannot connect to fleet daemon {addr}: {e}");
+                    return 1;
+                }
             }
         };
         info!("streaming live trace to {addr} as tenant {tenant}");
@@ -977,6 +1000,21 @@ fn cmd_replay(args: &[String]) -> i32 {
     }
 }
 
+/// Parses the client-side reliability flags shared by `push` and
+/// `run --serve`: `--retry N`, `--backoff-ms N`, `--session ID`.
+fn session_options(args: &[String]) -> heapmd::SessionOptions {
+    let mut opts = heapmd::SessionOptions::default();
+    opts.retry.max_attempts = num_flag(args, "--retry", "a number", opts.retry.max_attempts);
+    opts.retry.base_delay = std::time::Duration::from_millis(num_flag(
+        args,
+        "--backoff-ms",
+        "milliseconds",
+        opts.retry.base_delay.as_millis() as u64,
+    ));
+    opts.session = arg_value(args, "--session");
+    opts
+}
+
 fn cmd_serve(args: &[String]) -> i32 {
     let Some(model_path) = arg_value(args, "--model") else {
         usage()
@@ -995,6 +1033,14 @@ fn cmd_serve(args: &[String]) -> i32 {
     config.queue_events = num_flag(args, "--queue-events", "a number", config.queue_events);
     config.incident_dir = arg_value(args, "--incidents").map(PathBuf::from);
     config.prom_dump = arg_value(args, "--prom-dump").map(PathBuf::from);
+    config.journal_dir = arg_value(args, "--journal-dir").map(PathBuf::from);
+    config.model_dir = arg_value(args, "--model-dir").map(PathBuf::from);
+    config.session_timeout = std::time::Duration::from_millis(num_flag(
+        args,
+        "--session-timeout-ms",
+        "milliseconds",
+        config.session_timeout.as_millis() as u64,
+    ));
     // The daemon *is* an observability plane; its own instrumentation
     // (stage throughput, build info, uptime) is always on.
     heapmd_obs::set_enabled(true);
@@ -1188,9 +1234,28 @@ fn cmd_push(args: &[String]) -> i32 {
     if let Some(stats) = &stats {
         report_salvage(&trace_path, stats);
     }
-    match heapmd::serve::push_trace(&addr, &tenant, &trace) {
-        Ok(n) => {
-            println!("{n} events pushed to {addr} as tenant {tenant}");
+    if args.iter().any(|a| a == "--no-resume") {
+        // Legacy one-shot push: no session, no retry, v1 preamble.
+        return match heapmd::serve::push_trace(&addr, &tenant, &trace) {
+            Ok(n) => {
+                println!("{n} events pushed to {addr} as tenant {tenant}");
+                0
+            }
+            Err(e) => {
+                error!("cannot push trace to {addr}: {e}");
+                1
+            }
+        };
+    }
+    match heapmd::push_trace_resumable(&addr, &tenant, &trace, session_options(args)) {
+        Ok((n, reconnects)) => {
+            if reconnects > 0 {
+                println!(
+                    "{n} events pushed to {addr} as tenant {tenant} ({reconnects} reconnect(s))"
+                );
+            } else {
+                println!("{n} events pushed to {addr} as tenant {tenant}");
+            }
             0
         }
         Err(e) => {

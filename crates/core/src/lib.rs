@@ -103,7 +103,10 @@ pub use phase_model::{merge_ranges, segment, LocalMetric, Plateau};
 pub use process::Process;
 pub use report::{MetricReport, MetricSample};
 pub use ringbuf::CircularBuffer;
-pub use serve::{ServeConfig, ServeSummary, Server, TenantOutcome, SERVE_PREAMBLE};
+pub use serve::{
+    connect_session, push_trace_resumable, Conn, Dialer, RetryPolicy, ServeConfig, ServeSummary,
+    Server, SessionClient, SessionOptions, TenantOutcome, SERVE_PREAMBLE, SERVE_PREAMBLE_V2,
+};
 pub use settings::{Settings, SettingsBuilder};
 pub use stability::{classify, StabilityClass};
 pub use trace::{Trace, TraceCheckOutcome};

@@ -1,26 +1,33 @@
 //! `heapmd serve`: a long-running fleet daemon that ingests concurrent
 //! binary trace streams from many processes and checks each tenant
-//! against a shared calibrated model.
+//! against a calibrated model.
 //!
 //! # Architecture
 //!
 //! ```text
-//!  client ──HMDSERVE1 tenant\n──┐
-//!  client ───.hmdt blocks───────┤ accept loop ──(hash(tenant) % N)──▶ shard 0..N
-//!  client ──────────────────────┘      │                                 │
-//!                                      ▼                                 ▼
-//!                                 FleetRegistry ◀── live gauges ── Replayer + model
-//!                                      │                                 │
-//!                HTTP /metrics /fleet.tsv /fleet.jsonl /shutdown    IncidentLog
+//!  client ──HMDSERVE1 tenant\n───────────────┐
+//!  client ──HMDSERVE2 tenant sess acked\n────┤ accept loop ──(hash(tenant) % N)──▶ shard 0..N
+//!  client ───.hmdt blocks (+seq on v2)───────┘      │                                 │
+//!            ◀── HMAK acks (v2) ──                  ▼                                 ▼
+//!                                              FleetRegistry ◀── live gauges ── Replayer + model
+//!                                                   │                                 │
+//!                     HTTP /metrics /fleet.tsv /fleet.jsonl /shutdown            IncidentLog
 //! ```
 //!
-//! - **Wire format.** A connection is one text preamble line
+//! - **Wire format (v1).** A connection is one text preamble line
 //!   (`HMDSERVE1 <tenant>\n`) followed by a raw `.hmdt` binary trace —
 //!   the same length-framed, CRC-checked block codec
 //!   ([`crate::trace_codec`]) that `record --format binary` writes, so
 //!   a process can stream to a file and a daemon with identical bytes.
 //!   Frames decode through [`WireReader`]; any structural damage evicts
-//!   exactly the offending tenant, never the daemon.
+//!   exactly the offending tenant (salvaging the buffered prefix into a
+//!   partial verdict first), never the daemon.
+//! - **Wire format (v2, resumable).** `HMDSERVE2 <tenant> <session>
+//!   <acked>\n` attaches (or re-attaches) a client session. Each block
+//!   travels with a `u64` sequence number and the daemon acknowledges
+//!   journaled blocks back on the same socket, so a client that loses
+//!   its connection reconnects and resumes from the first unacked
+//!   block. See [`session`] for the protocol and crash-only recovery.
 //! - **Sharding & backpressure.** Tenants hash-assign to one of N
 //!   worker shards over bounded per-tenant queues (a pending-event
 //!   counter shared between the connection handler and the shard). A
@@ -32,13 +39,20 @@
 //!   of stream the buffered trace runs through the exact
 //!   [`Trace::check_logged`] path, so the daemon verdict is
 //!   bit-identical to `heapmd check` on the same trace, with incident
-//!   bundles captured into a per-tenant [`IncidentLog`] directory.
+//!   bundles captured into a per-tenant [`IncidentLog`] directory. Each
+//!   tenant checks against the shared model, or its own override from
+//!   [`ServeConfig::model_dir`].
 //! - **Shutdown.** The toolchain forbids `unsafe`, so there is no
 //!   signal handler; graceful shutdown arrives via the HTTP control
 //!   endpoint (`GET /shutdown`) or [`Server::shutdown`]. In-flight
 //!   streams drain whatever the kernel already buffered, the prefixes
 //!   are finalized as partial verdicts, every incident bundle flushed,
-//!   and the final Prometheus dump written.
+//!   and the final Prometheus dump written. Session journals survive
+//!   shutdown untouched, so a restarted daemon replays them and lets
+//!   clients resume mid-stream.
+
+pub mod client;
+pub mod session;
 
 use crate::bug::BugReport;
 use crate::error::HeapMdError;
@@ -60,11 +74,16 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// First token of the connection preamble line.
+pub use client::{
+    connect_session, push_trace_resumable, Conn, Dialer, RetryPolicy, SessionClient, SessionOptions,
+};
+pub use session::SERVE_PREAMBLE_V2;
+
+/// First token of the v1 connection preamble line.
 pub const SERVE_PREAMBLE: &str = "HMDSERVE1";
 
 /// Idle poll period of the nonblocking accept loops.
@@ -80,8 +99,11 @@ const BACKPRESSURE_POLL: Duration = Duration::from_millis(5);
 const READ_POLL: Duration = Duration::from_millis(25);
 /// Window over which per-tenant ingest rates are computed.
 const RATE_WINDOW: Duration = Duration::from_millis(250);
-/// Longest accepted preamble line (name cap is 64 + token + space).
-const MAX_PREAMBLE: usize = 96;
+/// Longest accepted preamble line (token + 64-char tenant + 32-char
+/// session id + a 20-digit ack, space-separated).
+const MAX_PREAMBLE: usize = 160;
+/// How often the accept loop sweeps for expired disconnected sessions.
+const SWEEP_PERIOD: Duration = Duration::from_millis(500);
 
 /// Whether `name` is a valid tenant name: 1–64 bytes of
 /// `[A-Za-z0-9._:-]`. The restriction keeps names safe as label
@@ -138,7 +160,7 @@ impl AnyListener {
     }
 }
 
-enum AnyStream {
+pub(crate) enum AnyStream {
     Tcp(TcpStream),
     #[cfg(unix)]
     Unix(UnixStream),
@@ -156,10 +178,22 @@ impl AnyStream {
     /// Bounds every read so a blocked handler can notice the shutdown
     /// flag without the socket being torn down under it.
     fn set_read_timeout(&self, dur: Duration) -> io::Result<()> {
+        self.set_read_timeout_opt(Some(dur))
+    }
+
+    pub(crate) fn set_read_timeout_opt(&self, dur: Option<Duration>) -> io::Result<()> {
         match self {
-            AnyStream::Tcp(s) => s.set_read_timeout(Some(dur)),
+            AnyStream::Tcp(s) => s.set_read_timeout(dur),
             #[cfg(unix)]
-            AnyStream::Unix(s) => s.set_read_timeout(Some(dur)),
+            AnyStream::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    pub(crate) fn set_write_timeout_opt(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            AnyStream::Tcp(s) => s.set_write_timeout(dur),
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.set_write_timeout(dur),
         }
     }
 }
@@ -171,7 +205,7 @@ impl AnyStream {
 /// therefore salvage everything the client managed to send — force
 /// closing the socket instead would discard the buffered tail (and
 /// with it, typically, the function table at the end of the stream).
-struct DrainingStream {
+pub(crate) struct DrainingStream {
     inner: AnyStream,
     shutdown: Arc<AtomicBool>,
 }
@@ -193,6 +227,16 @@ impl Read for DrainingStream {
                 other => return other,
             }
         }
+    }
+}
+
+impl Write for DrainingStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -232,7 +276,7 @@ impl Write for AnyStream {
 /// [`Server::start`]).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// The shared calibrated model every tenant checks against.
+    /// The shared calibrated model tenants check against by default.
     pub model: HeapModel,
     /// Worker shard count (tenants hash-assign; min 1).
     pub shards: usize,
@@ -245,11 +289,24 @@ pub struct ServeConfig {
     /// Where the final Prometheus dump (registry + fleet section) is
     /// written at shutdown.
     pub prom_dump: Option<PathBuf>,
+    /// Directory of per-tenant session journals (`<tenant>.hmdt` +
+    /// `<tenant>.session.json`). With a journal, v2 sessions are
+    /// crash-only recoverable across daemon restarts; without one they
+    /// still resume across reconnects within a daemon's lifetime.
+    pub journal_dir: Option<PathBuf>,
+    /// Directory of per-tenant model overrides: `<tenant>.hmdm` checks
+    /// that tenant instead of the shared model.
+    pub model_dir: Option<PathBuf>,
+    /// How long a disconnected, incomplete v2 session is held for
+    /// resumption before it is evicted (its buffered prefix salvaged
+    /// into a partial verdict).
+    pub session_timeout: Duration,
 }
 
 impl ServeConfig {
     /// Defaults: 4 shards, 65 536 queued events per tenant, no incident
-    /// capture, no final dump.
+    /// capture, no final dump, no journal or model override directory,
+    /// 30 s session timeout.
     pub fn new(model: HeapModel) -> Self {
         ServeConfig {
             model,
@@ -257,6 +314,9 @@ impl ServeConfig {
             queue_events: 1 << 16,
             incident_dir: None,
             prom_dump: None,
+            journal_dir: None,
+            model_dir: None,
+            session_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -276,7 +336,8 @@ pub struct TenantOutcome {
     /// The stream never reached its index/footer; the verdict covers
     /// the buffered prefix (shutdown, or an eviction mid-stream).
     pub partial: bool,
-    /// Why the tenant was kicked, when it was.
+    /// Why the tenant was kicked, when it was. Eviction still salvages
+    /// the buffered prefix: `bugs`/`bundle_paths` cover it.
     pub evicted: Option<String>,
     /// Replay/check failure, if the buffered trace was unusable.
     pub error: Option<String>,
@@ -296,11 +357,17 @@ pub struct ServeSummary {
 // Shard workers
 // ---------------------------------------------------------------------
 
-enum ShardMsg {
+pub(crate) enum ShardMsg {
     Start {
         tenant: String,
         stats: Arc<TenantStats>,
         pending: Arc<AtomicU64>,
+        /// The model this tenant checks against (shared or per-tenant
+        /// override, resolved by the connection handler).
+        model: Arc<HeapModel>,
+        /// A reconnecting v2 session keeps its accumulated state; a
+        /// fresh stream replaces it.
+        resume: bool,
     },
     Events {
         tenant: String,
@@ -313,19 +380,26 @@ enum ShardMsg {
     End {
         tenant: String,
         index: BlockIndex,
+        /// Journal files to delete once the verdict is closed.
+        cleanup: Vec<PathBuf>,
     },
     Abort {
         tenant: String,
         reason: String,
-        /// Finalize the buffered prefix (shutdown) instead of dropping
-        /// it (corrupt stream / slow consumer).
-        salvage: bool,
+        /// Mark the outcome evicted (corrupt stream, stalled queue,
+        /// expired session) instead of a plain partial (shutdown). The
+        /// buffered prefix is salvaged into a partial verdict either
+        /// way.
+        evict: bool,
+        /// Journal files to delete once the verdict is closed.
+        cleanup: Vec<PathBuf>,
     },
 }
 
 struct ShardTenant {
     stats: Arc<TenantStats>,
     pending: Arc<AtomicU64>,
+    model: Arc<HeapModel>,
     events: Vec<HeapEvent>,
     functions: Vec<String>,
     replayer: Replayer,
@@ -410,18 +484,24 @@ fn update_live(
 }
 
 /// Runs the buffered stream through the authoritative offline check and
-/// closes the tenant's books.
+/// closes the tenant's books. An evicted tenant still gets its buffered
+/// prefix checked (partial verdict + incident bundles) — eviction
+/// changes how the outcome is labeled, not whether evidence is kept.
 fn finalize(
     mut t: ShardTenant,
     tenant: String,
     partial: bool,
-    model: &HeapModel,
-    settings: &Settings,
+    evicted: Option<String>,
+    cleanup: Vec<PathBuf>,
     incident_dir: Option<&PathBuf>,
 ) -> TenantOutcome {
+    if evicted.is_some() {
+        t.stats.set_evicted();
+    }
     t.stats.set_connected(false);
     t.stats.set_rate(0);
     t.stats.set_queue_depth(0);
+    let model = Arc::clone(&t.model);
     let events = t.events.len() as u64;
     let mut trace = Trace::new();
     for ev in t.events.drain(..) {
@@ -431,7 +511,7 @@ fn finalize(
     // Tenant names are charset-validated (no separators), so they are
     // safe as directory names.
     let log = incident_dir.map(|d| IncidentLog::new(d.join(&tenant), tenant.clone()));
-    let outcome = match trace.check_logged(model, settings, log) {
+    let outcome = match trace.check_logged(&model, &model.settings, log) {
         Ok(out) => {
             t.stats.record_bugs(out.bugs.len() as u64);
             t.stats.add_incidents(out.bundle_paths.len() as u64);
@@ -445,7 +525,7 @@ fn finalize(
                 bugs: out.bugs,
                 bundle_paths: out.bundle_paths,
                 partial,
-                evicted: None,
+                evicted,
                 error: None,
             }
         }
@@ -455,10 +535,13 @@ fn finalize(
             bugs: Vec::new(),
             bundle_paths: Vec::new(),
             partial,
-            evicted: None,
+            evicted,
             error: Some(e.to_string()),
         },
     };
+    for path in cleanup {
+        let _ = std::fs::remove_file(path);
+    }
     heapmd_obs::export::emit_event("tenant_verdict", |o| {
         o.field_str("tenant", &outcome.tenant)
             .field_u64("events", outcome.events)
@@ -468,13 +551,7 @@ fn finalize(
     outcome
 }
 
-fn shard_loop(
-    rx: Receiver<ShardMsg>,
-    model: Arc<HeapModel>,
-    settings: Settings,
-    incident_dir: Option<PathBuf>,
-) -> Vec<TenantOutcome> {
-    let stable = model.stable.clone();
+fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<TenantOutcome> {
     let mut tenants: BTreeMap<String, ShardTenant> = BTreeMap::new();
     let mut outcomes = Vec::new();
     while let Ok(msg) = rx.recv() {
@@ -483,20 +560,26 @@ fn shard_loop(
                 tenant,
                 stats,
                 pending,
+                model,
+                resume,
             } => {
+                // A v2 reconnect re-attaches to the accumulated state;
+                // everything else (v1 reconnects included) starts a
+                // fresh stream and drops the unfinished one.
+                if resume && tenants.contains_key(&tenant) {
+                    continue;
+                }
                 let state = ShardTenant {
                     stats,
                     pending,
                     events: Vec::new(),
                     functions: Vec::new(),
-                    replayer: Replayer::new(settings.clone(), &[]),
-                    last_out: vec![false; stable.len()],
+                    replayer: Replayer::new(model.settings.clone(), &[]),
+                    last_out: vec![false; model.stable.len()],
+                    model,
                     window_start: Instant::now(),
                     window_events: 0,
                 };
-                // A tenant reconnecting under the same name starts a
-                // fresh stream; the previous (unfinished) state is
-                // dropped rather than merged.
                 tenants.insert(tenant, state);
             }
             ShardMsg::Events { tenant, events } => {
@@ -519,7 +602,8 @@ fn shard_loop(
                 t.stats.set_queue_depth(t.pending.load(Relaxed));
                 let samples = t.replayer.take_samples();
                 if !samples.is_empty() {
-                    update_live(t, &samples, &stable, &settings);
+                    let model = Arc::clone(&t.model);
+                    update_live(t, &samples, &model.stable, &model.settings);
                 }
                 t.window_events += n;
                 let elapsed = t.window_start.elapsed();
@@ -536,7 +620,11 @@ fn shard_loop(
                     t.functions = names;
                 }
             }
-            ShardMsg::End { tenant, index } => {
+            ShardMsg::End {
+                tenant,
+                index,
+                cleanup,
+            } => {
                 let Some(t) = tenants.remove(&tenant) else {
                     continue;
                 };
@@ -546,69 +634,56 @@ fn shard_loop(
                         index.total_events,
                         t.events.len()
                     );
-                    t.stats.set_evicted();
-                    outcomes.push(TenantOutcome {
+                    outcomes.push(finalize(
+                        t,
                         tenant,
-                        events: t.events.len() as u64,
-                        bugs: Vec::new(),
-                        bundle_paths: Vec::new(),
-                        partial: true,
-                        evicted: Some(reason),
-                        error: None,
-                    });
+                        true,
+                        Some(reason),
+                        cleanup,
+                        incident_dir.as_ref(),
+                    ));
                     continue;
                 }
                 outcomes.push(finalize(
                     t,
                     tenant,
                     false,
-                    &model,
-                    &settings,
+                    None,
+                    cleanup,
                     incident_dir.as_ref(),
                 ));
             }
             ShardMsg::Abort {
                 tenant,
                 reason,
-                salvage,
+                evict,
+                cleanup,
             } => {
                 let Some(t) = tenants.remove(&tenant) else {
                     continue;
                 };
-                if salvage {
-                    outcomes.push(finalize(
-                        t,
-                        tenant,
-                        true,
-                        &model,
-                        &settings,
-                        incident_dir.as_ref(),
-                    ));
-                } else {
-                    t.stats.set_rate(0);
-                    t.stats.set_queue_depth(0);
-                    outcomes.push(TenantOutcome {
-                        tenant,
-                        events: t.events.len() as u64,
-                        bugs: Vec::new(),
-                        bundle_paths: Vec::new(),
-                        partial: true,
-                        evicted: Some(reason),
-                        error: None,
-                    });
-                }
+                let evicted = evict.then_some(reason);
+                outcomes.push(finalize(
+                    t,
+                    tenant,
+                    true,
+                    evicted,
+                    cleanup,
+                    incident_dir.as_ref(),
+                ));
             }
         }
     }
     // Channel closed (shutdown drained the accept loop): finalize
-    // whatever streams never sent an explicit end.
+    // whatever streams never sent an explicit end. Journals stay on
+    // disk so a restarted daemon can pick the sessions back up.
     for (tenant, t) in tenants {
         outcomes.push(finalize(
             t,
             tenant,
             true,
-            &model,
-            &settings,
+            None,
+            Vec::new(),
             incident_dir.as_ref(),
         ));
     }
@@ -616,19 +691,111 @@ fn shard_loop(
 }
 
 // ---------------------------------------------------------------------
+// Shared connection-handling context
+// ---------------------------------------------------------------------
+
+/// Everything a connection handler needs, bundled so the accept loop
+/// clones one `Arc`. Dropped (with the shard senders inside) once the
+/// accept loop joins its handlers, which closes the shard channels.
+pub(crate) struct ServeCtx {
+    pub(crate) senders: Vec<Sender<ShardMsg>>,
+    pub(crate) fleet: Arc<FleetRegistry>,
+    pub(crate) queue_events: u64,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) model: Arc<HeapModel>,
+    pub(crate) model_dir: Option<PathBuf>,
+    pub(crate) journal_dir: Option<PathBuf>,
+    pub(crate) session_timeout: Duration,
+    pub(crate) sessions: Mutex<BTreeMap<String, Arc<Mutex<session::SessionEntry>>>>,
+    model_cache: Mutex<BTreeMap<String, Arc<HeapModel>>>,
+}
+
+impl ServeCtx {
+    pub(crate) fn sender_for(&self, tenant: &str) -> &Sender<ShardMsg> {
+        &self.senders[shard_for(tenant, self.senders.len())]
+    }
+
+    /// Resolves the model `tenant` checks against: `<model_dir>/
+    /// <tenant>.hmdm` when present and loadable, else the shared model.
+    /// Resolution is cached for the daemon's lifetime.
+    pub(crate) fn model_for(&self, tenant: &str) -> Arc<HeapModel> {
+        let Some(dir) = &self.model_dir else {
+            return Arc::clone(&self.model);
+        };
+        if let Some(m) = self.model_cache.lock().unwrap().get(tenant) {
+            return Arc::clone(m);
+        }
+        let path = dir.join(format!("{tenant}.hmdm"));
+        let model = if path.exists() {
+            match HeapModel::load(&path) {
+                Ok(m) => Arc::new(m),
+                Err(e) => {
+                    // A present-but-unloadable override falls back to
+                    // the shared model rather than rejecting the tenant.
+                    heapmd_obs::export::emit_event("tenant_model_error", |o| {
+                        o.field_str("tenant", tenant)
+                            .field_str("error", &e.to_string());
+                    });
+                    Arc::clone(&self.model)
+                }
+            }
+        } else {
+            Arc::clone(&self.model)
+        };
+        self.model_cache
+            .lock()
+            .unwrap()
+            .insert(tenant.to_string(), Arc::clone(&model));
+        model
+    }
+}
+
+// ---------------------------------------------------------------------
 // Connection handling
 // ---------------------------------------------------------------------
 
-/// Reads and validates the `HMDSERVE1 <tenant>\n` preamble.
-fn read_preamble(stream: &mut impl Read) -> Option<String> {
+/// A parsed connection preamble line.
+enum Preamble {
+    V1 {
+        tenant: String,
+    },
+    V2 {
+        tenant: String,
+        session: String,
+        acked: u64,
+    },
+}
+
+/// Reads and validates the preamble: `HMDSERVE1 <tenant>\n` or
+/// `HMDSERVE2 <tenant> <session> <acked>\n`.
+fn read_preamble(stream: &mut impl Read) -> Option<Preamble> {
     let mut line = Vec::new();
     let mut byte = [0u8; 1];
     while line.len() < MAX_PREAMBLE {
         stream.read_exact(&mut byte).ok()?;
         if byte[0] == b'\n' {
             let text = std::str::from_utf8(&line).ok()?;
+            if let Some(rest) = text.strip_prefix(SERVE_PREAMBLE_V2) {
+                let mut parts = rest.strip_prefix(' ')?.split(' ');
+                let tenant = parts.next()?;
+                let session = parts.next()?;
+                let acked = parts.next()?.parse::<u64>().ok()?;
+                if parts.next().is_some()
+                    || !valid_tenant(tenant)
+                    || !session::valid_session(session)
+                {
+                    return None;
+                }
+                return Some(Preamble::V2 {
+                    tenant: tenant.to_string(),
+                    session: session.to_string(),
+                    acked,
+                });
+            }
             let tenant = text.strip_prefix(SERVE_PREAMBLE)?.strip_prefix(' ')?;
-            return valid_tenant(tenant).then(|| tenant.to_string());
+            return valid_tenant(tenant).then(|| Preamble::V1 {
+                tenant: tenant.to_string(),
+            });
         }
         line.push(byte[0]);
     }
@@ -666,34 +833,40 @@ fn wait_for_room(pending: &AtomicU64, bound: u64, shutdown: &AtomicBool) -> bool
     }
 }
 
-fn handle_conn(
-    stream: AnyStream,
-    senders: Arc<Vec<Sender<ShardMsg>>>,
-    fleet: Arc<FleetRegistry>,
-    queue_events: u64,
-    shutdown: Arc<AtomicBool>,
-) {
+fn handle_conn(stream: AnyStream, ctx: Arc<ServeCtx>) {
     let _ = stream.set_read_timeout(READ_POLL);
     let mut stream = DrainingStream {
         inner: stream,
-        shutdown: Arc::clone(&shutdown),
+        shutdown: Arc::clone(&ctx.shutdown),
     };
-    let Some(tenant) = read_preamble(&mut stream) else {
-        // EOF during shutdown is the daemon going away, not a client
-        // speaking the wrong protocol.
-        if !shutdown.load(Relaxed) {
-            fleet.record_protocol_error();
+    match read_preamble(&mut stream) {
+        Some(Preamble::V1 { tenant }) => handle_v1(stream, tenant, &ctx),
+        Some(Preamble::V2 {
+            tenant,
+            session,
+            acked,
+        }) => session::handle_v2(stream, tenant, session, acked, &ctx),
+        None => {
+            // EOF during shutdown is the daemon going away, not a
+            // client speaking the wrong protocol.
+            if !ctx.shutdown.load(Relaxed) {
+                ctx.fleet.record_protocol_error();
+            }
         }
-        return;
-    };
-    let stats = fleet.connect(&tenant);
+    }
+}
+
+fn handle_v1(stream: DrainingStream, tenant: String, ctx: &ServeCtx) {
+    let stats = ctx.fleet.connect(&tenant);
     let pending = Arc::new(AtomicU64::new(0));
-    let tx = &senders[shard_for(&tenant, senders.len())];
+    let tx = ctx.sender_for(&tenant);
     if tx
         .send(ShardMsg::Start {
             tenant: tenant.clone(),
             stats: Arc::clone(&stats),
             pending: Arc::clone(&pending),
+            model: ctx.model_for(&tenant),
+            resume: false,
         })
         .is_err()
     {
@@ -703,12 +876,13 @@ fn handle_conn(
     loop {
         match reader.next_frame() {
             Ok(WireFrame::Events(events)) => {
-                if !wait_for_room(&pending, queue_events, &shutdown) {
-                    fleet.evict(&stats);
+                if !wait_for_room(&pending, ctx.queue_events, &ctx.shutdown) {
+                    ctx.fleet.evict(&stats);
                     let _ = tx.send(ShardMsg::Abort {
                         tenant,
-                        reason: format!("slow consumer: over {queue_events} queued events"),
-                        salvage: false,
+                        reason: format!("slow consumer: over {} queued events", ctx.queue_events),
+                        evict: true,
+                        cleanup: Vec::new(),
                     });
                     return;
                 }
@@ -732,25 +906,34 @@ fn handle_conn(
             }
             Ok(WireFrame::Meta) => {}
             Ok(WireFrame::End(index)) => {
-                let _ = tx.send(ShardMsg::End { tenant, index });
+                let _ = tx.send(ShardMsg::End {
+                    tenant,
+                    index,
+                    cleanup: Vec::new(),
+                });
                 return;
             }
             Err(e) => {
-                if shutdown.load(Relaxed) {
+                if ctx.shutdown.load(Relaxed) {
                     // The stream drained to EOF because the daemon is
                     // going down; everything that arrived still gets a
                     // (partial) verdict.
                     let _ = tx.send(ShardMsg::Abort {
                         tenant,
                         reason: "server shutdown".into(),
-                        salvage: true,
+                        evict: false,
+                        cleanup: Vec::new(),
                     });
                 } else {
-                    fleet.evict(&stats);
+                    // Corrupt stream: evict, but salvage the buffered
+                    // prefix into a partial verdict + incident bundles
+                    // (the shard's Abort path finalizes either way).
+                    ctx.fleet.evict(&stats);
                     let _ = tx.send(ShardMsg::Abort {
                         tenant,
                         reason: e.to_string(),
-                        salvage: false,
+                        evict: true,
+                        cleanup: Vec::new(),
                     });
                 }
                 return;
@@ -759,26 +942,20 @@ fn handle_conn(
     }
 }
 
-fn accept_loop(
-    listener: AnyListener,
-    senders: Vec<Sender<ShardMsg>>,
-    fleet: Arc<FleetRegistry>,
-    queue_events: u64,
-    shutdown: Arc<AtomicBool>,
-) {
-    let senders = Arc::new(senders);
+fn accept_loop(listener: AnyListener, ctx: Arc<ServeCtx>) {
     let mut handles = Vec::new();
-    while !shutdown.load(Relaxed) {
+    let mut last_sweep = Instant::now();
+    while !ctx.shutdown.load(Relaxed) {
+        if last_sweep.elapsed() >= SWEEP_PERIOD {
+            session::sweep_expired(&ctx);
+            last_sweep = Instant::now();
+        }
         match listener.accept() {
             Ok(stream) => {
                 let _ = stream.set_blocking();
                 heapmd_obs::count!("heapmd_serve_connections_total");
-                let senders = Arc::clone(&senders);
-                let fleet = Arc::clone(&fleet);
-                let shutdown = Arc::clone(&shutdown);
-                handles.push(std::thread::spawn(move || {
-                    handle_conn(stream, senders, fleet, queue_events, shutdown)
-                }));
+                let ctx = Arc::clone(&ctx);
+                handles.push(std::thread::spawn(move || handle_conn(stream, ctx)));
             }
             Err(_) => std::thread::sleep(ACCEPT_POLL),
         }
@@ -788,8 +965,9 @@ fn accept_loop(
     for h in handles {
         let _ = h.join();
     }
-    // Dropping `senders` (the last clones die with the handlers) closes
-    // the shard channels, which drain and finalize.
+    // Dropping `ctx` (the handlers' clones died with them) drops the
+    // shard senders, which closes the channels, which drain and
+    // finalize.
 }
 
 // ---------------------------------------------------------------------
@@ -871,7 +1049,8 @@ pub struct Server {
 
 impl Server {
     /// Binds the ingest socket (`host:port` or `unix:<path>`) and the
-    /// HTTP control socket (`host:port`; port 0 picks a free one) and
+    /// HTTP control socket (`host:port`; port 0 picks a free one),
+    /// replays any session journals left by a previous daemon, and
     /// spawns the accept, HTTP, and shard worker threads.
     ///
     /// # Errors
@@ -887,7 +1066,6 @@ impl Server {
         let fleet = Arc::new(FleetRegistry::new());
         let shutdown = Arc::new(AtomicBool::new(false));
         let model = Arc::new(config.model);
-        let settings = model.settings.clone();
 
         let shard_count = config.shards.max(1);
         let mut senders = Vec::with_capacity(shard_count);
@@ -895,23 +1073,32 @@ impl Server {
         for i in 0..shard_count {
             let (tx, rx) = channel();
             senders.push(tx);
-            let model = Arc::clone(&model);
-            let settings = settings.clone();
             let incident_dir = config.incident_dir.clone();
             shards.push(
                 std::thread::Builder::new()
                     .name(format!("hmd-shard-{i}"))
-                    .spawn(move || shard_loop(rx, model, settings, incident_dir))?,
+                    .spawn(move || shard_loop(rx, incident_dir))?,
             );
         }
-        let accept = {
-            let fleet = Arc::clone(&fleet);
-            let shutdown = Arc::clone(&shutdown);
-            let queue_events = config.queue_events.max(1);
-            std::thread::Builder::new()
-                .name("hmd-accept".into())
-                .spawn(move || accept_loop(ingest, senders, fleet, queue_events, shutdown))?
-        };
+        let ctx = Arc::new(ServeCtx {
+            senders,
+            fleet: Arc::clone(&fleet),
+            queue_events: config.queue_events.max(1),
+            shutdown: Arc::clone(&shutdown),
+            model,
+            model_dir: config.model_dir,
+            journal_dir: config.journal_dir,
+            session_timeout: config.session_timeout,
+            sessions: Mutex::new(BTreeMap::new()),
+            model_cache: Mutex::new(BTreeMap::new()),
+        });
+        // Crash-only recovery: replay whatever journals the previous
+        // daemon left before accepting new connections, so resuming
+        // clients find their sessions already rebuilt.
+        session::recover_sessions(&ctx);
+        let accept = std::thread::Builder::new()
+            .name("hmd-accept".into())
+            .spawn(move || accept_loop(ingest, ctx))?;
         let http = {
             let fleet = Arc::clone(&fleet);
             let shutdown = Arc::clone(&shutdown);
@@ -949,7 +1136,8 @@ impl Server {
 
     /// Requests graceful shutdown: stop accepting, close in-flight
     /// streams, finalize buffered prefixes, flush incidents, write the
-    /// final dump. Returns immediately; [`Server::wait`] observes it.
+    /// final dump. Session journals are left on disk for the next
+    /// daemon. Returns immediately; [`Server::wait`] observes it.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Relaxed);
     }
@@ -979,10 +1167,10 @@ impl Server {
 }
 
 // ---------------------------------------------------------------------
-// Clients
+// Clients (v1 fire-and-forget; resumable clients live in [`client`])
 // ---------------------------------------------------------------------
 
-fn connect_any(addr: &str) -> Result<AnyStream, HeapMdError> {
+pub(crate) fn connect_any(addr: &str) -> Result<AnyStream, HeapMdError> {
     if let Some(path) = addr.strip_prefix("unix:") {
         #[cfg(unix)]
         return Ok(AnyStream::Unix(UnixStream::connect(path)?));
@@ -1054,6 +1242,40 @@ mod tests {
                 assert!(s < shards);
                 assert_eq!(s, shard_for(name, shards), "deterministic");
             }
+        }
+    }
+
+    #[test]
+    fn preamble_parses_both_versions() {
+        let mut v1 = io::Cursor::new(b"HMDSERVE1 web-1\n".to_vec());
+        assert!(matches!(
+            read_preamble(&mut v1),
+            Some(Preamble::V1 { tenant }) if tenant == "web-1"
+        ));
+        let mut v2 = io::Cursor::new(b"HMDSERVE2 web-1 s-42 7\n".to_vec());
+        match read_preamble(&mut v2) {
+            Some(Preamble::V2 {
+                tenant,
+                session,
+                acked,
+            }) => {
+                assert_eq!(tenant, "web-1");
+                assert_eq!(session, "s-42");
+                assert_eq!(acked, 7);
+            }
+            other => panic!("wanted V2, got {}", other.is_some()),
+        }
+        for bad in [
+            &b"HMDSERVE2 web-1 s-42\n"[..],
+            b"HMDSERVE2 web-1 s-42 x\n",
+            b"HMDSERVE2 web-1 bad session 7\n",
+            b"HMDSERVE3 web-1\n",
+        ] {
+            assert!(
+                read_preamble(&mut io::Cursor::new(bad.to_vec())).is_none(),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
         }
     }
 }

@@ -72,16 +72,19 @@ pub const BINARY_FORMAT_VERSION: u8 = 1;
 
 /// Per-block magic. Payload bytes can collide with it, so readers only
 /// trust a match whose block also passes the CRC.
-const BLOCK_MAGIC: [u8; 4] = [0xB1, 0x0C, 0x48, 0x44];
+pub(crate) const BLOCK_MAGIC: [u8; 4] = [0xB1, 0x0C, 0x48, 0x44];
 
 /// Trailing footer magic (8 bytes, closes the file).
 const FOOTER_MAGIC: &[u8; 8] = b"HMDBIDX\n";
 
 /// Fixed footer size: index offset + its CRC + magic.
-const FOOTER_LEN: usize = 8 + 4 + 8;
+pub(crate) const FOOTER_LEN: usize = 8 + 4 + 8;
 
 /// Block header size: magic + kind + count + len + crc.
-const BLOCK_HEADER_LEN: usize = 4 + 1 + 4 + 4 + 4;
+pub(crate) const BLOCK_HEADER_LEN: usize = 4 + 1 + 4 + 4 + 4;
+
+/// File header size: magic + version + reserved byte.
+pub(crate) const HEADER_LEN: usize = 8;
 
 /// Events per full block. Large enough to amortize header + dispatch,
 /// small enough that salvage loses little and the pipeline stays busy.
@@ -89,16 +92,16 @@ pub const EVENTS_PER_BLOCK: usize = 4096;
 
 /// Upper bound on a declared block payload, so a corrupted length field
 /// cannot drive a reader into a multi-gigabyte copy.
-const MAX_BLOCK_LEN: u32 = 1 << 24;
+pub(crate) const MAX_BLOCK_LEN: u32 = 1 << 24;
 
 /// Bounded depth of the decoder → ingestion channel.
 const PIPELINE_DEPTH: usize = 4;
 
 /// Block kinds.
-const KIND_EVENTS: u8 = 1;
-const KIND_FUNCTIONS: u8 = 2;
-const KIND_INDEX: u8 = 3;
-const KIND_META: u8 = 4;
+pub(crate) const KIND_EVENTS: u8 = 1;
+pub(crate) const KIND_FUNCTIONS: u8 = 2;
+pub(crate) const KIND_INDEX: u8 = 3;
+pub(crate) const KIND_META: u8 = 4;
 
 /// On-disk trace/checkpoint serialization format selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -839,7 +842,7 @@ impl BinaryTraceImage {
     }
 }
 
-fn check_header(bytes: &[u8]) -> Result<(), HeapMdError> {
+pub(crate) fn check_header(bytes: &[u8]) -> Result<(), HeapMdError> {
     if bytes.len() < 8 || &bytes[..6] != BINARY_MAGIC {
         return Err(HeapMdError::corrupt(0, "missing binary trace magic"));
     }
@@ -1527,6 +1530,10 @@ pub struct WireReader<R: Read> {
     consumed: u64,
     header_done: bool,
     finished: bool,
+    /// When teeing, every byte [`fill`](Self::fill) consumes is also
+    /// appended here — how the serving session layer captures the raw
+    /// block bytes it journals.
+    tee: Option<Vec<u8>>,
 }
 
 impl<R: Read> WireReader<R> {
@@ -1537,6 +1544,23 @@ impl<R: Read> WireReader<R> {
             consumed: 0,
             header_done: false,
             finished: false,
+            tee: None,
+        }
+    }
+
+    /// Wraps a byte stream that resumes mid-trace: the header was
+    /// consumed in an earlier incarnation of the stream, and the next
+    /// block starts at logical offset `offset`. Offsets embedded in the
+    /// trailing index keep validating as if the stream had never been
+    /// interrupted — the session layer of `heapmd serve` reconnects
+    /// this way.
+    pub fn resume(inner: R, offset: u64) -> Self {
+        WireReader {
+            inner,
+            consumed: offset,
+            header_done: true,
+            finished: false,
+            tee: None,
         }
     }
 
@@ -1550,6 +1574,19 @@ impl<R: Read> WireReader<R> {
         self.finished
     }
 
+    /// Mutable access to the wrapped stream, for protocols that
+    /// interleave out-of-band bytes (sequence numbers, acks) between
+    /// frames. Bytes moved through it do not count as consumed.
+    pub(crate) fn stream_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// Rewinds the logical offset to `offset` (a frame boundary), as
+    /// when a retransmitted duplicate frame is read and discarded.
+    pub(crate) fn rewind(&mut self, offset: u64) {
+        self.consumed = offset;
+    }
+
     fn fill(&mut self, buf: &mut [u8]) -> Result<(), HeapMdError> {
         self.inner.read_exact(buf).map_err(|e| match e.kind() {
             std::io::ErrorKind::UnexpectedEof => {
@@ -1558,7 +1595,25 @@ impl<R: Read> WireReader<R> {
             _ => HeapMdError::from(e),
         })?;
         self.consumed += buf.len() as u64;
+        if let Some(tee) = &mut self.tee {
+            tee.extend_from_slice(buf);
+        }
         Ok(())
+    }
+
+    /// Like [`next_frame`](Self::next_frame), additionally returning
+    /// the frame's raw wire bytes (block header + payload, plus the
+    /// footer for the end frame) so the caller can journal them
+    /// verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`next_frame`](Self::next_frame).
+    pub fn next_frame_raw(&mut self) -> Result<(WireFrame, Vec<u8>), HeapMdError> {
+        self.tee = Some(Vec::new());
+        let result = self.next_frame();
+        let raw = self.tee.take().unwrap_or_default();
+        result.map(|frame| (frame, raw))
     }
 
     /// Reads, verifies, and decodes the next frame.

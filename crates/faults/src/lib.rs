@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod io;
+pub mod net;
 
 use serde::Serialize;
 use std::collections::HashMap;

@@ -1,0 +1,331 @@
+//! Deterministic network fault injection.
+//!
+//! [`FaultyConn`] wraps any bidirectional stream (`Read + Write`) and
+//! consults a [`SharedFaultPlan`] on every operation, so a chaos test
+//! can script "the connection resets halfway through the 3rd block" or
+//! "every 5th frame is silently truncated on the wire" and replay it
+//! exactly. The serve-layer chaos matrix wraps the session client's
+//! dialer in these and asserts the invariant that matters: any fault
+//! schedule that eventually heals (every config carries a `.limit`)
+//! yields a final daemon verdict bit-identical to the uninterrupted
+//! offline check.
+//!
+//! The plan is shared (`Arc<Mutex<_>>`) rather than owned because one
+//! schedule spans *connections*: a client that redials after an
+//! injected reset gets a fresh `FaultyConn` around the new socket, but
+//! the fault budget — "drop twice, then heal" — must keep counting
+//! across the redials or the schedule would never run dry.
+//!
+//! Fault call-sites (see the [`fault_ids`] constants):
+//!
+//! | fault                 | effect                                              |
+//! |-----------------------|-----------------------------------------------------|
+//! | `net.drop`            | the connection dies (reads/writes → `ConnectionReset`) |
+//! | `net.partition`       | dial attempts fail (`ConnectionRefused`) while firing |
+//! | `net.delay`           | the operation stalls ~2 ms before proceeding        |
+//! | `net.reset_mid_block` | half the buffer hits the wire, then `ConnectionReset` |
+//! | `net.dup_frame`       | the written buffer is sent twice                    |
+//! | `net.truncate_frame`  | half the buffer is sent but all of it is reported   |
+//!
+//! `net.dup_frame` and `net.truncate_frame` are *silent* corruptions —
+//! the writer sees success — so they exercise the receiver's framing
+//! and sequence checks rather than the sender's error handling.
+
+use crate::FaultPlan;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Fault ids consulted by [`FaultyConn`] and [`partitioned`].
+pub mod fault_ids {
+    use crate::FaultId;
+
+    /// The connection dies: the firing operation and everything after
+    /// it on this connection fail with `ConnectionReset`.
+    pub const NET_DROP: FaultId = FaultId("net.drop");
+    /// The network is partitioned: dial attempts (gated through
+    /// [`super::partitioned`]) fail with `ConnectionRefused`.
+    pub const NET_PARTITION: FaultId = FaultId("net.partition");
+    /// The operation is delayed ~2 ms (latency spike).
+    pub const NET_DELAY: FaultId = FaultId("net.delay");
+    /// A write delivers only its first half before the connection
+    /// resets — the receiver sees a torn frame.
+    pub const NET_RESET_MID_BLOCK: FaultId = FaultId("net.reset_mid_block");
+    /// A write is delivered twice (duplicated frame) but reported once.
+    pub const NET_DUP_FRAME: FaultId = FaultId("net.dup_frame");
+    /// A write delivers only its first half but reports the full
+    /// length — a silent truncation the receiver must detect.
+    pub const NET_TRUNCATE_FRAME: FaultId = FaultId("net.truncate_frame");
+}
+
+use fault_ids::*;
+
+/// One fault schedule shared across every connection of a chaos run
+/// (see the module docs for why dials must share a plan).
+pub type SharedFaultPlan = Arc<Mutex<FaultPlan>>;
+
+/// Wraps a plan for sharing across connections.
+pub fn shared(plan: FaultPlan) -> SharedFaultPlan {
+    Arc::new(Mutex::new(plan))
+}
+
+/// Consults the partition schedule at dial time: returns an
+/// `ConnectionRefused` error when [`fault_ids::NET_PARTITION`] fires,
+/// `Ok(())` otherwise. Dialers call this before connecting.
+pub fn partitioned(plan: &SharedFaultPlan) -> io::Result<()> {
+    if plan.lock().unwrap().fires(NET_PARTITION) {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "injected: network partitioned",
+        ));
+    }
+    Ok(())
+}
+
+/// A bidirectional stream adapter that injects network faults per a
+/// shared [`FaultPlan`].
+///
+/// # Example
+///
+/// ```
+/// use faults::net::{fault_ids::NET_DROP, shared, FaultyConn};
+/// use faults::{FaultConfig, FaultPlan};
+/// use std::io::Write;
+///
+/// let mut plan = FaultPlan::new();
+/// plan.enable(NET_DROP, FaultConfig::always().after(1));
+/// let mut conn = FaultyConn::new(Vec::new(), shared(plan));
+/// assert!(conn.write(b"ok").is_ok());
+/// assert!(conn.write(b"boom").is_err()); // dropped
+/// assert!(conn.write(b"still").is_err()); // stays dead
+/// ```
+#[derive(Debug)]
+pub struct FaultyConn<S> {
+    inner: S,
+    plan: SharedFaultPlan,
+    dead: bool,
+}
+
+impl<S> FaultyConn<S> {
+    /// Wraps `inner`, injecting the faults enabled in `plan`.
+    pub fn new(inner: S, plan: SharedFaultPlan) -> Self {
+        FaultyConn {
+            inner,
+            plan,
+            dead: false,
+        }
+    }
+
+    /// Consumes the wrapper, returning the underlying stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// A reference to the underlying stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Whether an injected drop/reset has killed this connection.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn reset_err(&mut self, what: &str) -> io::Error {
+        self.dead = true;
+        io::Error::new(io::ErrorKind::ConnectionReset, format!("injected: {what}"))
+    }
+
+    /// Consults the faults every operation shares; returns an error if
+    /// the connection dies here.
+    fn gate(&mut self, op: &str) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected: connection already dropped",
+            ));
+        }
+        let (drop_now, delay) = {
+            let mut plan = self.plan.lock().unwrap();
+            (plan.fires(NET_DROP), plan.fires(NET_DELAY))
+        };
+        if delay {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if drop_now {
+            return Err(self.reset_err(&format!("connection dropped during {op}")));
+        }
+        Ok(())
+    }
+}
+
+impl<S: Write> Write for FaultyConn<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.gate("write")?;
+        let (reset_mid, dup, truncate) = {
+            let mut plan = self.plan.lock().unwrap();
+            (
+                plan.fires(NET_RESET_MID_BLOCK),
+                plan.fires(NET_DUP_FRAME),
+                plan.fires(NET_TRUNCATE_FRAME),
+            )
+        };
+        if reset_mid {
+            // Half the frame reaches the peer, then the connection
+            // resets: the receiver must cope with a torn frame.
+            let _ = self.inner.write_all(&buf[..buf.len() / 2]);
+            let _ = self.inner.flush();
+            return Err(self.reset_err("connection reset mid-block"));
+        }
+        if truncate {
+            // Silent loss: report success for bytes that never left.
+            self.inner.write_all(&buf[..buf.len() / 2])?;
+            return Ok(buf.len());
+        }
+        if dup {
+            self.inner.write_all(buf)?;
+            self.inner.write_all(buf)?;
+            return Ok(buf.len());
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected: connection already dropped",
+            ));
+        }
+        self.inner.flush()
+    }
+}
+
+impl<S: Read> Read for FaultyConn<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.gate("read")?;
+        self.inner.read(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultConfig;
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let mut conn = FaultyConn::new(Vec::new(), shared(FaultPlan::new()));
+        conn.write_all(b"hello").unwrap();
+        conn.flush().unwrap();
+        assert!(!conn.is_dead());
+        assert_eq!(conn.into_inner(), b"hello");
+    }
+
+    #[test]
+    fn drop_kills_the_connection_permanently() {
+        let mut plan = FaultPlan::new();
+        plan.enable(NET_DROP, FaultConfig::always().after(2));
+        let mut conn = FaultyConn::new(Vec::new(), shared(plan));
+        assert!(conn.write(b"a").is_ok());
+        assert!(conn.write(b"b").is_ok());
+        let err = conn.write(b"c").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert!(conn.is_dead());
+        assert_eq!(
+            conn.write(b"d").unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        assert_eq!(
+            conn.flush().unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        assert_eq!(conn.into_inner(), b"ab", "bytes before the drop survive");
+    }
+
+    #[test]
+    fn partition_gates_dials_until_it_heals() {
+        let mut plan = FaultPlan::new();
+        plan.enable(NET_PARTITION, FaultConfig::always().limit(2));
+        let plan = shared(plan);
+        assert_eq!(
+            partitioned(&plan).unwrap_err().kind(),
+            io::ErrorKind::ConnectionRefused
+        );
+        assert!(partitioned(&plan).is_err());
+        assert!(partitioned(&plan).is_ok(), "limit reached: partition heals");
+    }
+
+    #[test]
+    fn reset_mid_block_tears_the_frame() {
+        let mut plan = FaultPlan::new();
+        plan.enable(NET_RESET_MID_BLOCK, FaultConfig::always());
+        let mut conn = FaultyConn::new(Vec::new(), shared(plan));
+        let err = conn.write(b"abcdefgh").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert!(conn.is_dead());
+        assert_eq!(conn.into_inner(), b"abcd", "only half the frame landed");
+    }
+
+    #[test]
+    fn truncate_lies_about_delivery() {
+        let mut plan = FaultPlan::new();
+        plan.enable(NET_TRUNCATE_FRAME, FaultConfig::always().limit(1));
+        let mut conn = FaultyConn::new(Vec::new(), shared(plan));
+        assert_eq!(conn.write(b"abcdefgh").unwrap(), 8, "full length reported");
+        conn.write_all(b"ijkl").unwrap();
+        assert_eq!(conn.into_inner(), b"abcdijkl", "but only half arrived");
+    }
+
+    #[test]
+    fn dup_frame_doubles_the_bytes() {
+        let mut plan = FaultPlan::new();
+        plan.enable(NET_DUP_FRAME, FaultConfig::every(2));
+        let mut conn = FaultyConn::new(Vec::new(), shared(plan));
+        conn.write_all(b"one").unwrap();
+        conn.write_all(b"two").unwrap();
+        assert_eq!(conn.into_inner(), b"onetwotwo");
+    }
+
+    #[test]
+    fn shared_plan_spans_connections() {
+        let mut plan = FaultPlan::new();
+        plan.enable(NET_DROP, FaultConfig::always().limit(2));
+        let plan = shared(plan);
+        for round in 0..3 {
+            let mut conn = FaultyConn::new(Vec::new(), Arc::clone(&plan));
+            let res = conn.write(b"x");
+            if round < 2 {
+                assert!(res.is_err(), "round {round}: budget not yet spent");
+            } else {
+                assert!(res.is_ok(), "round {round}: schedule ran dry — healed");
+            }
+        }
+        assert_eq!(plan.lock().unwrap().activations(NET_DROP), 2);
+    }
+
+    #[test]
+    fn delay_is_bounded_and_transparent() {
+        let mut plan = FaultPlan::new();
+        plan.enable(NET_DELAY, FaultConfig::always().limit(1));
+        let mut conn = FaultyConn::new(Vec::new(), shared(plan));
+        let start = std::time::Instant::now();
+        conn.write_all(b"slow").unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(2));
+        assert_eq!(conn.into_inner(), b"slow");
+    }
+
+    #[test]
+    fn reads_share_the_drop_schedule() {
+        let mut plan = FaultPlan::new();
+        plan.enable(NET_DROP, FaultConfig::always().after(1));
+        let data = b"0123456789".to_vec();
+        let mut conn = FaultyConn::new(&data[..], shared(plan));
+        let mut buf = [0u8; 4];
+        assert_eq!(conn.read(&mut buf).unwrap(), 4);
+        assert_eq!(
+            conn.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+    }
+}

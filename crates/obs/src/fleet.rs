@@ -25,6 +25,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
+/// Buckets (milliseconds) for the client retry-backoff histogram
+/// (`heapmd_client_retry_backoff_ms`): covers the default policy's
+/// 100 ms base through its 5 s ceiling.
+pub const RETRY_BACKOFF_BUCKETS_MS: &[u64] = &[50, 100, 250, 500, 1000, 2500, 5000, 10000];
+
 /// Live metric is inside its calibrated range, away from the edges.
 pub const STATUS_OK: u8 = 0;
 /// Within the near-edge margin of a range extreme (the detector's
@@ -66,6 +71,7 @@ pub struct TenantStats {
     range_crossings_total: AtomicU64,
     incidents_total: AtomicU64,
     bugs_total: AtomicU64,
+    resumes_total: AtomicU64,
     events_per_sec: AtomicU64,
     queue_depth: AtomicU64,
     connected: AtomicBool,
@@ -104,6 +110,12 @@ impl TenantStats {
             self.bugs_total.fetch_add(n, Relaxed);
             self.anomalous.store(true, Relaxed);
         }
+    }
+
+    /// Counts one session resume (a reconnecting client continuing an
+    /// interrupted stream from its last acked block).
+    pub fn record_resume(&self) {
+        self.resumes_total.fetch_add(1, Relaxed);
     }
 
     /// Updates the windowed ingest rate gauge.
@@ -173,6 +185,7 @@ impl TenantStats {
             range_crossings_total: self.range_crossings_total.load(Relaxed),
             incidents_total: self.incidents_total.load(Relaxed),
             bugs_total: self.bugs_total.load(Relaxed),
+            resumes_total: self.resumes_total.load(Relaxed),
             queue_depth: self.queue_depth.load(Relaxed),
             connected: self.connected.load(Relaxed),
             evicted: self.evicted.load(Relaxed),
@@ -202,6 +215,8 @@ pub struct TenantRow {
     pub incidents_total: u64,
     /// Bug reports raised by this tenant's verdicts.
     pub bugs_total: u64,
+    /// Session resumes performed by this tenant's clients.
+    pub resumes_total: u64,
     /// Events queued between the connection and its shard.
     pub queue_depth: u64,
     /// Stream currently open.
@@ -270,6 +285,9 @@ pub struct FleetSnapshot {
     pub streams_total: u64,
     /// Evictions over the daemon's lifetime.
     pub evictions_total: u64,
+    /// Reconnections into an existing session over the daemon's
+    /// lifetime.
+    pub reconnects_total: u64,
     /// Connections rejected before tenant registration.
     pub protocol_errors_total: u64,
     /// Per-metric distance rollups, metric-name-sorted.
@@ -285,6 +303,7 @@ pub struct FleetRegistry {
     tenants: RwLock<BTreeMap<String, Arc<TenantStats>>>,
     streams_total: AtomicU64,
     evictions_total: AtomicU64,
+    reconnects_total: AtomicU64,
     protocol_errors_total: AtomicU64,
 }
 
@@ -302,6 +321,7 @@ impl FleetRegistry {
             tenants: RwLock::new(BTreeMap::new()),
             streams_total: AtomicU64::new(0),
             evictions_total: AtomicU64::new(0),
+            reconnects_total: AtomicU64::new(0),
             protocol_errors_total: AtomicU64::new(0),
         }
     }
@@ -337,6 +357,12 @@ impl FleetRegistry {
     pub fn evict(&self, stats: &TenantStats) {
         stats.set_evicted();
         self.evictions_total.fetch_add(1, Relaxed);
+    }
+
+    /// Counts a client reconnecting into an existing session (the
+    /// matching per-tenant resume is [`TenantStats::record_resume`]).
+    pub fn record_reconnect(&self) {
+        self.reconnects_total.fetch_add(1, Relaxed);
     }
 
     /// Counts a connection rejected before tenant registration (bad
@@ -387,6 +413,7 @@ impl FleetRegistry {
             incidents_total: rows.iter().map(|r| r.incidents_total).sum(),
             streams_total: self.streams_total.load(Relaxed),
             evictions_total: self.evictions_total.load(Relaxed),
+            reconnects_total: self.reconnects_total.load(Relaxed),
             protocol_errors_total: self.protocol_errors_total.load(Relaxed),
             distance_rollups,
             tenants: rows,
@@ -440,6 +467,7 @@ impl FleetSnapshot {
             ("heapmd_fleet_incidents_total", self.incidents_total),
             ("heapmd_fleet_streams_total", self.streams_total),
             ("heapmd_fleet_evictions_total", self.evictions_total),
+            ("heapmd_fleet_reconnects_total", self.reconnects_total),
             (
                 "heapmd_fleet_protocol_errors_total",
                 self.protocol_errors_total,
@@ -503,6 +531,12 @@ impl FleetSnapshot {
             "heapmd_tenant_bugs_total",
             "counter",
             &|r| r.bugs_total.to_string(),
+            &mut out,
+        );
+        family(
+            "heapmd_tenant_resumes_total",
+            "counter",
+            &|r| r.resumes_total.to_string(),
             &mut out,
         );
         family(
@@ -639,7 +673,8 @@ impl FleetSnapshot {
             .field_u64("events_per_sec", self.events_per_sec)
             .field_u64("incidents_total", self.incidents_total)
             .field_u64("streams_total", self.streams_total)
-            .field_u64("evictions_total", self.evictions_total);
+            .field_u64("evictions_total", self.evictions_total)
+            .field_u64("reconnects_total", self.reconnects_total);
         out.push_str(&fleet.finish());
         out.push('\n');
         for r in &self.distance_rollups {
@@ -662,6 +697,7 @@ impl FleetSnapshot {
                 .field_u64("range_crossings_total", t.range_crossings_total)
                 .field_u64("incidents_total", t.incidents_total)
                 .field_u64("bugs_total", t.bugs_total)
+                .field_u64("resumes_total", t.resumes_total)
                 .field_str("status", t.status())
                 .field_bool("armed", t.armed)
                 .field_bool("anomalous", t.anomalous)

@@ -6,7 +6,9 @@
 //! Regenerate deliberately with:
 //! `UPDATE_GOLDEN=1 cargo test -p heapmd-obs --test prom_golden`
 
-use heapmd_obs::fleet::{FleetRegistry, MetricGauge, STATUS_NEAR_EDGE, STATUS_OK, STATUS_OUT};
+use heapmd_obs::fleet::{
+    FleetRegistry, MetricGauge, RETRY_BACKOFF_BUCKETS_MS, STATUS_NEAR_EDGE, STATUS_OK, STATUS_OUT,
+};
 use heapmd_obs::Registry;
 use std::path::Path;
 
@@ -21,6 +23,11 @@ fn render() -> String {
     hist.observe(50);
     hist.observe(500);
     hist.observe(5000);
+    // The session client's retry-backoff histogram, as recorded after
+    // two jittered reconnect sleeps.
+    let backoff = reg.histogram("heapmd_client_retry_backoff_ms", RETRY_BACKOFF_BUCKETS_MS);
+    backoff.observe(75);
+    backoff.observe(180);
     let mut out = reg.prometheus_text();
 
     let fleet = FleetRegistry::new();
@@ -45,6 +52,11 @@ fn render() -> String {
     // Hostile tenant name: quotes, backslash, newline — all must
     // travel as escaped label values.
     let hostile = fleet.connect("web \"eu\"\\1\n");
+    // The hostile tenant dropped and resumed its session twice.
+    fleet.record_reconnect();
+    fleet.record_reconnect();
+    hostile.record_resume();
+    hostile.record_resume();
     hostile.record_events(16);
     hostile.record_sample();
     hostile.record_bugs(2);
@@ -85,6 +97,13 @@ fn prometheus_exposition_matches_golden() {
     assert!(got.contains("drift_gauge -42"));
     assert!(got.contains("heapmd_fleet_tenants_total 3"));
     assert!(got.contains("quantile=\"0.95\""));
+    assert!(got.contains("heapmd_fleet_reconnects_total 2"));
+    assert!(
+        got.contains("heapmd_tenant_resumes_total{tenant=\"web \\\"eu\\\"\\\\1\\n\"} 2"),
+        "per-tenant resume counter:\n{got}"
+    );
+    assert!(got.contains("heapmd_client_retry_backoff_ms_bucket{le=\"100\"} 1"));
+    assert!(got.contains("heapmd_client_retry_backoff_ms_count 2"));
 
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/fleet_metrics.golden.prom");
     if std::env::var("UPDATE_GOLDEN").is_ok() {

@@ -3,13 +3,27 @@
 //! `check` path, survive corrupt streams by evicting exactly the
 //! offending tenant, and flush every incident bundle plus the final
 //! Prometheus dump on graceful shutdown.
+//!
+//! The fault-tolerant-ingest half of the suite drives the resumable v2
+//! session layer: a daemon restart mid-stream must resume from the
+//! journal, any healing network fault schedule must converge to the
+//! uninterrupted offline verdict, evicted streams must salvage their
+//! buffered prefix, and `model_dir` overrides must check a tenant
+//! against its own model.
 
 use faults::io::{fault_ids::*, FaultyWriter};
-use faults::{FaultConfig, FaultPlan};
+use faults::net::{fault_ids::*, partitioned, shared, FaultyConn, SharedFaultPlan};
+use faults::{FaultConfig, FaultId, FaultPlan};
 use heapmd::serve::push_trace;
-use heapmd::{FuncId, Process, ServeConfig, Server, Settings, Trace, SERVE_PREAMBLE};
+use heapmd::{
+    connect_session, push_trace_resumable, BugReport, Conn, Dialer, FuncId, HeapModel, Process,
+    RetryPolicy, ServeConfig, Server, SessionOptions, Settings, Trace, SERVE_PREAMBLE,
+};
+use proptest::prelude::*;
 use std::io::Write as _;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 use workloads::bugs::CATALOG;
 use workloads::harness::{settings_for, train};
@@ -296,5 +310,368 @@ fn shutdown_flushes_partial_verdicts_incidents_and_prom_dump() {
     assert!(dump.contains("heapmd_build_info{"));
     assert!(dump.contains("heapmd_fleet_tenants_total 1"));
     assert!(dump.contains("heapmd_tenant_bugs_total{tenant=\"flusher\"}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Fault-tolerant ingest: session resume, chaos, salvage, model overrides
+// ---------------------------------------------------------------------
+
+/// A workload trace with its model and authoritative offline verdict,
+/// shared across the resume/chaos tests (training is the expensive
+/// part, so it runs once per fixture).
+struct Fixture {
+    model: HeapModel,
+    trace: Trace,
+    expected: Vec<BugReport>,
+}
+
+/// Clean webapp run: small and fast, for the per-case chaos matrix.
+fn webapp_fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let w = commercial_at_version("webapp", 1);
+        let settings = settings_for(w.as_ref());
+        let model = train(w.as_ref(), &Input::set(4)).model;
+        let trace = record_trace(w.as_ref(), 7, &mut FaultPlan::new(), &settings);
+        let expected = trace.check(&model, &model.settings).expect("offline check");
+        Fixture {
+            model,
+            trace,
+            expected,
+        }
+    })
+}
+
+/// Buggy game_action run (the catalogued Figure 10 fault), so verdict
+/// equality is asserted on a *non-empty* bug list.
+fn buggy_fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let w = commercial_at_version("game_action", 1);
+        let settings = settings_for(w.as_ref());
+        let model = train(w.as_ref(), &Input::set(25)).model;
+        let spec = CATALOG
+            .iter()
+            .find(|b| b.fault.0 == "ga.scene_tree.skip_parent")
+            .expect("catalogued bug");
+        let trace = record_trace(w.as_ref(), 77, &mut spec.plan(), &settings);
+        let expected = trace.check(&model, &model.settings).expect("offline check");
+        assert!(!expected.is_empty(), "the Figure 10 bug must reproduce");
+        Fixture {
+            model,
+            trace,
+            expected,
+        }
+    })
+}
+
+/// A per-test scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("heapmd-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+/// End offset of the first wire block: 8-byte file header + 17-byte
+/// block header (whose length field sits at header bytes 9..13) +
+/// payload. Splitting an encoded trace here leaves exactly one whole
+/// frame on each side of the cut.
+fn first_block_end(bytes: &[u8]) -> usize {
+    let len = u32::from_le_bytes(bytes[17..21].try_into().unwrap()) as usize;
+    8 + 17 + len
+}
+
+#[test]
+fn daemon_restart_mid_stream_resumes_from_journal() {
+    let fx = buggy_fixture();
+    let dir = scratch_dir("restart");
+    let journal = dir.join("journal");
+    let addr = format!("unix:{}", dir.join("ingest.sock").display());
+
+    let mut config = ServeConfig::new(fx.model.clone());
+    config.journal_dir = Some(journal.clone());
+    let server = Server::start(config.clone(), &addr, "127.0.0.1:0").expect("start first daemon");
+
+    let opts = SessionOptions {
+        session: Some("phoenix-1".into()),
+        retry: RetryPolicy {
+            max_attempts: 60,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+        },
+        // A 1-byte spill cap makes every write block until the daemon
+        // has journaled and acked the frames it completed, so the split
+        // point below is deterministically durable before the daemon
+        // dies.
+        spill_limit: 1,
+        ..SessionOptions::default()
+    };
+    let mut client = connect_session(&addr, "phoenix", opts).expect("connect session");
+
+    let bytes = fx.trace.encode_binary();
+    let mid = first_block_end(&bytes);
+    assert!(mid < bytes.len(), "trace must span several blocks");
+    client.write_all(&bytes[..mid]).expect("first block");
+
+    // Kill the first daemon mid-stream. The journal must survive.
+    server.shutdown();
+    let summary = server.wait();
+    let outcome = summary.tenants.get("phoenix").expect("first-life outcome");
+    assert!(outcome.partial, "daemon died mid-stream");
+    assert!(outcome.evicted.is_none(), "shutdown is not an eviction");
+    assert!(
+        journal.join("phoenix.hmdt").exists(),
+        "journal survives shutdown"
+    );
+    assert!(journal.join("phoenix.session.json").exists());
+
+    // Second daemon, same socket and journal: recovery replays the
+    // journal before accepting, so the client resumes transparently.
+    let server = Server::start(config, &addr, "127.0.0.1:0").expect("restart daemon");
+    client.write_all(&bytes[mid..]).expect("rest of the stream");
+    client.flush().expect("final ack");
+    assert!(
+        client.reconnects() >= 1,
+        "client redialed across the restart"
+    );
+
+    let snap = server.fleet().snapshot();
+    assert!(snap.reconnects_total >= 1, "daemon counted the reconnect");
+    let row = snap
+        .tenants
+        .iter()
+        .find(|t| t.name == "phoenix")
+        .expect("phoenix fleet row");
+    assert!(row.resumes_total >= 1, "daemon counted the session resume");
+
+    server.shutdown();
+    let summary = server.wait();
+    let outcome = summary.tenants.get("phoenix").expect("resumed outcome");
+    assert!(
+        !outcome.partial && outcome.evicted.is_none() && outcome.error.is_none(),
+        "resumed stream must complete cleanly: {outcome:?}"
+    );
+    assert_eq!(
+        outcome.bugs, fx.expected,
+        "verdict across the restart must be bit-identical to offline check"
+    );
+    assert!(
+        !journal.join("phoenix.hmdt").exists(),
+        "journal is deleted once the verdict closes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The session client's pluggable transport, wrapped in network fault
+/// injection. Read timeouts travel via a `try_clone`d handle (timeouts
+/// are a property of the shared socket, not the wrapper).
+struct ChaosConn {
+    io: FaultyConn<TcpStream>,
+    ctl: TcpStream,
+}
+
+impl std::io::Read for ChaosConn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.io.read(buf)
+    }
+}
+
+impl std::io::Write for ChaosConn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.io.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.io.flush()
+    }
+}
+
+impl Conn for ChaosConn {
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.ctl.set_read_timeout(dur)
+    }
+}
+
+/// Dials TCP through the shared fault plan: partitions gate the dial
+/// itself, everything else wraps the live connection. The plan spans
+/// redials, so fault budgets keep counting across reconnects.
+fn chaos_dialer(plan: SharedFaultPlan) -> Dialer {
+    Box::new(move |addr: &str| {
+        partitioned(&plan)?;
+        let stream = TcpStream::connect(addr)?;
+        let ctl = stream.try_clone()?;
+        Ok(Box::new(ChaosConn {
+            io: FaultyConn::new(stream, Arc::clone(&plan)),
+            ctl,
+        }) as Box<dyn Conn>)
+    })
+}
+
+const NET_FAULTS: [FaultId; 6] = [
+    NET_DROP,
+    NET_PARTITION,
+    NET_DELAY,
+    NET_RESET_MID_BLOCK,
+    NET_DUP_FRAME,
+    NET_TRUNCATE_FRAME,
+];
+
+// The tentpole invariant: any fault schedule that eventually heals
+// (every config carries a limit, so the budget runs dry) yields a
+// final verdict bit-identical to the uninterrupted offline check.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn healing_fault_schedules_converge_to_the_offline_verdict(
+        specs in proptest::collection::vec((0usize..6, 1u64..5, 0u64..4, 1u64..3), 1..4)
+    ) {
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let case = CASE.fetch_add(1, Relaxed);
+        let fx = webapp_fixture();
+        let dir = scratch_dir(&format!("chaos-{case}"));
+
+        let mut plan = FaultPlan::new();
+        for (fault, every, after, limit) in &specs {
+            plan.enable(
+                NET_FAULTS[*fault],
+                FaultConfig::every(*every).after(*after).limit(*limit),
+            );
+        }
+
+        let mut config = ServeConfig::new(fx.model.clone());
+        config.journal_dir = Some(dir.join("journal"));
+        let server = Server::start(config, "127.0.0.1:0", "127.0.0.1:0").expect("start daemon");
+
+        let opts = SessionOptions {
+            session: Some(format!("chaos-{case}")),
+            retry: RetryPolicy {
+                max_attempts: 50,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(50),
+            },
+            io_timeout: Duration::from_millis(1500),
+            dialer: Some(chaos_dialer(shared(plan))),
+            ..SessionOptions::default()
+        };
+        let tenant = format!("chaos-{case}");
+        let ingest = server.ingest_addr().to_string();
+        let (events, _reconnects) =
+            push_trace_resumable(&ingest, &tenant, &fx.trace, opts).expect("push through chaos");
+        prop_assert_eq!(events, fx.trace.len() as u64);
+
+        server.shutdown();
+        let summary = server.wait();
+        let outcome = summary.tenants.get(&tenant).expect("chaos outcome");
+        prop_assert!(!outcome.partial, "schedule healed, stream must complete: {:?}", outcome);
+        prop_assert!(outcome.evicted.is_none(), "healing faults never evict: {:?}", outcome.evicted);
+        prop_assert_eq!(&outcome.bugs, &fx.expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn corrupt_stream_eviction_salvages_the_buffered_prefix() {
+    let fx = buggy_fixture();
+    let dir = scratch_dir("salvage");
+    let mut config = ServeConfig::new(fx.model.clone());
+    config.incident_dir = Some(dir.join("incidents"));
+    let server = Server::start(config, "127.0.0.1:0", "127.0.0.1:0").expect("start daemon");
+
+    // Every event and the function table cross the wire intact; the
+    // stream then turns to garbage where the index block should start.
+    let bytes = fx.trace.encode_binary();
+    let footer = &bytes[bytes.len() - 20..];
+    let index_offset = u64::from_le_bytes(footer[..8].try_into().unwrap()) as usize;
+    let mut stream = TcpStream::connect(server.ingest_addr()).expect("connect ingest");
+    writeln!(stream, "{SERVE_PREAMBLE} mangled").expect("preamble");
+    let _ = stream.write_all(&bytes[..index_offset]);
+    let _ = stream.write_all(b"\xde\xad\xbe\xefnot-a-block-header");
+    let _ = stream.flush();
+    drop(stream);
+
+    let fleet = server.fleet();
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            fleet.snapshot().evictions_total >= 1
+        }),
+        "corrupt stream never evicted"
+    );
+    server.shutdown();
+    let summary = server.wait();
+    let outcome = summary.tenants.get("mangled").expect("mangled outcome");
+    assert!(outcome.evicted.is_some(), "corruption must evict");
+    assert!(outcome.partial, "the index never arrived");
+    assert_eq!(
+        outcome.bugs, fx.expected,
+        "the salvaged prefix held every event, so the partial verdict carries the full bug list"
+    );
+    assert!(
+        !outcome.bundle_paths.is_empty(),
+        "eviction still flushes incident bundles"
+    );
+    for path in &outcome.bundle_paths {
+        assert!(path.exists(), "bundle {} missing", path.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn model_dir_checks_tenants_against_their_own_override() {
+    let fx = buggy_fixture();
+    // The override: calibrated ranges blown wide open and the
+    // normally-unstable metric list emptied, so the same trace that is
+    // anomalous under the shared model is clean under the override.
+    let mut override_model = fx.model.clone();
+    for sm in &mut override_model.stable {
+        sm.min = -1_000_000_000.0;
+        sm.max = 1_000_000_000.0;
+    }
+    override_model.unstable.clear();
+    override_model.locally_stable.clear();
+    let expected_override = fx
+        .trace
+        .check(&override_model, &override_model.settings)
+        .expect("offline check under override");
+    assert_ne!(
+        fx.expected, expected_override,
+        "the override must actually change the verdict"
+    );
+
+    let dir = scratch_dir("modeldir");
+    let models = dir.join("models");
+    std::fs::create_dir_all(&models).expect("mkdir models");
+    override_model
+        .save(models.join("custom.hmdm"))
+        .expect("save override model");
+
+    let mut config = ServeConfig::new(fx.model.clone());
+    config.model_dir = Some(models);
+    let server = Server::start(config, "127.0.0.1:0", "127.0.0.1:0").expect("start daemon");
+    let ingest = server.ingest_addr().to_string();
+    push_trace(&ingest, "custom", &fx.trace).expect("push custom");
+    push_trace(&ingest, "vanilla", &fx.trace).expect("push vanilla");
+
+    let fleet = server.fleet();
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            let snap = fleet.snapshot();
+            snap.tenants_total == 2 && snap.connected == 0
+        }),
+        "daemon never drained"
+    );
+    server.shutdown();
+    let summary = server.wait();
+    let custom = summary.tenants.get("custom").expect("custom outcome");
+    assert_eq!(
+        custom.bugs, expected_override,
+        "tenant with an override checks against <model_dir>/custom.hmdm"
+    );
+    let vanilla = summary.tenants.get("vanilla").expect("vanilla outcome");
+    assert_eq!(
+        vanilla.bugs, fx.expected,
+        "tenant without an override falls back to the shared model"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
