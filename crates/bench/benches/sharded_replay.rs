@@ -1,0 +1,100 @@
+//! Sharded single-trace ingestion (PR 8): the fused decode→ingest
+//! engine, the address-partitioned shard driver at 2/4/8 worker
+//! shards, and the mmap zero-copy open path, all against the PR 5
+//! pipelined engine (`replay_pipelined`, the `before` phase in
+//! BENCH_PR8.json).
+//!
+//! The acceptance bar is ≥3× the PR 5 `replay_binary` baseline
+//! (7.43M events/s → ≥22.3M) for the best single-trace engine. On a
+//! single-core host that is the fused path; the shard driver's worker
+//! threads only pay off with real cores, so its numbers here document
+//! coordination overhead, not scaling (see DESIGN.md §13).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use heapmd::{BinaryTraceImage, Process, Settings, Trace};
+use sim_heap::{Addr, NULL};
+
+/// Mutator ops behind the bench trace; ~4.3 heap events each, the same
+/// list-churn loop as `trace_codec` so numbers are comparable.
+const OPS: usize = 6_000;
+
+fn churn_trace() -> Trace {
+    let settings = Settings::builder().frq(100).build().unwrap();
+    let mut p = Process::new(settings);
+    p.enable_trace();
+    let mut head = NULL;
+    let mut live: Vec<Addr> = Vec::new();
+    for i in 0..OPS {
+        p.enter("loop_body");
+        let a = p.malloc(24, "node").unwrap();
+        if !head.is_null() {
+            p.write_ptr(a.offset(8), head).unwrap();
+        }
+        head = a;
+        live.push(a);
+        if i % 4 == 3 {
+            let victim = live.swap_remove(i % live.len());
+            if victim != head {
+                p.free(victim).unwrap();
+            }
+        }
+        p.leave();
+    }
+    let mut trace = p.take_trace().unwrap();
+    trace.set_functions(vec!["loop_body".into()]);
+    trace
+}
+
+fn bench_sharded_replay(c: &mut Criterion) {
+    let trace = churn_trace();
+    let events = trace.len() as u64;
+    let binary = trace.encode_binary();
+    let settings = Settings::builder().frq(100).build().unwrap();
+    let image = BinaryTraceImage::open(binary.clone()).unwrap();
+
+    let dir = std::env::temp_dir().join("heapmd-sharded-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("churn.hmdt");
+    trace.save_binary(&path).unwrap();
+
+    let mut group = c.benchmark_group("sharded_replay");
+    group.throughput(Throughput::Elements(events));
+
+    // The PR 5 pipelined engine — the `before` baseline.
+    group.bench_function("replay_pipelined", |b| {
+        b.iter(|| heapmd::replay_binary(&image, &settings, "bench").unwrap())
+    });
+
+    // The fused single-thread decode→ingest engine (`--shards 1`).
+    group.bench_function("replay_fused", |b| {
+        b.iter(|| heapmd::replay_binary_fused(&image, &settings, "bench").unwrap())
+    });
+
+    // The shard driver: router decodes and routes, N workers own the
+    // degree-counting state, barrier merge at every sample point.
+    for shards in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("replay_shards", shards), |b| {
+            b.iter(|| heapmd::replay_binary_sharded(&image, &settings, "bench", shards).unwrap())
+        });
+    }
+
+    // File-to-report, open included: mmap zero-copy vs buffered read.
+    group.bench_function("replay_mmap", |b| {
+        b.iter(|| {
+            let image = BinaryTraceImage::open_path(&path).unwrap();
+            assert!(image.is_mapped());
+            heapmd::replay_binary_fused(&image, &settings, "bench").unwrap()
+        })
+    });
+    group.bench_function("replay_buffered", |b| {
+        b.iter(|| {
+            let image = BinaryTraceImage::open_path_buffered(&path).unwrap();
+            heapmd::replay_binary_fused(&image, &settings, "bench").unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_replay);
+criterion_main!(benches);

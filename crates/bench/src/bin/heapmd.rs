@@ -2,17 +2,19 @@
 //!
 //! ```text
 //! heapmd list                                   # programs and catalogued bugs
-//! heapmd run <program> [--input K] [--version V] [--bug FAULT] [--trace-out FILE]
+//! heapmd run <program> [--input K] [--version V] [--bug FAULT] [--shards N]
+//!                      [--trace-out FILE]
 //!                      [--format binary|jsonl] [--model FILE] [--incidents DIR]
 //! heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]
 //!                        [--checkpoint-every N] [--resume] [--threads N]
 //!                        [--format binary|jsonl]
 //! heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT]
-//!                        [--incidents DIR]
-//! heapmd check --model FILE --trace FILE [--trace FILE …] [--jobs N] [--salvage]
+//!                        [--shards N] [--incidents DIR]
+//! heapmd check --model FILE --trace FILE [--trace FILE …] [--jobs N] [--shards N]
+//!              [--salvage]
 //! heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT]
 //!                         [--format binary|jsonl] [--stream]
-//! heapmd replay --model FILE --trace FILE [--salvage] [--format binary|jsonl]
+//! heapmd replay --model FILE --trace FILE [--salvage] [--shards N] [--format binary|jsonl]
 //! heapmd inspect <artifact> [--salvage]         # bundle or trace, by magic
 //! heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N]
 //!              [--queue-events N] [--incidents DIR] [--prom-dump FILE]
@@ -153,6 +155,21 @@ fn format_flag(args: &[String]) -> Option<StreamFormat> {
     })
 }
 
+/// The `--shards N` heap-graph shard count for `run`/`check`/`replay`:
+/// defaults to the core count (1 on single-core hosts — the legacy
+/// single-slab layout). Observables are bit-identical at every value.
+fn shards_flag(args: &[String]) -> usize {
+    match arg_value(args, "--shards") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--shards expects a number, got {v:?}");
+            std::process::exit(2);
+        }),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
 /// Removes `flag` and its value from `args`, returning the value.
 fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
@@ -167,7 +184,7 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--trace-out FILE] [--format binary|jsonl] [--model FILE] [--incidents DIR] [--serve ADDR [--tenant NAME] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N] [--format binary|jsonl]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--incidents DIR]\n  heapmd check --model FILE --trace FILE [--trace FILE ...] [--jobs N] [--salvage]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--format binary|jsonl] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage] [--format binary|jsonl]\n  heapmd inspect <artifact> [--salvage]\n  heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N] [--queue-events N] [--incidents DIR] [--prom-dump FILE] [--journal-dir DIR] [--model-dir DIR] [--session-timeout-ms N]\n  heapmd top --connect ADDR [--once] [--interval-ms N]\n  heapmd push --to ADDR --tenant NAME --trace FILE [--salvage] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
+        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--shards N] [--trace-out FILE] [--format binary|jsonl] [--model FILE] [--incidents DIR] [--serve ADDR [--tenant NAME] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N] [--format binary|jsonl]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--shards N] [--incidents DIR]\n  heapmd check --model FILE --trace FILE [--trace FILE ...] [--jobs N] [--shards N] [--salvage]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--format binary|jsonl] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage] [--shards N] [--format binary|jsonl]\n  heapmd inspect <artifact> [--salvage]\n  heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N] [--queue-events N] [--incidents DIR] [--prom-dump FILE] [--journal-dir DIR] [--model-dir DIR] [--session-timeout-ms N]\n  heapmd top --connect ADDR [--once] [--interval-ms N]\n  heapmd push --to ADDR --tenant NAME --trace FILE [--salvage] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
     );
     std::process::exit(2);
 }
@@ -215,11 +232,13 @@ fn cmd_run(args: &[String]) -> i32 {
     };
     let settings = settings_for(w.as_ref());
     let mut plan = fault_plan_for(args);
+    let shards = shards_flag(args);
+    workloads::harness::set_default_shards(shards);
     info!(
-        "running {program} v{version} on input {input_id} (frq {})",
+        "running {program} v{version} on input {input_id} (frq {}, {shards} graph shard(s))",
         settings.frq
     );
-    let mut p = Process::new(settings.clone());
+    let mut p = Process::with_shards(settings.clone(), shards);
     // With a model, the run doubles as a flight-recorded check: the
     // detector rides along and emits incident bundles when it fires.
     let detector = match &model_path {
@@ -501,6 +520,9 @@ fn cmd_check(args: &[String]) -> i32 {
         }
     };
     let mut plan = fault_plan_for(args);
+    // The harness builds the process; route the shard count through
+    // its process factory (verdicts are shard-invariant).
+    workloads::harness::set_default_shards(shards_flag(args));
     let bugs = match arg_value(args, "--incidents") {
         Some(dir) => {
             let outcome = check_with_incidents(
@@ -543,6 +565,13 @@ fn cmd_check_offline(args: &[String], trace_paths: &[String]) -> i32 {
     };
     let jobs: usize = num_flag(args, "--jobs", "a number", 1usize);
     let salvage = args.iter().any(|a| a == "--salvage");
+    // Explicit `--shards N` forces that many intra-trace shards per
+    // binary check; without it the pool splits idle capacity itself
+    // (jobs > traces), so pass 0 = auto.
+    let shards = match arg_value(args, "--shards") {
+        Some(_) => shards_flag(args),
+        None => 0,
+    };
     let model = match HeapModel::load(&model_path) {
         Ok(m) => m,
         Err(e) => {
@@ -553,7 +582,8 @@ fn cmd_check_offline(args: &[String], trace_paths: &[String]) -> i32 {
     let settings = model.settings.clone();
     let paths: Vec<PathBuf> = trace_paths.iter().map(PathBuf::from).collect();
     info!("checking {} trace(s) with {jobs} job(s)", paths.len());
-    let results = heapmd::check_paths_parallel(&paths, &model, &settings, jobs, salvage);
+    let results =
+        heapmd::check_paths_parallel_sharded(&paths, &model, &settings, jobs, salvage, shards);
     let (mut failed, mut anomalies) = (false, false);
     for (path, result) in trace_paths.iter().zip(results) {
         match result {
@@ -944,21 +974,25 @@ fn cmd_replay(args: &[String]) -> i32 {
             }
         },
     };
-    // Strict binary replay streams through the pipelined engine —
-    // blocks decode on a worker thread while the detector consumes
-    // them here — without materializing an in-memory `Trace`.
+    // Strict binary replay memory-maps the file (zero-copy block
+    // decode; falls back to a buffered read where mmap is unavailable)
+    // and ingests through the sharded graph image — without
+    // materializing an in-memory `Trace`.
     let checked = if kind == ArtifactKind::BinaryTrace && !salvage {
-        std::fs::read(&trace_path)
-            .map_err(heapmd::HeapMdError::from)
-            .and_then(BinaryTraceImage::open)
-            .and_then(|image| {
-                info!(
-                    "replaying {} events (pipelined, {} blocks)",
-                    image.index().total_events,
-                    image.index().blocks.len()
-                );
-                heapmd::check_binary(&image, &model, &settings)
-            })
+        let shards = shards_flag(args);
+        BinaryTraceImage::open_path(&trace_path).and_then(|image| {
+            info!(
+                "replaying {} events ({} blocks, {}, {shards} graph shard(s))",
+                image.index().total_events,
+                image.index().blocks.len(),
+                if image.is_mapped() {
+                    "mmap"
+                } else {
+                    "buffered"
+                },
+            );
+            heapmd::check_binary_sharded(&image, &model, &settings, shards)
+        })
     } else {
         let loaded = match kind {
             ArtifactKind::BinaryTrace => {

@@ -76,6 +76,7 @@ mod report;
 mod ringbuf;
 pub mod serve;
 mod settings;
+mod shard_replay;
 mod stability;
 mod trace;
 mod trace_codec;
@@ -108,13 +109,15 @@ pub use serve::{
     Server, SessionClient, SessionOptions, TenantOutcome, SERVE_PREAMBLE, SERVE_PREAMBLE_V2,
 };
 pub use settings::{Settings, SettingsBuilder};
+pub use shard_replay::replay_binary_sharded;
 pub use stability::{classify, StabilityClass};
 pub use trace::{Trace, TraceCheckOutcome};
 pub use trace_codec::{
-    check_binary, check_paths_parallel, check_traces_parallel, load_trace_auto, replay_binary,
-    sniff_bytes, sniff_file, ArtifactKind, BinaryTraceImage, BinaryTraceReader, BinaryTraceWriter,
-    BlockEntry, BlockIndex, StreamFormat, WireFrame, WireReader, BINARY_FORMAT_VERSION,
-    BINARY_MAGIC, EVENTS_PER_BLOCK,
+    check_binary, check_binary_sharded, check_paths_parallel, check_paths_parallel_sharded,
+    check_traces_parallel, load_trace_auto, replay_binary, replay_binary_fused, sniff_bytes,
+    sniff_file, ArtifactKind, BinaryTraceImage, BinaryTraceReader, BinaryTraceWriter, BlockEntry,
+    BlockIndex, StreamFormat, WireFrame, WireReader, BINARY_FORMAT_VERSION, BINARY_MAGIC,
+    EVENTS_PER_BLOCK,
 };
 pub use trace_stream::{frame_record, SalvageStats, TraceReader, TraceWriter, STREAM_MAGIC};
 pub use values::{LocationSummary, ValueProfile};

@@ -2,15 +2,16 @@
 
 use crate::callstack::{FuncId, FunctionTable};
 use crate::report::MetricSample;
-use heap_graph::HeapGraph;
+use heap_graph::GraphImage;
 use heapmd_obs::SeriesRecorder;
 use sim_heap::{HeapEvent, SimHeap};
 
 /// Read-only view of the execution state handed to monitors.
 #[derive(Debug)]
 pub struct MonitorCtx<'a> {
-    /// The heap-graph image maintained by the execution logger.
-    pub graph: &'a HeapGraph,
+    /// The heap-graph image maintained by the execution logger
+    /// (single-slab or sharded; identical observables either way).
+    pub graph: &'a GraphImage,
     /// The simulated heap (object table, staleness ticks).
     pub heap: &'a SimHeap,
     /// The current call stack, outermost first.

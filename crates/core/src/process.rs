@@ -8,7 +8,7 @@ use crate::settings::Settings;
 use crate::trace::Trace;
 use crate::trace_codec::{BinaryTraceWriter, StreamFormat};
 use crate::trace_stream::TraceWriter;
-use heap_graph::HeapGraph;
+use heap_graph::GraphImage;
 use heapmd_obs::SeriesRecorder;
 use sim_heap::{Addr, AllocSite, HeapError, HeapEvent, SimHeap, NULL};
 use std::cell::RefCell;
@@ -23,7 +23,7 @@ use std::rc::Rc;
 /// `free`, `write_ptr`, `enter`/`leave`, …). The process:
 ///
 /// * forwards each operation to the [`SimHeap`];
-/// * keeps the [`HeapGraph`] image in sync;
+/// * keeps the heap-graph image ([`GraphImage`]) in sync;
 /// * counts function entries and, once every `settings.frq` of them,
 ///   records a [`MetricSample`] (a *metric computation point*);
 /// * fans events and samples out to attached [`Monitor`]s (the anomaly
@@ -50,7 +50,7 @@ use std::rc::Rc;
 /// ```
 pub struct Process {
     heap: SimHeap,
-    graph: HeapGraph,
+    graph: GraphImage,
     funcs: FunctionTable,
     stack: Vec<FuncId>,
     sites: HashMap<String, AllocSite>,
@@ -78,9 +78,17 @@ pub struct Process {
 impl Process {
     /// Creates a fresh process under the given settings.
     pub fn new(settings: Settings) -> Self {
+        Process::with_shards(settings, 1)
+    }
+
+    /// Creates a process whose heap-graph image is partitioned into
+    /// `shards` address-range shards (1 = the classic single-slab
+    /// graph). Shard count changes storage layout only: samples,
+    /// histograms, and metrics are bit-identical across counts.
+    pub fn with_shards(settings: Settings, shards: usize) -> Self {
         Process {
             heap: SimHeap::new(),
-            graph: HeapGraph::new(),
+            graph: GraphImage::new(shards),
             funcs: FunctionTable::new(),
             stack: Vec::new(),
             sites: HashMap::new(),
@@ -214,7 +222,7 @@ impl Process {
     }
 
     /// The heap-graph image (read-only).
-    pub fn graph(&self) -> &HeapGraph {
+    pub fn graph(&self) -> &GraphImage {
         &self.graph
     }
 
@@ -461,7 +469,7 @@ impl Process {
     ///
     /// When no monitors, trace recorder, or stream sink are attached,
     /// graph mutations between sampling points are applied through
-    /// [`HeapGraph::apply_batch`], amortizing per-event dispatch;
+    /// [`heap_graph::HeapGraph::apply_batch`], amortizing per-event dispatch;
     /// throughput is reported via the `process_ingest` obs stage.
     pub fn apply_batch(&mut self, events: &[HeapEvent]) {
         let fast = self.monitors.is_empty() && self.trace.is_none() && self.stream.is_none();
@@ -600,6 +608,7 @@ impl Process {
 
     fn sample(&mut self) {
         let _span = heapmd_obs::span!("metric_computation_point");
+        self.graph.reconcile();
         let ext = self.graph.extended_metrics();
         let sample = MetricSample {
             seq: self.samples.len(),

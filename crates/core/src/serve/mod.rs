@@ -551,9 +551,25 @@ fn finalize(
     outcome
 }
 
+/// Replayers a shard loop keeps warm for reuse; beyond this, finished
+/// streams' replayers are dropped instead of pooled.
+const REPLAYER_POOL_CAP: usize = 8;
+
 fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<TenantOutcome> {
     let mut tenants: BTreeMap<String, ShardTenant> = BTreeMap::new();
     let mut outcomes = Vec::new();
+    // Recycled replayers: a finished stream's replayer goes back here
+    // (graph slabs and shadow pages intact) and the next Start reuses
+    // it instead of allocating cold.
+    let mut replayer_pool: Vec<Replayer> = Vec::new();
+    let recycle = |t: &mut ShardTenant, pool: &mut Vec<Replayer>| {
+        if pool.len() < REPLAYER_POOL_CAP {
+            let settings = t.model.settings.clone();
+            let mut r = std::mem::replace(&mut t.replayer, Replayer::new(settings.clone(), &[]));
+            r.reset(settings, &[]);
+            pool.push(r);
+        }
+    };
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Start {
@@ -569,12 +585,20 @@ fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<Tena
                 if resume && tenants.contains_key(&tenant) {
                     continue;
                 }
+                let replayer = match replayer_pool.pop() {
+                    Some(mut r) => {
+                        r.reset(model.settings.clone(), &[]);
+                        heapmd_obs::count!("serve_replayer_pool_reuse_total");
+                        r
+                    }
+                    None => Replayer::new(model.settings.clone(), &[]),
+                };
                 let state = ShardTenant {
                     stats,
                     pending,
                     events: Vec::new(),
                     functions: Vec::new(),
-                    replayer: Replayer::new(model.settings.clone(), &[]),
+                    replayer,
                     last_out: vec![false; model.stable.len()],
                     model,
                     window_start: Instant::now(),
@@ -625,9 +649,10 @@ fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<Tena
                 index,
                 cleanup,
             } => {
-                let Some(t) = tenants.remove(&tenant) else {
+                let Some(mut t) = tenants.remove(&tenant) else {
                     continue;
                 };
+                recycle(&mut t, &mut replayer_pool);
                 if t.events.len() as u64 != index.total_events {
                     let reason = format!(
                         "index declares {} events, stream carried {}",
@@ -659,9 +684,10 @@ fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<Tena
                 evict,
                 cleanup,
             } => {
-                let Some(t) = tenants.remove(&tenant) else {
+                let Some(mut t) = tenants.remove(&tenant) else {
                     continue;
                 };
+                recycle(&mut t, &mut replayer_pool);
                 let evicted = evict.then_some(reason);
                 outcomes.push(finalize(
                     t,

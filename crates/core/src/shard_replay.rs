@@ -1,0 +1,270 @@
+//! Sharded single-trace replay: parallel degree accounting behind a
+//! sequential router.
+//!
+//! The heap-graph's *relational* state (address resolution, slot
+//! re-binding, dangling bookkeeping) is serially entangled — event N's
+//! effect depends on the exact graph left by event N-1, across shard
+//! boundaries. Its *counting* state (per-shard degree histograms) is
+//! not: histogram updates commute into per-shard streams that can be
+//! applied by independent workers and merged exactly at metric
+//! computation points (see `DESIGN.md` §13).
+//!
+//! This driver exploits that split. The calling thread is the
+//! **router**: it decodes `.hmdt` blocks (zero-copy from the mmap'd
+//! image), applies every event to a detached [`ShardedGraph`], and
+//! ships the buffered per-shard [`DegreeOp`] batches over bounded
+//! channels to one worker thread per shard. Workers own their shard's
+//! [`DegreeHistogram`] and record per-shard busy time through the
+//! `shard_worker_{i}` observability stage counters. At every metric
+//! computation point the router runs a **barrier merge**: it flushes
+//! pending ops, collects each worker's histogram, merges them (exact —
+//! shards partition the node set), installs the merge, and samples.
+//!
+//! Samples are bit-identical to [`replay_binary_fused`] at every shard
+//! count: per-shard op order equals router order, the barrier drains
+//! every queue before reading, and node/edge/dangling counts never
+//! leave the router.
+
+use std::sync::mpsc;
+
+use heap_graph::{DegreeHistogram, DegreeOp, ShardedGraph, MAX_SHARDS};
+use sim_heap::HeapEvent;
+
+use crate::error::HeapMdError;
+use crate::report::{MetricReport, MetricSample};
+use crate::settings::Settings;
+use crate::trace_codec::{
+    replay_binary_fused, validate_block_function_ids, BinaryTraceImage, EVENTS_PER_BLOCK,
+};
+
+/// Bound of each per-shard op channel, in batches. Deep enough to keep
+/// workers busy across a decode stall; shallow enough that a slow
+/// worker exerts backpressure instead of ballooning memory.
+const SHARD_CHANNEL_DEPTH: usize = 4;
+
+enum ShardMsg {
+    /// A batch of degree ops to fold into the worker's histogram.
+    Ops(Vec<DegreeOp>),
+    /// Barrier: send the current histogram back to the router.
+    Report,
+}
+
+/// Replays a binary trace image through the sharded ingestion pipeline:
+/// router-decoded blocks, per-shard degree workers, barrier merges at
+/// metric computation points.
+///
+/// `shards <= 1` delegates to the fused single-slab engine
+/// ([`replay_binary_fused`]); shard counts above the supported maximum
+/// are clamped. The report is bit-identical at every shard count.
+///
+/// # Errors
+///
+/// [`HeapMdError::Corrupt`] on block damage,
+/// [`HeapMdError::InvalidInput`] on out-of-table function ids.
+pub fn replay_binary_sharded(
+    image: &BinaryTraceImage,
+    settings: &Settings,
+    run: impl Into<String>,
+    shards: usize,
+) -> Result<MetricReport, HeapMdError> {
+    if shards <= 1 {
+        return replay_binary_fused(image, settings, run);
+    }
+    let n = shards.min(MAX_SHARDS);
+    let functions = image.functions()?;
+    let table_len = functions.len();
+    let run = run.into();
+    let frq = settings.frq;
+
+    std::thread::scope(|scope| -> Result<MetricReport, HeapMdError> {
+        let mut op_txs = Vec::with_capacity(n);
+        let mut hist_rxs = Vec::with_capacity(n);
+        for w in 0..n {
+            let (op_tx, op_rx) = mpsc::sync_channel::<ShardMsg>(SHARD_CHANNEL_DEPTH);
+            let (hist_tx, hist_rx) = mpsc::channel::<DegreeHistogram>();
+            scope.spawn(move || {
+                let mut hist = DegreeHistogram::new();
+                let stage = format!("shard_worker_{w}");
+                while let Ok(msg) = op_rx.recv() {
+                    match msg {
+                        ShardMsg::Ops(ops) => {
+                            let clock = heapmd_obs::throughput::stage_clock();
+                            for op in &ops {
+                                op.apply(&mut hist);
+                            }
+                            if let Some(t0) = clock {
+                                heapmd_obs::throughput::record_stage(
+                                    &stage,
+                                    ops.len() as u64,
+                                    t0.elapsed().as_nanos() as u64,
+                                );
+                            }
+                        }
+                        ShardMsg::Report => {
+                            if hist_tx.send(hist.clone()).is_err() {
+                                return; // router bailed on an error
+                            }
+                        }
+                    }
+                }
+            });
+            op_txs.push(op_tx);
+            hist_rxs.push(hist_rx);
+        }
+
+        let mut graph = ShardedGraph::new_detached(n);
+        let mut fn_entries: u64 = 0;
+        let mut ingested: u64 = 0;
+        let mut samples: Vec<MetricSample> = Vec::new();
+        let mut buf: Vec<HeapEvent> = Vec::with_capacity(EVENTS_PER_BLOCK);
+
+        let result = (|| -> Result<(), HeapMdError> {
+            for entry in image.event_blocks() {
+                image.decode_block_into(entry, &mut buf)?;
+                if table_len > 0 {
+                    validate_block_function_ids(&buf, table_len)?;
+                }
+                // Replayer::ingest_batch, detached flavor: graph spans
+                // between function entries, sample on frq boundaries.
+                let base = ingested;
+                let mut batch_start = 0usize;
+                for (i, ev) in buf.iter().enumerate() {
+                    if let HeapEvent::FnEnter { .. } = ev {
+                        graph.apply_batch(&buf[batch_start..i]);
+                        batch_start = i + 1;
+                        fn_entries += 1;
+                        if fn_entries.is_multiple_of(frq) {
+                            barrier_merge(&mut graph, &op_txs, &hist_rxs);
+                            let ext = graph.extended_metrics();
+                            samples.push(MetricSample {
+                                seq: samples.len(),
+                                fn_entries,
+                                tick: base + i as u64 + 1,
+                                metrics: graph.metrics(),
+                                nodes: ext.nodes,
+                                edges: ext.edges,
+                                dangling: ext.dangling_slots,
+                            });
+                        }
+                    }
+                }
+                graph.apply_batch(&buf[batch_start..]);
+                ingested = base + buf.len() as u64;
+                // Ship the block's remaining ops so workers run ahead
+                // of the next decode.
+                flush_ops(&mut graph, &op_txs);
+            }
+            Ok(())
+        })();
+        drop(op_txs); // workers drain their queues and exit
+        result?;
+        Ok(MetricReport::new(run, samples))
+    })
+}
+
+/// Sends any buffered per-shard op batches to their workers.
+fn flush_ops(graph: &mut ShardedGraph, op_txs: &[mpsc::SyncSender<ShardMsg>]) {
+    for (sh, ops) in graph.take_pending_ops().into_iter().enumerate() {
+        if !ops.is_empty() {
+            op_txs[sh]
+                .send(ShardMsg::Ops(ops))
+                .expect("shard worker outlives the router");
+        }
+    }
+}
+
+/// Barrier at a metric computation point: flush every queue, collect
+/// every worker's histogram, install the exact merge.
+fn barrier_merge(
+    graph: &mut ShardedGraph,
+    op_txs: &[mpsc::SyncSender<ShardMsg>],
+    hist_rxs: &[mpsc::Receiver<DegreeHistogram>],
+) {
+    for (sh, ops) in graph.take_pending_ops().into_iter().enumerate() {
+        if !ops.is_empty() {
+            op_txs[sh]
+                .send(ShardMsg::Ops(ops))
+                .expect("shard worker outlives the router");
+        }
+        op_txs[sh]
+            .send(ShardMsg::Report)
+            .expect("shard worker outlives the router");
+    }
+    let mut merged = DegreeHistogram::new();
+    for rx in hist_rxs {
+        merged.merge(&rx.recv().expect("shard worker outlives the router"));
+    }
+    graph.install_merged_histogram(merged);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Process;
+    use crate::trace::Trace;
+
+    fn churn_trace(frq: u64) -> (Trace, Settings) {
+        let settings = Settings::builder()
+            .frq(frq)
+            .build()
+            .expect("valid settings");
+        let mut p = Process::new(settings.clone());
+        p.enable_trace();
+        let mut ring: Vec<sim_heap::Addr> = Vec::new();
+        for i in 0..600usize {
+            p.enter(if i % 3 == 0 { "grow" } else { "link" });
+            let a = p.malloc(24 + (i % 5) * 8, "node").expect("alloc");
+            if let Some(&prev) = ring.last() {
+                p.write_ptr(a.offset(8), prev).expect("link");
+            }
+            ring.push(a);
+            if i % 4 == 3 {
+                let victim = ring.remove(ring.len() / 2);
+                p.free(victim).expect("free");
+            }
+            p.leave();
+        }
+        let mut trace = p.take_trace().expect("tracing enabled");
+        let names: Vec<String> = (0..p.functions().len())
+            .map(|i| {
+                p.functions()
+                    .name(crate::callstack::FuncId(i as u32))
+                    .to_string()
+            })
+            .collect();
+        trace.set_functions(names);
+        (trace, settings)
+    }
+
+    #[test]
+    fn sharded_replay_is_bit_identical_to_fused() {
+        let (trace, settings) = churn_trace(10);
+        let image = BinaryTraceImage::open(trace.encode_binary()).expect("encode");
+        let fused = replay_binary_fused(&image, &settings, "run").expect("fused");
+        for shards in [2usize, 3, 8] {
+            let sharded = replay_binary_sharded(&image, &settings, "run", shards).expect("sharded");
+            assert_eq!(
+                sharded.samples, fused.samples,
+                "shards={shards} diverged from fused replay"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_one_uses_fused_engine() {
+        let (trace, settings) = churn_trace(25);
+        let image = BinaryTraceImage::open(trace.encode_binary()).expect("encode");
+        let a = replay_binary_sharded(&image, &settings, "run", 1).expect("one");
+        let b = replay_binary_fused(&image, &settings, "run").expect("fused");
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn oversized_shard_count_is_clamped_not_rejected() {
+        let (trace, settings) = churn_trace(50);
+        let image = BinaryTraceImage::open(trace.encode_binary()).expect("encode");
+        let big = replay_binary_sharded(&image, &settings, "run", MAX_SHARDS * 4).expect("big");
+        let fused = replay_binary_fused(&image, &settings, "run").expect("fused");
+        assert_eq!(big.samples, fused.samples);
+    }
+}

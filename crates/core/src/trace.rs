@@ -15,7 +15,7 @@ use crate::model::HeapModel;
 use crate::monitor::{Monitor, MonitorCtx};
 use crate::report::{MetricReport, MetricSample};
 use crate::settings::Settings;
-use heap_graph::HeapGraph;
+use heap_graph::GraphImage;
 use serde::{Deserialize, Serialize};
 use sim_heap::{HeapEvent, SimHeap};
 use std::path::{Path, PathBuf};
@@ -249,7 +249,7 @@ pub struct TraceCheckOutcome {
 /// global event offset so samples land with the same `tick` whether the
 /// stream arrives as one slice or as decoded blocks.
 pub(crate) struct Replayer {
-    graph: HeapGraph,
+    graph: GraphImage,
     /// An empty heap stands in for the traced process's; monitors only
     /// use it for the logical clock, which we advance per event.
     heap: SimHeap,
@@ -266,12 +266,23 @@ pub(crate) struct Replayer {
 
 impl Replayer {
     pub(crate) fn new(settings: Settings, function_names: &[String]) -> Self {
+        Replayer::with_shards(settings, function_names, 1)
+    }
+
+    /// A replayer whose graph image is partitioned into `shards`
+    /// address-range shards (1 = the classic single-slab graph; the
+    /// observables are bit-identical either way).
+    pub(crate) fn with_shards(
+        settings: Settings,
+        function_names: &[String],
+        shards: usize,
+    ) -> Self {
         let mut funcs = FunctionTable::new();
         for name in function_names {
             funcs.intern(name);
         }
         Replayer {
-            graph: HeapGraph::new(),
+            graph: GraphImage::new(shards),
             heap: SimHeap::new(),
             funcs,
             stack: Vec::new(),
@@ -281,6 +292,25 @@ impl Replayer {
             tick: 0,
             ingested: 0,
         }
+    }
+
+    /// Returns the replayer to its just-constructed state while
+    /// retaining graph capacity (slot slabs, shadow pages, id index):
+    /// the serve daemon's shard pools recycle replayers across tenant
+    /// streams this way instead of allocating one per stream.
+    pub(crate) fn reset(&mut self, settings: Settings, function_names: &[String]) {
+        self.graph.reset();
+        self.heap = SimHeap::new();
+        self.funcs = FunctionTable::new();
+        for name in function_names {
+            self.funcs.intern(name);
+        }
+        self.stack.clear();
+        self.settings = settings;
+        self.fn_entries = 0;
+        self.samples.clear();
+        self.tick = 0;
+        self.ingested = 0;
     }
 
     /// Hands over the samples recorded so far.
@@ -298,6 +328,7 @@ impl Replayer {
 
     /// Records a metric computation point from the current graph state.
     fn take_sample(&mut self) -> MetricSample {
+        self.graph.reconcile();
         let ext = self.graph.extended_metrics();
         let sample = MetricSample {
             seq: self.samples.len(),
@@ -313,7 +344,7 @@ impl Replayer {
     }
 
     /// Monitor-free replay: graph mutations between function entries
-    /// apply through [`HeapGraph::apply_batch`], amortizing dispatch.
+    /// apply through [`heap_graph::HeapGraph::apply_batch`], amortizing dispatch.
     ///
     /// Equivalent to [`step`](Self::step)-ing each event with no
     /// monitors: samples land at the same function-entry boundaries
@@ -484,6 +515,28 @@ mod tests {
                 whole.samples,
                 r.take_samples(),
                 "chunk size {chunk} must not change the replay"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_replayer_reproduces_a_fresh_one() {
+        let (trace, _) = traced_run(5, 120);
+        let settings = Settings::builder().frq(5).build().unwrap();
+        for shards in [1usize, 4] {
+            let mut fresh = Replayer::with_shards(settings.clone(), trace.functions(), shards);
+            fresh.ingest_batch(trace.events());
+            let want = fresh.take_samples();
+            // Dirty a replayer with a different stream, then reset it.
+            let (other, _) = traced_run(3, 77);
+            let mut reused = Replayer::with_shards(settings.clone(), other.functions(), shards);
+            reused.ingest_batch(other.events());
+            reused.reset(settings.clone(), trace.functions());
+            reused.ingest_batch(trace.events());
+            assert_eq!(
+                reused.take_samples(),
+                want,
+                "reset replayer diverged (shards={shards})"
             );
         }
     }

@@ -157,6 +157,20 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 
 #[inline]
 fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    // Delta encoding makes 1-byte varints the overwhelmingly common
+    // case (consecutive ids/addresses differ by small amounts); decode
+    // them without entering the loop.
+    if let Some(&b) = bytes.get(*pos) {
+        if b < 0x80 {
+            *pos += 1;
+            return Ok(u64::from(b));
+        }
+    }
+    get_varint_multi(bytes, pos)
+}
+
+#[cold]
+fn get_varint_multi(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -704,11 +718,33 @@ impl<W: Write> BinaryTraceWriter<W> {
 /// Strict / salvage reader for the binary format.
 pub struct BinaryTraceReader;
 
+/// Backing storage of a [`BinaryTraceImage`]: bytes we copied into the
+/// process, or a zero-copy kernel mapping of the trace file.
+enum ImageBytes {
+    /// Heap-owned bytes (read into memory, or encoded in memory).
+    Owned(Vec<u8>),
+    /// Read-only `mmap(2)` view; blocks decode straight out of the page
+    /// cache without a user-space copy of the file.
+    Mapped(heapmd_mapfile::Mmap),
+}
+
+impl std::ops::Deref for ImageBytes {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        match self {
+            ImageBytes::Owned(v) => v,
+            ImageBytes::Mapped(m) => m,
+        }
+    }
+}
+
 /// A fully parsed binary trace image: raw bytes plus the verified
 /// index, ready for block-at-a-time decoding (sequential or split
 /// across workers).
 pub struct BinaryTraceImage {
-    bytes: Vec<u8>,
+    bytes: ImageBytes,
     index: BlockIndex,
 }
 
@@ -722,6 +758,56 @@ impl BinaryTraceImage {
     /// Returns [`HeapMdError::Corrupt`] with the byte offset of the
     /// first structural violation.
     pub fn open(bytes: Vec<u8>) -> Result<Self, HeapMdError> {
+        Self::open_bytes(ImageBytes::Owned(bytes))
+    }
+
+    /// Opens the trace at `path` with a zero-copy `mmap` view of the
+    /// file, falling back to a buffered read when mapping fails (or on
+    /// targets without `mmap`). Structural verification is identical to
+    /// [`open`](Self::open).
+    ///
+    /// Safe because traces are published atomically (write-to-temp +
+    /// rename): a mapped file is never mutated in place by this
+    /// codebase's writers. See the `heapmd-mapfile` crate docs for the
+    /// full argument.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapMdError::Io`] when unreadable, [`HeapMdError::Corrupt`] on
+    /// structural damage.
+    pub fn open_path(path: impl AsRef<Path>) -> Result<Self, HeapMdError> {
+        let file = std::fs::File::open(path.as_ref())?;
+        match heapmd_mapfile::Mmap::map(&file) {
+            Ok(map) => {
+                heapmd_obs::count!("heapmd_trace_mmap_opens_total");
+                Self::open_bytes(ImageBytes::Mapped(map))
+            }
+            Err(_) => {
+                heapmd_obs::count!("heapmd_trace_mmap_fallbacks_total");
+                drop(file);
+                Self::open_path_buffered(path)
+            }
+        }
+    }
+
+    /// Opens the trace at `path` through a plain buffered read (no
+    /// mapping), for callers that cannot rely on the atomic-publish
+    /// discipline or want mmap-vs-buffered differential coverage.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapMdError::Io`] / [`HeapMdError::Corrupt`].
+    pub fn open_path_buffered(path: impl AsRef<Path>) -> Result<Self, HeapMdError> {
+        Self::open_bytes(ImageBytes::Owned(std::fs::read(path)?))
+    }
+
+    /// Whether the image reads from a kernel mapping rather than owned
+    /// memory.
+    pub fn is_mapped(&self) -> bool {
+        matches!(&self.bytes, ImageBytes::Mapped(m) if m.is_mapped())
+    }
+
+    fn open_bytes(bytes: ImageBytes) -> Result<Self, HeapMdError> {
         check_header(&bytes)?;
         let index_offset = parse_footer(&bytes)
             .map_err(|reason| HeapMdError::corrupt(bytes.len() as u64, reason))?;
@@ -1090,7 +1176,7 @@ impl Trace {
     /// [`HeapMdError::Io`] on read failure, [`HeapMdError::Corrupt`]
     /// on damage.
     pub fn load_binary(path: impl AsRef<Path>) -> Result<Self, HeapMdError> {
-        BinaryTraceReader::strict(std::fs::File::open(path)?)
+        BinaryTraceImage::open_path(path)?.to_trace()
     }
 
     /// Salvages every intact block of a binary-format trace from
@@ -1361,6 +1447,38 @@ pub fn replay_binary(
     Ok(MetricReport::new(run, replayer.take_samples()))
 }
 
+/// Replays a binary trace image on the calling thread: each block
+/// decodes into one reused buffer and is ingested immediately — no
+/// decoder thread, no channel hand-off.
+///
+/// On machines with spare cores the pipelined [`replay_binary`] hides
+/// decode behind ingest; on saturated or single-core hosts the fused
+/// loop wins because it spends nothing on synchronization. This is the
+/// `--shards 1` engine of the sharded replay driver.
+///
+/// # Errors
+///
+/// [`HeapMdError::Corrupt`] / [`HeapMdError::InvalidInput`], exactly as
+/// [`replay_binary`].
+pub fn replay_binary_fused(
+    image: &BinaryTraceImage,
+    settings: &Settings,
+    run: impl Into<String>,
+) -> Result<MetricReport, HeapMdError> {
+    let functions = image.functions()?;
+    let table_len = functions.len();
+    let mut replayer = Replayer::new(settings.clone(), &functions);
+    let mut buf = Vec::with_capacity(EVENTS_PER_BLOCK);
+    for entry in image.event_blocks() {
+        image.decode_block_into(entry, &mut buf)?;
+        if table_len > 0 {
+            validate_block_function_ids(&buf, table_len)?;
+        }
+        replayer.ingest_batch(&buf);
+    }
+    Ok(MetricReport::new(run, replayer.take_samples()))
+}
+
 /// Checks a binary trace image against `model` post-mortem through the
 /// same pipeline. The trailing index supplies the total `FnEnter`
 /// count, so the startup-skip alignment of [`Trace::check`] holds
@@ -1374,6 +1492,26 @@ pub fn check_binary(
     model: &HeapModel,
     settings: &Settings,
 ) -> Result<Vec<BugReport>, HeapMdError> {
+    check_binary_sharded(image, model, settings, 1)
+}
+
+/// [`check_binary`] over a sharded graph image: the replayer's heap
+/// graph is partitioned into `shards` address-range shards (`<= 1` is
+/// the classic single-slab layout). Detection runs inline on the
+/// replay thread either way — the detector observes every event — and
+/// verdicts are bit-identical at every shard count, so a pool checking
+/// fewer traces than it has job slots can hand its idle capacity to
+/// intra-trace shards without perturbing results.
+///
+/// # Errors
+///
+/// [`HeapMdError::Corrupt`] / [`HeapMdError::InvalidInput`].
+pub fn check_binary_sharded(
+    image: &BinaryTraceImage,
+    model: &HeapModel,
+    settings: &Settings,
+    shards: usize,
+) -> Result<Vec<BugReport>, HeapMdError> {
     let functions = image.functions()?;
     let table_len = functions.len();
     let total_samples = (image.index().total_fn_enters / settings.frq) as usize;
@@ -1382,7 +1520,7 @@ pub fn check_binary(
         .warmup_samples
         .max(settings.trim_count(total_samples));
     let mut detector = crate::detector::AnomalyDetector::new(model.clone(), settings.clone());
-    let mut replayer = Replayer::new(settings, &functions);
+    let mut replayer = Replayer::with_shards(settings, &functions, shards);
     pipeline_blocks(image, |events| -> Result<(), HeapMdError> {
         if table_len > 0 {
             validate_block_function_ids(events, table_len)?;
@@ -1398,7 +1536,10 @@ pub fn check_binary(
     Ok(detector.take_bugs())
 }
 
-fn validate_block_function_ids(events: &[HeapEvent], table_len: usize) -> Result<(), HeapMdError> {
+pub(crate) fn validate_block_function_ids(
+    events: &[HeapEvent],
+    table_len: usize,
+) -> Result<(), HeapMdError> {
     for ev in events {
         let func = match *ev {
             HeapEvent::FnEnter { func } | HeapEvent::FnExit { func } => func,
@@ -1438,6 +1579,12 @@ pub fn check_traces_parallel(
 /// Loads (auto-detecting format) and checks N trace files across a
 /// scoped pool, merging results in input order. With `salvage`, a
 /// damaged stream contributes whatever its format's salvage recovers.
+///
+/// When the pool has more job slots than traces, the spare capacity is
+/// not left idle: each binary strict check splits its graph image into
+/// `jobs / n` intra-trace shards (see [`check_binary_sharded`]).
+/// Verdicts are shard-invariant and results still land by input index,
+/// so the idle-pool split never perturbs output order or content.
 pub fn check_paths_parallel(
     paths: &[std::path::PathBuf],
     model: &HeapModel,
@@ -1445,14 +1592,39 @@ pub fn check_paths_parallel(
     jobs: usize,
     salvage: bool,
 ) -> Vec<Result<Vec<BugReport>, HeapMdError>> {
-    run_pool(paths.len(), jobs, |i| {
+    check_paths_parallel_sharded(paths, model, settings, jobs, salvage, 0)
+}
+
+/// [`check_paths_parallel`] with an explicit per-trace shard count:
+/// `0` keeps the automatic idle-capacity split, any other value forces
+/// that many intra-trace shards on every binary strict check.
+pub fn check_paths_parallel_sharded(
+    paths: &[std::path::PathBuf],
+    model: &HeapModel,
+    settings: &Settings,
+    jobs: usize,
+    salvage: bool,
+    shards: usize,
+) -> Vec<Result<Vec<BugReport>, HeapMdError>> {
+    let n = paths.len();
+    let per_trace_shards = if shards > 0 {
+        shards
+    } else if n > 0 && jobs > n {
+        jobs / n
+    } else {
+        1
+    };
+    if per_trace_shards > 1 {
+        heapmd_obs::gauge_set!("check_pool_trace_shards", per_trace_shards as i64);
+    }
+    run_pool(n, jobs, |i| {
         let path = &paths[i];
         // Binary strict checks go through the pipelined engine (the
         // decoder overlaps the detector); everything else decodes to an
         // in-memory trace first.
         if !salvage && sniff_file(path)? == ArtifactKind::BinaryTrace {
-            let image = BinaryTraceImage::open(std::fs::read(path)?)?;
-            return check_binary(&image, model, settings);
+            let image = BinaryTraceImage::open_path(path)?;
+            return check_binary_sharded(&image, model, settings, per_trace_shards);
         }
         let (trace, _) = load_trace_auto(path, salvage)?;
         trace.check(model, settings)

@@ -5,20 +5,127 @@
 //! address, out-slots, inbound adjacency) then lives in one flat
 //! [`Vec`] of [`NodeSlot`]s indexed by slot, with freed slots recycled
 //! through a free list (their `Vec` capacity is retained, so a steady
-//! alloc/free workload stops allocating entirely). The only remaining
-//! hash lookup on the hot path is the `ObjectId → slot` intern map,
-//! which uses the vendored FxHash hasher instead of SipHash. Pointer
-//! resolution and dangling-address re-binding use sorted vectors with
-//! `partition_point` binary search in place of `BTreeMap`s — the
-//! simulator hands out mostly-monotonic addresses, so inserts land at
-//! or near the tail.
+//! alloc/free workload stops allocating entirely).
+//!
+//! Two structures keep the per-event cost flat regardless of live-set
+//! size:
+//!
+//! * **Pointer resolution** uses a [`ShadowMap`] — a radix page table
+//!   with one slot value per 8-byte address granule — so resolving an
+//!   interior pointer is three dependent loads, and alloc/free mark or
+//!   clear O(size/8) granules. The sorted-vector index this replaced
+//!   paid an O(live) memmove every time the allocator recycled an
+//!   address into the middle of the span, which dominated ingest on
+//!   churn-heavy traces. Objects the shadow map refuses (unaligned
+//!   starts, overlaps, addresses ≥ 2^40) fall back to a small sorted
+//!   spill vector, preserving exact semantics for irregular streams.
+//! * **Id interning** uses a dense `Vec` indexed by the raw object id
+//!   (ids are handed out monotonically) with an FxHash spill map for
+//!   ids beyond [`DENSE_ID_CAP`], replacing a hash lookup per event
+//!   with an array index on the common path.
 
 use crate::histogram::DegreeHistogram;
 use crate::metrics::{ExtendedMetrics, MetricVector};
 use crate::node::NodeInfo;
 use fxhash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use sim_heap::{Addr, HeapEvent, ObjectId};
+use sim_heap::{Addr, HeapEvent, ObjectId, ShadowMap, SHADOW_EMPTY};
+
+/// Ids below this index into the dense intern vector; ids at or above
+/// it (only reachable after ~4M allocations) go to the spill hash map.
+/// The dense vector tops out at 16 MiB and only materializes as far as
+/// the largest id actually seen.
+const DENSE_ID_CAP: u64 = 1 << 22;
+
+/// Intern map: object id → dense slot.
+///
+/// Ids are unbounded monotonic `u64`s. The dense vector holds `slot`
+/// (or [`SHADOW_EMPTY`] for dead/unseen ids) for the first
+/// [`DENSE_ID_CAP`] ids — one predictable array access instead of a
+/// hash probe on the hot path — and an FxHash map catches the long
+/// tail.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IdIndex {
+    dense: Vec<u32>,
+    spill: FxHashMap<u64, u32>,
+    live: usize,
+}
+
+impl IdIndex {
+    #[inline]
+    pub(crate) fn get(&self, id: ObjectId) -> Option<u32> {
+        if id.0 < DENSE_ID_CAP {
+            match self.dense.get(id.0 as usize) {
+                Some(&s) if s != SHADOW_EMPTY => Some(s),
+                _ => None,
+            }
+        } else {
+            self.spill.get(&id.0).copied()
+        }
+    }
+
+    /// Inserts a mapping, returning the previous slot if `id` was live.
+    pub(crate) fn insert(&mut self, id: ObjectId, slot: u32) -> Option<u32> {
+        debug_assert_ne!(slot, SHADOW_EMPTY, "slot index clashes with sentinel");
+        let prev = if id.0 < DENSE_ID_CAP {
+            let i = id.0 as usize;
+            if i >= self.dense.len() {
+                self.dense.resize(i + 1, SHADOW_EMPTY);
+            }
+            std::mem::replace(&mut self.dense[i], slot)
+        } else {
+            self.spill.insert(id.0, slot).unwrap_or(SHADOW_EMPTY)
+        };
+        if prev == SHADOW_EMPTY {
+            self.live += 1;
+            None
+        } else {
+            Some(prev)
+        }
+    }
+
+    pub(crate) fn remove(&mut self, id: ObjectId) -> Option<u32> {
+        let prev = if id.0 < DENSE_ID_CAP {
+            match self.dense.get_mut(id.0 as usize) {
+                Some(s) => std::mem::replace(s, SHADOW_EMPTY),
+                None => SHADOW_EMPTY,
+            }
+        } else {
+            self.spill.remove(&id.0).unwrap_or(SHADOW_EMPTY)
+        };
+        if prev == SHADOW_EMPTY {
+            None
+        } else {
+            self.live -= 1;
+            Some(prev)
+        }
+    }
+
+    #[inline]
+    /// Forgets every mapping while retaining the dense vector's
+    /// allocation (refilled with the sentinel) and the spill map's
+    /// buckets.
+    pub(crate) fn clear(&mut self) {
+        self.dense.fill(SHADOW_EMPTY);
+        self.spill.clear();
+        self.live = 0;
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Live `(id, slot)` pairs, in no particular order. O(ids ever seen):
+    /// fine for snapshots, validation, and forensics, not for hot paths.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (ObjectId, u32)> + '_ {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s != SHADOW_EMPTY)
+            .map(|(i, &s)| (ObjectId(i as u64), s))
+            .chain(self.spill.iter().map(|(&i, &s)| (ObjectId(i), s)))
+    }
+}
 
 /// One pointer slot's state as the graph sees it.
 ///
@@ -26,44 +133,51 @@ use sim_heap::{Addr, HeapEvent, ObjectId};
 /// address currently resolves to — never a stale index: every structure
 /// referencing a slot is unlinked before the slot enters the free list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct SlotState {
+pub(crate) struct SlotState {
     /// Raw stored address.
-    raw: u64,
+    pub(crate) raw: u64,
     /// Dense slot of the live object it currently resolves to, if any.
-    target: Option<u32>,
+    pub(crate) target: Option<u32>,
 }
 
 /// Per-vertex storage, indexed by dense slot.
 #[derive(Debug, Clone)]
-struct NodeSlot {
+pub(crate) struct NodeSlot {
     /// The object id this slot currently represents (stale once freed).
-    id: ObjectId,
+    pub(crate) id: ObjectId,
     /// Cached degrees.
-    info: NodeInfo,
-    /// Start address, for O(log n) range removal on free.
-    start: u64,
+    pub(crate) info: NodeInfo,
+    /// Start address, for shadow clearing on free and resolution
+    /// bounds checks.
+    pub(crate) start: u64,
+    /// One past the last address of the object.
+    pub(crate) end: u64,
+    /// `true` when the shadow map refused this object and it lives in
+    /// the sorted spill index instead.
+    pub(crate) spilled: bool,
     /// Outgoing pointer slots, sorted by offset.
-    out: Vec<(u64, SlotState)>,
+    pub(crate) out: Vec<(u64, SlotState)>,
     /// Reverse edges: `(source slot, offset)`, unordered. Degrees are
     /// small at object granularity (paper §2.2), so removal is a linear
     /// scan + `swap_remove`.
-    inbound: Vec<(u32, u64)>,
+    pub(crate) inbound: Vec<(u32, u64)>,
 }
 
-/// One live allocation in the sorted range index.
+/// One live allocation in the sorted spill index (shadow-map refusals
+/// only).
 #[derive(Debug, Clone, Copy)]
-struct Range {
-    start: u64,
-    end: u64,
-    slot: u32,
+pub(crate) struct Range {
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+    pub(crate) slot: u32,
 }
 
 /// Dangling slots sharing one raw address, in the sorted unresolved
 /// index.
 #[derive(Debug, Clone, Default)]
-struct Bucket {
-    raw: u64,
-    entries: Vec<(u32, u64)>,
+pub(crate) struct Bucket {
+    pub(crate) raw: u64,
+    pub(crate) entries: Vec<(u32, u64)>,
 }
 
 /// A serializable summary of the graph at one instant.
@@ -99,23 +213,20 @@ pub struct GraphSnapshot {
 ///   consistent.
 #[derive(Debug, Clone, Default)]
 pub struct HeapGraph {
-    /// Intern map: object id → dense slot. Ids are unbounded monotonic
-    /// `u64`s, so direct indexing would leak; this FxHash lookup is the
-    /// one remaining hash on the hot path.
-    index: FxHashMap<ObjectId, u32>,
+    /// Intern map: object id → dense slot (dense vec + spill hash).
+    index: IdIndex,
     /// The slab. Slots on `free` are dead but keep their capacity.
     slots: Vec<NodeSlot>,
     free: Vec<u32>,
-    /// Live objects sorted by start address, for pointer resolution.
-    ranges: Vec<Range>,
+    /// O(1) pointer resolution: address granule → dense slot.
+    shadow: ShadowMap,
+    /// Objects the shadow map refused (unaligned / overlapping /
+    /// out-of-range starts), sorted by start address. Almost always
+    /// empty; checked only after a shadow miss.
+    spill: Vec<Range>,
     /// Dangling slots sorted by raw address, so allocations can re-bind
     /// them with one binary search + drain.
     unresolved: Vec<Bucket>,
-    /// Last range index a resolution hit. Event streams touch addresses
-    /// with strong locality (chains, sequential initialization), so
-    /// checking the hint and its successor first often skips the binary
-    /// search. Purely an accelerator — always verified, never trusted.
-    cursor: std::cell::Cell<usize>,
     histogram: DegreeHistogram,
     edge_count: u64,
     dangling: u64,
@@ -125,6 +236,23 @@ impl HeapGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         HeapGraph::default()
+    }
+
+    /// Returns the graph to its empty state while retaining the
+    /// dominant allocations — the slot slab, free list, id index, and
+    /// materialized shadow pages — so pooled consumers (the serve
+    /// daemon's shard loops) can recycle one warmed graph across many
+    /// tenant streams.
+    pub fn reset(&mut self) {
+        self.index.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.shadow.clear();
+        self.spill.clear();
+        self.unresolved.clear();
+        self.histogram = DegreeHistogram::new();
+        self.edge_count = 0;
+        self.dangling = 0;
     }
 
     /// Live vertexes.
@@ -145,12 +273,12 @@ impl HeapGraph {
 
     /// Degree information for a live vertex.
     pub fn node(&self, id: ObjectId) -> Option<NodeInfo> {
-        self.index.get(&id).map(|&s| self.slots[s as usize].info)
+        self.index.get(id).map(|s| self.slots[s as usize].info)
     }
 
     /// Returns `true` if `id` is a live vertex.
     pub fn contains(&self, id: ObjectId) -> bool {
-        self.index.contains_key(&id)
+        self.index.get(id).is_some()
     }
 
     /// The degree histogram (O(1) reads for every paper metric).
@@ -237,6 +365,7 @@ impl HeapGraph {
     /// Panics if `id` is already live (the event stream is corrupt).
     pub fn on_alloc(&mut self, id: ObjectId, addr: Addr, size: usize) {
         let start = addr.get();
+        let end = start + size as u64;
         let slot = match self.free.pop() {
             Some(s) => {
                 let ns = &mut self.slots[s as usize];
@@ -244,14 +373,18 @@ impl HeapGraph {
                 ns.id = id;
                 ns.info = NodeInfo::new();
                 ns.start = start;
+                ns.end = end;
                 s
             }
             None => {
                 let s = u32::try_from(self.slots.len()).expect("slab overflow");
+                assert_ne!(s, u32::MAX, "slab overflow");
                 self.slots.push(NodeSlot {
                     id,
                     info: NodeInfo::new(),
                     start,
+                    end,
+                    spilled: false,
                     out: Vec::new(),
                     inbound: Vec::new(),
                 });
@@ -260,14 +393,11 @@ impl HeapGraph {
         };
         let prev = self.index.insert(id, slot);
         assert!(prev.is_none(), "duplicate allocation of {id}");
-        let end = start + size as u64;
-        // Fresh addresses are monotonic, so tail append is the common
-        // case; the binary search only runs for recycled addresses.
-        if self.ranges.last().is_none_or(|r| r.start < start) {
-            self.ranges.push(Range { start, end, slot });
-        } else {
-            let pos = self.ranges.partition_point(|r| r.start < start);
-            self.ranges.insert(pos, Range { start, end, slot });
+        let spilled = !self.shadow.insert(start, end, slot);
+        self.slots[slot as usize].spilled = spilled;
+        if spilled {
+            let pos = self.spill.partition_point(|r| r.start < start);
+            self.spill.insert(pos, Range { start, end, slot });
         }
         self.histogram.add_node();
 
@@ -306,19 +436,18 @@ impl HeapGraph {
     pub fn on_free(&mut self, id: ObjectId) {
         let slot = self
             .index
-            .remove(&id)
+            .remove(id)
             .unwrap_or_else(|| panic!("free of unknown {id}"));
         let s = slot as usize;
         let info = self.slots[s].info;
         self.histogram.remove_node(info.indegree, info.outdegree);
-        let start = self.slots[s].start;
-        // LIFO churn frees the highest-addressed node: pop, don't shift.
-        if self.ranges.last().is_some_and(|r| r.start == start) {
-            self.ranges.pop();
+        let (start, end) = (self.slots[s].start, self.slots[s].end);
+        if self.slots[s].spilled {
+            let pos = self.spill.partition_point(|r| r.start < start);
+            debug_assert_eq!(self.spill[pos].slot, slot);
+            self.spill.remove(pos);
         } else {
-            let pos = self.ranges.partition_point(|r| r.start < start);
-            debug_assert_eq!(self.ranges[pos].slot, slot);
-            self.ranges.remove(pos);
+            self.shadow.remove(start, end);
         }
 
         // Outgoing slots disappear with the object. Take the vec so the
@@ -379,8 +508,8 @@ impl HeapGraph {
     /// Panics if `src` is not a live vertex.
     pub fn on_ptr_write(&mut self, src: ObjectId, offset: u64, value: Addr) {
         let _t = heapmd_obs::timer!("heap_graph_edge_resolve_ns");
-        let src_slot = match self.index.get(&src) {
-            Some(&s) => s,
+        let src_slot = match self.index.get(src) {
+            Some(s) => s,
             None => panic!("write into unknown {src}"),
         };
         self.drop_slot(src_slot, offset);
@@ -412,14 +541,14 @@ impl HeapGraph {
 
     /// Records a non-pointer store, clearing any pointer in the slot.
     pub fn on_scalar_write(&mut self, src: ObjectId, offset: u64) {
-        if let Some(&s) = self.index.get(&src) {
+        if let Some(s) = self.index.get(src) {
             self.drop_slot(s, offset);
         }
     }
 
     /// Iterates over resolved edges as `(source, offset, target)`.
     pub fn edges(&self) -> impl Iterator<Item = (ObjectId, u64, ObjectId)> + '_ {
-        self.index.iter().flat_map(move |(&src, &s)| {
+        self.index.iter().flat_map(move |(src, s)| {
             self.slots[s as usize]
                 .out
                 .iter()
@@ -431,7 +560,7 @@ impl HeapGraph {
 
     /// Iterates over live vertex ids.
     pub fn node_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.index.keys().copied()
+        self.index.iter().map(|(id, _)| id)
     }
 
     /// Checks the incremental bookkeeping for consistency.
@@ -461,10 +590,10 @@ impl HeapGraph {
                 self.slots.len()
             ));
         }
-        if self.ranges.len() != self.index.len() {
+        if self.spill.len() > self.index.len() {
             return Err(format!(
-                "range index has {} entries for {} live nodes",
-                self.ranges.len(),
+                "spill index has {} entries for {} live nodes",
+                self.spill.len(),
                 self.index.len()
             ));
         }
@@ -478,7 +607,7 @@ impl HeapGraph {
     fn validate_full(&self) -> Result<(), String> {
         let n = self.slots.len();
         let mut live = vec![false; n];
-        for (&id, &s) in &self.index {
+        for (id, s) in self.index.iter() {
             let slot = &self.slots[s as usize];
             if slot.id != id {
                 return Err(format!("index maps {id} to slot {s} holding {}", slot.id));
@@ -490,11 +619,23 @@ impl HeapGraph {
                 return Err(format!("slot {f} is both live and on the free list"));
             }
         }
-        if self.ranges.windows(2).any(|w| w[0].start >= w[1].start) {
-            return Err("range index out of order".to_string());
+        if self.spill.windows(2).any(|w| w[0].start >= w[1].start) {
+            return Err("spill index out of order".to_string());
         }
         if self.unresolved.windows(2).any(|w| w[0].raw >= w[1].raw) {
             return Err("unresolved index out of order".to_string());
+        }
+        // Every live node must resolve through exactly the structure its
+        // `spilled` flag names.
+        for (id, s) in self.index.iter() {
+            let slot = &self.slots[s as usize];
+            if slot.spilled {
+                if !self.spill.iter().any(|r| r.slot == s) {
+                    return Err(format!("{id} marked spilled but missing from spill index"));
+                }
+            } else if slot.start < slot.end && self.shadow.lookup(slot.start) != Some(s) {
+                return Err(format!("{id} not resolvable through the shadow map"));
+            }
         }
 
         let mut indeg = vec![0u32; n];
@@ -590,31 +731,24 @@ impl HeapGraph {
     }
 
     /// Resolves a raw address to the dense slot of the live object
-    /// containing it: cursor hint first, then binary search over the
-    /// sorted range index.
+    /// containing it: one shadow-map lookup (bounds-verified, since the
+    /// tail granule is claimed conservatively), then the spill index
+    /// for objects the shadow map refused.
+    #[inline]
     fn resolve(&self, raw: u64) -> Option<u32> {
-        let hint = self.cursor.get();
-        if let Some(r) = self.ranges.get(hint) {
-            if r.start <= raw && raw < r.end {
-                return Some(r.slot);
-            }
-            // Sequential access usually lands on the next range.
-            if let Some(r2) = self.ranges.get(hint + 1) {
-                if r2.start <= raw && raw < r2.end {
-                    self.cursor.set(hint + 1);
-                    return Some(r2.slot);
-                }
+        if let Some(s) = self.shadow.lookup(raw) {
+            let slot = &self.slots[s as usize];
+            if slot.start <= raw && raw < slot.end {
+                return Some(s);
             }
         }
-        let idx = self.ranges.partition_point(|r| r.start <= raw);
+        if self.spill.is_empty() {
+            return None;
+        }
+        let idx = self.spill.partition_point(|r| r.start <= raw);
         let i = idx.checked_sub(1)?;
-        let r = self.ranges.get(i)?;
-        if raw < r.end {
-            self.cursor.set(i);
-            Some(r.slot)
-        } else {
-            None
-        }
+        let r = self.spill.get(i)?;
+        (raw < r.end).then_some(r.slot)
     }
 
     /// Mutable access to out-slot `(src, off)`, by binary search.

@@ -63,6 +63,7 @@ mod node;
 #[cfg(any(test, feature = "reference-graph"))]
 mod reference;
 mod scoped;
+mod shard;
 
 pub use components::{ComponentSummary, SccSummary};
 pub use field_graph::FieldGraph;
@@ -73,3 +74,4 @@ pub use node::NodeInfo;
 #[cfg(any(test, feature = "reference-graph"))]
 pub use reference::ReferenceGraph;
 pub use scoped::ScopedGraph;
+pub use shard::{DegreeOp, GraphImage, ShardedGraph, MAX_SHARDS, SHARD_BITS, SLOT_BITS};

@@ -1,0 +1,1283 @@
+//! Address-range-sharded heap-graph with cross-shard reconciliation.
+//!
+//! [`ShardedGraph`] partitions [`HeapGraph`]'s *storage* — the node
+//! slab, free list, and degree histogram — across N shards keyed by the
+//! owning object's start address (`shard_of(start, n)`, region
+//! granularity). The *relational* state stays sequential: the shadow
+//! map, spill index, id intern map, and unresolved-slot buckets are
+//! global, because pointer resolution and address re-binding couple
+//! every shard to every other through address reuse (an allocation in
+//! shard 2 can re-bind a dangling slot whose source node lives in shard
+//! 5). Partitioning the counting state while keeping one sequential
+//! resolver is what makes shard count *invisible*: every observable —
+//! snapshots, histograms, the seven paper metrics, verdicts — is
+//! bit-identical to the single-shard graph by construction, which the
+//! differential suites assert over shard sweeps.
+//!
+//! Cross-shard edges are tracked in an N×N edge table indexed by
+//! `(source shard, target shard)`; the table's diagonal holds
+//! intra-shard edges, so the total edge count is the table sum and the
+//! table is *reconciled* — summed, and the per-shard histograms merged
+//! (exact, since every histogram counter is additive over the disjoint
+//! node partition) — at metric computation points rather than on every
+//! event.
+//!
+//! Node references are packed `u32`s: the high [`SHARD_BITS`] bits name
+//! the shard, the low bits the slot within its slab. The
+//! [`SHADOW_EMPTY`] sentinel (`u32::MAX`) unpacks to shard 255, which
+//! [`MAX_SHARDS`] keeps unreachable, so packed refs drop into the
+//! shadow map unchanged.
+//!
+//! For pipelined ingestion the graph also runs *detached*: instead of
+//! applying degree changes to shard histograms inline, it buffers them
+//! as per-shard [`DegreeOp`] batches that shard worker threads apply to
+//! privately-owned histograms, with a barrier merge at each sample
+//! point (see `heapmd`'s sharded replay driver).
+
+use crate::graph::{Bucket, GraphSnapshot, HeapGraph, IdIndex, NodeSlot, Range, SlotState};
+use crate::histogram::DegreeHistogram;
+use crate::metrics::{ExtendedMetrics, MetricVector};
+use crate::node::NodeInfo;
+use sim_heap::{shard_of, Addr, HeapEvent, ObjectId, ShadowMap};
+
+/// High bits of a packed node reference that carry the shard index.
+pub const SHARD_BITS: u32 = 8;
+/// Low bits carrying the slot index within a shard's slab.
+pub const SLOT_BITS: u32 = 32 - SHARD_BITS;
+const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+
+/// Upper bound on the shard count (power-of-two headroom below the 255
+/// sentinel shard that [`sim_heap::SHADOW_EMPTY`] unpacks to).
+pub const MAX_SHARDS: usize = 64;
+
+#[inline]
+fn pack(shard: usize, slot: u32) -> u32 {
+    debug_assert!(shard < MAX_SHARDS);
+    debug_assert!(slot <= SLOT_MASK);
+    ((shard as u32) << SLOT_BITS) | slot
+}
+
+#[inline]
+fn shard_of_ref(r: u32) -> usize {
+    (r >> SLOT_BITS) as usize
+}
+
+#[inline]
+fn slot_of_ref(r: u32) -> usize {
+    (r & SLOT_MASK) as usize
+}
+
+/// One buffered degree-histogram mutation, tagged for a specific shard
+/// by its position in the per-shard batch.
+///
+/// In detached mode the sequential router emits these instead of
+/// touching shard histograms, and shard worker threads apply them to
+/// their own histogram copy — the per-shard op order equals router
+/// order, and histograms over disjoint node sets are independent, so
+/// the barrier merge reproduces the inline result exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeOp {
+    /// A vertex was born (degrees 0/0).
+    AddNode,
+    /// A vertex with these degrees was removed.
+    RemoveNode {
+        /// Indegree at removal.
+        indegree: u32,
+        /// Outdegree at removal.
+        outdegree: u32,
+    },
+    /// A vertex moved between degree buckets.
+    Change {
+        /// Indegree before.
+        old_in: u32,
+        /// Indegree after.
+        new_in: u32,
+        /// Outdegree before.
+        old_out: u32,
+        /// Outdegree after.
+        new_out: u32,
+    },
+}
+
+impl DegreeOp {
+    /// Applies this op to a histogram.
+    #[inline]
+    pub fn apply(&self, h: &mut DegreeHistogram) {
+        match *self {
+            DegreeOp::AddNode => h.add_node(),
+            DegreeOp::RemoveNode {
+                indegree,
+                outdegree,
+            } => h.remove_node(indegree, outdegree),
+            DegreeOp::Change {
+                old_in,
+                new_in,
+                old_out,
+                new_out,
+            } => h.change_degrees(old_in, new_in, old_out, new_out),
+        }
+    }
+}
+
+/// Storage owned by one shard: the slab for nodes whose start address
+/// hashes here, plus the partitioned counters.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    slots: Vec<NodeSlot>,
+    free: Vec<u32>,
+    /// Degree histogram over this shard's live nodes (unused while
+    /// detached — workers own the histograms then).
+    histogram: DegreeHistogram,
+    /// Live nodes owned by this shard (router-maintained, exact even
+    /// in detached mode).
+    live: u64,
+    /// Dangling pointer slots whose *source* node lives here.
+    dangling: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            histogram: DegreeHistogram::new(),
+            ..Shard::default()
+        }
+    }
+}
+
+/// The sharded heap-graph image.
+///
+/// Same event semantics as [`HeapGraph`] — the differential test suites
+/// assert bit-identical snapshots, histograms, and metrics across shard
+/// counts — with storage partitioned for pipelined ingestion.
+///
+/// # Example
+///
+/// ```
+/// use heap_graph::{HeapGraph, ShardedGraph};
+/// use sim_heap::{AllocSite, SimHeap};
+///
+/// # fn main() -> Result<(), sim_heap::HeapError> {
+/// let mut heap = SimHeap::new();
+/// let mut single = HeapGraph::new();
+/// let mut sharded = ShardedGraph::new(4);
+/// let a = heap.alloc(24, AllocSite(0))?;
+/// let b = heap.alloc(24, AllocSite(0))?;
+/// for g in [&mut single] { g.on_alloc(a.id, a.addr, a.size); g.on_alloc(b.id, b.addr, b.size); }
+/// sharded.on_alloc(a.id, a.addr, a.size);
+/// sharded.on_alloc(b.id, b.addr, b.size);
+/// let w = heap.write_ptr(a.addr, b.addr)?;
+/// single.on_ptr_write(w.src, w.offset, b.addr);
+/// sharded.on_ptr_write(w.src, w.offset, b.addr);
+/// assert_eq!(sharded.snapshot(), single.snapshot());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedGraph {
+    /// Sequential resolver state (shared across shards).
+    index: IdIndex,
+    shadow: ShadowMap,
+    spill: Vec<Range>,
+    unresolved: Vec<Bucket>,
+    /// Partitioned storage.
+    shards: Vec<Shard>,
+    /// N×N edge counts indexed `src_shard * n + tgt_shard`; diagonal =
+    /// intra-shard.
+    xshard: Vec<u64>,
+    /// Last reconciled histogram (see [`reconcile`](Self::reconcile)).
+    merged: DegreeHistogram,
+    /// Buffer degree ops per shard instead of applying them.
+    detached: bool,
+    pending: Vec<Vec<DegreeOp>>,
+}
+
+impl ShardedGraph {
+    /// Creates an empty graph over `n` shards (clamped to
+    /// `1..=`[`MAX_SHARDS`]).
+    pub fn new(n: usize) -> Self {
+        let n = n.clamp(1, MAX_SHARDS);
+        ShardedGraph {
+            index: IdIndex::default(),
+            shadow: ShadowMap::new(),
+            spill: Vec::new(),
+            unresolved: Vec::new(),
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            xshard: vec![0; n * n],
+            merged: DegreeHistogram::new(),
+            detached: false,
+            pending: vec![Vec::new(); n],
+        }
+    }
+
+    /// Creates a detached graph: degree ops are buffered per shard (see
+    /// [`take_pending_ops`](Self::take_pending_ops)) instead of applied,
+    /// for the pipelined driver whose shard workers own the histograms.
+    pub fn new_detached(n: usize) -> Self {
+        let mut g = ShardedGraph::new(n);
+        g.detached = true;
+        g
+    }
+
+    /// Returns the graph to its empty state while retaining the
+    /// dominant allocations in every shard (slot slabs, free lists)
+    /// plus the shared resolver state (id index, shadow pages) — the
+    /// sharded counterpart of [`HeapGraph::reset`].
+    pub fn reset(&mut self) {
+        self.index.clear();
+        self.shadow.clear();
+        self.spill.clear();
+        self.unresolved.clear();
+        for shard in &mut self.shards {
+            shard.slots.clear();
+            shard.free.clear();
+            shard.histogram = DegreeHistogram::new();
+            shard.live = 0;
+            shard.dangling = 0;
+        }
+        self.xshard.fill(0);
+        self.merged = DegreeHistogram::new();
+        for batch in &mut self.pending {
+            batch.clear();
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live vertexes (exact at any time; router-maintained).
+    pub fn node_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.live).sum()
+    }
+
+    /// Resolved edges (sum of the cross-shard edge table).
+    pub fn edge_count(&self) -> u64 {
+        self.xshard.iter().sum()
+    }
+
+    /// Edges whose endpoints live in different shards (off-diagonal sum
+    /// of the edge table).
+    pub fn cross_shard_edges(&self) -> u64 {
+        let n = self.shards.len();
+        let mut total = 0;
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    total += self.xshard[s * n + t];
+                }
+            }
+        }
+        total
+    }
+
+    /// Dangling pointer slots.
+    pub fn dangling_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.dangling).sum()
+    }
+
+    /// Per-shard live-node counts (observability).
+    pub fn shard_loads(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.live).collect()
+    }
+
+    /// Degree information for a live vertex.
+    pub fn node(&self, id: ObjectId) -> Option<NodeInfo> {
+        self.index.get(id).map(|r| self.slot(r).info)
+    }
+
+    /// Returns `true` if `id` is a live vertex.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.index.get(id).is_some()
+    }
+
+    /// The histogram as of the last [`reconcile`](Self::reconcile) (or
+    /// the last installed merge, in detached mode).
+    pub fn histogram(&self) -> &DegreeHistogram {
+        &self.merged
+    }
+
+    /// Merges the per-shard degree histograms into one. Exact, not
+    /// approximate: shards partition the node set and every histogram
+    /// counter is additive over disjoint sets.
+    ///
+    /// In detached mode the shard histograms live on the worker
+    /// threads; the last merge the driver installed via
+    /// [`install_merged_histogram`](Self::install_merged_histogram)
+    /// stands in.
+    fn merged_now(&self) -> DegreeHistogram {
+        if self.detached {
+            return self.merged.clone();
+        }
+        let mut merged = DegreeHistogram::new();
+        for shard in &self.shards {
+            merged.merge(&shard.histogram);
+        }
+        merged
+    }
+
+    /// Refreshes the cached reconciled histogram served by
+    /// [`histogram`](Self::histogram). Called at metric computation
+    /// points (a no-op in detached mode, where the driver installs the
+    /// barrier merge instead).
+    pub fn reconcile(&mut self) {
+        if !self.detached {
+            self.merged = self.merged_now();
+        }
+    }
+
+    /// Computes the seven paper metrics from the reconciled histogram.
+    pub fn metrics(&self) -> MetricVector {
+        MetricVector::from_histogram(&self.merged_now())
+    }
+
+    /// Computes the extension metrics.
+    pub fn extended_metrics(&self) -> ExtendedMetrics {
+        let nodes = self.node_count();
+        let edges = self.edge_count();
+        ExtendedMetrics {
+            nodes,
+            edges,
+            dangling_slots: self.dangling_count(),
+            mean_degree: if nodes == 0 {
+                0.0
+            } else {
+                edges as f64 / nodes as f64
+            },
+        }
+    }
+
+    /// A serializable summary of the current instant.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        let metrics = self.metrics();
+        GraphSnapshot {
+            nodes: self.node_count(),
+            edges: self.edge_count(),
+            dangling: self.dangling_count(),
+            metrics,
+        }
+    }
+
+    /// Takes the buffered per-shard degree-op batches (detached mode),
+    /// leaving empty buffers behind.
+    pub fn take_pending_ops(&mut self) -> Vec<Vec<DegreeOp>> {
+        let n = self.shards.len();
+        std::mem::replace(&mut self.pending, vec![Vec::new(); n])
+    }
+
+    /// Installs an externally merged histogram (detached mode): the
+    /// driver's barrier collects worker histograms, merges them, and
+    /// publishes the result here so
+    /// [`histogram`](Self::histogram)/[`metrics`](Self::metrics) serve
+    /// the reconciled view.
+    pub fn install_merged_histogram(&mut self, merged: DegreeHistogram) {
+        self.merged = merged;
+    }
+
+    /// Applies one instrumentation event (same contract as
+    /// [`HeapGraph::apply`]).
+    pub fn apply(&mut self, event: &HeapEvent) {
+        match *event {
+            HeapEvent::Alloc {
+                obj, addr, size, ..
+            } => self.on_alloc(obj, addr, size),
+            HeapEvent::Free { obj, .. } => self.on_free(obj),
+            HeapEvent::PtrWrite {
+                src, offset, value, ..
+            } => self.on_ptr_write(src, offset, value),
+            HeapEvent::ScalarWrite { src, offset, .. } => self.on_scalar_write(src, offset),
+            HeapEvent::Read { .. } | HeapEvent::FnEnter { .. } | HeapEvent::FnExit { .. } => {}
+        }
+    }
+
+    /// Applies a recorded event slice (same contract as
+    /// [`HeapGraph::apply_batch`]).
+    pub fn apply_batch(&mut self, events: &[HeapEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let clock = heapmd_obs::throughput::stage_clock();
+        for event in events {
+            self.apply(event);
+        }
+        if let Some(t0) = clock {
+            heapmd_obs::throughput::record_stage(
+                "heap_graph_apply",
+                events.len() as u64,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+
+    /// Adds a vertex, re-binding dangling slots it covers. Mirrors
+    /// [`HeapGraph::on_alloc`] with packed refs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already live.
+    pub fn on_alloc(&mut self, id: ObjectId, addr: Addr, size: usize) {
+        let start = addr.get();
+        let end = start + size as u64;
+        let n = self.shards.len();
+        let owner = shard_of(start, n);
+        let local = match self.shards[owner].free.pop() {
+            Some(s) => {
+                let ns = &mut self.shards[owner].slots[s as usize];
+                debug_assert!(ns.out.is_empty() && ns.inbound.is_empty());
+                ns.id = id;
+                ns.info = NodeInfo::new();
+                ns.start = start;
+                ns.end = end;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.shards[owner].slots.len()).expect("slab overflow");
+                assert!(s <= SLOT_MASK, "shard slab overflow");
+                self.shards[owner].slots.push(NodeSlot {
+                    id,
+                    info: NodeInfo::new(),
+                    start,
+                    end,
+                    spilled: false,
+                    out: Vec::new(),
+                    inbound: Vec::new(),
+                });
+                s
+            }
+        };
+        let r = pack(owner, local);
+        let prev = self.index.insert(id, r);
+        assert!(prev.is_none(), "duplicate allocation of {id}");
+        let spilled = !self.shadow.insert(start, end, r);
+        self.shards[owner].slots[local as usize].spilled = spilled;
+        if spilled {
+            let pos = self.spill.partition_point(|x| x.start < start);
+            self.spill.insert(
+                pos,
+                Range {
+                    start,
+                    end,
+                    slot: r,
+                },
+            );
+        }
+        self.shards[owner].live += 1;
+        self.hist(owner, DegreeOp::AddNode);
+
+        // Re-bind dangling slots now covered by this object.
+        let lo = self.unresolved.partition_point(|b| b.raw < start);
+        let hi = self.unresolved.partition_point(|b| b.raw < end);
+        if lo < hi {
+            let buckets: Vec<Bucket> = self.unresolved.drain(lo..hi).collect();
+            for bucket in buckets {
+                for (src, off) in bucket.entries {
+                    let st = Self::slot_state_mut(&mut self.shards, src, off)
+                        .expect("unresolved slot must exist in slot table");
+                    debug_assert_eq!(st.target, None);
+                    st.target = Some(r);
+                    let src_sh = shard_of_ref(src);
+                    self.shards[src_sh].dangling -= 1;
+                    self.xshard[src_sh * n + owner] += 1;
+                    self.shards[owner].slots[local as usize]
+                        .inbound
+                        .push((src, off));
+                    if src == r {
+                        self.adjust(r, 1, 1);
+                    } else {
+                        self.adjust(src, 0, 1);
+                        self.adjust(r, 1, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes a vertex. Mirrors [`HeapGraph::on_free`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not live.
+    pub fn on_free(&mut self, id: ObjectId) {
+        let r = self
+            .index
+            .remove(id)
+            .unwrap_or_else(|| panic!("free of unknown {id}"));
+        let (sh, sl) = (shard_of_ref(r), slot_of_ref(r));
+        let n = self.shards.len();
+        let info = self.shards[sh].slots[sl].info;
+        self.shards[sh].live -= 1;
+        self.hist(
+            sh,
+            DegreeOp::RemoveNode {
+                indegree: info.indegree,
+                outdegree: info.outdegree,
+            },
+        );
+        let (start, end) = (
+            self.shards[sh].slots[sl].start,
+            self.shards[sh].slots[sl].end,
+        );
+        if self.shards[sh].slots[sl].spilled {
+            let pos = self.spill.partition_point(|x| x.start < start);
+            debug_assert_eq!(self.spill[pos].slot, r);
+            self.spill.remove(pos);
+        } else {
+            self.shadow.remove(start, end);
+        }
+
+        // Outgoing slots disappear with the object.
+        let mut out = std::mem::take(&mut self.shards[sh].slots[sl].out);
+        for &(off, st) in &out {
+            match st.target {
+                Some(t) => {
+                    self.xshard[sh * n + shard_of_ref(t)] -= 1;
+                    if t != r {
+                        let inb = &mut self.shards[shard_of_ref(t)].slots[slot_of_ref(t)].inbound;
+                        if let Some(p) = inb.iter().position(|&e| e == (r, off)) {
+                            inb.swap_remove(p);
+                        }
+                        self.adjust(t, -1, 0);
+                    }
+                    // Self-edge: both endpoints die with the node.
+                }
+                None => {
+                    self.remove_unresolved(st.raw, r, off);
+                    self.shards[sh].dangling -= 1;
+                }
+            }
+        }
+        out.clear();
+        self.shards[sh].slots[sl].out = out;
+
+        // Incoming edges become dangling slots of their sources.
+        let mut inbound = std::mem::take(&mut self.shards[sh].slots[sl].inbound);
+        for &(src, off) in &inbound {
+            if src == r {
+                continue; // handled with the out-slots above
+            }
+            let st = Self::slot_state_mut(&mut self.shards, src, off)
+                .expect("inbound edge has a source slot");
+            debug_assert_eq!(st.target, Some(r));
+            st.target = None;
+            let raw = st.raw;
+            let src_sh = shard_of_ref(src);
+            self.xshard[src_sh * n + sh] -= 1;
+            self.shards[src_sh].dangling += 1;
+            self.insert_unresolved(raw, src, off);
+            self.adjust(src, 0, -1);
+        }
+        inbound.clear();
+        self.shards[sh].slots[sl].inbound = inbound;
+        self.shards[sh].free.push(sl as u32);
+    }
+
+    /// Records a pointer store. Mirrors [`HeapGraph::on_ptr_write`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is not a live vertex.
+    pub fn on_ptr_write(&mut self, src: ObjectId, offset: u64, value: Addr) {
+        let src_ref = match self.index.get(src) {
+            Some(s) => s,
+            None => panic!("write into unknown {src}"),
+        };
+        self.drop_slot(src_ref, offset);
+        if value.is_null() {
+            return;
+        }
+        let raw = value.get();
+        let target = self.resolve(raw);
+        let (src_sh, src_sl) = (shard_of_ref(src_ref), slot_of_ref(src_ref));
+        let out = &mut self.shards[src_sh].slots[src_sl].out;
+        let pos = out.partition_point(|&(o, _)| o < offset);
+        out.insert(pos, (offset, SlotState { raw, target }));
+        match target {
+            Some(t) => {
+                let n = self.shards.len();
+                self.xshard[src_sh * n + shard_of_ref(t)] += 1;
+                self.shards[shard_of_ref(t)].slots[slot_of_ref(t)]
+                    .inbound
+                    .push((src_ref, offset));
+                if t == src_ref {
+                    self.adjust(src_ref, 1, 1);
+                } else {
+                    self.adjust(src_ref, 0, 1);
+                    self.adjust(t, 1, 0);
+                }
+            }
+            None => {
+                self.shards[src_sh].dangling += 1;
+                self.insert_unresolved(raw, src_ref, offset);
+            }
+        }
+    }
+
+    /// Records a non-pointer store, clearing any pointer in the slot.
+    pub fn on_scalar_write(&mut self, src: ObjectId, offset: u64) {
+        if let Some(s) = self.index.get(src) {
+            self.drop_slot(s, offset);
+        }
+    }
+
+    /// Iterates over resolved edges as `(source, offset, target)`.
+    pub fn edges(&self) -> impl Iterator<Item = (ObjectId, u64, ObjectId)> + '_ {
+        self.index.iter().flat_map(move |(src, r)| {
+            self.slot(r)
+                .out
+                .iter()
+                .filter_map(move |&(off, st)| st.target.map(|t| (src, off, self.slot(t).id)))
+        })
+    }
+
+    /// Iterates over live vertex ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.index.iter().map(|(id, _)| id)
+    }
+
+    /// Checks the incremental bookkeeping for consistency (O(1)
+    /// structural checks; full recount in debug/test builds or with the
+    /// `full-validate` feature, as in [`HeapGraph::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.index.len() as u64 != self.node_count() {
+            return Err(format!(
+                "intern map has {} entries but shards count {} live nodes",
+                self.index.len(),
+                self.node_count()
+            ));
+        }
+        let mut slab_live = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if shard.free.len() > shard.slots.len() {
+                return Err(format!(
+                    "shard {i}: {} free slots for {} allocated",
+                    shard.free.len(),
+                    shard.slots.len()
+                ));
+            }
+            slab_live += shard.slots.len() - shard.free.len();
+        }
+        if slab_live != self.index.len() {
+            return Err(format!(
+                "slab accounting broken: {} live across shards, {} interned",
+                slab_live,
+                self.index.len()
+            ));
+        }
+        if self.spill.len() > self.index.len() {
+            return Err(format!(
+                "spill index has {} entries for {} live nodes",
+                self.spill.len(),
+                self.index.len()
+            ));
+        }
+        #[cfg(any(debug_assertions, test, feature = "full-validate"))]
+        self.validate_full()?;
+        Ok(())
+    }
+
+    /// O(n) recount: per-shard degree/dangling/edge-table recomputation
+    /// from the slot tables.
+    #[cfg(any(debug_assertions, test, feature = "full-validate"))]
+    fn validate_full(&self) -> Result<(), String> {
+        let n = self.shards.len();
+        let mut xshard = vec![0u64; n * n];
+        let mut dangling = vec![0u64; n];
+        let mut hists: Vec<DegreeHistogram> = (0..n).map(|_| DegreeHistogram::new()).collect();
+        for (id, r) in self.index.iter() {
+            let (sh, sl) = (shard_of_ref(r), slot_of_ref(r));
+            let slot = &self.shards[sh].slots[sl];
+            if slot.id != id {
+                return Err(format!("index maps {id} to ref {r:#x} holding {}", slot.id));
+            }
+            let mut outdeg = 0u32;
+            for &(_, st) in &slot.out {
+                match st.target {
+                    Some(t) => {
+                        xshard[sh * n + shard_of_ref(t)] += 1;
+                        outdeg += 1;
+                    }
+                    None => dangling[sh] += 1,
+                }
+            }
+            let indeg = u32::try_from(slot.inbound.len()).expect("indegree overflow");
+            if slot.info.outdegree != outdeg || slot.info.indegree != indeg {
+                return Err(format!(
+                    "degrees of {id} are {:?}, recount gives in={indeg} out={outdeg}",
+                    slot.info
+                ));
+            }
+            hists[sh].add_node();
+            hists[sh].change_degrees(0, indeg, 0, outdeg);
+        }
+        if xshard != self.xshard {
+            return Err("cross-shard edge table mismatch".to_string());
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            if dangling[i] != shard.dangling {
+                return Err(format!(
+                    "shard {i} dangling count {} vs recount {}",
+                    shard.dangling, dangling[i]
+                ));
+            }
+            if !self.detached && hists[i] != shard.histogram {
+                return Err(format!("shard {i} histogram mismatch"));
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn slot(&self, r: u32) -> &NodeSlot {
+        &self.shards[shard_of_ref(r)].slots[slot_of_ref(r)]
+    }
+
+    /// Applies or buffers one degree op for `shard`.
+    #[inline]
+    fn hist(&mut self, shard: usize, op: DegreeOp) {
+        if self.detached {
+            self.pending[shard].push(op);
+        } else {
+            op.apply(&mut self.shards[shard].histogram);
+        }
+    }
+
+    /// Resolves a raw address to the packed ref of the live object
+    /// containing it (shadow map, then spill index).
+    #[inline]
+    fn resolve(&self, raw: u64) -> Option<u32> {
+        if let Some(r) = self.shadow.lookup(raw) {
+            let slot = self.slot(r);
+            if slot.start <= raw && raw < slot.end {
+                return Some(r);
+            }
+        }
+        if self.spill.is_empty() {
+            return None;
+        }
+        let idx = self.spill.partition_point(|x| x.start <= raw);
+        let i = idx.checked_sub(1)?;
+        let x = self.spill.get(i)?;
+        (raw < x.end).then_some(x.slot)
+    }
+
+    /// Mutable access to out-slot `(src, off)`, by binary search.
+    fn slot_state_mut(shards: &mut [Shard], src: u32, off: u64) -> Option<&mut SlotState> {
+        let out = &mut shards[shard_of_ref(src)].slots[slot_of_ref(src)].out;
+        let pos = out.binary_search_by_key(&off, |&(o, _)| o).ok()?;
+        Some(&mut out[pos].1)
+    }
+
+    /// Adjusts a live node's degrees, keeping its shard's histogram (or
+    /// pending ops) consistent.
+    fn adjust(&mut self, r: u32, din: i32, dout: i32) {
+        let sh = shard_of_ref(r);
+        let info = &mut self.shards[sh].slots[slot_of_ref(r)].info;
+        let (old_in, old_out) = (info.indegree, info.outdegree);
+        info.indegree = info
+            .indegree
+            .checked_add_signed(din)
+            .expect("indegree underflow");
+        info.outdegree = info
+            .outdegree
+            .checked_add_signed(dout)
+            .expect("outdegree underflow");
+        let (new_in, new_out) = (info.indegree, info.outdegree);
+        self.hist(
+            sh,
+            DegreeOp::Change {
+                old_in,
+                new_in,
+                old_out,
+                new_out,
+            },
+        );
+    }
+
+    /// Removes the slot `(src, offset)` if present, undoing its edge or
+    /// dangling registration.
+    fn drop_slot(&mut self, src: u32, offset: u64) {
+        let src_sh = shard_of_ref(src);
+        let out = &mut self.shards[src_sh].slots[slot_of_ref(src)].out;
+        let Ok(pos) = out.binary_search_by_key(&offset, |&(o, _)| o) else {
+            return;
+        };
+        let (_, st) = out.remove(pos);
+        match st.target {
+            Some(t) => {
+                let n = self.shards.len();
+                self.xshard[src_sh * n + shard_of_ref(t)] -= 1;
+                let inb = &mut self.shards[shard_of_ref(t)].slots[slot_of_ref(t)].inbound;
+                if let Some(p) = inb.iter().position(|&e| e == (src, offset)) {
+                    inb.swap_remove(p);
+                }
+                if t == src {
+                    self.adjust(src, -1, -1);
+                } else {
+                    self.adjust(src, 0, -1);
+                    self.adjust(t, -1, 0);
+                }
+            }
+            None => {
+                self.shards[src_sh].dangling -= 1;
+                self.remove_unresolved(st.raw, src, offset);
+            }
+        }
+    }
+
+    fn insert_unresolved(&mut self, raw: u64, src: u32, off: u64) {
+        match self.unresolved.binary_search_by_key(&raw, |b| b.raw) {
+            Ok(i) => self.unresolved[i].entries.push((src, off)),
+            Err(i) => self.unresolved.insert(
+                i,
+                Bucket {
+                    raw,
+                    entries: vec![(src, off)],
+                },
+            ),
+        }
+    }
+
+    fn remove_unresolved(&mut self, raw: u64, src: u32, off: u64) {
+        if let Ok(i) = self.unresolved.binary_search_by_key(&raw, |b| b.raw) {
+            let entries = &mut self.unresolved[i].entries;
+            if let Some(p) = entries.iter().position(|&e| e == (src, off)) {
+                entries.swap_remove(p);
+            }
+            if entries.is_empty() {
+                self.unresolved.remove(i);
+            }
+        }
+    }
+}
+
+/// One heap-graph image, single-slab or sharded, behind a uniform
+/// surface.
+///
+/// The replay and monitoring layers hold a `GraphImage` so a `--shards`
+/// flag can switch storage layouts without touching any observer: both
+/// variants produce bit-identical snapshots, histograms, and metrics
+/// for the same event stream. `metrics`/`snapshot` take `&mut self`
+/// because the sharded variant reconciles its per-shard state at these
+/// metric computation points; the single variant reads are unchanged.
+#[derive(Debug, Clone)]
+pub enum GraphImage {
+    /// The classic single-slab [`HeapGraph`].
+    Single(HeapGraph),
+    /// The address-range-sharded variant.
+    Sharded(ShardedGraph),
+}
+
+impl GraphImage {
+    /// Creates an image with the given shard count: `1` (or `0`) gives
+    /// the single-slab graph — the legacy path, byte-for-byte — and
+    /// anything larger the sharded one.
+    pub fn new(shards: usize) -> Self {
+        if shards <= 1 {
+            GraphImage::Single(HeapGraph::new())
+        } else {
+            GraphImage::Sharded(ShardedGraph::new(shards))
+        }
+    }
+
+    /// Shard count (1 for the single-slab variant).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            GraphImage::Single(_) => 1,
+            GraphImage::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// Applies one instrumentation event.
+    pub fn apply(&mut self, event: &HeapEvent) {
+        match self {
+            GraphImage::Single(g) => g.apply(event),
+            GraphImage::Sharded(s) => s.apply(event),
+        }
+    }
+
+    /// Applies a recorded event slice.
+    pub fn apply_batch(&mut self, events: &[HeapEvent]) {
+        match self {
+            GraphImage::Single(g) => g.apply_batch(events),
+            GraphImage::Sharded(s) => s.apply_batch(events),
+        }
+    }
+
+    /// Adds a vertex (see [`HeapGraph::on_alloc`]).
+    pub fn on_alloc(&mut self, id: ObjectId, addr: Addr, size: usize) {
+        match self {
+            GraphImage::Single(g) => g.on_alloc(id, addr, size),
+            GraphImage::Sharded(s) => s.on_alloc(id, addr, size),
+        }
+    }
+
+    /// Removes a vertex (see [`HeapGraph::on_free`]).
+    pub fn on_free(&mut self, id: ObjectId) {
+        match self {
+            GraphImage::Single(g) => g.on_free(id),
+            GraphImage::Sharded(s) => s.on_free(id),
+        }
+    }
+
+    /// Records a pointer store (see [`HeapGraph::on_ptr_write`]).
+    pub fn on_ptr_write(&mut self, src: ObjectId, offset: u64, value: Addr) {
+        match self {
+            GraphImage::Single(g) => g.on_ptr_write(src, offset, value),
+            GraphImage::Sharded(s) => s.on_ptr_write(src, offset, value),
+        }
+    }
+
+    /// Records a non-pointer store (see [`HeapGraph::on_scalar_write`]).
+    pub fn on_scalar_write(&mut self, src: ObjectId, offset: u64) {
+        match self {
+            GraphImage::Single(g) => g.on_scalar_write(src, offset),
+            GraphImage::Sharded(s) => s.on_scalar_write(src, offset),
+        }
+    }
+
+    /// Live vertexes.
+    pub fn node_count(&self) -> u64 {
+        match self {
+            GraphImage::Single(g) => g.node_count(),
+            GraphImage::Sharded(s) => s.node_count(),
+        }
+    }
+
+    /// Resolved edges.
+    pub fn edge_count(&self) -> u64 {
+        match self {
+            GraphImage::Single(g) => g.edge_count(),
+            GraphImage::Sharded(s) => s.edge_count(),
+        }
+    }
+
+    /// Dangling pointer slots.
+    pub fn dangling_count(&self) -> u64 {
+        match self {
+            GraphImage::Single(g) => g.dangling_count(),
+            GraphImage::Sharded(s) => s.dangling_count(),
+        }
+    }
+
+    /// The seven paper metrics.
+    pub fn metrics(&self) -> MetricVector {
+        match self {
+            GraphImage::Single(g) => g.metrics(),
+            GraphImage::Sharded(s) => s.metrics(),
+        }
+    }
+
+    /// The extension metrics.
+    pub fn extended_metrics(&self) -> ExtendedMetrics {
+        match self {
+            GraphImage::Single(g) => g.extended_metrics(),
+            GraphImage::Sharded(s) => s.extended_metrics(),
+        }
+    }
+
+    /// A serializable summary of the current instant.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        match self {
+            GraphImage::Single(g) => g.snapshot(),
+            GraphImage::Sharded(s) => s.snapshot(),
+        }
+    }
+
+    /// Refreshes the sharded variant's cached reconciled histogram (a
+    /// no-op for the single-slab variant, whose histogram is always
+    /// live). Call at metric computation points before handing the
+    /// image to observers that read [`histogram`](Self::histogram).
+    pub fn reconcile(&mut self) {
+        if let GraphImage::Sharded(s) = self {
+            s.reconcile();
+        }
+    }
+
+    /// Returns the image to its empty state while retaining the
+    /// variant's dominant allocations (see [`HeapGraph::reset`] /
+    /// [`ShardedGraph::reset`]).
+    pub fn reset(&mut self) {
+        match self {
+            GraphImage::Single(g) => g.reset(),
+            GraphImage::Sharded(s) => s.reset(),
+        }
+    }
+
+    /// Degree information for a live vertex.
+    pub fn node(&self, id: ObjectId) -> Option<NodeInfo> {
+        match self {
+            GraphImage::Single(g) => g.node(id),
+            GraphImage::Sharded(s) => s.node(id),
+        }
+    }
+
+    /// Returns `true` if `id` is a live vertex.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        match self {
+            GraphImage::Single(g) => g.contains(id),
+            GraphImage::Sharded(s) => s.contains(id),
+        }
+    }
+
+    /// The degree histogram: live for the single variant, as of the
+    /// last reconcile for the sharded one. Observers read this at
+    /// metric computation points, which reconcile first.
+    pub fn histogram(&self) -> &DegreeHistogram {
+        match self {
+            GraphImage::Single(g) => g.histogram(),
+            GraphImage::Sharded(s) => s.histogram(),
+        }
+    }
+
+    /// Checks internal bookkeeping for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            GraphImage::Single(g) => g.validate(),
+            GraphImage::Sharded(s) => s.validate(),
+        }
+    }
+
+    /// The single-slab graph, if that's the active variant.
+    pub fn as_single(&self) -> Option<&HeapGraph> {
+        match self {
+            GraphImage::Single(g) => Some(g),
+            GraphImage::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded graph, if that's the active variant.
+    pub fn as_sharded(&self) -> Option<&ShardedGraph> {
+        match self {
+            GraphImage::Single(_) => None,
+            GraphImage::Sharded(s) => Some(s),
+        }
+    }
+}
+
+impl Default for GraphImage {
+    fn default() -> Self {
+        GraphImage::Single(HeapGraph::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_heap::{AllocSite, SimHeap};
+
+    /// A heap driving a single and a sharded graph in lockstep.
+    struct Rig {
+        heap: SimHeap,
+        single: HeapGraph,
+        sharded: ShardedGraph,
+    }
+
+    impl Rig {
+        fn new(shards: usize) -> Self {
+            Rig {
+                heap: SimHeap::new(),
+                single: HeapGraph::new(),
+                sharded: ShardedGraph::new(shards),
+            }
+        }
+
+        fn alloc(&mut self, size: usize) -> Addr {
+            let eff = self.heap.alloc(size, AllocSite(0)).unwrap();
+            self.single.on_alloc(eff.id, eff.addr, eff.size);
+            self.sharded.on_alloc(eff.id, eff.addr, eff.size);
+            eff.addr
+        }
+
+        fn free(&mut self, addr: Addr) {
+            let eff = self.heap.free(addr).unwrap();
+            self.single.on_free(eff.id);
+            self.sharded.on_free(eff.id);
+        }
+
+        fn link(&mut self, slot: Addr, target: Addr) {
+            let w = self.heap.write_ptr(slot, target).unwrap();
+            self.single.on_ptr_write(w.src, w.offset, target);
+            self.sharded.on_ptr_write(w.src, w.offset, target);
+        }
+
+        fn check(&mut self) {
+            self.single.validate().unwrap();
+            self.sharded.validate().unwrap();
+            assert_eq!(self.sharded.snapshot(), self.single.snapshot());
+            self.sharded.reconcile();
+            assert_eq!(self.sharded.histogram(), self.single.histogram());
+            assert_eq!(self.sharded.metrics(), self.single.metrics());
+        }
+    }
+
+    #[test]
+    fn lockstep_chain_build_and_teardown() {
+        for shards in [1, 2, 3, 8] {
+            let mut rig = Rig::new(shards);
+            let mut nodes = Vec::new();
+            let mut prev: Option<Addr> = None;
+            for i in 0..200 {
+                let a = rig.alloc(16 + (i % 5) * 8);
+                if let Some(p) = prev {
+                    rig.link(a, p);
+                }
+                prev = Some(a);
+                nodes.push(a);
+                if i % 7 == 6 {
+                    let victim = nodes.remove(i % nodes.len());
+                    if Some(victim) != prev {
+                        rig.free(victim);
+                    }
+                    rig.check();
+                }
+            }
+            rig.check();
+            // Dangling + re-bind churn: free half, then reallocate.
+            let survivors: Vec<Addr> = nodes.drain(..nodes.len() / 2).collect();
+            for a in survivors {
+                if Some(a) != prev {
+                    rig.free(a);
+                }
+            }
+            rig.check();
+            for _ in 0..40 {
+                let a = rig.alloc(24);
+                nodes.push(a);
+            }
+            rig.check();
+        }
+    }
+
+    #[test]
+    fn cross_shard_edges_are_counted() {
+        let mut rig = Rig::new(4);
+        let mut addrs = Vec::new();
+        for _ in 0..64 {
+            addrs.push(rig.alloc(4096)); // spread across regions
+        }
+        for pair in addrs.windows(2) {
+            rig.link(pair[0], pair[1]);
+        }
+        rig.check();
+        assert_eq!(rig.sharded.edge_count(), 63);
+        assert!(
+            rig.sharded.cross_shard_edges() > 0,
+            "4096-byte objects must land in multiple regions/shards"
+        );
+    }
+
+    #[test]
+    fn detached_ops_replayed_match_inline_histograms() {
+        let settings_events = {
+            let mut heap = SimHeap::new();
+            let mut evs = Vec::new();
+            let mut addrs: Vec<Addr> = Vec::new();
+            for i in 0..120usize {
+                let eff = heap.alloc(16 + (i % 3) * 8, AllocSite(0)).unwrap();
+                evs.push(HeapEvent::Alloc {
+                    obj: eff.id,
+                    addr: eff.addr,
+                    size: eff.size,
+                    site: AllocSite(0),
+                });
+                if let Some(&p) = addrs.last() {
+                    let w = heap.write_ptr(eff.addr, p).unwrap();
+                    evs.push(HeapEvent::PtrWrite {
+                        src: w.src,
+                        offset: w.offset,
+                        value: p,
+                        old_value: None,
+                    });
+                }
+                addrs.push(eff.addr);
+                if i % 5 == 4 {
+                    let victim = addrs.remove(i % (addrs.len() - 1));
+                    let eff = heap.free(victim).unwrap();
+                    evs.push(HeapEvent::Free {
+                        obj: eff.id,
+                        addr: eff.addr,
+                        size: eff.size,
+                    });
+                }
+            }
+            evs
+        };
+
+        let mut inline = ShardedGraph::new(4);
+        let mut detached = ShardedGraph::new_detached(4);
+        let mut worker_hists: Vec<DegreeHistogram> =
+            (0..4).map(|_| DegreeHistogram::new()).collect();
+        for ev in &settings_events {
+            inline.apply(ev);
+            detached.apply(ev);
+        }
+        for (sh, ops) in detached.take_pending_ops().into_iter().enumerate() {
+            for op in ops {
+                op.apply(&mut worker_hists[sh]);
+            }
+        }
+        let mut merged = DegreeHistogram::new();
+        for h in &worker_hists {
+            merged.merge(h);
+        }
+        detached.install_merged_histogram(merged);
+        inline.reconcile();
+        assert_eq!(detached.histogram(), inline.histogram());
+        assert_eq!(detached.metrics(), inline.metrics());
+        assert_eq!(detached.node_count(), inline.node_count());
+        assert_eq!(detached.edge_count(), inline.edge_count());
+        assert_eq!(detached.dangling_count(), inline.dangling_count());
+    }
+
+    #[test]
+    fn graph_image_variants_agree() {
+        let mut heap = SimHeap::new();
+        let mut images = [GraphImage::new(1), GraphImage::new(3)];
+        let mut prev: Option<Addr> = None;
+        for _ in 0..100 {
+            let eff = heap.alloc(32, AllocSite(0)).unwrap();
+            for img in &mut images {
+                img.apply(&HeapEvent::Alloc {
+                    obj: eff.id,
+                    addr: eff.addr,
+                    size: eff.size,
+                    site: AllocSite(0),
+                });
+            }
+            if let Some(p) = prev {
+                let w = heap.write_ptr(eff.addr, p).unwrap();
+                for img in &mut images {
+                    img.apply(&HeapEvent::PtrWrite {
+                        src: w.src,
+                        offset: w.offset,
+                        value: p,
+                        old_value: None,
+                    });
+                }
+            }
+            prev = Some(eff.addr);
+        }
+        let [a, mut b] = images;
+        assert_eq!(a.shard_count(), 1);
+        assert_eq!(b.shard_count(), 3);
+        assert_eq!(a.snapshot(), b.snapshot());
+        b.reconcile();
+        assert_eq!(a.histogram(), b.histogram());
+        a.validate().unwrap();
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(ShardedGraph::new(0).shard_count(), 1);
+        assert_eq!(ShardedGraph::new(1000).shard_count(), MAX_SHARDS);
+    }
+}

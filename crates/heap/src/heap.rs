@@ -5,6 +5,7 @@ use crate::alloc::{AddressAllocator, AllocatorConfig};
 use crate::error::HeapError;
 use crate::event::{AllocEffect, FreeEffect, ReallocEffect, WriteEffect};
 use crate::object::{AllocSite, ObjectId, ObjectRecord};
+use crate::shadow::ShadowMap;
 use crate::stats::HeapStats;
 use fxhash::{FxHashMap, FxHashSet};
 
@@ -56,12 +57,12 @@ pub struct SimHeap {
     /// slot-vec capacity for reuse.
     records: Vec<ObjectRecord>,
     free_slots: Vec<u32>,
-    /// Live objects sorted by start address, for interior-pointer
-    /// resolution via binary search.
-    ranges: Vec<ObjRange>,
-    /// Last range index a resolution hit (see
-    /// [`resolve_slot`](Self::resolve_slot)); verified before use.
-    cursor: std::cell::Cell<usize>,
+    /// O(1) interior-pointer resolution: address granule → slab slot.
+    shadow: ShadowMap,
+    /// Live objects the shadow map refused (unaligned or out-of-range
+    /// starts), sorted by start address. Empty for the default
+    /// allocator configuration.
+    spill: Vec<ObjRange>,
     /// Start addresses that were live at some point (for double-free
     /// classification). FxHash: inserted on every allocation.
     ever_allocated: FxHashSet<u64>,
@@ -99,8 +100,8 @@ impl SimHeap {
             index: FxHashMap::default(),
             records: Vec::new(),
             free_slots: Vec::new(),
-            ranges: Vec::new(),
-            cursor: std::cell::Cell::new(0),
+            shadow: ShadowMap::new(),
+            spill: Vec::new(),
             ever_allocated: FxHashSet::default(),
             next_id: 0,
             tick: 0,
@@ -172,18 +173,16 @@ impl SimHeap {
         let prev = self.index.insert(raw, slot);
         debug_assert!(prev.is_none(), "allocator handed out a live address");
         let end = raw + size as u64;
-        let range = ObjRange {
-            start: raw,
-            end,
-            slot,
-        };
-        // Fresh addresses are monotonic, so tail append is the common
-        // case; the binary search only runs for recycled addresses.
-        if self.ranges.last().is_none_or(|r| r.start < raw) {
-            self.ranges.push(range);
-        } else {
-            let pos = self.ranges.partition_point(|r| r.start < raw);
-            self.ranges.insert(pos, range);
+        if !self.shadow.insert(raw, end, slot) {
+            let pos = self.spill.partition_point(|r| r.start < raw);
+            self.spill.insert(
+                pos,
+                ObjRange {
+                    start: raw,
+                    end,
+                    slot,
+                },
+            );
         }
         self.ever_allocated.insert(raw);
 
@@ -225,13 +224,13 @@ impl SimHeap {
             });
         };
         self.tick += 1;
-        // LIFO churn frees the highest-addressed block: pop, don't shift.
-        if self.ranges.last().is_some_and(|r| r.start == raw) {
-            self.ranges.pop();
+        let size_u64 = self.records[slot as usize].size() as u64;
+        if self.shadow.lookup(raw) == Some(slot) {
+            self.shadow.remove(raw, raw + size_u64);
         } else {
-            let pos = self.ranges.partition_point(|r| r.start < raw);
-            debug_assert_eq!(self.ranges[pos].slot, slot);
-            self.ranges.remove(pos);
+            let pos = self.spill.partition_point(|r| r.start < raw);
+            debug_assert_eq!(self.spill[pos].slot, slot);
+            self.spill.remove(pos);
         }
         let rec = &mut self.records[slot as usize];
         let id = rec.id();
@@ -461,7 +460,9 @@ impl SimHeap {
 
     /// Iterates over live objects in address order.
     pub fn iter_live(&self) -> impl Iterator<Item = &ObjectRecord> {
-        self.ranges.iter().map(|r| &self.records[r.slot as usize])
+        let mut slots: Vec<u32> = self.index.values().copied().collect();
+        slots.sort_unstable_by_key(|&s| self.records[s as usize].start());
+        slots.into_iter().map(move |s| &self.records[s as usize])
     }
 
     /// Returns `true` when the address range of a former object has been
@@ -470,32 +471,25 @@ impl SimHeap {
         self.index.contains_key(&addr.get())
     }
 
-    /// The slab slot of the live object containing `raw`: cursor hint
-    /// first (mutator accesses have strong locality), then binary
-    /// search over the sorted range index.
+    /// The slab slot of the live object containing `raw`: one shadow
+    /// lookup (bounds-verified, since the tail granule is conservative),
+    /// then the spill index for shadow-refused objects.
     #[inline]
     fn resolve_slot(&self, raw: u64) -> Option<u32> {
-        let hint = self.cursor.get();
-        if let Some(r) = self.ranges.get(hint) {
-            if r.start <= raw && raw < r.end {
-                return Some(r.slot);
-            }
-            if let Some(r2) = self.ranges.get(hint + 1) {
-                if r2.start <= raw && raw < r2.end {
-                    self.cursor.set(hint + 1);
-                    return Some(r2.slot);
-                }
+        if let Some(s) = self.shadow.lookup(raw) {
+            let rec = &self.records[s as usize];
+            let start = rec.start().get();
+            if start <= raw && raw < start + rec.size() as u64 {
+                return Some(s);
             }
         }
-        let idx = self.ranges.partition_point(|r| r.start <= raw);
+        if self.spill.is_empty() {
+            return None;
+        }
+        let idx = self.spill.partition_point(|r| r.start <= raw);
         let i = idx.checked_sub(1)?;
-        let r = self.ranges.get(i)?;
-        if raw < r.end {
-            self.cursor.set(i);
-            Some(r.slot)
-        } else {
-            None
-        }
+        let r = self.spill.get(i)?;
+        (raw < r.end).then_some(r.slot)
     }
 }
 

@@ -49,12 +49,14 @@ mod error;
 mod event;
 mod heap;
 mod object;
+mod shadow;
 mod stats;
 
-pub use addr::{Addr, NULL};
+pub use addr::{region_of, shard_of, Addr, NULL, REGION_BITS};
 pub use alloc::{AddressAllocator, AllocatorConfig};
 pub use error::HeapError;
 pub use event::{AllocEffect, FreeEffect, HeapEvent, ReallocEffect, WriteEffect};
 pub use heap::{HeapConfig, SimHeap};
 pub use object::{AllocSite, ObjectId, ObjectRecord};
+pub use shadow::{ShadowMap, EMPTY as SHADOW_EMPTY, GRANULE_BITS};
 pub use stats::HeapStats;

@@ -1,0 +1,271 @@
+//! # heapmd-mapfile — read-only memory-mapped file views
+//!
+//! The binary trace reader wants the whole `.hmdt` file addressable as
+//! one `&[u8]` (the block index stores absolute offsets), but copying a
+//! multi-gigabyte trace through `read(2)` into a `Vec` doubles the
+//! memory footprint and serializes ingest behind the copy. [`Mmap`]
+//! maps the file instead: open is O(1), the kernel pages bytes in on
+//! first touch, and clean pages never count against the process twice.
+//!
+//! This is the **only** crate in the workspace that contains `unsafe`
+//! code — everything else is `#![forbid(unsafe_code)]`. The unsafety is
+//! confined to the two `mmap`/`munmap` FFI calls and the
+//! `slice::from_raw_parts` view over the mapping, with the safety
+//! argument documented at each site. Platforms without `mmap` (or
+//! failures at map time — exotic filesystems, `ulimit`, 32-bit
+//! address-space pressure) are handled by the caller falling back to a
+//! buffered read; [`Mmap::map`] reports errors rather than panicking.
+//!
+//! ## Why the view stays sound
+//!
+//! A file shrunk *while mapped* turns reads past the new end into
+//! `SIGBUS` on POSIX systems — no API contortion can make that safe in
+//! general. The trace pipeline avoids the hazard by construction:
+//! traces are published atomically (write-to-temp + `rename`, see
+//! `heapmd::persist::write_atomic`), so a reader never maps a file that
+//! a writer is still mutating in place; an unlinked-and-replaced file
+//! keeps its old inode alive until the mapping drops. Callers outside
+//! that discipline should prefer the buffered path.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    //! Minimal libc FFI surface: `std` already links libc on every unix
+    //! target, so declaring the two symbols needs no new dependency.
+
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    /// `MAP_PRIVATE`: the mapping is copy-on-write and never writes
+    /// back; value is 0x02 on every unix libc we can build against.
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// A whole-file read-only private mapping.
+    #[derive(Debug)]
+    pub struct RawMap {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is immutable for its whole lifetime (PROT_READ,
+    // MAP_PRIVATE) and owned uniquely by this struct, so sharing the
+    // view across threads is no different from sharing a `&[u8]`.
+    unsafe impl Send for RawMap {}
+    unsafe impl Sync for RawMap {}
+
+    impl RawMap {
+        pub fn map(file: &File, len: usize) -> io::Result<RawMap> {
+            // SAFETY: we pass a null hint, a length validated as non-zero
+            // by the caller, and a file descriptor we hold open across
+            // the call. On success the kernel returns `len` bytes of
+            // readable memory that stay valid until `munmap`.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(RawMap {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` points at a live PROT_READ mapping of exactly
+            // `len` bytes (established in `map`, torn down only in
+            // `drop`), and the bytes are never mutated through this
+            // struct. See the crate docs for the file-shrink caveat and
+            // why the trace pipeline's atomic-publish discipline
+            // prevents it.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for RawMap {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` describe the mapping returned by `mmap`
+            // and nothing else unmaps it; after this the struct is gone,
+            // so no `as_slice` view can outlive the call (lifetimes tie
+            // them to `&self`).
+            let rc = unsafe { munmap(self.ptr as *mut std::ffi::c_void, self.len) };
+            debug_assert_eq!(rc, 0, "munmap failed");
+        }
+    }
+}
+
+/// A read-only memory-mapped view of a whole file.
+///
+/// Dereferences to `&[u8]`. On non-unix targets (or for the empty file,
+/// which `mmap(2)` rejects) the "mapping" is a plain buffered read, so
+/// callers get one type either way.
+///
+/// # Example
+///
+/// ```no_run
+/// # fn main() -> std::io::Result<()> {
+/// let file = std::fs::File::open("trace.hmdt")?;
+/// let map = heapmd_mapfile::Mmap::map(&file)?;
+/// assert!(map.len() == 0 || map[0] != 0 || map[0] == 0); // bytes!
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Mmap {
+    inner: MmapInner,
+}
+
+#[derive(Debug)]
+enum MmapInner {
+    #[cfg(unix)]
+    Mapped(sys::RawMap),
+    /// Fallback storage: empty files everywhere, all files on non-unix.
+    Buffered(Vec<u8>),
+}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `mmap(2)` / metadata / read error. Callers are
+    /// expected to fall back to a buffered read on failure.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space")
+        })?;
+        if len == 0 {
+            return Ok(Mmap {
+                inner: MmapInner::Buffered(Vec::new()),
+            });
+        }
+        #[cfg(unix)]
+        {
+            let raw = sys::RawMap::map(file, len)?;
+            Ok(Mmap {
+                inner: MmapInner::Mapped(raw),
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut bytes = Vec::with_capacity(len);
+            let mut f = file.try_clone()?;
+            f.read_to_end(&mut bytes)?;
+            Ok(Mmap {
+                inner: MmapInner::Buffered(bytes),
+            })
+        }
+    }
+
+    /// Whether the bytes come from a real kernel mapping (as opposed to
+    /// the buffered fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(unix)]
+            MmapInner::Mapped(_) => true,
+            MmapInner::Buffered(_) => false,
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            MmapInner::Mapped(raw) => raw.as_slice(),
+            MmapInner::Buffered(bytes) => bytes,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("heapmd-mapfile-{name}-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp("contents", b"hello mapped world");
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&*map, b"hello mapped world");
+        assert_eq!(map.as_ref().len(), 18);
+        #[cfg(unix)]
+        assert!(map.is_mapped());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp("empty", b"");
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped(), "empty files use the buffered fallback");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn view_survives_unlink() {
+        // The unix idiom: replace-then-read keeps the old inode alive.
+        let path = tmp("unlink", b"staying alive");
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map(&file).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(&*map, b"staying alive");
+    }
+
+    #[test]
+    fn large_file_roundtrip() {
+        let bytes: Vec<u8> = (0..1usize << 20).map(|i| (i * 31 % 251) as u8).collect();
+        let path = tmp("large", &bytes);
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&*map, &bytes[..]);
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -9,11 +9,34 @@ use heapmd::{
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Per-series point budget for the flight recorder attached by
 /// [`check_with_incidents`]: enough to span long runs after
 /// stride-doubling, small enough to keep bundles a few KB.
 pub const FLIGHT_RECORDER_POINTS: usize = 512;
+
+/// Heap-graph shard count for every [`Process`] the harness builds
+/// (1 = classic single-slab layout). Shard count changes storage
+/// layout only — samples, models, and verdicts are bit-identical at
+/// every value — so this is safe to flip mid-suite.
+static DEFAULT_SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the shard count used by subsequent harness runs (the CLI's
+/// `--shards` flag lands here). Values below 1 clamp to 1.
+pub fn set_default_shards(n: usize) {
+    DEFAULT_SHARDS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The shard count harness-built processes currently use.
+pub fn default_shards() -> usize {
+    DEFAULT_SHARDS.load(Ordering::Relaxed)
+}
+
+/// Builds a workload process honoring [`default_shards`].
+fn new_process(settings: Settings) -> Process {
+    Process::with_shards(settings, default_shards())
+}
 
 /// The settings a program is normally analysed under: paper thresholds,
 /// program-specific `frq`.
@@ -36,7 +59,7 @@ pub fn run_once(
     plan: &mut FaultPlan,
     settings: &Settings,
 ) -> MetricReport {
-    let mut p = Process::new(settings.clone());
+    let mut p = new_process(settings.clone());
     {
         let _span = heapmd_obs::span!("workload_run");
         w.run(&mut p, plan, input)
@@ -57,7 +80,7 @@ pub fn run_monitored(
     settings: &Settings,
     monitors: &[Rc<RefCell<dyn Monitor>>],
 ) -> MetricReport {
-    let mut p = Process::new(settings.clone());
+    let mut p = new_process(settings.clone());
     for m in monitors {
         p.attach(m.clone());
     }
@@ -196,7 +219,7 @@ pub fn check_with_incidents(
             .borrow_mut()
             .log_incidents_to(IncidentLog::new(dir, w.name()));
     }
-    let mut p = Process::new(settings);
+    let mut p = new_process(settings);
     p.enable_flight_recorder(FLIGHT_RECORDER_POINTS);
     p.attach(detector.clone());
     {
