@@ -69,6 +69,8 @@ fn bench_overhead(c: &mut Criterion) {
         stable: vec![],
         unstable: vec![],
         locally_stable: vec![],
+        candidate_stable: vec![],
+        candidate_unstable: vec![],
         training_runs: 0,
     };
     let mut group = c.benchmark_group("instrumentation_overhead");

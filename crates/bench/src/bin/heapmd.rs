@@ -19,6 +19,8 @@
 //! heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N]
 //!              [--queue-events N] [--incidents DIR] [--prom-dump FILE]
 //!              [--journal-dir DIR] [--model-dir DIR] [--session-timeout-ms N]
+//! heapmd query --store DIR [--workload NAME] [--version V] [--kind K]
+//!              [--metric ID …] [--agg stats|drift] [--format tsv|jsonl]
 //! heapmd top --connect ADDR [--once] [--interval-ms N]
 //! heapmd push --to ADDR --tenant NAME --trace FILE [--salvage]
 //!             [--session ID] [--retry N] [--backoff-ms N] [--no-resume]
@@ -66,6 +68,12 @@
 //!   `serve --model-dir DIR` checks each tenant against
 //!   `DIR/<tenant>.hmdm` when present, falling back to the shared
 //!   `--model`.
+//! - `--run-store DIR` (on `run` / `train` / `check` / `serve`) appends
+//!   one columnar row per metric computation point to an append-only
+//!   run store ([`heapmd_runstore`]); `query` then answers cross-run
+//!   and cross-version questions (filters, metric projections,
+//!   percentile stats, drift matrices) by columnar scan alone —
+//!   damaged segments degrade instead of failing the scan.
 //!
 //! Global flags (any subcommand):
 //!
@@ -84,12 +92,16 @@
 
 use faults::FaultPlan;
 use heapmd::plot::{chart, RefLine};
+use heapmd::run_rows::{rows_from_samples, unix_time_now, RowSource};
 use heapmd::{
     AnomalyDetector, ArtifactKind, BinaryTraceImage, FuncId, HeapModel, IncidentBundle,
     IncidentLog, LogPhase, ModelBuilder, Process, SalvageStats, StreamFormat, Trace,
     TrainCheckpoint,
 };
 use heapmd_obs::{debug, error, info};
+use heapmd_runstore::{
+    drift_by_version, MetricStats, RowFilter, RowKind, RunRow, RunStore, ENCODING_NAMES,
+};
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
@@ -182,9 +194,35 @@ fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(value)
 }
 
+/// Opens the `--run-store DIR` store when the flag is present. An
+/// unopenable directory fails fast (exit 1) before any work runs.
+fn run_store_flag(args: &[String]) -> Option<RunStore> {
+    let dir = arg_value(args, "--run-store")?;
+    match RunStore::open(&dir) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            error!("cannot open run store {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Appends rows to the run store, degrading to a logged error: the run
+/// itself already succeeded, so a dead store must not fail the command.
+fn append_rows(store: &RunStore, rows: &[RunRow]) {
+    match store.append(rows) {
+        Ok(path) => info!(
+            "{} run-store row(s) appended to {}",
+            rows.len(),
+            path.display()
+        ),
+        Err(e) => error!("run-store append to {} failed: {e}", store.dir().display()),
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--shards N] [--trace-out FILE] [--format binary|jsonl] [--model FILE] [--incidents DIR] [--serve ADDR [--tenant NAME] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--checkpoint-every N] [--resume] [--threads N] [--format binary|jsonl]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--shards N] [--incidents DIR]\n  heapmd check --model FILE --trace FILE [--trace FILE ...] [--jobs N] [--shards N] [--salvage]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--format binary|jsonl] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage] [--shards N] [--format binary|jsonl]\n  heapmd inspect <artifact> [--salvage]\n  heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N] [--queue-events N] [--incidents DIR] [--prom-dump FILE] [--journal-dir DIR] [--model-dir DIR] [--session-timeout-ms N]\n  heapmd top --connect ADDR [--once] [--interval-ms N]\n  heapmd push --to ADDR --tenant NAME --trace FILE [--salvage] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
+        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--shards N] [--trace-out FILE] [--format binary|jsonl] [--model FILE] [--incidents DIR] [--run-store DIR] [--serve ADDR [--tenant NAME] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--metrics paper|candidates] [--checkpoint-every N] [--resume] [--threads N] [--format binary|jsonl] [--run-store DIR]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--shards N] [--incidents DIR] [--run-store DIR]\n  heapmd check --model FILE --trace FILE [--trace FILE ...] [--jobs N] [--shards N] [--salvage] [--run-store DIR] [--version V]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--format binary|jsonl] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage] [--shards N] [--format binary|jsonl]\n  heapmd inspect <artifact> [--salvage]\n  heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N] [--queue-events N] [--incidents DIR] [--prom-dump FILE] [--journal-dir DIR] [--model-dir DIR] [--session-timeout-ms N] [--run-store DIR]\n  heapmd query --store DIR [--workload NAME] [--version V] [--run ID] [--tenant NAME] [--kind train|run|check|serve] [--since T] [--until T] [--metric ID ...] [--agg stats|drift] [--format tsv|jsonl] [--limit N] [--describe]\n  heapmd top --connect ADDR [--once] [--interval-ms N]\n  heapmd push --to ADDR --tenant NAME --trace FILE [--salvage] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
     );
     std::process::exit(2);
 }
@@ -234,6 +272,7 @@ fn cmd_run(args: &[String]) -> i32 {
     let mut plan = fault_plan_for(args);
     let shards = shards_flag(args);
     workloads::harness::set_default_shards(shards);
+    let run_store = run_store_flag(args);
     info!(
         "running {program} v{version} on input {input_id} (frq {}, {shards} graph shard(s))",
         settings.frq
@@ -351,6 +390,17 @@ fn cmd_run(args: &[String]) -> i32 {
             last.nodes, last.edges, last.dangling
         );
     }
+    if let Some(store) = &run_store {
+        let src = RowSource {
+            workload: program.clone(),
+            version: u64::from(version),
+            run: format!("input-{input_id}"),
+            tenant: String::new(),
+            kind: RowKind::Run,
+            time: unix_time_now(),
+        };
+        append_rows(store, &rows_from_samples(&src, &report.samples));
+    }
     if let Some(det) = detector {
         let mut d = det.borrow_mut();
         let bugs = d.take_bugs();
@@ -375,6 +425,17 @@ fn cmd_train(args: &[String]) -> i32 {
     let version: u8 = num_flag(args, "--version", "1-5", 1u8);
     let out = arg_value(args, "--out").unwrap_or_else(|| format!("{program}.heapmd.json"));
     let local = args.iter().any(|a| a == "--local");
+    // `--metrics candidates` widens model construction to the full
+    // candidate family; the default (`paper`) keeps the classic seven
+    // and produces bit-identical models to builds before the family.
+    let candidates = match arg_value(args, "--metrics").as_deref() {
+        None | Some("paper") => false,
+        Some("candidates") => true,
+        Some(v) => {
+            eprintln!("--metrics takes paper|candidates, got {v:?}");
+            return 2;
+        }
+    };
     let checkpoint_every: u64 = num_flag(args, "--checkpoint-every", "a number", 0u64);
     let threads: usize = num_flag(args, "--threads", "a number", 1usize);
     let resume = args.iter().any(|a| a == "--resume");
@@ -398,9 +459,12 @@ fn cmd_train(args: &[String]) -> i32 {
         "training {program} v{version} on {inputs} inputs (frq {})",
         settings.frq
     );
+    let run_store = run_store_flag(args);
     let (mut builder, start) = if resume && Path::new(&ckpt_path).exists() {
         match TrainCheckpoint::load(&ckpt_path).and_then(ModelBuilder::from_checkpoint) {
             Ok((b, next)) => {
+                // The checkpoint's metric mode wins on resume: mixing
+                // modes mid-train would corrupt the stability stats.
                 println!("resuming from {ckpt_path}: {next} of {inputs} inputs already done");
                 (b, next)
             }
@@ -416,7 +480,8 @@ fn cmd_train(args: &[String]) -> i32 {
         (
             ModelBuilder::new(settings.clone())
                 .program(w.name())
-                .locally_stable(local),
+                .locally_stable(local)
+                .candidate_metrics(candidates),
             0,
         )
     };
@@ -430,6 +495,7 @@ fn cmd_train(args: &[String]) -> i32 {
     } else {
         Vec::new()
     };
+    let mut store_rows: Vec<RunRow> = Vec::new();
     for (i, input) in pending.iter().enumerate() {
         let report = if threads > 1 {
             reports[i].clone()
@@ -441,6 +507,17 @@ fn cmd_train(args: &[String]) -> i32 {
             input.id,
             report.samples.len()
         );
+        if run_store.is_some() {
+            let src = RowSource {
+                workload: w.name().to_string(),
+                version: u64::from(version),
+                run: format!("input-{}", input.id),
+                tenant: String::new(),
+                kind: RowKind::Train,
+                time: unix_time_now(),
+            };
+            store_rows.extend(rows_from_samples(&src, &report.samples));
+        }
         builder.add_run(&report);
         let done = start + i as u64 + 1;
         if checkpoint_every > 0 && done.is_multiple_of(checkpoint_every) {
@@ -477,6 +554,18 @@ fn cmd_train(args: &[String]) -> i32 {
             lm.ranges
         );
     }
+    for cm in &outcome.model.candidate_stable {
+        println!(
+            "candidate stable {:<24} [{:8.3}, {:8.3}]  avg chg {:+.2}%  ({}/{} runs)",
+            cm.id, cm.min, cm.max, cm.avg_change, cm.stable_runs, cm.total_runs
+        );
+    }
+    if !outcome.model.candidate_unstable.is_empty() {
+        println!(
+            "candidate unstable: {}",
+            outcome.model.candidate_unstable.join(", ")
+        );
+    }
     if !outcome.flagged_runs.is_empty() {
         println!("suspect training inputs: {:?}", outcome.flagged_runs);
     }
@@ -490,6 +579,9 @@ fn cmd_train(args: &[String]) -> i32 {
         // no longer writes new ones, so a later `--resume` cannot pick
         // up a stale state.
         std::fs::remove_file(&ckpt_path).ok();
+    }
+    if let Some(store) = &run_store {
+        append_rows(store, &store_rows);
     }
     println!("model written to {out}");
     0
@@ -523,21 +615,35 @@ fn cmd_check(args: &[String]) -> i32 {
     // The harness builds the process; route the shard count through
     // its process factory (verdicts are shard-invariant).
     workloads::harness::set_default_shards(shards_flag(args));
-    let bugs = match arg_value(args, "--incidents") {
-        Some(dir) => {
-            let outcome = check_with_incidents(
-                w.as_ref(),
-                &model,
-                &Input::new(input_id),
-                &mut plan,
-                Some(Path::new(&dir)),
-            );
-            for path in &outcome.bundle_paths {
-                println!("incident bundle written to {}", path.display());
-            }
-            outcome.bugs
+    let run_store = run_store_flag(args);
+    let incident_dir = arg_value(args, "--incidents");
+    // A run-store append needs the checked run's sampled report, so it
+    // rides the flight-recorded path even without an incident dir.
+    let bugs = if incident_dir.is_some() || run_store.is_some() {
+        let outcome = check_with_incidents(
+            w.as_ref(),
+            &model,
+            &Input::new(input_id),
+            &mut plan,
+            incident_dir.as_deref().map(Path::new),
+        );
+        for path in &outcome.bundle_paths {
+            println!("incident bundle written to {}", path.display());
         }
-        None => check(w.as_ref(), &model, &Input::new(input_id), &mut plan),
+        if let Some(store) = &run_store {
+            let src = RowSource {
+                workload: program.clone(),
+                version: u64::from(version),
+                run: format!("input-{input_id}"),
+                tenant: String::new(),
+                kind: RowKind::Check,
+                time: unix_time_now(),
+            };
+            append_rows(store, &rows_from_samples(&src, &outcome.report.samples));
+        }
+        outcome.bugs
+    } else {
+        check(w.as_ref(), &model, &Input::new(input_id), &mut plan)
     };
     if bugs.is_empty() {
         println!("no anomalies on input {input_id}");
@@ -580,6 +686,64 @@ fn cmd_check_offline(args: &[String], trace_paths: &[String]) -> i32 {
         }
     };
     let settings = model.settings.clone();
+    // Recording rows needs the per-sample series, which only the
+    // sequential in-memory checker exposes; the parallel sharded
+    // engine returns verdicts alone. Traces check one at a time here.
+    if let Some(store) = run_store_flag(args) {
+        if jobs > 1 {
+            info!("--run-store records per-sample rows; checking sequentially (--jobs {jobs} ignored)");
+        }
+        let version: u64 = num_flag(args, "--version", "a number", 0u64);
+        let (mut failed, mut anomalies) = (false, false);
+        for path in trace_paths {
+            let outcome = heapmd::load_trace_auto(path, salvage).and_then(|(trace, stats)| {
+                if let Some(stats) = &stats {
+                    report_salvage(path, stats);
+                }
+                trace.check_logged(&model, &settings, None)
+            });
+            match outcome {
+                Ok(out) => {
+                    let src = RowSource {
+                        workload: model.program.clone(),
+                        version,
+                        run: path.clone(),
+                        tenant: String::new(),
+                        kind: RowKind::Check,
+                        time: unix_time_now(),
+                    };
+                    append_rows(&store, &rows_from_samples(&src, &out.samples));
+                    if out.bugs.is_empty() {
+                        println!("{path}: no anomalies");
+                    } else {
+                        anomalies = true;
+                        println!("{path}: {} anomaly report(s):", out.bugs.len());
+                        for b in &out.bugs {
+                            println!("  {b}");
+                            let funcs = b.implicated_functions();
+                            if !funcs.is_empty() {
+                                println!("    implicated: {}", funcs.join(", "));
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    failed = true;
+                    error!("{path}: {e}");
+                    if !salvage {
+                        eprintln!("hint: `--salvage` recovers what a damaged trace still holds");
+                    }
+                }
+            }
+        }
+        return if failed {
+            1
+        } else if anomalies {
+            3
+        } else {
+            0
+        };
+    }
     let paths: Vec<PathBuf> = trace_paths.iter().map(PathBuf::from).collect();
     info!("checking {} trace(s) with {jobs} job(s)", paths.len());
     let results =
@@ -693,6 +857,32 @@ fn render_bundle(bundle: &IncidentBundle) -> String {
         };
         out.push_str(&fmt_row("indeg", &d.indeg));
         out.push_str(&fmt_row("outdeg", &d.outdeg));
+        // v2 bundles carry the sparse full-resolution distributions; v1
+        // bundles only have the bucketed view above.
+        let full_row = |label: &str, pairs: &[(u32, u64)]| -> String {
+            let cells: Vec<String> = pairs.iter().map(|&(d, n)| format!("{d}:{n}")).collect();
+            format!("  {label:<11} {}\n", cells.join("  "))
+        };
+        let shape = |pairs: &[(u32, u64)]| -> String {
+            let dist = heapmd::DegreeDistribution::from_counts(
+                &heapmd::DegreeSnapshot::dense_counts(pairs),
+            );
+            format!(
+                "entropy {:.3} bits, tail(>={}) {:.3}, top-2 share {:.3}, max degree {}",
+                dist.entropy(),
+                heapmd::TAIL_MIN_DEGREE,
+                dist.tail_mass(heapmd::TAIL_MIN_DEGREE),
+                dist.top_share(2),
+                dist.max_degree()
+            )
+        };
+        if !d.indeg_full.is_empty() || !d.outdeg_full.is_empty() {
+            out.push_str("\nfull degree distribution (degree:count, no overflow bucket):\n");
+            out.push_str(&full_row("indeg full", &d.indeg_full));
+            out.push_str(&full_row("outdeg full", &d.outdeg_full));
+            out.push_str(&format!("  in  shape   {}\n", shape(&d.indeg_full)));
+            out.push_str(&format!("  out shape   {}\n", shape(&d.outdeg_full)));
+        }
     }
 
     let funcs = bundle.implicated_functions();
@@ -1069,6 +1259,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     config.prom_dump = arg_value(args, "--prom-dump").map(PathBuf::from);
     config.journal_dir = arg_value(args, "--journal-dir").map(PathBuf::from);
     config.model_dir = arg_value(args, "--model-dir").map(PathBuf::from);
+    config.run_store = arg_value(args, "--run-store").map(PathBuf::from);
     config.session_timeout = std::time::Duration::from_millis(num_flag(
         args,
         "--session-timeout-ms",
@@ -1247,6 +1438,187 @@ fn cmd_top(args: &[String]) -> i32 {
     }
 }
 
+/// `heapmd query --store DIR …`: answers cross-run and cross-version
+/// questions over the columnar run store by scan alone — no replay, no
+/// models. Filters are conjunctive; `--metric` both projects columns
+/// (only those blocks are read) and picks the aggregation targets.
+fn cmd_query(args: &[String]) -> i32 {
+    let Some(store_dir) = arg_value(args, "--store") else {
+        usage()
+    };
+    let store = match RunStore::open(&store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            error!("cannot open run store {store_dir}: {e}");
+            return 1;
+        }
+    };
+    if args.iter().any(|a| a == "--describe") {
+        let segments = match store.segments() {
+            Ok(s) => s,
+            Err(e) => {
+                error!("cannot list {store_dir}: {e}");
+                return 1;
+            }
+        };
+        let ids = store.metric_ids().unwrap_or_default();
+        println!("run store {}", store.dir().display());
+        println!("  {} segment(s)", segments.len());
+        println!("  column encodings: {}", ENCODING_NAMES.join(", "));
+        println!("  {} metric column(s): {}", ids.len(), ids.join(", "));
+        return 0;
+    }
+    let opt_num = |flag: &str| -> Option<u64> {
+        arg_value(args, flag).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} expects a number, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let kind = match arg_value(args, "--kind") {
+        None => None,
+        Some(v) => match RowKind::from_str(&v) {
+            Some(k) => Some(k),
+            None => {
+                eprintln!("--kind takes train|run|check|serve, got {v:?}");
+                return 2;
+            }
+        },
+    };
+    let filter = RowFilter {
+        workload: arg_value(args, "--workload"),
+        version: opt_num("--version"),
+        run: arg_value(args, "--run"),
+        tenant: arg_value(args, "--tenant"),
+        kind,
+        since: opt_num("--since"),
+        until: opt_num("--until"),
+    };
+    let metrics = arg_values(args, "--metric");
+    let outcome = match store.scan(&filter, (!metrics.is_empty()).then_some(metrics.as_slice())) {
+        Ok(o) => o,
+        Err(e) => {
+            error!("scan of {store_dir} failed: {e}");
+            return 1;
+        }
+    };
+    if outcome.segments_skipped > 0 || outcome.segments_salvaged > 0 || outcome.damaged_blocks > 0 {
+        eprintln!(
+            "warning: degraded scan — {} segment(s) skipped, {} salvaged, {} damaged block(s)",
+            outcome.segments_skipped, outcome.segments_salvaged, outcome.damaged_blocks
+        );
+    }
+    // Metric column order: the projection order when given, otherwise
+    // the sorted union of ids present in the matching rows.
+    let metric_cols: Vec<String> = if metrics.is_empty() {
+        let mut set = std::collections::BTreeSet::new();
+        for r in &outcome.rows {
+            for (n, _) in &r.metrics {
+                set.insert(n.clone());
+            }
+        }
+        set.into_iter().collect()
+    } else {
+        metrics.clone()
+    };
+    match arg_value(args, "--agg").as_deref() {
+        None => {
+            let limit = opt_num("--limit").map_or(usize::MAX, |n| n as usize);
+            let jsonl = match arg_value(args, "--format").as_deref() {
+                None | Some("tsv") => false,
+                Some("jsonl") => true,
+                Some(v) => {
+                    eprintln!("--format takes tsv|jsonl, got {v:?}");
+                    return 2;
+                }
+            };
+            if jsonl {
+                for r in outcome.rows.iter().take(limit) {
+                    let mut m = heapmd_obs::json::JsonObject::new();
+                    for id in &metric_cols {
+                        if let Some(v) = r.metric(id) {
+                            m.field_f64(id, v);
+                        }
+                    }
+                    let mut o = heapmd_obs::json::JsonObject::new();
+                    o.field_str("workload", &r.workload)
+                        .field_u64("version", r.version)
+                        .field_str("run", &r.run)
+                        .field_str("tenant", &r.tenant)
+                        .field_str("kind", r.kind.as_str())
+                        .field_u64("time", r.time)
+                        .field_u64("seq", r.seq)
+                        .field_u64("fn_entries", r.fn_entries)
+                        .field_u64("nodes", r.nodes)
+                        .field_u64("edges", r.edges)
+                        .field_u64("dangling", r.dangling)
+                        .field_raw("metrics", &m.finish());
+                    println!("{}", o.finish());
+                }
+            } else {
+                println!(
+                    "workload\tversion\trun\ttenant\tkind\ttime\tseq\tfn_entries\tnodes\tedges\tdangling\t{}",
+                    metric_cols.join("\t")
+                );
+                for r in outcome.rows.iter().take(limit) {
+                    let vals: Vec<String> = metric_cols
+                        .iter()
+                        .map(|id| r.metric(id).map(|v| format!("{v}")).unwrap_or_default())
+                        .collect();
+                    println!(
+                        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                        r.workload,
+                        r.version,
+                        r.run,
+                        r.tenant,
+                        r.kind,
+                        r.time,
+                        r.seq,
+                        r.fn_entries,
+                        r.nodes,
+                        r.edges,
+                        r.dangling,
+                        vals.join("\t")
+                    );
+                }
+            }
+            info!("{} row(s) matched", outcome.rows.len());
+        }
+        Some("stats") => {
+            println!("metric\tcount\tmin\tmax\tmean\tp50\tp95");
+            for id in &metric_cols {
+                let values: Vec<f64> = outcome.rows.iter().filter_map(|r| r.metric(id)).collect();
+                if let Some(s) = MetricStats::compute(&values) {
+                    println!(
+                        "{id}\t{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+                        s.count, s.min, s.max, s.mean, s.p50, s.p95
+                    );
+                }
+            }
+        }
+        Some("drift") => {
+            let [metric] = metrics.as_slice() else {
+                eprintln!("--agg drift needs exactly one --metric ID");
+                return 2;
+            };
+            println!("version\tcount\tmean\tp50\tp95\tdrift_pct");
+            for d in drift_by_version(&outcome.rows, metric) {
+                let drift = d.drift_pct.map(|p| format!("{p:+.2}")).unwrap_or_default();
+                println!(
+                    "{}\t{}\t{:.4}\t{:.4}\t{:.4}\t{drift}",
+                    d.version, d.stats.count, d.stats.mean, d.stats.p50, d.stats.p95
+                );
+            }
+        }
+        Some(v) => {
+            eprintln!("--agg takes stats|drift, got {v:?}");
+            return 2;
+        }
+    }
+    0
+}
+
 fn cmd_push(args: &[String]) -> i32 {
     let Some(addr) = arg_value(args, "--to") else {
         usage()
@@ -1342,6 +1714,7 @@ fn main() {
         Some("replay") => cmd_replay(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("push") => cmd_push(&args[1..]),
         _ => usage(),

@@ -947,6 +947,8 @@ mod tests {
             ],
             unstable: vec![],
             locally_stable: vec![],
+            candidate_stable: vec![],
+            candidate_unstable: vec![],
             training_runs: 3,
         };
         assert_eq!(

@@ -16,7 +16,7 @@
 //! SIGKILL.
 
 use crate::error::HeapMdError;
-use crate::model::{ModelBuilder, RunSummary};
+use crate::model::{CandidateSummary, ModelBuilder, RunSummary};
 use crate::settings::Settings;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -42,6 +42,14 @@ pub struct TrainCheckpoint {
     /// Trimmed per-metric series (parallel to `runs`; populated only
     /// when `include_local`).
     pub series: Vec<Option<Vec<Vec<f64>>>>,
+    /// Whether widened candidate-family modelling is on. Absent in
+    /// checkpoints from builds that predate the candidate family.
+    #[serde(default)]
+    pub include_candidates: bool,
+    /// Per-run extended-candidate summaries (parallel to `runs` when
+    /// candidate modelling is on; empty in legacy checkpoints).
+    #[serde(default)]
+    pub cand_runs: Vec<Option<Vec<CandidateSummary>>>,
     /// Index of the next training input to consume on resume.
     pub next_input: u64,
 }
@@ -65,6 +73,13 @@ impl TrainCheckpoint {
                 "{} run summaries but {} series entries",
                 self.runs.len(),
                 self.series.len()
+            )));
+        }
+        if !self.cand_runs.is_empty() && self.cand_runs.len() != self.runs.len() {
+            return Err(HeapMdError::Checkpoint(format!(
+                "{} run summaries but {} candidate entries",
+                self.runs.len(),
+                self.cand_runs.len()
             )));
         }
         if self.next_input < self.runs.len() as u64 {
@@ -148,6 +163,8 @@ impl ModelBuilder {
             include_local: self.include_local,
             runs: self.runs.clone(),
             series: self.series.clone(),
+            include_candidates: self.include_candidates,
+            cand_runs: self.cand_runs.clone(),
             next_input,
         }
     }
@@ -166,6 +183,10 @@ impl ModelBuilder {
             .validate()
             .map_err(|e| HeapMdError::Checkpoint(format!("embedded settings invalid: {e}")))?;
         let next = cp.next_input;
+        // Legacy checkpoints carry no candidate column; pad with `None`
+        // so the builder's parallel-vector invariant holds.
+        let mut cand_runs = cp.cand_runs;
+        cand_runs.resize(cp.runs.len(), None);
         Ok((
             ModelBuilder {
                 settings: cp.settings,
@@ -173,6 +194,8 @@ impl ModelBuilder {
                 runs: cp.runs,
                 include_local: cp.include_local,
                 series: cp.series,
+                include_candidates: cp.include_candidates,
+                cand_runs,
             },
             next,
         ))
@@ -195,6 +218,7 @@ mod tests {
                 nodes: 10,
                 edges: 5,
                 dangling: 0,
+                candidates: None,
             })
             .collect();
         MetricReport::new(run, samples)
@@ -254,6 +278,7 @@ mod tests {
                     nodes: 10,
                     edges: 5,
                     dangling: 0,
+                    candidates: None,
                 })
                 .collect();
             MetricReport::new(run, samples)

@@ -3,7 +3,7 @@
 use crate::bug::{AnomalyKind, BugReport, Direction, LogPhase, StackLogEntry};
 use crate::fluctuation::FluctuationStats;
 use crate::incident::{DegreeSnapshot, IncidentBundle, IncidentLog, SeriesData};
-use crate::model::{HeapModel, StableMetric};
+use crate::model::{CandidateMetric, HeapModel, StableMetric};
 use crate::monitor::{Monitor, MonitorCtx};
 use crate::phase_model::LocalMetric;
 use crate::report::{MetricReport, MetricSample};
@@ -11,6 +11,7 @@ use crate::ringbuf::CircularBuffer;
 use crate::settings::Settings;
 use crate::stability::{classify, StabilityClass};
 use heap_graph::MetricKind;
+use serde::{Deserialize, Serialize};
 use sim_heap::HeapEvent;
 
 /// Maximum post-crossing events attached to one bug's context.
@@ -35,6 +36,35 @@ struct PendingCapture {
     armed_at_seq: Option<u64>,
     series: Vec<SeriesData>,
     degrees: Option<DegreeSnapshot>,
+}
+
+/// A calibrated extended candidate straying outside its range during
+/// checking. Deliberately *not* a [`BugReport`]: candidate findings
+/// ride alongside the legacy verdict — `bugs()` is bit-identical with
+/// or without them — and carry the candidate's string id instead of a
+/// [`MetricKind`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateFinding {
+    /// Stable string id of the candidate that strayed.
+    pub id: String,
+    /// The observed value.
+    pub value: f64,
+    /// The calibrated range after the checking slack
+    /// (`[min - range_margin, max + range_margin]`).
+    pub range: (f64, f64),
+    /// Sample index of the excursion's first out-of-range point.
+    pub sample_seq: usize,
+    /// Cumulative function entries at that point.
+    pub fn_entries: u64,
+    /// Which bound was crossed.
+    pub direction: Direction,
+}
+
+/// Per-calibrated-candidate checking state.
+#[derive(Debug)]
+struct CandState {
+    cm: CandidateMetric,
+    in_violation: bool,
 }
 
 /// Per-stable-metric checking state.
@@ -109,6 +139,11 @@ pub struct AnomalyDetector {
     settings: Settings,
     states: Vec<MetricState>,
     local_states: Vec<LocalState>,
+    /// Checking state for the model's calibrated extended candidates.
+    /// Empty for paper-mode models — arming is an artifact property,
+    /// not a check-time flag.
+    cand_states: Vec<CandState>,
+    candidate_findings: Vec<CandidateFinding>,
     /// Metrics the model recorded as never-stable in training, tracked
     /// for pathological (unexpected-stability) detection:
     /// (kind, post-warmup values).
@@ -156,11 +191,22 @@ impl AnomalyDetector {
                 in_violation: false,
             })
             .collect();
+        let cand_states = model
+            .candidate_stable
+            .iter()
+            .cloned()
+            .map(|cm| CandState {
+                cm,
+                in_violation: false,
+            })
+            .collect();
         AnomalyDetector {
             log: CircularBuffer::new(settings.callstack_capacity),
             settings,
             states,
             local_states,
+            cand_states,
+            candidate_findings: Vec::new(),
             unstable,
             armed: false,
             armed_at: None,
@@ -188,6 +234,18 @@ impl AnomalyDetector {
     /// Returns `true` if any anomaly has been reported.
     pub fn has_anomalies(&self) -> bool {
         !self.bugs.is_empty()
+    }
+
+    /// Findings from the widened candidate family (empty unless the
+    /// model calibrated extended candidates). Excursions confined to
+    /// the shutdown trim are dropped at finish, like range violations.
+    pub fn candidate_findings(&self) -> &[CandidateFinding] {
+        &self.candidate_findings
+    }
+
+    /// Takes ownership of the candidate findings.
+    pub fn take_candidate_findings(&mut self) -> Vec<CandidateFinding> {
+        std::mem::take(&mut self.candidate_findings)
     }
 
     /// Attaches an [`IncidentLog`]: every range-violation incident that
@@ -404,6 +462,57 @@ impl AnomalyDetector {
             }
         }
 
+        // The widened family: calibrated extended candidates must stay
+        // inside their ranges (with the same checking slack). Strictly
+        // additive — findings never enter `bugs`, so the legacy verdict
+        // is untouched. Samples replayed from pre-candidate artifacts
+        // carry no candidate vector and are skipped.
+        if !warmup {
+            for st in &mut self.cand_states {
+                let kind = match heap_graph::CandidateKind::from_id(&st.cm.id) {
+                    Some(k) => k,
+                    None => continue, // validate() rejects these on load
+                };
+                let v = match sample.candidate(kind) {
+                    Some(v) => v,
+                    None => continue,
+                };
+                let lo = st.cm.min - self.settings.range_margin;
+                let hi = st.cm.max + self.settings.range_margin;
+                let direction = if v > hi {
+                    Some(Direction::AboveMax)
+                } else if v < lo {
+                    Some(Direction::BelowMin)
+                } else {
+                    None
+                };
+                match direction {
+                    Some(direction) => {
+                        if !st.in_violation {
+                            st.in_violation = true;
+                            self.candidate_findings.push(CandidateFinding {
+                                id: st.cm.id.clone(),
+                                value: v,
+                                range: (lo, hi),
+                                sample_seq: sample.seq,
+                                fn_entries: sample.fn_entries,
+                                direction,
+                            });
+                            heapmd_obs::count!("heapmd_candidate_findings_total");
+                            heapmd_obs::export::emit_event("candidate_finding", |o| {
+                                o.field_str("metric", &st.cm.id)
+                                    .field_f64("value", v)
+                                    .field_f64("lo", lo)
+                                    .field_f64("hi", hi)
+                                    .field_u64("sample_seq", sample.seq as u64);
+                            });
+                        }
+                    }
+                    None => st.in_violation = false,
+                }
+            }
+        }
+
         if !warmup {
             self.startup_checked = true;
         }
@@ -474,6 +583,10 @@ impl AnomalyDetector {
                 AnomalyKind::RangeViolation { .. } | AnomalyKind::LocalRangeViolation
             ) || b.sample_seq < cutoff
         });
+        // Candidate findings follow the same shutdown trim as range
+        // violations: a heap being dismantled is not an anomaly in the
+        // widened family either.
+        self.candidate_findings.retain(|f| f.sample_seq < cutoff);
         // Incident bundles follow the same trim: only bundles whose bug
         // survived are materialized, so arming that never fires — or an
         // excursion confined to teardown — leaves no bundle behind.
@@ -617,6 +730,8 @@ mod tests {
                 .filter(|&k| k != kind)
                 .collect(),
             locally_stable: vec![],
+            candidate_stable: vec![],
+            candidate_unstable: vec![],
             training_runs: 5,
         }
     }
@@ -643,6 +758,7 @@ mod tests {
             nodes: 100,
             edges: 50,
             dangling: 0,
+            candidates: None,
         }
     }
 
@@ -800,6 +916,7 @@ mod tests {
                     nodes: 10,
                     edges: 0,
                     dangling: 0,
+                    candidates: None,
                 },
                 None,
             );
@@ -840,6 +957,7 @@ mod tests {
                     nodes: 10,
                     edges: 0,
                     dangling: 0,
+                    candidates: None,
                 },
                 None,
             );

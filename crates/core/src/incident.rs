@@ -41,8 +41,9 @@ use std::path::{Path, PathBuf};
 pub const INCIDENT_MAGIC: &str = "HMDI1";
 
 /// Current incident-bundle format version. Readers reject bundles from
-/// the future; older versions are upgraded on read (there are none yet).
-pub const INCIDENT_FORMAT_VERSION: u32 = 1;
+/// the future; older versions are upgraded on read (v1 bundles lack the
+/// full-resolution degree distributions, which default to empty).
+pub const INCIDENT_FORMAT_VERSION: u32 = 2;
 
 /// Highest degree bucket captured per direction in [`DegreeSnapshot`]
 /// (degrees past it are summed into the last bucket).
@@ -150,11 +151,21 @@ pub struct DegreeSnapshot {
     pub outdeg: Vec<u64>,
     /// Nodes whose indegree equals their outdegree.
     pub in_eq_out: u64,
+    /// Full-resolution indegree distribution as sparse ascending
+    /// `(degree, node count)` pairs — no overflow bucket, so `inspect`
+    /// can rebuild the exact weighted degree-frequency distribution
+    /// (entropy, tail mass). Empty in v1 bundles.
+    #[serde(default)]
+    pub indeg_full: Vec<(u32, u64)>,
+    /// Same, for outdegree.
+    #[serde(default)]
+    pub outdeg_full: Vec<(u32, u64)>,
 }
 
 impl DegreeSnapshot {
-    /// Captures the current histogram, bucketing degrees past
-    /// [`DEGREE_BUCKETS`] into the final slot.
+    /// Captures the current histogram: the bucketed view (degrees past
+    /// [`DEGREE_BUCKETS`] sum into the final slot) plus the sparse
+    /// full-resolution distributions.
     pub fn capture(h: &DegreeHistogram) -> Self {
         let bucket = |count_at: &dyn Fn(usize) -> u64| -> Vec<u64> {
             let mut v: Vec<u64> = (0..DEGREE_BUCKETS - 1).map(count_at).collect();
@@ -162,12 +173,35 @@ impl DegreeSnapshot {
             v.push(h.nodes().saturating_sub(covered));
             v
         };
+        let sparse = |counts: &[u64]| -> Vec<(u32, u64)> {
+            counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(d, &n)| (d as u32, n))
+                .collect()
+        };
         DegreeSnapshot {
             nodes: h.nodes(),
             indeg: bucket(&|d| h.with_indegree(d as u32)),
             outdeg: bucket(&|d| h.with_outdegree(d as u32)),
             in_eq_out: h.in_eq_out(),
+            indeg_full: sparse(h.indegree_counts()),
+            outdeg_full: sparse(h.outdegree_counts()),
         }
+    }
+
+    /// Rebuilds the dense per-degree count vector from one of the
+    /// sparse full-resolution distributions (empty pairs ⇒ empty vec).
+    pub fn dense_counts(pairs: &[(u32, u64)]) -> Vec<u64> {
+        let Some(&(max, _)) = pairs.last() else {
+            return Vec::new();
+        };
+        let mut counts = vec![0u64; max as usize + 1];
+        for &(d, n) in pairs {
+            counts[d as usize] = n;
+        }
+        counts
     }
 }
 
@@ -644,6 +678,17 @@ mod tests {
                 indeg: vec![10, 60, 30, 10, 5, 3, 1, 1, 0],
                 outdeg: vec![20, 70, 20, 5, 3, 1, 1, 0, 0],
                 in_eq_out: 44,
+                indeg_full: vec![
+                    (0, 10),
+                    (1, 60),
+                    (2, 30),
+                    (3, 10),
+                    (4, 5),
+                    (5, 3),
+                    (6, 1),
+                    (12, 1),
+                ],
+                outdeg_full: vec![(0, 20), (1, 70), (2, 20), (3, 5), (4, 3), (5, 1), (6, 1)],
             }),
         }
     }
@@ -724,6 +769,53 @@ mod tests {
         let (salvaged, stats) = IncidentBundle::salvage_bytes(damaged);
         assert!(salvaged.is_some());
         assert!(!stats.complete);
+    }
+
+    #[test]
+    fn v1_bundles_without_full_distributions_still_load() {
+        // Reproduce a v1 writer: take the current frames, strip the v2
+        // full-resolution fields from each payload, stamp version 1,
+        // and re-frame (the CRC covers the edited payload).
+        let mut b = sample_bundle();
+        if let Some(d) = &mut b.degrees {
+            d.indeg_full.clear();
+            d.outdeg_full.clear();
+        }
+        let bytes = b.to_bytes().unwrap();
+        let mut v1 = String::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let (payload, next) = parse_frame(INCIDENT_MAGIC, &bytes, pos).unwrap();
+            let downgraded = payload
+                .replace("\"indeg_full\":[],", "")
+                .replace(",\"indeg_full\":[]", "")
+                .replace("\"outdeg_full\":[],", "")
+                .replace(",\"outdeg_full\":[]", "")
+                .replace("\"format\":2", "\"format\":1")
+                .replace("\"version\":2", "\"version\":1");
+            v1.push_str(&frame_with_magic(INCIDENT_MAGIC, &downgraded));
+            pos = next;
+        }
+        assert!(
+            !v1.contains("indeg_full"),
+            "v1 image still carries v2 fields"
+        );
+        let back = IncidentBundle::from_bytes_strict(v1.as_bytes()).unwrap();
+        assert_eq!(back.meta.version, 1);
+        let d = back.degrees.expect("bucketed degrees survive");
+        assert_eq!(d.indeg, b.degrees.as_ref().unwrap().indeg);
+        assert!(d.indeg_full.is_empty() && d.outdeg_full.is_empty());
+    }
+
+    #[test]
+    fn dense_counts_rebuilds_sparse_pairs() {
+        let pairs = vec![(1u32, 60u64), (3, 10), (12, 1)];
+        let dense = DegreeSnapshot::dense_counts(&pairs);
+        assert_eq!(dense.len(), 13);
+        assert_eq!(dense[1], 60);
+        assert_eq!(dense[2], 0);
+        assert_eq!(dense[12], 1);
+        assert!(DegreeSnapshot::dense_counts(&[]).is_empty());
     }
 
     #[test]

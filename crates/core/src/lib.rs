@@ -74,6 +74,7 @@ pub mod plot;
 mod process;
 mod report;
 mod ringbuf;
+pub mod run_rows;
 pub mod serve;
 mod settings;
 mod shard_replay;
@@ -88,7 +89,7 @@ pub use bug::{
 };
 pub use callstack::{FuncId, FunctionTable};
 pub use checkpoint::{TrainCheckpoint, CHECKPOINT_FORMAT_VERSION};
-pub use detector::AnomalyDetector;
+pub use detector::{AnomalyDetector, CandidateFinding};
 pub use error::HeapMdError;
 pub use fluctuation::{percent_changes, FluctuationStats};
 pub use incident::{
@@ -96,7 +97,8 @@ pub use incident::{
     DEGREE_BUCKETS, INCIDENT_FORMAT_VERSION, INCIDENT_MAGIC,
 };
 pub use model::{
-    HeapModel, MetricSummary, ModelBuilder, ModelOutcome, StableMetric, MODEL_FORMAT_VERSION,
+    CandidateMetric, CandidateSummary, HeapModel, MetricSummary, ModelBuilder, ModelOutcome,
+    StableMetric, MODEL_FORMAT_VERSION,
 };
 pub use monitor::{Monitor, MonitorCtx};
 pub use online::OnlineLearner;
@@ -123,5 +125,8 @@ pub use trace_stream::{frame_record, SalvageStats, TraceReader, TraceWriter, STR
 pub use values::{LocationSummary, ValueProfile};
 
 // Re-export the metric vocabulary so downstream crates only need `heapmd`.
-pub use heap_graph::{ExtendedMetrics, MetricKind, MetricVector, METRIC_COUNT};
+pub use heap_graph::{
+    CandidateKind, CandidateVector, DegreeDistribution, ExtendedMetrics, MetricKind, MetricVector,
+    CANDIDATE_COUNT, METRIC_COUNT, TAIL_MIN_DEGREE,
+};
 pub use sim_heap::{Addr, AllocSite, HeapError, HeapEvent, ObjectId, NULL};

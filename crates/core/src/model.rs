@@ -6,9 +6,17 @@ use crate::phase_model::{merge_ranges, segment, LocalMetric, Plateau};
 use crate::report::MetricReport;
 use crate::settings::Settings;
 use crate::stability::{classify, StabilityClass};
-use heap_graph::MetricKind;
+use heap_graph::{CandidateKind, MetricKind, METRIC_COUNT};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+
+/// The extended (non-paper) candidates, in canonical order — the slice
+/// of the family that candidate calibration runs the stability filter
+/// over. The paper seven are excluded so a metric never earns two
+/// verdicts: they stay under the legacy [`StableMetric`] machinery.
+pub(crate) fn extended_candidates() -> &'static [CandidateKind] {
+    &CandidateKind::ALL[METRIC_COUNT..]
+}
 
 /// Per-run, per-metric analysis produced while summarizing.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,6 +41,66 @@ pub struct RunSummary {
     /// Per-metric summaries (canonical metric order), or `None` when the
     /// run was too short to analyse after trimming.
     pub metrics: Option<Vec<MetricSummary>>,
+}
+
+/// Per-run, per-candidate analysis for the extended (non-paper) family,
+/// produced when candidate calibration is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateSummary {
+    /// The candidate analysed.
+    pub kind: CandidateKind,
+    /// Fluctuation statistics over the trimmed samples.
+    pub stats: FluctuationStats,
+    /// Stability classification for this run.
+    pub class: StabilityClass,
+    /// Minimum value over the trimmed samples.
+    pub min: f64,
+    /// Maximum value over the trimmed samples.
+    pub max: f64,
+}
+
+/// One calibrated candidate metric from the widened family, keyed by
+/// its stable string id so model artifacts survive family growth: a
+/// build that does not know an id rejects the model loudly (see
+/// [`HeapModel::validate`]) instead of silently dropping the entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateMetric {
+    /// Stable string id ([`CandidateKind::id`]).
+    pub id: String,
+    /// Minimum observed across all training inputs.
+    pub min: f64,
+    /// Maximum observed across all training inputs.
+    pub max: f64,
+    /// Mean per-step % change averaged across the stable runs.
+    pub avg_change: f64,
+    /// Standard deviation of change averaged across the stable runs.
+    pub std_change: f64,
+    /// Number of training runs on which the candidate was stable.
+    pub stable_runs: usize,
+    /// Total training runs with candidate data.
+    pub total_runs: usize,
+}
+
+impl CandidateMetric {
+    /// The resolved candidate kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown — `validate` guarantees resolved ids
+    /// on every loaded model.
+    pub fn kind(&self) -> CandidateKind {
+        CandidateKind::from_id(&self.id).expect("validated candidate id")
+    }
+
+    /// Width of the calibrated range.
+    pub fn width(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Returns `true` when `value` lies within the calibrated range.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.min..=self.max).contains(&value)
+    }
 }
 
 /// One globally stable metric's calibrated model entry.
@@ -103,6 +171,15 @@ pub struct HeapModel {
     /// [`ModelBuilder::locally_stable`] (the paper's §2.1 extension).
     #[serde(default)]
     pub locally_stable: Vec<LocalMetric>,
+    /// Calibrated extended candidates (the widened, id-keyed family) —
+    /// present when the model was built with
+    /// [`ModelBuilder::candidate_metrics`]. Empty for paper-mode
+    /// models, which keeps the default detector byte-identical.
+    #[serde(default)]
+    pub candidate_stable: Vec<CandidateMetric>,
+    /// Extended candidate ids that were stable on zero training runs.
+    #[serde(default)]
+    pub candidate_unstable: Vec<String>,
     /// Number of training runs consumed.
     pub training_runs: usize,
 }
@@ -121,6 +198,18 @@ impl HeapModel {
     /// All stable metrics.
     pub fn stable_metrics(&self) -> &[StableMetric] {
         &self.stable
+    }
+
+    /// The calibrated entry for a candidate id, if it calibrated.
+    pub fn candidate_metric(&self, id: &str) -> Option<&CandidateMetric> {
+        self.candidate_stable.iter().find(|c| c.id == id)
+    }
+
+    /// Returns `true` when the model carries any calibrated extended
+    /// candidates — the artifact property that arms candidate checking
+    /// in the detector (there is no check-time flag to get wrong).
+    pub fn has_candidates(&self) -> bool {
+        !self.candidate_stable.is_empty()
     }
 
     /// Serializes the model to pretty JSON.
@@ -207,6 +296,48 @@ impl HeapModel {
                 }
             }
         }
+        for cm in &self.candidate_stable {
+            if CandidateKind::from_id(&cm.id).is_none() {
+                return Err(HeapMdError::corrupt(
+                    0,
+                    format!(
+                        "model calibrates unknown metric id {:?}; this build knows the \
+                         candidate family up to {} ids — refusing to silently drop it",
+                        cm.id,
+                        CandidateKind::ALL.len()
+                    ),
+                ));
+            }
+            if !cm.min.is_finite() || !cm.max.is_finite() || cm.min > cm.max {
+                return Err(HeapMdError::corrupt(
+                    0,
+                    format!("candidate metric {:?} has invalid bounds", cm.id),
+                ));
+            }
+            if !cm.std_change.is_finite() || cm.std_change < 0.0 {
+                return Err(HeapMdError::corrupt(
+                    0,
+                    format!("candidate metric {:?} has invalid std_change", cm.id),
+                ));
+            }
+            if cm.stable_runs > cm.total_runs {
+                return Err(HeapMdError::corrupt(
+                    0,
+                    format!(
+                        "candidate metric {:?} claims {} stable of {} total runs",
+                        cm.id, cm.stable_runs, cm.total_runs
+                    ),
+                ));
+            }
+        }
+        for id in &self.candidate_unstable {
+            if CandidateKind::from_id(id).is_none() {
+                return Err(HeapMdError::corrupt(
+                    0,
+                    format!("model names unknown metric id {id:?} as unstable"),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -281,6 +412,11 @@ pub struct ModelBuilder {
     pub(crate) include_local: bool,
     /// Trimmed per-metric series, kept only when local modelling is on.
     pub(crate) series: Vec<Option<Vec<Vec<f64>>>>,
+    pub(crate) include_candidates: bool,
+    /// Per-run extended-candidate summaries (parallel to `runs`; `None`
+    /// when candidate modelling is off, the run was too short, or its
+    /// samples carry no candidate vectors).
+    pub(crate) cand_runs: Vec<Option<Vec<CandidateSummary>>>,
 }
 
 impl ModelBuilder {
@@ -292,6 +428,8 @@ impl ModelBuilder {
             runs: Vec::new(),
             include_local: false,
             series: Vec::new(),
+            include_candidates: false,
+            cand_runs: Vec::new(),
         }
     }
 
@@ -300,6 +438,16 @@ impl ModelBuilder {
     /// runs.
     pub fn locally_stable(mut self, enable: bool) -> Self {
         self.include_local = enable;
+        self
+    }
+
+    /// Also run the widened candidate family (the `--metrics
+    /// candidates` mode) through the stability filter, learning per
+    /// program which extended metrics calibrate. The legacy seven are
+    /// untouched: they keep their own [`StableMetric`] pass whatever
+    /// this flag says. Call before adding runs.
+    pub fn candidate_metrics(mut self, enable: bool) -> Self {
+        self.include_candidates = enable;
         self
     }
 
@@ -320,6 +468,12 @@ impl ModelBuilder {
                         .map(|&k| report.trimmed_series(k, &self.settings))
                         .collect(),
                 )
+            } else {
+                None
+            });
+        self.cand_runs
+            .push(if self.include_candidates && summary.metrics.is_some() {
+                summarize_candidates(report, &self.settings)
             } else {
                 None
             });
@@ -355,7 +509,12 @@ impl ModelBuilder {
         let clock = heapmd_obs::throughput::stage_clock();
         let settings = &self.settings;
         let include_local = self.include_local;
-        type Summarized = Option<(RunSummary, Option<Vec<Vec<f64>>>)>;
+        let include_candidates = self.include_candidates;
+        type Summarized = Option<(
+            RunSummary,
+            Option<Vec<Vec<f64>>>,
+            Option<Vec<CandidateSummary>>,
+        )>;
         let mut results: Vec<Summarized> = vec![None; reports.len()];
         let chunk = reports.len().div_ceil(workers);
         let busy: Vec<u64> = std::thread::scope(|scope| {
@@ -377,7 +536,12 @@ impl ModelBuilder {
                             } else {
                                 None
                             };
-                            *slot = Some((summary, series));
+                            let cands = if include_candidates && summary.metrics.is_some() {
+                                summarize_candidates(report, settings)
+                            } else {
+                                None
+                            };
+                            *slot = Some((summary, series, cands));
                         }
                         t0.elapsed().as_nanos() as u64
                     })
@@ -389,8 +553,9 @@ impl ModelBuilder {
                 .collect()
         });
         for result in results {
-            let (summary, series) = result.expect("every slot filled");
+            let (summary, series, cands) = result.expect("every slot filled");
             self.series.push(series);
+            self.cand_runs.push(cands);
             self.runs.push(summary);
         }
         if let Some(t0) = clock {
@@ -510,6 +675,16 @@ impl ModelBuilder {
             Vec::new()
         };
 
+        // The widened family: run the same stability filter over the
+        // extended candidates, learning per program which of them
+        // calibrate. Strictly additive — nothing above reads candidate
+        // state, so paper-mode verdicts cannot move.
+        let (candidate_stable, candidate_unstable) = if self.include_candidates {
+            self.build_candidates()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
         ModelOutcome {
             model: HeapModel {
                 version: MODEL_FORMAT_VERSION,
@@ -518,11 +693,64 @@ impl ModelBuilder {
                 stable,
                 unstable: never_stable,
                 locally_stable,
+                candidate_stable,
+                candidate_unstable,
                 training_runs: total,
             },
             runs: self.runs.clone(),
             flagged_runs: flagged,
         }
+    }
+
+    /// The candidate calibration pass: for each extended candidate,
+    /// classify its per-run stability exactly as the legacy pass does
+    /// ([`classify`] over [`FluctuationStats`]), calibrate those stable
+    /// on at least `stable_input_frac` of the candidate-carrying runs,
+    /// and name the never-stable rest.
+    fn build_candidates(&self) -> (Vec<CandidateMetric>, Vec<String>) {
+        let analysable: Vec<&Vec<CandidateSummary>> =
+            self.cand_runs.iter().filter_map(|r| r.as_ref()).collect();
+        let total = analysable.len();
+        if total == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let needed = ((total as f64) * self.settings.stable_input_frac).ceil() as usize;
+        let needed = needed.max(1);
+        let mut stable = Vec::new();
+        let mut never_stable = Vec::new();
+        for (idx, kind) in extended_candidates().iter().enumerate() {
+            let per_run: Vec<&CandidateSummary> = analysable.iter().map(|r| &r[idx]).collect();
+            let stable_runs: Vec<&&CandidateSummary> = per_run
+                .iter()
+                .filter(|c| c.class == StabilityClass::GloballyStable)
+                .collect();
+            if stable_runs.is_empty() {
+                never_stable.push(kind.id().to_string());
+                continue;
+            }
+            if stable_runs.len() < needed {
+                continue;
+            }
+            let min = per_run.iter().map(|c| c.min).fold(f64::INFINITY, f64::min);
+            let max = per_run
+                .iter()
+                .map(|c| c.max)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let avg_change =
+                stable_runs.iter().map(|c| c.stats.mean).sum::<f64>() / stable_runs.len() as f64;
+            let std_change =
+                stable_runs.iter().map(|c| c.stats.std_dev).sum::<f64>() / stable_runs.len() as f64;
+            stable.push(CandidateMetric {
+                id: kind.id().to_string(),
+                min,
+                max,
+                avg_change,
+                std_change,
+                stable_runs: stable_runs.len(),
+                total_runs: total,
+            });
+        }
+        (stable, never_stable)
     }
 
     fn build_local(&self, stable: &[StableMetric], needed: usize) -> Vec<LocalMetric> {
@@ -606,6 +834,42 @@ pub(crate) fn summarize_run(report: &MetricReport, settings: &Settings) -> RunSu
     }
 }
 
+/// Summarizes the extended candidates of one run, or `None` when any
+/// trimmed sample lacks a candidate vector (a report replayed from an
+/// artifact that predates the widened family): a partial series would
+/// calibrate ranges from a biased slice of the run.
+pub(crate) fn summarize_candidates(
+    report: &MetricReport,
+    settings: &Settings,
+) -> Option<Vec<CandidateSummary>> {
+    let trimmed = report.trimmed(settings);
+    if trimmed.len() < settings.min_samples || trimmed.iter().any(|s| s.candidates.is_none()) {
+        return None;
+    }
+    Some(
+        extended_candidates()
+            .iter()
+            .map(|&kind| {
+                let series: Vec<f64> = trimmed
+                    .iter()
+                    .map(|s| s.candidates.expect("checked above").get(kind))
+                    .collect();
+                let stats = FluctuationStats::from_series(&series);
+                let class = classify(&stats, settings);
+                let min = series.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                CandidateSummary {
+                    kind,
+                    stats,
+                    class,
+                    min,
+                    max,
+                }
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +886,7 @@ mod tests {
                 nodes: 10,
                 edges: 5,
                 dangling: 0,
+                candidates: None,
             })
             .collect();
         MetricReport::new(run, samples)
@@ -639,6 +904,7 @@ mod tests {
                     nodes: 10,
                     edges: 5,
                     dangling: 0,
+                    candidates: None,
                 }
             })
             .collect();
@@ -849,6 +1115,7 @@ mod tests {
                     nodes: 10,
                     edges: 5,
                     dangling: 0,
+                    candidates: None,
                 }
             })
             .collect();

@@ -194,6 +194,7 @@ mod tests {
             nodes: 10,
             edges: 0,
             dangling: 0,
+            candidates: None,
         }
     }
 

@@ -1,114 +1,15 @@
 //! Crash-safe persistence primitives shared by the model, checkpoint,
 //! and streaming-trace writers.
 //!
-//! Two building blocks live here:
+//! The implementations live in [`heapmd_runstore::persist`] — the
+//! run-store sits below this crate in the observability plane and
+//! needs the same temp-and-rename protocol and block CRCs — and are
+//! re-exported here unchanged so existing callers keep their paths:
 //!
 //! * [`write_atomic`] — the classic write-to-temp-then-rename protocol,
 //!   so a reader never observes a half-written model or checkpoint: it
 //!   sees either the old file or the new one, never a torn mix.
 //! * [`crc32`] — the IEEE CRC-32 used by the length-framed trace
 //!   stream (`trace_stream`) to detect torn or bit-flipped records.
-//!
-//! Both are std-only; determinism matters because the chaos suite
-//! replays identical fault schedules against these exact code paths.
 
-use std::fs;
-use std::io::{self, Write};
-use std::path::Path;
-
-/// IEEE 802.3 CRC-32 (the polynomial used by zip/png/ethernet),
-/// computed bytewise with a lazily built lookup table.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    fn table() -> &'static [u32; 256] {
-        static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-        TABLE.get_or_init(|| {
-            let mut t = [0u32; 256];
-            for (i, entry) in t.iter_mut().enumerate() {
-                let mut c = i as u32;
-                for _ in 0..8 {
-                    c = if c & 1 != 0 {
-                        0xEDB8_8320 ^ (c >> 1)
-                    } else {
-                        c >> 1
-                    };
-                }
-                *entry = c;
-            }
-            t
-        })
-    }
-    let t = table();
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = t[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    crc ^ 0xFFFF_FFFF
-}
-
-/// Writes `bytes` to `path` atomically: the contents land in a
-/// temporary sibling file first, are flushed, and only then renamed
-/// over `path`. A crash at any point leaves either the previous file
-/// or the complete new one — never a truncated hybrid.
-///
-/// # Errors
-///
-/// Propagates any I/O error; on failure the temporary file is removed
-/// (best-effort) and `path` is untouched.
-pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
-    let path = path.as_ref();
-    let tmp = tmp_sibling(path);
-    let result = (|| {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-        fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        let _ = fs::remove_file(&tmp);
-    }
-    result
-}
-
-/// The temporary sibling used by [`write_atomic`]: `<file>.tmp` in the
-/// same directory, so the final rename cannot cross filesystems.
-fn tmp_sibling(path: &Path) -> std::path::PathBuf {
-    let mut name = path.file_name().unwrap_or_default().to_os_string();
-    name.push(".tmp");
-    path.with_file_name(name)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn crc32_matches_known_vectors() {
-        // Standard check value for the IEEE polynomial.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-        assert_ne!(crc32(b"abc"), crc32(b"abd"));
-    }
-
-    #[test]
-    fn write_atomic_replaces_and_cleans_up() {
-        let dir = std::env::temp_dir().join("heapmd-persist-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("artifact.json");
-        write_atomic(&path, b"first").unwrap();
-        assert_eq!(std::fs::read(&path).unwrap(), b"first");
-        write_atomic(&path, b"second").unwrap();
-        assert_eq!(std::fs::read(&path).unwrap(), b"second");
-        assert!(!tmp_sibling(&path).exists());
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn write_atomic_to_missing_directory_errors_without_tmp_litter() {
-        let path = std::env::temp_dir()
-            .join("heapmd-persist-missing")
-            .join("no-such-dir")
-            .join("x.json");
-        assert!(write_atomic(&path, b"x").is_err());
-        assert!(!tmp_sibling(&path).exists());
-    }
-}
+pub use heapmd_runstore::persist::{crc32, write_atomic};

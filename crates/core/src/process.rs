@@ -618,6 +618,7 @@ impl Process {
             nodes: ext.nodes,
             edges: ext.edges,
             dangling: ext.dangling_slots,
+            candidates: Some(self.graph.candidates()),
         };
         self.samples.push(sample);
         if let Some(rec) = self.recorder.as_mut() {

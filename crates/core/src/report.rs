@@ -1,7 +1,7 @@
 //! Per-run metric reports.
 
 use crate::settings::Settings;
-use heap_graph::{MetricKind, MetricVector};
+use heap_graph::{CandidateKind, CandidateVector, MetricKind, MetricVector};
 use serde::{Deserialize, Serialize};
 
 /// The metric values observed at one metric computation point.
@@ -21,6 +21,27 @@ pub struct MetricSample {
     pub edges: u64,
     /// Dangling pointer slots at the sample.
     pub dangling: u64,
+    /// The full candidate metric family at the sample, when the
+    /// producer computed it (samples replayed from older artifacts
+    /// carry `None`). The first seven candidates duplicate `metrics`
+    /// bit-for-bit; the rest are the widened family.
+    #[serde(default)]
+    pub candidates: Option<CandidateVector>,
+}
+
+impl MetricSample {
+    /// Reads one candidate metric: from the stored candidate vector if
+    /// present, falling back to the legacy seven for paper candidates.
+    ///
+    /// Returns `None` for an extended candidate on a sample that never
+    /// computed the widened family.
+    pub fn candidate(&self, kind: CandidateKind) -> Option<f64> {
+        match (&self.candidates, kind.paper_kind()) {
+            (Some(c), _) => Some(c.get(kind)),
+            (None, Some(paper)) => Some(self.metrics.get(paper)),
+            (None, None) => None,
+        }
+    }
 }
 
 /// One run's metric series — the "metric report" flowing from the
@@ -132,6 +153,7 @@ mod tests {
             nodes: 1,
             edges: 0,
             dangling: 0,
+            candidates: None,
         }
     }
 

@@ -1,0 +1,130 @@
+//! Bridge from detector-side [`MetricSample`] series to run-store
+//! [`RunRow`]s — the one place that knows how the metric vocabulary
+//! maps onto columnar metric ids.
+
+use crate::report::MetricSample;
+use heap_graph::{CandidateKind, METRIC_COUNT};
+use heapmd_runstore::{RowKind, RunRow};
+
+/// Provenance shared by every row of one recorded run.
+#[derive(Debug, Clone)]
+pub struct RowSource {
+    /// Workload name (e.g. `webd`).
+    pub workload: String,
+    /// Program version the run executed at.
+    pub version: u64,
+    /// Run identifier (input id, trace path, session id, ...).
+    pub run: String,
+    /// Tenant for fleet rows; empty for local runs.
+    pub tenant: String,
+    /// Which stage produced the rows.
+    pub kind: RowKind,
+    /// Record time, Unix seconds.
+    pub time: u64,
+}
+
+/// Current wall clock as Unix seconds (0 if the clock is before the
+/// epoch — the store treats time as advisory, not load-bearing).
+pub fn unix_time_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Converts a sampled metric series into run-store rows.
+///
+/// Samples carrying the widened candidate family record all
+/// [`CandidateKind::ALL`] metric ids; legacy samples record the seven
+/// paper ids (which are the family's first seven, so columns line up
+/// across mixed batches).
+pub fn rows_from_samples(src: &RowSource, samples: &[MetricSample]) -> Vec<RunRow> {
+    samples
+        .iter()
+        .map(|s| {
+            let metrics: Vec<(String, f64)> = match &s.candidates {
+                Some(c) => CandidateKind::ALL
+                    .iter()
+                    .map(|k| (k.id().to_string(), c.get(*k)))
+                    .collect(),
+                None => CandidateKind::ALL[..METRIC_COUNT]
+                    .iter()
+                    .map(|k| {
+                        let paper = k.paper_kind().expect("first seven are paper metrics");
+                        (k.id().to_string(), s.metrics.get(paper))
+                    })
+                    .collect(),
+            };
+            RunRow {
+                workload: src.workload.clone(),
+                version: src.version,
+                run: src.run.clone(),
+                tenant: src.tenant.clone(),
+                kind: src.kind,
+                time: src.time,
+                seq: s.seq as u64,
+                fn_entries: s.fn_entries,
+                nodes: s.nodes,
+                edges: s.edges,
+                dangling: s.dangling,
+                metrics,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heap_graph::{CandidateVector, MetricVector};
+
+    fn sample(seq: usize, with_candidates: bool) -> MetricSample {
+        let mut metrics = MetricVector::zero();
+        metrics.set(heap_graph::MetricKind::Roots, 12.5);
+        let candidates = with_candidates.then(|| {
+            let mut c = CandidateVector::zero();
+            c.set(CandidateKind::Roots, 12.5);
+            c.set(CandidateKind::InEntropy, 1.75);
+            c
+        });
+        MetricSample {
+            seq,
+            fn_entries: seq as u64 * 100,
+            tick: 0,
+            metrics,
+            nodes: 10,
+            edges: 9,
+            dangling: 0,
+            candidates,
+        }
+    }
+
+    fn source() -> RowSource {
+        RowSource {
+            workload: "webd".into(),
+            version: 3,
+            run: "input-1000".into(),
+            tenant: String::new(),
+            kind: RowKind::Check,
+            time: 1_700_000_000,
+        }
+    }
+
+    #[test]
+    fn candidate_samples_record_the_full_family() {
+        let rows = rows_from_samples(&source(), &[sample(0, true)]);
+        assert_eq!(rows[0].metrics.len(), heap_graph::CANDIDATE_COUNT);
+        assert_eq!(rows[0].metric("paper.roots"), Some(12.5));
+        assert_eq!(rows[0].metric("dist.in_entropy"), Some(1.75));
+    }
+
+    #[test]
+    fn legacy_samples_record_the_paper_seven() {
+        let rows = rows_from_samples(&source(), &[sample(4, false)]);
+        assert_eq!(rows[0].metrics.len(), METRIC_COUNT);
+        assert_eq!(rows[0].metric("paper.roots"), Some(12.5));
+        assert_eq!(rows[0].metric("dist.in_entropy"), None);
+        assert_eq!(rows[0].seq, 4);
+        assert_eq!(rows[0].version, 3);
+    }
+}

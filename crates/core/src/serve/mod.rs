@@ -57,14 +57,15 @@ pub mod session;
 use crate::bug::BugReport;
 use crate::error::HeapMdError;
 use crate::incident::IncidentLog;
-use crate::model::{HeapModel, StableMetric};
+use crate::model::HeapModel;
 use crate::report::MetricSample;
-use crate::settings::Settings;
+use crate::run_rows::{rows_from_samples, unix_time_now, RowSource};
 use crate::trace::{Replayer, Trace};
 use crate::trace_codec::{BinaryTraceWriter, BlockIndex, WireFrame, WireReader};
 use heapmd_obs::fleet::{
-    FleetRegistry, MetricGauge, TenantStats, STATUS_NEAR_EDGE, STATUS_OK, STATUS_OUT,
+    FleetRegistry, MetricGauge, MetricVerdict, TenantStats, STATUS_NEAR_EDGE, STATUS_OK, STATUS_OUT,
 };
+use heapmd_runstore::{RowKind, RunStore};
 use sim_heap::HeapEvent;
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -301,6 +302,9 @@ pub struct ServeConfig {
     /// resumption before it is evicted (its buffered prefix salvaged
     /// into a partial verdict).
     pub session_timeout: Duration,
+    /// Columnar run-store directory: every finalized tenant verdict
+    /// appends its replayed sample series as `kind="serve"` rows.
+    pub run_store: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -317,6 +321,7 @@ impl ServeConfig {
             journal_dir: None,
             model_dir: None,
             session_timeout: Duration::from_secs(30),
+            run_store: None,
         }
     }
 }
@@ -423,29 +428,34 @@ fn metric_value(sample: &MetricSample, kind: heap_graph::MetricKind) -> f64 {
 }
 
 /// Folds a batch of new live samples into the tenant's gauges: latest
-/// value/distance/status per stable metric, range-crossing transitions,
-/// and the advisory arm flag (near-edge or out — the authoritative
-/// detector, slope condition included, runs at finalize).
-fn update_live(
-    t: &mut ShardTenant,
-    samples: &[MetricSample],
-    stable: &[StableMetric],
-    s: &Settings,
-) {
+/// value/distance/status per calibrated metric (the paper's stable
+/// seven plus any calibrated extended candidates), range-crossing
+/// transitions, and the advisory arm flag (near-edge or out — the
+/// authoritative detector, slope condition included, runs at finalize).
+fn update_live(t: &mut ShardTenant, samples: &[MetricSample], model: &HeapModel) {
+    let s = &model.settings;
+    let stable = &model.stable;
     for _ in samples {
         t.stats.record_sample();
     }
-    let mut gauges = Vec::with_capacity(stable.len());
+    let mut gauges = Vec::with_capacity(stable.len() + model.candidate_stable.len());
     let mut crossings = 0u64;
     let mut armed = false;
-    for (i, sm) in stable.iter().enumerate() {
-        let lo = sm.min - s.range_margin;
-        let hi = sm.max + s.range_margin;
-        let near = (sm.max - sm.min).max(0.5) * s.near_edge_frac;
-        let mut was_out = t.last_out[i];
+    // One closure folds a sample series into a gauge so the paper
+    // metrics and the extended candidates share the exact same
+    // range/near-edge/crossing semantics.
+    let mut fold = |slot: usize,
+                    name: String,
+                    min: f64,
+                    max: f64,
+                    read: &dyn Fn(&MetricSample) -> Option<f64>| {
+        let lo = min - s.range_margin;
+        let hi = max + s.range_margin;
+        let near = (max - min).max(0.5) * s.near_edge_frac;
+        let mut was_out = t.last_out[slot];
         let (mut value, mut distance, mut status) = (0.0, 0.0, STATUS_OK);
         for sample in samples {
-            let v = metric_value(sample, sm.kind);
+            let Some(v) = read(sample) else { continue };
             let out = v < lo || v > hi;
             if out && !was_out {
                 crossings += 1;
@@ -467,13 +477,24 @@ fn update_live(
                 STATUS_OK
             };
         }
-        t.last_out[i] = was_out;
+        t.last_out[slot] = was_out;
         armed |= status != STATUS_OK;
         gauges.push(MetricGauge {
-            metric: sm.kind.short_name().to_string(),
+            metric: name,
             value,
             distance,
             status,
+        });
+    };
+    for (i, sm) in stable.iter().enumerate() {
+        fold(i, sm.kind.short_name().to_string(), sm.min, sm.max, &|m| {
+            Some(metric_value(m, sm.kind))
+        });
+    }
+    for (j, cm) in model.candidate_stable.iter().enumerate() {
+        let kind = cm.kind();
+        fold(stable.len() + j, cm.id.clone(), cm.min, cm.max, &|m| {
+            m.candidate(kind)
         });
     }
     if crossings > 0 {
@@ -481,6 +502,38 @@ fn update_live(
     }
     t.stats.set_armed(armed);
     t.stats.set_metrics(gauges);
+}
+
+/// The per-metric calibration verdicts a tenant's model implies: the
+/// paper seven always get a verdict; the extended family appears only
+/// when the model actually calibrated candidates, so paper-mode
+/// exposition is unchanged.
+fn verdicts_for(model: &HeapModel) -> Vec<MetricVerdict> {
+    let mut out: Vec<MetricVerdict> = heap_graph::CandidateKind::ALL[..heap_graph::METRIC_COUNT]
+        .iter()
+        .map(|k| {
+            let paper = k.paper_kind().expect("first seven are paper metrics");
+            MetricVerdict {
+                metric: k.id().to_string(),
+                stable: model.stable.iter().any(|sm| sm.kind == paper),
+            }
+        })
+        .collect();
+    if model.has_candidates() || !model.candidate_unstable.is_empty() {
+        for cm in &model.candidate_stable {
+            out.push(MetricVerdict {
+                metric: cm.id.clone(),
+                stable: true,
+            });
+        }
+        for id in &model.candidate_unstable {
+            out.push(MetricVerdict {
+                metric: id.clone(),
+                stable: false,
+            });
+        }
+    }
+    out
 }
 
 /// Runs the buffered stream through the authoritative offline check and
@@ -494,6 +547,7 @@ fn finalize(
     evicted: Option<String>,
     cleanup: Vec<PathBuf>,
     incident_dir: Option<&PathBuf>,
+    run_store: Option<&RunStore>,
 ) -> TenantOutcome {
     if evicted.is_some() {
         t.stats.set_evicted();
@@ -515,6 +569,25 @@ fn finalize(
         Ok(out) => {
             t.stats.record_bugs(out.bugs.len() as u64);
             t.stats.add_incidents(out.bundle_paths.len() as u64);
+            if let Some(store) = run_store {
+                let src = RowSource {
+                    workload: model.program.clone(),
+                    version: 0,
+                    run: tenant.clone(),
+                    tenant: tenant.clone(),
+                    kind: RowKind::Serve,
+                    time: unix_time_now(),
+                };
+                let rows = rows_from_samples(&src, &out.samples);
+                if let Err(e) = store.append(&rows) {
+                    // The verdict is authoritative; a failed append is
+                    // a degraded observability plane, not a failed
+                    // tenant.
+                    heapmd_obs::error!("run-store append for tenant {tenant} failed: {e}");
+                } else {
+                    heapmd_obs::count!("serve_run_store_rows_total", rows.len() as u64);
+                }
+            }
             if let Some(b) = out.bugs.first() {
                 t.stats
                     .set_last_anomaly(&format!("{} {}", b.metric, b.kind.slug()));
@@ -555,7 +628,11 @@ fn finalize(
 /// streams' replayers are dropped instead of pooled.
 const REPLAYER_POOL_CAP: usize = 8;
 
-fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<TenantOutcome> {
+fn shard_loop(
+    rx: Receiver<ShardMsg>,
+    incident_dir: Option<PathBuf>,
+    run_store: Option<Arc<RunStore>>,
+) -> Vec<TenantOutcome> {
     let mut tenants: BTreeMap<String, ShardTenant> = BTreeMap::new();
     let mut outcomes = Vec::new();
     // Recycled replayers: a finished stream's replayer goes back here
@@ -593,13 +670,14 @@ fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<Tena
                     }
                     None => Replayer::new(model.settings.clone(), &[]),
                 };
+                stats.set_verdicts(verdicts_for(&model));
                 let state = ShardTenant {
                     stats,
                     pending,
                     events: Vec::new(),
                     functions: Vec::new(),
                     replayer,
-                    last_out: vec![false; model.stable.len()],
+                    last_out: vec![false; model.stable.len() + model.candidate_stable.len()],
                     model,
                     window_start: Instant::now(),
                     window_events: 0,
@@ -627,7 +705,7 @@ fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<Tena
                 let samples = t.replayer.take_samples();
                 if !samples.is_empty() {
                     let model = Arc::clone(&t.model);
-                    update_live(t, &samples, &model.stable, &model.settings);
+                    update_live(t, &samples, &model);
                 }
                 t.window_events += n;
                 let elapsed = t.window_start.elapsed();
@@ -666,6 +744,7 @@ fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<Tena
                         Some(reason),
                         cleanup,
                         incident_dir.as_ref(),
+                        run_store.as_deref(),
                     ));
                     continue;
                 }
@@ -676,6 +755,7 @@ fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<Tena
                     None,
                     cleanup,
                     incident_dir.as_ref(),
+                    run_store.as_deref(),
                 ));
             }
             ShardMsg::Abort {
@@ -696,6 +776,7 @@ fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<Tena
                     evicted,
                     cleanup,
                     incident_dir.as_ref(),
+                    run_store.as_deref(),
                 ));
             }
         }
@@ -711,6 +792,7 @@ fn shard_loop(rx: Receiver<ShardMsg>, incident_dir: Option<PathBuf>) -> Vec<Tena
             None,
             Vec::new(),
             incident_dir.as_ref(),
+            run_store.as_deref(),
         ));
     }
     outcomes
@@ -1093,6 +1175,15 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let model = Arc::new(config.model);
 
+        // One store shared by every shard: appends are segment-atomic
+        // and serialized behind the store's own lock.
+        let run_store = match &config.run_store {
+            Some(dir) => Some(Arc::new(RunStore::open(dir).map_err(|e| match e {
+                heapmd_runstore::StoreError::Io(io) => HeapMdError::from(io),
+                other => HeapMdError::InvalidInput(other.to_string()),
+            })?)),
+            None => None,
+        };
         let shard_count = config.shards.max(1);
         let mut senders = Vec::with_capacity(shard_count);
         let mut shards = Vec::with_capacity(shard_count);
@@ -1100,10 +1191,11 @@ impl Server {
             let (tx, rx) = channel();
             senders.push(tx);
             let incident_dir = config.incident_dir.clone();
+            let run_store = run_store.clone();
             shards.push(
                 std::thread::Builder::new()
                     .name(format!("hmd-shard-{i}"))
-                    .spawn(move || shard_loop(rx, incident_dir))?,
+                    .spawn(move || shard_loop(rx, incident_dir, run_store))?,
             );
         }
         let ctx = Arc::new(ServeCtx {

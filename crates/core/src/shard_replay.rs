@@ -144,6 +144,7 @@ pub fn replay_binary_sharded(
                                 nodes: ext.nodes,
                                 edges: ext.edges,
                                 dangling: ext.dangling_slots,
+                                candidates: Some(graph.candidates()),
                             });
                         }
                     }

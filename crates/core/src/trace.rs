@@ -224,6 +224,8 @@ impl Trace {
                 .unwrap_or_default(),
             bugs: detector.take_bugs(),
             incidents: detector.take_incidents(),
+            candidate_findings: detector.take_candidate_findings(),
+            samples: replayer.take_samples(),
         })
     }
 }
@@ -238,6 +240,13 @@ pub struct TraceCheckOutcome {
     pub incidents: Vec<IncidentBundle>,
     /// Bundle files written by the incident log.
     pub bundle_paths: Vec<PathBuf>,
+    /// Findings from the widened candidate family (empty unless the
+    /// model calibrated extended candidates).
+    pub candidate_findings: Vec<crate::CandidateFinding>,
+    /// The metric samples the check replayed — the same series a
+    /// [`Trace::replay`] would produce, exposed so callers (e.g. the
+    /// run-store append path) need not replay the trace twice.
+    pub samples: Vec<MetricSample>,
 }
 
 /// Minimal re-execution of a trace: rebuilds the heap-graph image and
@@ -338,6 +347,7 @@ impl Replayer {
             nodes: ext.nodes,
             edges: ext.edges,
             dangling: ext.dangling_slots,
+            candidates: Some(self.graph.candidates()),
         };
         self.samples.push(sample);
         sample
@@ -604,6 +614,8 @@ mod tests {
             }],
             unstable: vec![],
             locally_stable: vec![],
+            candidate_stable: vec![],
+            candidate_unstable: vec![],
             training_runs: 3,
         };
         let settings = Settings::builder()

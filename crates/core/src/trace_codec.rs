@@ -2097,6 +2097,8 @@ mod tests {
             }],
             unstable: vec![],
             locally_stable: vec![],
+            candidate_stable: vec![],
+            candidate_unstable: vec![],
             training_runs: 3,
         };
         let settings = Settings::builder()
@@ -2151,6 +2153,8 @@ mod tests {
             }],
             unstable: vec![],
             locally_stable: vec![],
+            candidate_stable: vec![],
+            candidate_unstable: vec![],
             training_runs: 3,
         };
         let settings = Settings::builder()

@@ -3,9 +3,9 @@
 //! construction, and range checking.
 
 use heapmd::{
-    classify, merge_ranges, percent_changes, segment, AnomalyDetector, CircularBuffer,
-    FluctuationStats, MetricReport, MetricSample, MetricVector, ModelBuilder, Settings,
-    StabilityClass, METRIC_COUNT,
+    classify, merge_ranges, percent_changes, segment, AnomalyDetector, CandidateKind,
+    CandidateVector, CircularBuffer, FluctuationStats, MetricReport, MetricSample, MetricVector,
+    ModelBuilder, Settings, StabilityClass, CANDIDATE_COUNT, METRIC_COUNT,
 };
 use proptest::prelude::*;
 
@@ -25,12 +25,84 @@ fn samples_from(values: &[f64]) -> Vec<MetricSample> {
             nodes: 10,
             edges: 5,
             dangling: 0,
+            candidates: None,
         })
         .collect()
 }
 
+/// Samples carrying the full candidate family, with the paper seven
+/// mirrored into the legacy vector exactly as [`heapmd::Process`] does.
+fn candidate_samples_from(rows: &[Vec<f64>]) -> Vec<MetricSample> {
+    rows.iter()
+        .enumerate()
+        .map(|(i, vals)| {
+            let mut metrics = MetricVector::zero();
+            let mut cand = CandidateVector::zero();
+            for (j, kind) in CandidateKind::ALL.iter().enumerate() {
+                cand.set(*kind, vals[j]);
+                if let Some(paper) = kind.paper_kind() {
+                    metrics.set(paper, vals[j]);
+                }
+            }
+            MetricSample {
+                seq: i,
+                fn_entries: i as u64,
+                tick: i as u64,
+                metrics,
+                nodes: 10,
+                edges: 5,
+                dangling: 0,
+                candidates: Some(cand),
+            }
+        })
+        .collect()
+}
+
+fn candidate_rows_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0.0f64..100.0, CANDIDATE_COUNT..CANDIDATE_COUNT + 1),
+        8..40,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // The differential pin for the candidate family: turning
+    // `candidate_metrics(true)` on must not perturb ANY paper-mode
+    // observable — the calibrated stable set, its ranges and
+    // fluctuation stats, and the detector's verdicts on a check run
+    // are bit-identical; candidate mode only *adds* the id-keyed
+    // candidate calibration on top.
+    #[test]
+    fn candidate_mode_never_perturbs_paper_observables(
+        train in proptest::collection::vec(candidate_rows_strategy(), 2..5),
+        check in candidate_rows_strategy(),
+    ) {
+        let settings = Settings::builder().trim_frac(0.0).warmup_samples(2).build().unwrap();
+        let mut paper = ModelBuilder::new(settings.clone()).program("prop");
+        let mut cand = ModelBuilder::new(settings.clone()).program("prop").candidate_metrics(true);
+        for (i, rows) in train.iter().enumerate() {
+            let report = MetricReport::new(format!("r{i}"), candidate_samples_from(rows));
+            paper.add_run(&report);
+            cand.add_run(&report);
+        }
+        let paper_model = paper.build().model;
+        let cand_model = cand.build().model;
+
+        // Everything the paper pipeline looks at is bit-identical…
+        prop_assert_eq!(&paper_model.stable, &cand_model.stable);
+        prop_assert_eq!(&paper_model.unstable, &cand_model.unstable);
+        prop_assert_eq!(&paper_model.locally_stable, &cand_model.locally_stable);
+        // …and the paper-mode model carries no candidate calibration.
+        prop_assert!(paper_model.candidate_stable.is_empty());
+        prop_assert!(paper_model.candidate_unstable.is_empty());
+
+        let report = MetricReport::new("check", candidate_samples_from(&check));
+        let paper_bugs = AnomalyDetector::check_report(&paper_model, &settings, &report);
+        let cand_bugs = AnomalyDetector::check_report(&cand_model, &settings, &report);
+        prop_assert_eq!(paper_bugs, cand_bugs);
+    }
 
     #[test]
     fn percent_changes_shape_and_finiteness(series in series_strategy()) {

@@ -1,0 +1,179 @@
+//! Normalized weighted degree-frequency distributions.
+//!
+//! The seven paper metrics project the degree histogram onto a handful
+//! of percentages; this module keeps the whole shape. Following the
+//! heap-dump degree analyses in the literature, each degree `d` with
+//! frequency `f(d)` contributes a *weighted frequency* `d · f(d)` —
+//! i.e. the number of edge endpoints landing on vertexes of that degree
+//! — and the vector is normalized so the weights sum to 1. Degree 0
+//! therefore contributes nothing: the distribution describes where the
+//! edges are, not where the vertexes are, which makes it robust to
+//! large populations of isolated objects.
+//!
+//! Shape statistics (entropy, tail mass, top-k concentration) summarize
+//! the distribution into scalars suitable for the stability filter.
+
+use serde::{Deserialize, Serialize};
+
+/// A normalized weighted degree-frequency distribution for one edge
+/// direction (in or out).
+///
+/// # Example
+///
+/// ```
+/// use heap_graph::DegreeDistribution;
+///
+/// // 10 vertexes of degree 1, 5 of degree 2: weighted 10 and 10.
+/// let mut counts = vec![0u64; 65];
+/// counts[1] = 10;
+/// counts[2] = 5;
+/// let d = DegreeDistribution::from_counts(&counts);
+/// assert!((d.weight(1) - 0.5).abs() < 1e-12);
+/// assert!((d.weight(2) - 0.5).abs() < 1e-12);
+/// assert!((d.entropy() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DegreeDistribution {
+    /// Normalized weighted frequency per degree; index = degree, with
+    /// the final bucket aggregating everything at the saturation bound.
+    weights: Vec<f64>,
+}
+
+impl DegreeDistribution {
+    /// Builds the distribution from raw per-degree vertex counts
+    /// (index = degree, as returned by
+    /// [`DegreeHistogram::indegree_counts`](crate::DegreeHistogram::indegree_counts)).
+    ///
+    /// An edge-free histogram (all weight at degree 0, or no vertexes
+    /// at all) yields the all-zero distribution.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let mut weights: Vec<f64> = counts
+            .iter()
+            .enumerate()
+            .map(|(deg, &n)| deg as f64 * n as f64)
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total > 0.0 {
+            for w in &mut weights {
+                *w /= total;
+            }
+        }
+        DegreeDistribution { weights }
+    }
+
+    /// The normalized weight at the given degree (0 beyond the vector).
+    pub fn weight(&self, degree: u32) -> f64 {
+        self.weights.get(degree as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The full normalized weight vector (index = degree).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Shannon entropy (bits) of the distribution; 0 for the all-zero
+    /// distribution and for a single-degree spike.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .weights
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.log2())
+            .sum::<f64>()
+    }
+
+    /// Total normalized weight at degrees `>= min_degree` — the mass in
+    /// the distribution's tail.
+    pub fn tail_mass(&self, min_degree: u32) -> f64 {
+        self.weights
+            .iter()
+            .skip(min_degree as usize)
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// Sum of the `k` largest weights — how concentrated the edge mass
+    /// is on the dominant degree values.
+    pub fn top_share(&self, k: usize) -> f64 {
+        let mut sorted: Vec<f64> = self.weights.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+        sorted.iter().take(k).sum::<f64>().clamp(0.0, 1.0)
+    }
+
+    /// The highest degree carrying any weight (0 for the edge-free
+    /// distribution). Saturated degrees report the saturation bound.
+    pub fn max_degree(&self) -> u32 {
+        self.weights.iter().rposition(|&w| w > 0.0).unwrap_or(0) as u32
+    }
+
+    /// `true` when no degree carries weight (an edge-free heap).
+    pub fn is_empty(&self) -> bool {
+        self.weights.iter().all(|&w| w == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_counts_give_zero_distribution() {
+        let d = DegreeDistribution::from_counts(&[0; 65]);
+        assert!(d.is_empty());
+        assert_eq!(d.entropy(), 0.0);
+        assert_eq!(d.tail_mass(1), 0.0);
+        assert_eq!(d.top_share(2), 0.0);
+        assert_eq!(d.max_degree(), 0);
+    }
+
+    #[test]
+    fn degree_zero_carries_no_weight() {
+        let mut counts = vec![0u64; 65];
+        counts[0] = 1_000_000; // a million isolated objects
+        counts[1] = 1;
+        let d = DegreeDistribution::from_counts(&counts);
+        assert!((d.weight(1) - 1.0).abs() < 1e-12);
+        assert_eq!(d.weight(0), 0.0);
+        assert_eq!(d.max_degree(), 1);
+    }
+
+    #[test]
+    fn weights_are_degree_weighted_and_normalized() {
+        let mut counts = vec![0u64; 65];
+        counts[1] = 6; // weighted 6
+        counts[3] = 2; // weighted 6
+        let d = DegreeDistribution::from_counts(&counts);
+        assert!((d.weight(1) - 0.5).abs() < 1e-12);
+        assert!((d.weight(3) - 0.5).abs() < 1e-12);
+        assert!((d.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_spike_is_zero_uniform_is_log2() {
+        let mut spike = vec![0u64; 65];
+        spike[2] = 10;
+        assert_eq!(DegreeDistribution::from_counts(&spike).entropy(), 0.0);
+
+        // Equal weighted mass on 4 degrees: entropy = 2 bits.
+        let mut four = vec![0u64; 65];
+        four[1] = 12;
+        four[2] = 6;
+        four[3] = 4;
+        four[4] = 3;
+        let e = DegreeDistribution::from_counts(&four).entropy();
+        assert!((e - 2.0).abs() < 1e-12, "entropy was {e}");
+    }
+
+    #[test]
+    fn tail_mass_and_top_share() {
+        let mut counts = vec![0u64; 65];
+        counts[1] = 10; // weight 10
+        counts[2] = 5; // weight 10
+        counts[5] = 4; // weight 20
+        let d = DegreeDistribution::from_counts(&counts);
+        assert!((d.tail_mass(3) - 0.5).abs() < 1e-12);
+        assert!((d.top_share(1) - 0.5).abs() < 1e-12);
+        assert!((d.top_share(2) - 0.75).abs() < 1e-12);
+        assert!((d.top_share(100) - 1.0).abs() < 1e-12);
+    }
+}

@@ -24,6 +24,7 @@
 //!   ids beyond [`DENSE_ID_CAP`], replacing a hash lookup per event
 //!   with an array index on the common path.
 
+use crate::candidates::CandidateVector;
 use crate::histogram::DegreeHistogram;
 use crate::metrics::{ExtendedMetrics, MetricVector};
 use crate::node::NodeInfo;
@@ -290,6 +291,13 @@ impl HeapGraph {
     pub fn metrics(&self) -> MetricVector {
         let _t = heapmd_obs::timer!("heap_graph_metrics_ns");
         MetricVector::from_histogram(&self.histogram)
+    }
+
+    /// Computes the full candidate metric family for the current graph
+    /// (the seven paper metrics plus the distribution-shape and
+    /// structural extensions).
+    pub fn candidates(&self) -> CandidateVector {
+        CandidateVector::compute(&self.histogram, &self.extended_metrics())
     }
 
     /// Computes the extension metrics for the current graph.

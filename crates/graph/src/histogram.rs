@@ -10,6 +10,11 @@ use serde::{Deserialize, Serialize};
 /// loses nothing while keeping the histogram a flat array.
 const SATURATION: usize = 64;
 
+/// The public saturation bound: degrees at or above this value are
+/// indistinguishable in the histogram (and in everything derived from
+/// it, such as [`DegreeDistribution`](crate::DegreeDistribution)).
+pub const DEGREE_SATURATION: u32 = SATURATION as u32;
+
 /// Histogram of vertex degrees, maintained incrementally.
 ///
 /// Tracks, for each degree value (saturated at an internal bound), how
@@ -81,6 +86,19 @@ impl DegreeHistogram {
     /// Vertexes with indegree = outdegree.
     pub fn in_eq_out(&self) -> u64 {
         self.in_eq_out
+    }
+
+    /// The raw indegree bucket counts: index `d` holds the number of
+    /// vertexes with indegree `d`, except the last bucket, which holds
+    /// all vertexes at or above the saturation bound.
+    pub fn indegree_counts(&self) -> &[u64] {
+        &self.indeg
+    }
+
+    /// The raw outdegree bucket counts (same layout as
+    /// [`indegree_counts`](Self::indegree_counts)).
+    pub fn outdegree_counts(&self) -> &[u64] {
+        &self.outdeg
     }
 
     /// Registers a fresh vertex (degrees 0/0).

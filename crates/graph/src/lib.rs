@@ -54,7 +54,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod candidates;
 mod components;
+mod distribution;
 mod field_graph;
 mod graph;
 mod histogram;
@@ -65,10 +67,12 @@ mod reference;
 mod scoped;
 mod shard;
 
+pub use candidates::{CandidateKind, CandidateVector, CANDIDATE_COUNT, TAIL_MIN_DEGREE};
 pub use components::{ComponentSummary, SccSummary};
+pub use distribution::DegreeDistribution;
 pub use field_graph::FieldGraph;
 pub use graph::{GraphSnapshot, HeapGraph};
-pub use histogram::DegreeHistogram;
+pub use histogram::{DegreeHistogram, DEGREE_SATURATION};
 pub use metrics::{ExtendedMetrics, MetricKind, MetricVector, METRIC_COUNT};
 pub use node::NodeInfo;
 #[cfg(any(test, feature = "reference-graph"))]

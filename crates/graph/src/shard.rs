@@ -34,6 +34,7 @@
 //! privately-owned histograms, with a barrier merge at each sample
 //! point (see `heapmd`'s sharded replay driver).
 
+use crate::candidates::CandidateVector;
 use crate::graph::{Bucket, GraphSnapshot, HeapGraph, IdIndex, NodeSlot, Range, SlotState};
 use crate::histogram::DegreeHistogram;
 use crate::metrics::{ExtendedMetrics, MetricVector};
@@ -329,6 +330,12 @@ impl ShardedGraph {
     /// Computes the seven paper metrics from the reconciled histogram.
     pub fn metrics(&self) -> MetricVector {
         MetricVector::from_histogram(&self.merged_now())
+    }
+
+    /// Computes the full candidate metric family from the reconciled
+    /// histogram.
+    pub fn candidates(&self) -> CandidateVector {
+        CandidateVector::compute(&self.merged_now(), &self.extended_metrics())
     }
 
     /// Computes the extension metrics.
@@ -976,6 +983,14 @@ impl GraphImage {
         match self {
             GraphImage::Single(g) => g.extended_metrics(),
             GraphImage::Sharded(s) => s.extended_metrics(),
+        }
+    }
+
+    /// The full candidate metric family (paper seven plus extensions).
+    pub fn candidates(&self) -> CandidateVector {
+        match self {
+            GraphImage::Single(g) => g.candidates(),
+            GraphImage::Sharded(s) => s.candidates(),
         }
     }
 

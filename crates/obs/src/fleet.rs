@@ -62,6 +62,18 @@ pub struct MetricGauge {
     pub status: u8,
 }
 
+/// Calibration-time stability verdict for one metric of one tenant's
+/// model: which members of the candidate family earned a calibrated
+/// range for this program, and which were rejected by the stability
+/// filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricVerdict {
+    /// Metric id (e.g. `paper.roots`, `dist.in_entropy`).
+    pub metric: String,
+    /// True when the stability filter calibrated a range for it.
+    pub stable: bool,
+}
+
 /// Per-tenant counters and gauges, shared between the connection
 /// handler, the worker shard, and the exposition endpoints.
 #[derive(Debug, Default)]
@@ -80,6 +92,7 @@ pub struct TenantStats {
     anomalous: AtomicBool,
     last_anomaly: Mutex<String>,
     metrics: Mutex<Vec<MetricGauge>>,
+    verdicts: Mutex<Vec<MetricVerdict>>,
 }
 
 impl TenantStats {
@@ -155,6 +168,12 @@ impl TenantStats {
         *self.metrics.lock().unwrap() = gauges;
     }
 
+    /// Replaces the per-metric calibration verdicts (set once when the
+    /// tenant's model is resolved; stable across the stream).
+    pub fn set_verdicts(&self, verdicts: Vec<MetricVerdict>) {
+        *self.verdicts.lock().unwrap() = verdicts;
+    }
+
     /// Total events ingested.
     pub fn events(&self) -> u64 {
         self.events_total.load(Relaxed)
@@ -194,6 +213,7 @@ impl TenantStats {
             last_anomaly: self.last_anomaly.lock().unwrap().clone(),
             glyphs,
             metrics,
+            verdicts: self.verdicts.lock().unwrap().clone(),
         }
     }
 }
@@ -233,6 +253,8 @@ pub struct TenantRow {
     pub glyphs: String,
     /// Per-metric live gauges.
     pub metrics: Vec<MetricGauge>,
+    /// Per-metric calibration verdicts from the tenant's model.
+    pub verdicts: Vec<MetricVerdict>,
 }
 
 impl TenantRow {
@@ -586,6 +608,20 @@ impl FleetSnapshot {
                             escape_label_value(&m.metric)
                         );
                     }
+                }
+            }
+        }
+        if self.tenants.iter().any(|r| !r.verdicts.is_empty()) {
+            let _ = writeln!(out, "# TYPE heapmd_tenant_metric_stability gauge");
+            for row in &self.tenants {
+                let tenant = escape_label_value(&row.name);
+                for v in &row.verdicts {
+                    let _ = writeln!(
+                        out,
+                        "heapmd_tenant_metric_stability{{tenant=\"{tenant}\",metric=\"{}\"}} {}",
+                        escape_label_value(&v.metric),
+                        u8::from(v.stable)
+                    );
                 }
             }
         }

@@ -49,7 +49,7 @@ pub mod span;
 pub mod throughput;
 pub mod trace_event;
 
-pub use fleet::{FleetRegistry, FleetSnapshot, TenantStats};
+pub use fleet::{FleetRegistry, FleetSnapshot, MetricVerdict, TenantStats};
 pub use logger::{log_enabled, set_log_level, Level};
 pub use recorder::{SeriesRecorder, SeriesSnapshot};
 pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};

@@ -7,7 +7,8 @@
 //! `UPDATE_GOLDEN=1 cargo test -p heapmd-obs --test prom_golden`
 
 use heapmd_obs::fleet::{
-    FleetRegistry, MetricGauge, RETRY_BACKOFF_BUCKETS_MS, STATUS_NEAR_EDGE, STATUS_OK, STATUS_OUT,
+    FleetRegistry, MetricGauge, MetricVerdict, RETRY_BACKOFF_BUCKETS_MS, STATUS_NEAR_EDGE,
+    STATUS_OK, STATUS_OUT,
 };
 use heapmd_obs::Registry;
 use std::path::Path;
@@ -47,6 +48,18 @@ fn render() -> String {
             value: 0.25,
             distance: 0.0,
             status: STATUS_NEAR_EDGE,
+        },
+    ]);
+    // Per-metric stability verdicts from the tenant's calibrated model:
+    // a stable paper metric and an unstable candidate metric.
+    quiet.set_verdicts(vec![
+        MetricVerdict {
+            metric: "paper.indeg1".to_string(),
+            stable: true,
+        },
+        MetricVerdict {
+            metric: "dist.in_entropy".to_string(),
+            stable: false,
         },
     ]);
     // Hostile tenant name: quotes, backslash, newline — all must
@@ -104,6 +117,15 @@ fn prometheus_exposition_matches_golden() {
     );
     assert!(got.contains("heapmd_client_retry_backoff_ms_bucket{le=\"100\"} 1"));
     assert!(got.contains("heapmd_client_retry_backoff_ms_count 2"));
+    assert!(
+        got.contains(
+            "heapmd_tenant_metric_stability{tenant=\"tenant-a\",metric=\"paper.indeg1\"} 1"
+        ),
+        "stability verdicts:\n{got}"
+    );
+    assert!(got.contains(
+        "heapmd_tenant_metric_stability{tenant=\"tenant-a\",metric=\"dist.in_entropy\"} 0"
+    ));
 
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/fleet_metrics.golden.prom");
     if std::env::var("UPDATE_GOLDEN").is_ok() {

@@ -1,0 +1,165 @@
+//! Scan-side aggregations: percentiles per group and cross-version
+//! drift, computed over materialized [`RunRow`]s.
+//!
+//! These are deliberately simple columnar-scan aggregations — the
+//! regression question the store exists to answer ("did `paper.roots`
+//! drift between v3 and v4 of this workload?") needs order statistics
+//! per version, nothing more. NaN values (the absent-metric marker)
+//! are skipped everywhere.
+
+use crate::store::RunRow;
+use std::collections::BTreeMap;
+
+/// Nearest-rank percentile over `sorted` (ascending, NaN-free).
+/// `p` in `[0, 100]`; empty input yields NaN.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Order statistics for one metric over one row group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricStats {
+    /// Non-NaN observations.
+    pub count: usize,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+}
+
+impl MetricStats {
+    /// Computes stats over `values`, skipping NaN. Returns `None` when
+    /// no finite observation remains.
+    pub fn compute(values: &[f64]) -> Option<MetricStats> {
+        let mut clean: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if clean.is_empty() {
+            return None;
+        }
+        clean.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let sum: f64 = clean.iter().sum();
+        Some(MetricStats {
+            count: clean.len(),
+            min: clean[0],
+            max: *clean.last().unwrap(),
+            mean: sum / clean.len() as f64,
+            p50: percentile(&clean, 50.0),
+            p95: percentile(&clean, 95.0),
+        })
+    }
+}
+
+/// One version's statistics for a metric, plus its drift against the
+/// previous version in the sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VersionDrift {
+    /// Program version the stats describe.
+    pub version: u64,
+    /// Stats for the metric at this version.
+    pub stats: MetricStats,
+    /// Relative change of the mean vs the previous version, in percent
+    /// (`None` for the first version, or when the previous mean is 0).
+    pub drift_pct: Option<f64>,
+}
+
+/// Groups `rows` by version and computes per-version [`MetricStats`]
+/// for `metric`, with mean-drift percentages between consecutive
+/// versions — the cross-version regression matrix for one metric.
+/// Versions with no finite observation are omitted.
+pub fn drift_by_version(rows: &[RunRow], metric: &str) -> Vec<VersionDrift> {
+    let mut by_version: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    for row in rows {
+        if let Some(v) = row.metric(metric) {
+            by_version.entry(row.version).or_default().push(v);
+        }
+    }
+    let mut out = Vec::with_capacity(by_version.len());
+    let mut prev_mean: Option<f64> = None;
+    for (version, values) in by_version {
+        let Some(stats) = MetricStats::compute(&values) else {
+            continue;
+        };
+        let drift_pct =
+            prev_mean.and_then(|p| (p != 0.0).then(|| (stats.mean - p) / p.abs() * 100.0));
+        prev_mean = Some(stats.mean);
+        out.push(VersionDrift {
+            version,
+            stats,
+            drift_pct,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{RowKind, RunRow};
+
+    fn row(version: u64, roots: f64) -> RunRow {
+        RunRow {
+            workload: "webd".into(),
+            version,
+            run: format!("r{version}"),
+            tenant: String::new(),
+            kind: RowKind::Check,
+            time: 0,
+            seq: 0,
+            fn_entries: 0,
+            nodes: 0,
+            edges: 0,
+            dangling: 0,
+            metrics: vec![("paper.roots".into(), roots)],
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn stats_skip_nan() {
+        let s = MetricStats::compute(&[2.0, f64::NAN, 4.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 3.0);
+        assert!(MetricStats::compute(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn drift_tracks_mean_change_between_versions() {
+        let rows: Vec<RunRow> = vec![row(1, 10.0), row(1, 10.0), row(2, 11.0), row(3, 22.0)];
+        let drift = drift_by_version(&rows, "paper.roots");
+        assert_eq!(drift.len(), 3);
+        assert_eq!(drift[0].drift_pct, None);
+        assert!((drift[1].drift_pct.unwrap() - 10.0).abs() < 1e-9);
+        assert!((drift[2].drift_pct.unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_omits_metricless_versions() {
+        let mut r = row(2, 0.0);
+        r.metrics.clear();
+        let rows = vec![row(1, 10.0), r, row(3, 10.0)];
+        let drift = drift_by_version(&rows, "paper.roots");
+        assert_eq!(
+            drift.iter().map(|d| d.version).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+}

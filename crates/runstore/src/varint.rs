@@ -1,0 +1,82 @@
+//! LEB128 varints and zigzag signed mapping — the byte-level vocabulary
+//! of segment blocks. Small deltas (the common case for sequence
+//! numbers, timestamps, and slowly drifting metric bits) encode in one
+//! or two bytes.
+
+/// Appends `v` as an unsigned LEB128 varint.
+pub fn put_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint at `*pos`, advancing it. Returns
+/// `None` on truncation or a varint longer than 10 bytes.
+pub fn get_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed value to unsigned so small-magnitude deltas (of either
+/// sign) stay small: 0, -1, 1, -2 → 0, 1, 2, 3.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_detects_truncation() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 300);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(get_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

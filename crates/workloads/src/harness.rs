@@ -197,6 +197,8 @@ pub struct CheckOutcome {
     pub incidents: Vec<IncidentBundle>,
     /// Bundle files written, when an incident directory was given.
     pub bundle_paths: Vec<PathBuf>,
+    /// The checked run's metric report (run-store appends read this).
+    pub report: MetricReport,
 }
 
 /// Like [`check`], but with the process flight recorder enabled so any
@@ -227,7 +229,7 @@ pub fn check_with_incidents(
         w.run(&mut p, plan, input)
             .unwrap_or_else(|e| panic!("{} on input {} failed: {e}", w.name(), input.id));
     }
-    let _ = p.finish(format!("{}/input-{}", w.name(), input.id));
+    let report = p.finish(format!("{}/input-{}", w.name(), input.id));
     let mut d = detector.borrow_mut();
     CheckOutcome {
         bugs: d.take_bugs(),
@@ -236,6 +238,7 @@ pub fn check_with_incidents(
             .incident_log()
             .map(|l| l.paths().to_vec())
             .unwrap_or_default(),
+        report,
     }
 }
 

@@ -67,6 +67,7 @@ fn sample_model() -> heapmd::HeapModel {
                 nodes: 10,
                 edges: 5,
                 dangling: 0,
+                candidates: None,
             })
             .collect();
         b.add_run(&heapmd::MetricReport::new(format!("r{i}"), samples));
@@ -209,6 +210,7 @@ fn checkpoints_round_trip_under_corruption_never_panic() {
             nodes: 10,
             edges: 5,
             dangling: 0,
+            candidates: None,
         })
         .collect();
     b.add_run(&heapmd::MetricReport::new("r0", samples));
