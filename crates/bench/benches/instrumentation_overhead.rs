@@ -11,8 +11,9 @@
 //! `execution_logger`.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use heapmd::{AnomalyDetector, HeapModel, Monitor, Process, Settings};
+use heapmd::{AnomalyDetector, HeapModel, Monitor, Process, SamplerConfig, Settings};
 use sim_heap::{Addr, AllocSite, SimHeap, NULL};
+use swat::AdaptiveSampler;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -71,6 +72,7 @@ fn bench_overhead(c: &mut Criterion) {
         locally_stable: vec![],
         candidate_stable: vec![],
         candidate_unstable: vec![],
+        sample_rate: 1.0,
         training_runs: 0,
     };
     let mut group = c.benchmark_group("instrumentation_overhead");
@@ -96,6 +98,28 @@ fn bench_overhead(c: &mut Criterion) {
             instrumented_loop(&mut p);
         });
         heapmd_obs::set_enabled(false);
+    });
+    group.bench_function("execution_logger_sampled", |b| {
+        b.iter(|| {
+            let mut p = Process::new(settings.clone());
+            p.enable_sampling(SamplerConfig::default());
+            instrumented_loop(&mut p);
+        })
+    });
+    // The sampler's own bookkeeping, isolated: one `record` per store
+    // against a dense site-indexed table (16 sites, the hot/cold split
+    // at the default threshold). This is the marginal cost `--sample`
+    // adds to every store before any work is saved.
+    group.bench_function("adaptive_sampler_record", |b| {
+        let d = SamplerConfig::default();
+        b.iter(|| {
+            let mut sampler = AdaptiveSampler::new(d.hot_threshold, d.decimation);
+            let mut kept = 0u64;
+            for i in 0..OPS {
+                kept += u64::from(sampler.record(AllocSite((i % 16) as u32)));
+            }
+            kept
+        })
     });
     group.bench_function("logger_plus_detector", |b| {
         b.iter(|| {

@@ -1,0 +1,48 @@
+//! Regenerates the PR 10 production-overhead sweep: catalogued-bug
+//! detection × sampling config × monitoring overhead over the five
+//! commercial programs.
+//!
+//! With `HEAPMD_BENCH_JSON=<path>` set, appends one
+//! `heapmd-sweep-v1` JSON line per (program, config) cell — the rows
+//! committed as `BENCH_PR10.json` alongside the `sampling_overhead`
+//! criterion lines.
+
+use heapmd_bench::Effort;
+
+fn main() {
+    let effort = Effort::from_args();
+    let (rows, rendered) = heapmd_bench::experiments::sampling_sweep(effort);
+    println!("{rendered}");
+    if let Ok(path) = std::env::var("HEAPMD_BENCH_JSON") {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open bench json sink");
+        for r in &rows {
+            writeln!(
+                f,
+                concat!(
+                    "{{\"schema\":\"heapmd-sweep-v1\",\"phase\":\"pr10\",",
+                    "\"group\":\"sampling_sweep\",\"program\":\"{}\",",
+                    "\"config\":\"{}\",\"detected\":{},\"catalogued\":{},",
+                    "\"false_positives\":{},\"effective_rate\":{:.6},",
+                    "\"ns_per_event_monitored\":{:.3},",
+                    "\"ns_per_event_unmonitored\":{:.3},",
+                    "\"overhead_pct\":{:.2}}}"
+                ),
+                r.program,
+                r.config,
+                r.detected,
+                r.catalogued,
+                r.false_positives,
+                r.effective_rate,
+                r.ns_per_event_monitored,
+                r.ns_per_event_unmonitored,
+                r.overhead_pct(),
+            )
+            .expect("write bench json line");
+        }
+    }
+}

@@ -3,15 +3,16 @@
 //! ```text
 //! heapmd list                                   # programs and catalogued bugs
 //! heapmd run <program> [--input K] [--version V] [--bug FAULT] [--shards N]
-//!                      [--trace-out FILE]
+//!                      [--trace-out FILE] [--sample] [--sample-hot-threshold N]
+//!                      [--sample-decimation N]
 //!                      [--format binary|jsonl] [--model FILE] [--incidents DIR]
 //! heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local]
 //!                        [--checkpoint-every N] [--resume] [--threads N]
 //!                        [--format binary|jsonl]
 //! heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT]
-//!                        [--shards N] [--incidents DIR]
+//!                        [--shards N] [--incidents DIR] [--sample]
 //! heapmd check --model FILE --trace FILE [--trace FILE …] [--jobs N] [--shards N]
-//!              [--salvage]
+//!              [--salvage] [--sample]
 //! heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT]
 //!                         [--format binary|jsonl] [--stream]
 //! heapmd replay --model FILE --trace FILE [--salvage] [--shards N] [--format binary|jsonl]
@@ -19,10 +20,11 @@
 //! heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N]
 //!              [--queue-events N] [--incidents DIR] [--prom-dump FILE]
 //!              [--journal-dir DIR] [--model-dir DIR] [--session-timeout-ms N]
+//!              [--sample] [--sample-hot-threshold N] [--sample-decimation N]
 //! heapmd query --store DIR [--workload NAME] [--version V] [--kind K]
 //!              [--metric ID …] [--agg stats|drift] [--format tsv|jsonl]
 //! heapmd top --connect ADDR [--once] [--interval-ms N]
-//! heapmd push --to ADDR --tenant NAME --trace FILE [--salvage]
+//! heapmd push --to ADDR --tenant NAME --trace FILE [--salvage] [--sample] [--sample-hot-threshold N] [--sample-decimation N]
 //!             [--session ID] [--retry N] [--backoff-ms N] [--no-resume]
 //! ```
 //!
@@ -182,6 +184,28 @@ fn shards_flag(args: &[String]) -> usize {
     }
 }
 
+/// The production-overhead sampling flags shared by `run`, `check`,
+/// `serve`, and `push`: `--sample` turns the adaptive store sampler on
+/// at the production default; `--sample-hot-threshold N` and
+/// `--sample-decimation N` tune it (either implies `--sample`).
+fn sampler_flag(args: &[String]) -> Option<heapmd::SamplerConfig> {
+    let tuned = arg_value(args, "--sample-hot-threshold").is_some()
+        || arg_value(args, "--sample-decimation").is_some();
+    if !tuned && !args.iter().any(|a| a == "--sample") {
+        return None;
+    }
+    let d = heapmd::SamplerConfig::default();
+    let decimation: u64 = num_flag(args, "--sample-decimation", "a number", d.decimation);
+    if decimation == 0 {
+        eprintln!("--sample-decimation must be positive (1 = exact passthrough)");
+        std::process::exit(2);
+    }
+    Some(heapmd::SamplerConfig::new(
+        num_flag(args, "--sample-hot-threshold", "a number", d.hot_threshold),
+        decimation,
+    ))
+}
+
 /// Removes `flag` and its value from `args`, returning the value.
 fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
@@ -222,7 +246,7 @@ fn append_rows(store: &RunStore, rows: &[RunRow]) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--shards N] [--trace-out FILE] [--format binary|jsonl] [--model FILE] [--incidents DIR] [--run-store DIR] [--serve ADDR [--tenant NAME] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--metrics paper|candidates] [--checkpoint-every N] [--resume] [--threads N] [--format binary|jsonl] [--run-store DIR]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--shards N] [--incidents DIR] [--run-store DIR]\n  heapmd check --model FILE --trace FILE [--trace FILE ...] [--jobs N] [--shards N] [--salvage] [--run-store DIR] [--version V]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--format binary|jsonl] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage] [--shards N] [--format binary|jsonl]\n  heapmd inspect <artifact> [--salvage]\n  heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N] [--queue-events N] [--incidents DIR] [--prom-dump FILE] [--journal-dir DIR] [--model-dir DIR] [--session-timeout-ms N] [--run-store DIR]\n  heapmd query --store DIR [--workload NAME] [--version V] [--run ID] [--tenant NAME] [--kind train|run|check|serve] [--since T] [--until T] [--metric ID ...] [--agg stats|drift] [--format tsv|jsonl] [--limit N] [--describe]\n  heapmd top --connect ADDR [--once] [--interval-ms N]\n  heapmd push --to ADDR --tenant NAME --trace FILE [--salvage] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
+        "usage:\n  heapmd list\n  heapmd run <program> [--input K] [--version V] [--bug FAULT_ID] [--shards N] [--sample] [--sample-hot-threshold N] [--sample-decimation N] [--trace-out FILE] [--format binary|jsonl] [--model FILE] [--incidents DIR] [--run-store DIR] [--serve ADDR [--tenant NAME] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]]\n  heapmd train <program> [--inputs N] [--version V] [--out FILE] [--local] [--metrics paper|candidates] [--checkpoint-every N] [--resume] [--threads N] [--format binary|jsonl] [--run-store DIR]\n  heapmd check <program> --model FILE [--input K] [--version V] [--bug FAULT_ID] [--shards N] [--sample] [--sample-hot-threshold N] [--sample-decimation N] [--incidents DIR] [--run-store DIR]\n  heapmd check --model FILE --trace FILE [--trace FILE ...] [--jobs N] [--shards N] [--salvage] [--sample] [--sample-hot-threshold N] [--sample-decimation N] [--run-store DIR] [--version V]\n  heapmd record <program> --trace FILE [--input K] [--version V] [--bug FAULT_ID] [--format binary|jsonl] [--stream]\n  heapmd replay --model FILE --trace FILE [--salvage] [--shards N] [--format binary|jsonl]\n  heapmd inspect <artifact> [--salvage]\n  heapmd serve --model FILE [--listen ADDR] [--http ADDR] [--shards N] [--queue-events N] [--incidents DIR] [--prom-dump FILE] [--journal-dir DIR] [--model-dir DIR] [--session-timeout-ms N] [--sample] [--sample-hot-threshold N] [--sample-decimation N] [--run-store DIR]\n  heapmd query --store DIR [--workload NAME] [--version V] [--run ID] [--tenant NAME] [--kind train|run|check|serve] [--since T] [--until T] [--metric ID ...] [--agg stats|drift] [--format tsv|jsonl] [--limit N] [--describe]\n  heapmd top --connect ADDR [--once] [--interval-ms N]\n  heapmd push --to ADDR --tenant NAME --trace FILE [--salvage] [--sample] [--sample-hot-threshold N] [--sample-decimation N] [--session ID] [--retry N] [--backoff-ms N] [--no-resume]\nglobal flags: [--log-level LEVEL] [--obs-out FILE.jsonl] [--obs-prom FILE] [--trace-events FILE]"
     );
     std::process::exit(2);
 }
@@ -278,6 +302,13 @@ fn cmd_run(args: &[String]) -> i32 {
         settings.frq
     );
     let mut p = Process::with_shards(settings.clone(), shards);
+    if let Some(config) = sampler_flag(args) {
+        info!(
+            "store sampling on: full fidelity for a site's first {} stores, 1/{} after",
+            config.hot_threshold, config.decimation
+        );
+        p.enable_sampling(config);
+    }
     // With a model, the run doubles as a flight-recorded check: the
     // detector rides along and emits incident bundles when it fires.
     let detector = match &model_path {
@@ -375,6 +406,7 @@ fn cmd_run(args: &[String]) -> i32 {
     }
     let stats = *p.heap().stats();
     let live = p.heap().live_objects();
+    let sampling = p.sampling_info();
     let report = p.finish(format!("{program}:{input_id}"));
     println!(
         "{} metric computation points over {} allocs / {} frees / {} ptr stores ({} objects live at exit)",
@@ -384,6 +416,14 @@ fn cmd_run(args: &[String]) -> i32 {
         stats.ptr_writes,
         live,
     );
+    if let Some(info) = sampling {
+        println!(
+            "store sampling: {} of {} stores kept (effective rate {:.4})",
+            info.kept_stores,
+            info.total_stores,
+            info.rate()
+        );
+    }
     if let Some(last) = report.samples.last() {
         println!(
             "final graph: {} nodes, {} edges, {} dangling slots",
@@ -398,6 +438,7 @@ fn cmd_run(args: &[String]) -> i32 {
             tenant: String::new(),
             kind: RowKind::Run,
             time: unix_time_now(),
+            sample_rate: report.sample_rate,
         };
         append_rows(store, &rows_from_samples(&src, &report.samples));
     }
@@ -515,6 +556,9 @@ fn cmd_train(args: &[String]) -> i32 {
                 tenant: String::new(),
                 kind: RowKind::Train,
                 time: unix_time_now(),
+                // Training always runs exact: calibration at full
+                // fidelity, rate recorded in the model artifact.
+                sample_rate: 1.0,
             };
             store_rows.extend(rows_from_samples(&src, &report.samples));
         }
@@ -612,9 +656,11 @@ fn cmd_check(args: &[String]) -> i32 {
         }
     };
     let mut plan = fault_plan_for(args);
-    // The harness builds the process; route the shard count through
-    // its process factory (verdicts are shard-invariant).
+    // The harness builds the process; route the shard count and the
+    // sampling config through its process factory (verdicts are
+    // shard-invariant; sampling widens ranges by the measured rate).
     workloads::harness::set_default_shards(shards_flag(args));
+    workloads::harness::set_default_sampler(sampler_flag(args));
     let run_store = run_store_flag(args);
     let incident_dir = arg_value(args, "--incidents");
     // A run-store append needs the checked run's sampled report, so it
@@ -638,6 +684,7 @@ fn cmd_check(args: &[String]) -> i32 {
                 tenant: String::new(),
                 kind: RowKind::Check,
                 time: unix_time_now(),
+                sample_rate: outcome.report.sample_rate,
             };
             append_rows(store, &rows_from_samples(&src, &outcome.report.samples));
         }
@@ -686,6 +733,10 @@ fn cmd_check_offline(args: &[String], trace_paths: &[String]) -> i32 {
         }
     };
     let settings = model.settings.clone();
+    // `--sample` re-samples full-fidelity recordings through the
+    // adaptive filter before checking (already-sampled traces keep
+    // their recorded schedule — re-decimating would double-drop).
+    let sampler = sampler_flag(args);
     // Recording rows needs the per-sample series, which only the
     // sequential in-memory checker exposes; the parallel sharded
     // engine returns verdicts alone. Traces check one at a time here.
@@ -700,10 +751,15 @@ fn cmd_check_offline(args: &[String], trace_paths: &[String]) -> i32 {
                 if let Some(stats) = &stats {
                     report_salvage(path, stats);
                 }
-                trace.check_logged(&model, &settings, None)
+                let trace = match sampler {
+                    Some(config) if trace.sampling().is_none() => trace.sampled(config),
+                    _ => trace,
+                };
+                let rate = trace.sample_rate();
+                trace.check_logged(&model, &settings, None).map(|o| (o, rate))
             });
             match outcome {
-                Ok(out) => {
+                Ok((out, rate)) => {
                     let src = RowSource {
                         workload: model.program.clone(),
                         version,
@@ -711,6 +767,7 @@ fn cmd_check_offline(args: &[String], trace_paths: &[String]) -> i32 {
                         tenant: String::new(),
                         kind: RowKind::Check,
                         time: unix_time_now(),
+                        sample_rate: rate,
                     };
                     append_rows(&store, &rows_from_samples(&src, &out.samples));
                     if out.bugs.is_empty() {
@@ -724,6 +781,81 @@ fn cmd_check_offline(args: &[String], trace_paths: &[String]) -> i32 {
                             if !funcs.is_empty() {
                                 println!("    implicated: {}", funcs.join(", "));
                             }
+                        }
+                    }
+                }
+                Err(e) => {
+                    failed = true;
+                    error!("{path}: {e}");
+                    if !salvage {
+                        eprintln!("hint: `--salvage` recovers what a damaged trace still holds");
+                    }
+                }
+            }
+        }
+        return if failed {
+            1
+        } else if anomalies {
+            3
+        } else {
+            0
+        };
+    }
+    if let Some(config) = sampler {
+        // Production-overhead verdicts: binary recordings stream through
+        // the sharded engine with the live filter in front; JSONL (and
+        // salvaged) traces re-sample in memory.
+        let (mut failed, mut anomalies) = (false, false);
+        for path in trace_paths {
+            let checked = if !salvage
+                && heapmd::sniff_file(path).is_ok_and(|k| k == ArtifactKind::BinaryTrace)
+            {
+                BinaryTraceImage::open_path(path).and_then(|image| {
+                    match image.sampling()? {
+                        // Recorded sampled: keep the recorded schedule
+                        // (re-decimating would double-drop stores).
+                        Some(info) => {
+                            heapmd::check_binary_sharded(&image, &model, &settings, shards.max(1))
+                                .map(|bugs| (bugs, info))
+                        }
+                        None => heapmd::check_binary_sharded_sampled(
+                            &image,
+                            &model,
+                            &settings,
+                            shards.max(1),
+                            config,
+                        ),
+                    }
+                })
+            } else {
+                heapmd::load_trace_auto(path, salvage).and_then(|(trace, stats)| {
+                    if let Some(stats) = &stats {
+                        report_salvage(path, stats);
+                    }
+                    let trace = match trace.sampling() {
+                        None => trace.sampled(config),
+                        Some(_) => trace,
+                    };
+                    let info = trace.sampling().expect("sampled above or recorded");
+                    trace.check(&model, &settings).map(|bugs| (bugs, info))
+                })
+            };
+            match checked {
+                Ok((bugs, info)) if bugs.is_empty() => {
+                    println!("{path}: no anomalies (sampled at {:.4})", info.rate());
+                }
+                Ok((bugs, info)) => {
+                    anomalies = true;
+                    println!(
+                        "{path}: {} anomaly report(s) (sampled at {:.4}):",
+                        bugs.len(),
+                        info.rate()
+                    );
+                    for b in &bugs {
+                        println!("  {b}");
+                        let funcs = b.implicated_functions();
+                        if !funcs.is_empty() {
+                            println!("    implicated: {}", funcs.join(", "));
                         }
                     }
                 }
@@ -1260,6 +1392,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     config.journal_dir = arg_value(args, "--journal-dir").map(PathBuf::from);
     config.model_dir = arg_value(args, "--model-dir").map(PathBuf::from);
     config.run_store = arg_value(args, "--run-store").map(PathBuf::from);
+    config.sampler = sampler_flag(args);
     config.session_timeout = std::time::Duration::from_millis(num_flag(
         args,
         "--session-timeout-ms",
@@ -1640,6 +1773,22 @@ fn cmd_push(args: &[String]) -> i32 {
     if let Some(stats) = &stats {
         report_salvage(&trace_path, stats);
     }
+    // `--sample` thins a full-fidelity recording client-side before it
+    // crosses the wire: fewer bytes pushed, and the daemon checks with
+    // confidence-widened ranges (already-sampled traces push as-is).
+    let trace = match sampler_flag(args) {
+        Some(config) if trace.sampling().is_none() => {
+            let sampled = trace.sampled(config);
+            println!(
+                "client-side sampling: {} of {} events pushed (effective store rate {:.4})",
+                sampled.len(),
+                trace.len(),
+                sampled.sample_rate()
+            );
+            sampled
+        }
+        _ => trace,
+    };
     if args.iter().any(|a| a == "--no-resume") {
         // Legacy one-shot push: no session, no retry, v1 preamble.
         return match heapmd::serve::push_trace(&addr, &tenant, &trace) {

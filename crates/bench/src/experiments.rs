@@ -10,7 +10,7 @@ use heapmd::{
 };
 use std::cell::RefCell;
 use std::rc::Rc;
-use swat::{SwatConfig, SwatDetector};
+use crate::swat_baseline::{SwatConfig, SwatDetector};
 use workloads::bugs::{BugSpec, SwatOnlyLeak, CATALOG, SWAT_ONLY};
 use workloads::harness::{run_once, settings_for, train};
 use workloads::{commercial_at_version, registry, Input, Workload};
@@ -901,6 +901,234 @@ pub fn threshold_sensitivity(effort: Effort) -> (Vec<(f64, usize)>, String) {
     (rows, rendered)
 }
 
+// ---------------------------------------------------------------------------
+// PR 10 — production-overhead mode: detection × sampling rate × overhead
+// ---------------------------------------------------------------------------
+
+/// One cell of the sampling sweep: a commercial program checked under
+/// one sampling config.
+#[derive(Debug, Clone)]
+pub struct SamplingSweepRow {
+    /// Program name.
+    pub program: String,
+    /// Config label: `exact`, `default` (512/32), or `decim128`.
+    pub config: String,
+    /// Catalogued bugs detected under this config.
+    pub detected: usize,
+    /// Catalogued bugs for this program.
+    pub catalogued: usize,
+    /// Anomalies raised on clean check inputs.
+    pub false_positives: usize,
+    /// Measured effective store-sampling rate of a clean run.
+    pub effective_rate: f64,
+    /// Monitored replay cost under this config, ns/event (median).
+    pub ns_per_event_monitored: f64,
+    /// Unmonitored replay baseline (decode + bare-heap re-execution),
+    /// ns/event (median). Identical across configs of one program.
+    pub ns_per_event_unmonitored: f64,
+}
+
+impl SamplingSweepRow {
+    /// Monitoring overhead relative to unmonitored replay, percent
+    /// (negative = sampled monitoring is cheaper than re-execution).
+    pub fn overhead_pct(&self) -> f64 {
+        (self.ns_per_event_monitored / self.ns_per_event_unmonitored - 1.0) * 100.0
+    }
+}
+
+/// Median of `n` timed runs of `f`, in nanoseconds (one warmup).
+fn median_ns(n: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut runs: Vec<u128> = (0..n)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    runs.sort_unstable();
+    runs[runs.len() / 2] as f64
+}
+
+/// Unmonitored replay: decode the image and re-execute every event
+/// against a bare simulated heap (the deterministic allocator
+/// reproduces recorded addresses; a dense `ObjectId -> Addr` map is
+/// the only state). This is what running the recorded program without
+/// monitoring costs the replay plane — the overhead denominator.
+fn reexecute_unmonitored(image: &heapmd::BinaryTraceImage, buf: &mut Vec<sim_heap::HeapEvent>) {
+    use sim_heap::{Addr, HeapEvent, SimHeap, NULL};
+    let mut heap = SimHeap::new();
+    let mut base: Vec<Addr> = Vec::new();
+    for entry in image.event_blocks() {
+        image
+            .decode_block_into(entry, buf)
+            .expect("bench image decodes");
+        for ev in buf.iter() {
+            match *ev {
+                HeapEvent::Alloc { obj, size, site, .. } => {
+                    let a = heap.alloc(size, site).expect("replayed alloc").addr;
+                    let idx = obj.0 as usize;
+                    if base.len() <= idx {
+                        base.resize(idx + 1, NULL);
+                    }
+                    base[idx] = a;
+                }
+                HeapEvent::Free { obj, .. } => {
+                    heap.free(base[obj.0 as usize]).expect("replayed free");
+                }
+                HeapEvent::PtrWrite { src, offset, value, .. } => {
+                    let _ = heap.write_ptr(base[src.0 as usize].offset(offset), value);
+                }
+                HeapEvent::ScalarWrite { src, offset, .. } => {
+                    let _ = heap.write_scalar(base[src.0 as usize].offset(offset));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The PR 10 sweep: per commercial program × sampling config, measure
+/// catalogued-bug detection, clean-run false positives, the measured
+/// effective rate, and monitored-replay cost against the unmonitored
+/// re-execution baseline.
+///
+/// Training always runs exact; sampling applies to checking only (the
+/// production deployment: models are built once on developer machines,
+/// monitoring runs sampled in the field with ranges widened by the
+/// effective rate).
+pub fn sampling_sweep(effort: Effort) -> (Vec<SamplingSweepRow>, String) {
+    use heapmd::{BinaryTraceImage, SamplerConfig};
+    use workloads::harness::{check, set_default_sampler};
+    let apps = [
+        "multimedia",
+        "webapp",
+        "game_sim",
+        "game_action",
+        "productivity",
+    ];
+    // `matched: true` trains the model under the same sampler config
+    // instead of checking against the exact model — the deployment
+    // that trades detection surface (fewer metrics calibrate stable on
+    // noisier sampled runs) for a clean-run false-positive floor (no
+    // rate mismatch, so no bias gap and no widening).
+    let configs: [(&str, Option<SamplerConfig>, bool); 4] = [
+        ("exact", None, false),
+        ("default", Some(SamplerConfig::default()), false),
+        (
+            "decim128",
+            Some(SamplerConfig::new(SamplerConfig::DEFAULT_HOT_THRESHOLD, 128)),
+            false,
+        ),
+        ("default_matched", Some(SamplerConfig::default()), true),
+    ];
+    let timing_iters = match effort {
+        Effort::Quick => 3,
+        Effort::Full => 7,
+    };
+    let mut rows = Vec::new();
+    for app in apps {
+        let w = commercial_at_version(app, 1);
+        let settings = settings_for(w.as_ref());
+        set_default_sampler(None);
+        let model = train(w.as_ref(), &Input::set(effort.training_inputs())).model;
+        // One clean recorded trace per program drives every timing
+        // measurement and the effective-rate readout.
+        let mut p = Process::new(settings.clone());
+        p.enable_trace();
+        w.run(&mut p, &mut FaultPlan::new(), &Input::new(1000))
+            .expect("clean run");
+        let trace = p.take_trace().expect("trace enabled");
+        let events = trace.len() as f64;
+        let image = BinaryTraceImage::open(trace.encode_binary()).expect("encodes");
+        let mut buf = Vec::new();
+        let unmonitored_ns =
+            median_ns(timing_iters, || reexecute_unmonitored(&image, &mut buf)) / events;
+        let catalogued = CATALOG.iter().filter(|b| b.app == app).count();
+        for (label, config, matched) in configs {
+            let model = if matched {
+                set_default_sampler(config);
+                let m = train(w.as_ref(), &Input::set(effort.training_inputs())).model;
+                set_default_sampler(None);
+                m
+            } else {
+                model.clone()
+            };
+            let monitored_ns = match config {
+                None => median_ns(timing_iters, || {
+                    heapmd::replay_binary_fused(&image, &settings, "sweep").expect("replays");
+                }),
+                Some(c) => median_ns(timing_iters, || {
+                    heapmd::replay_binary_fused_sampled(&image, &settings, "sweep", c)
+                        .expect("replays");
+                }),
+            } / events;
+            let effective_rate = config.map_or(1.0, |c| trace.sampled(c).sample_rate());
+            set_default_sampler(config);
+            let mut detected = 0;
+            for bug in CATALOG.iter().filter(|b| b.app == app) {
+                for k in 0..effort.check_inputs() {
+                    let mut plan = bug.plan();
+                    if !check(w.as_ref(), &model, &Input::new(2000 + k as u32), &mut plan)
+                        .is_empty()
+                    {
+                        detected += 1;
+                        break;
+                    }
+                }
+            }
+            let mut false_positives = 0;
+            for k in 0..effort.check_inputs() {
+                false_positives += check(
+                    w.as_ref(),
+                    &model,
+                    &Input::new(3000 + k as u32),
+                    &mut FaultPlan::new(),
+                )
+                .len();
+            }
+            set_default_sampler(None);
+            rows.push(SamplingSweepRow {
+                program: app.to_string(),
+                config: label.to_string(),
+                detected,
+                catalogued,
+                false_positives,
+                effective_rate,
+                ns_per_event_monitored: monitored_ns,
+                ns_per_event_unmonitored: unmonitored_ns,
+            });
+        }
+    }
+    let mut t = Table::new(vec![
+        "Program",
+        "Config",
+        "Detected",
+        "False pos",
+        "Eff. rate",
+        "ns/event (mon)",
+        "ns/event (unmon)",
+        "Overhead",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.program.clone(),
+            r.config.clone(),
+            format!("{}/{}", r.detected, r.catalogued),
+            r.false_positives.to_string(),
+            format!("{:.4}", r.effective_rate),
+            f1(r.ns_per_event_monitored),
+            f1(r.ns_per_event_unmonitored),
+            format!("{:+.1}%", r.overhead_pct()),
+        ]);
+    }
+    let rendered = format!(
+        "PR 10 sweep: detection × sampling rate × overhead (training exact, checking sampled)\n{}",
+        t.render()
+    );
+    (rows, rendered)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -949,6 +1177,7 @@ mod tests {
             locally_stable: vec![],
             candidate_stable: vec![],
             candidate_unstable: vec![],
+            sample_rate: 1.0,
             training_runs: 3,
         };
         assert_eq!(

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod swat_baseline;
 pub mod table;
 
 /// How many inputs to spend per experiment.

@@ -109,8 +109,25 @@ pub struct BugReport {
     pub sample_seq: usize,
     /// Cumulative function entries at detection.
     pub fn_entries: u64,
+    /// Effective store-sampling rate at detection, in `(0, 1]`: the
+    /// minimum of the checked stream's rate and the model's
+    /// calibration-time rate. `1.0` (the default for pre-sampling
+    /// artifacts) means every store was observed and `range` carries no
+    /// confidence widening.
+    #[serde(default = "default_report_sample_rate")]
+    pub sample_rate: f64,
+    /// How far outside the accepted `range` the value strayed, in units
+    /// of that (sampling-widened) band's full width — the
+    /// scale-independent severity a production-overhead deployment
+    /// alerts on. `0.0` for anomaly kinds without a crossing.
+    #[serde(default)]
+    pub band_distance: f64,
     /// Call-stack context before/during/after the crossing.
     pub context: Vec<StackLogEntry>,
+}
+
+fn default_report_sample_rate() -> f64 {
+    1.0
 }
 
 /// Bitwise float equality: an [`AnomalyKind::UnexpectedStability`]
@@ -126,6 +143,8 @@ impl PartialEq for BugReport {
             && self.range.1.to_bits() == other.range.1.to_bits()
             && self.sample_seq == other.sample_seq
             && self.fn_entries == other.fn_entries
+            && self.sample_rate.to_bits() == other.sample_rate.to_bits()
+            && self.band_distance.to_bits() == other.band_distance.to_bits()
             && self.context == other.context
     }
 }
@@ -137,6 +156,13 @@ impl fmt::Display for BugReport {
             "{}: {} — value {:.2} vs calibrated [{:.2}, {:.2}] at sample {}",
             self.metric, self.kind, self.value, self.range.0, self.range.1, self.sample_seq
         )?;
+        if self.sample_rate < 1.0 {
+            write!(
+                f,
+                " (sampled at {:.3}, {:.2} band-widths out)",
+                self.sample_rate, self.band_distance
+            )?;
+        }
         if let Some(entry) = self.context.iter().find(|e| e.phase == LogPhase::During) {
             if let Some(top) = entry.stack.last() {
                 write!(f, " (in {top})")?;
@@ -193,6 +219,10 @@ pub(crate) fn emit_anomaly_event(bug: &BugReport, source: &str) {
             .field_u64("sample_seq", bug.sample_seq as u64)
             .field_u64("fn_entries", bug.fn_entries)
             .field_u64("context_entries", bug.context.len() as u64);
+        if bug.sample_rate < 1.0 {
+            o.field_f64("sample_rate", bug.sample_rate)
+                .field_f64("band_distance", bug.band_distance);
+        }
     });
 }
 
@@ -294,6 +324,8 @@ mod tests {
             range: (13.2, 18.5),
             sample_seq: 41,
             fn_entries: 4_100,
+            sample_rate: 1.0,
+            band_distance: 0.0,
             context: vec![
                 StackLogEntry {
                     tick: 90,

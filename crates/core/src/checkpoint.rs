@@ -50,8 +50,16 @@ pub struct TrainCheckpoint {
     /// candidate modelling is on; empty in legacy checkpoints).
     #[serde(default)]
     pub cand_runs: Vec<Option<Vec<CandidateSummary>>>,
+    /// Minimum store-sampling rate over the runs summarized so far
+    /// (1.0 when every run was exact; absent in legacy checkpoints).
+    #[serde(default = "default_checkpoint_sample_rate")]
+    pub min_sample_rate: f64,
     /// Index of the next training input to consume on resume.
     pub next_input: u64,
+}
+
+fn default_checkpoint_sample_rate() -> f64 {
+    1.0
 }
 
 impl TrainCheckpoint {
@@ -165,6 +173,7 @@ impl ModelBuilder {
             series: self.series.clone(),
             include_candidates: self.include_candidates,
             cand_runs: self.cand_runs.clone(),
+            min_sample_rate: self.min_sample_rate,
             next_input,
         }
     }
@@ -196,6 +205,14 @@ impl ModelBuilder {
                 series: cp.series,
                 include_candidates: cp.include_candidates,
                 cand_runs,
+                min_sample_rate: if cp.min_sample_rate.is_finite()
+                    && cp.min_sample_rate > 0.0
+                    && cp.min_sample_rate <= 1.0
+                {
+                    cp.min_sample_rate
+                } else {
+                    1.0
+                },
             },
             next,
         ))

@@ -161,11 +161,23 @@ pub struct AnomalyDetector {
     incident_log: Option<IncidentLog>,
     startup_checked: bool,
     post_warmup_samples: usize,
+    /// Calibration-time store-sampling rate carried by the model.
+    model_rate: f64,
+    /// Store-sampling rate of the checked stream (updated from the
+    /// monitor context online; set from the report offline). The
+    /// effective widening rate is the *mismatch ratio* of both — see
+    /// [`Self::effective_rate`].
+    stream_rate: f64,
 }
 
 impl AnomalyDetector {
     /// Creates a checker for the given model.
     pub fn new(model: HeapModel, settings: Settings) -> Self {
+        let model_rate = if model.sample_rate.is_finite() && model.sample_rate > 0.0 {
+            model.sample_rate
+        } else {
+            1.0
+        };
         let states = model
             .stable
             .iter()
@@ -217,7 +229,30 @@ impl AnomalyDetector {
             incident_log: None,
             startup_checked: false,
             post_warmup_samples: 0,
+            model_rate,
+            stream_rate: 1.0,
         }
+    }
+
+    /// The rate that parameterizes confidence widening: the *mismatch
+    /// ratio* `min(model, stream) / max(model, stream)` of the model's
+    /// calibration-time sampling rate and the checked stream's rate.
+    ///
+    /// Store sampling biases connectivity metrics (dropped stores are
+    /// missing edges), so what needs slack is not sampling per se but
+    /// checking a stream against ranges calibrated at a *different*
+    /// rate: rate-matched calibration sees the same biased
+    /// distribution on both sides and needs no widening, while an
+    /// exact model checking a `rate`-sampled stream (or vice versa)
+    /// widens by the full mismatch. `1.0` → zero widening,
+    /// bit-identical to the pre-sampling detector.
+    fn effective_rate(&self) -> f64 {
+        let lo = self.model_rate.min(self.stream_rate);
+        let hi = self.model_rate.max(self.stream_rate);
+        if hi <= 0.0 {
+            return 1.0;
+        }
+        lo / hi
     }
 
     /// Bug reports raised so far (range violations immediately; poorly
@@ -289,6 +324,9 @@ impl AnomalyDetector {
             .warmup_samples
             .max(settings.trim_count(report.len()));
         let mut det = AnomalyDetector::new(model.clone(), settings);
+        if report.sample_rate.is_finite() && report.sample_rate > 0.0 {
+            det.stream_rate = report.sample_rate;
+        }
         for sample in &report.samples {
             det.scan_sample(sample, None);
         }
@@ -314,6 +352,12 @@ impl AnomalyDetector {
     /// resulting reports carry no stacks or series.
     fn scan_sample(&mut self, sample: &MetricSample, ctx: Option<&MonitorCtx<'_>>) {
         let ctx_stack: Option<Vec<String>> = ctx.map(|c| c.stack_names());
+        if let Some(c) = ctx {
+            if c.sample_rate.is_finite() && c.sample_rate > 0.0 {
+                self.stream_rate = c.sample_rate;
+            }
+        }
+        let rate = self.effective_rate();
         self.samples_seen += 1;
         let warmup = self.samples_seen <= self.settings.warmup_samples;
 
@@ -329,9 +373,10 @@ impl AnomalyDetector {
         for i in 0..self.states.len() {
             let (lo, hi, margin, last, kind) = {
                 let st = &self.states[i];
+                let widen = crate::model::sampling_widen(st.sm.width(), rate);
                 (
-                    st.sm.min - self.settings.range_margin,
-                    st.sm.max + self.settings.range_margin,
+                    st.sm.min - self.settings.range_margin - widen,
+                    st.sm.max + self.settings.range_margin + widen,
                     st.margin(&self.settings),
                     st.last,
                     st.sm.kind,
@@ -394,6 +439,10 @@ impl AnomalyDetector {
                             ),
                             phase: LogPhase::During,
                         });
+                        let out_by = match direction {
+                            Direction::AboveMax => v - hi,
+                            Direction::BelowMin => lo - v,
+                        };
                         st.pending = Some(BugReport {
                             metric: kind,
                             kind: AnomalyKind::RangeViolation { direction },
@@ -401,6 +450,8 @@ impl AnomalyDetector {
                             range: (lo, hi),
                             sample_seq: sample.seq,
                             fn_entries: sample.fn_entries,
+                            sample_rate: rate,
+                            band_distance: out_by / (hi - lo).max(1.0),
                             context,
                         });
                         st.after_budget = AFTER_CONTEXT_EVENTS;
@@ -436,8 +487,17 @@ impl AnomalyDetector {
         // The §2.1 extension: locally stable metrics must sit inside
         // *some* calibrated phase band.
         if !warmup {
-            let margin = self.settings.range_margin;
             for st in &mut self.local_states {
+                // Widen each phase band by the widest band's
+                // sampling-confidence slack.
+                let bw = st
+                    .lm
+                    .ranges
+                    .iter()
+                    .map(|r| r.1 - r.0)
+                    .fold(0.0_f64, f64::max);
+                let margin =
+                    self.settings.range_margin + crate::model::sampling_widen(bw, rate);
                 let v = sample.metrics.get(st.lm.kind);
                 if st.lm.contains(v, margin) {
                     st.in_violation = false;
@@ -454,6 +514,8 @@ impl AnomalyDetector {
                         range: hull,
                         sample_seq: sample.seq,
                         fn_entries: sample.fn_entries,
+                        sample_rate: rate,
+                        band_distance: 0.0,
                         context: Vec::new(),
                     };
                     crate::bug::emit_anomaly_event(&bug, "detector");
@@ -477,8 +539,9 @@ impl AnomalyDetector {
                     Some(v) => v,
                     None => continue,
                 };
-                let lo = st.cm.min - self.settings.range_margin;
-                let hi = st.cm.max + self.settings.range_margin;
+                let widen = crate::model::sampling_widen(st.cm.width(), rate);
+                let lo = st.cm.min - self.settings.range_margin - widen;
+                let hi = st.cm.max + self.settings.range_margin + widen;
                 let direction = if v > hi {
                     Some(Direction::AboveMax)
                 } else if v < lo {
@@ -561,6 +624,7 @@ impl AnomalyDetector {
 
     fn finish_scan(&mut self) {
         let _span = heapmd_obs::span!("detector_finish");
+        let rate = self.effective_rate();
         // Flush excursions still open at end of run.
         let mut flushed = Vec::new();
         for st in &mut self.states {
@@ -637,6 +701,8 @@ impl AnomalyDetector {
                         range: (st.sm.min, st.sm.max),
                         sample_seq: self.samples_seen.saturating_sub(1),
                         fn_entries: 0,
+                        sample_rate: rate,
+                        band_distance: 0.0,
                         context: Vec::new(),
                     };
                     crate::bug::emit_anomaly_event(&bug, "detector");
@@ -659,6 +725,8 @@ impl AnomalyDetector {
                     range: (f64::NAN, f64::NAN),
                     sample_seq: self.samples_seen.saturating_sub(1),
                     fn_entries: 0,
+                    sample_rate: rate,
+                    band_distance: 0.0,
                     context: Vec::new(),
                 };
                 crate::bug::emit_anomaly_event(&bug, "detector");
@@ -732,6 +800,7 @@ mod tests {
             locally_stable: vec![],
             candidate_stable: vec![],
             candidate_unstable: vec![],
+            sample_rate: 1.0,
             training_runs: 5,
         }
     }

@@ -97,8 +97,8 @@ pub use incident::{
     DEGREE_BUCKETS, INCIDENT_FORMAT_VERSION, INCIDENT_MAGIC,
 };
 pub use model::{
-    CandidateMetric, CandidateSummary, HeapModel, MetricSummary, ModelBuilder, ModelOutcome,
-    StableMetric, MODEL_FORMAT_VERSION,
+    sampling_widen, CandidateMetric, CandidateSummary, HeapModel, MetricSummary, ModelBuilder,
+    ModelOutcome, StableMetric, MODEL_FORMAT_VERSION,
 };
 pub use monitor::{Monitor, MonitorCtx};
 pub use online::OnlineLearner;
@@ -115,11 +115,11 @@ pub use shard_replay::replay_binary_sharded;
 pub use stability::{classify, StabilityClass};
 pub use trace::{Trace, TraceCheckOutcome};
 pub use trace_codec::{
-    check_binary, check_binary_sharded, check_paths_parallel, check_paths_parallel_sharded,
-    check_traces_parallel, load_trace_auto, replay_binary, replay_binary_fused, sniff_bytes,
-    sniff_file, ArtifactKind, BinaryTraceImage, BinaryTraceReader, BinaryTraceWriter, BlockEntry,
-    BlockIndex, StreamFormat, WireFrame, WireReader, BINARY_FORMAT_VERSION, BINARY_MAGIC,
-    EVENTS_PER_BLOCK,
+    check_binary, check_binary_sharded, check_binary_sharded_sampled, check_paths_parallel,
+    check_paths_parallel_sharded, check_traces_parallel, encode_sampling_meta, load_trace_auto,
+    replay_binary, replay_binary_fused, replay_binary_fused_sampled, sniff_bytes, sniff_file,
+    ArtifactKind, BinaryTraceImage, BinaryTraceReader, BinaryTraceWriter, BlockEntry, BlockIndex,
+    StreamFormat, WireFrame, WireReader, BINARY_FORMAT_VERSION, BINARY_MAGIC, EVENTS_PER_BLOCK,
 };
 pub use trace_stream::{frame_record, SalvageStats, TraceReader, TraceWriter, STREAM_MAGIC};
 pub use values::{LocationSummary, ValueProfile};
@@ -130,3 +130,6 @@ pub use heap_graph::{
     CANDIDATE_COUNT, METRIC_COUNT, TAIL_MIN_DEGREE,
 };
 pub use sim_heap::{Addr, AllocSite, HeapError, HeapEvent, ObjectId, NULL};
+
+// Re-export the production-overhead sampling front end (see `swat`).
+pub use swat::{SampledIngest, SamplerConfig, SamplingInfo};

@@ -143,7 +143,27 @@ impl StableMetric {
 /// build produces. Files without a `version` field (written by older
 /// builds) parse as version 0 and are accepted; files from a *newer*
 /// format are rejected by [`HeapModel::validate`].
-pub const MODEL_FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 added the id-keyed candidate family; 2 added the
+/// calibration-time store-sampling rate (older files default to 1.0).
+pub const MODEL_FORMAT_VERSION: u32 = 2;
+
+/// Extra slack added to **each side** of a calibrated `[min, max]`
+/// range when the observed stream was store-sampled at `rate`: with
+/// only a `rate` fraction of pointer stores reaching the heap graph,
+/// connectivity metrics wobble by roughly `1/sqrt(rate)`, so the band
+/// widens proportionally to the range width (floored at 1 percentage
+/// point so degenerate flat ranges still get slack).
+///
+/// Exactly `0.0` at `rate >= 1.0`, which keeps unsampled verdicts
+/// bit-identical to pre-sampling builds.
+pub fn sampling_widen(width: f64, rate: f64) -> f64 {
+    if !(rate < 1.0) {
+        return 0.0;
+    }
+    let r = rate.clamp(1e-6, 1.0);
+    width.max(1.0) * 0.5 * (1.0 / r.sqrt() - 1.0)
+}
 
 /// The summarized metric report: HeapMD's model of correct heap
 /// behaviour for one program.
@@ -180,8 +200,19 @@ pub struct HeapModel {
     /// Extended candidate ids that were stable on zero training runs.
     #[serde(default)]
     pub candidate_unstable: Vec<String>,
+    /// The lowest effective store-sampling rate among the training
+    /// runs, in `(0, 1]`. `1.0` (the default for pre-v2 artifacts)
+    /// means every training run observed every store; lower values mean
+    /// the calibrated ranges were themselves measured under sampling
+    /// and checking must widen accordingly (see [`sampling_widen`]).
+    #[serde(default = "default_model_sample_rate")]
+    pub sample_rate: f64,
     /// Number of training runs consumed.
     pub training_runs: usize,
+}
+
+fn default_model_sample_rate() -> f64 {
+    1.0
 }
 
 impl HeapModel {
@@ -338,6 +369,15 @@ impl HeapModel {
                 ));
             }
         }
+        if !self.sample_rate.is_finite() || self.sample_rate <= 0.0 || self.sample_rate > 1.0 {
+            return Err(HeapMdError::corrupt(
+                0,
+                format!(
+                    "model sample_rate {} is outside (0, 1]",
+                    self.sample_rate
+                ),
+            ));
+        }
         Ok(())
     }
 
@@ -417,6 +457,9 @@ pub struct ModelBuilder {
     /// when candidate modelling is off, the run was too short, or its
     /// samples carry no candidate vectors).
     pub(crate) cand_runs: Vec<Option<Vec<CandidateSummary>>>,
+    /// Lowest store-sampling rate among the added runs (1.0 until a
+    /// sampled report arrives); stamped into the built model.
+    pub(crate) min_sample_rate: f64,
 }
 
 impl ModelBuilder {
@@ -430,6 +473,7 @@ impl ModelBuilder {
             series: Vec::new(),
             include_candidates: false,
             cand_runs: Vec::new(),
+            min_sample_rate: 1.0,
         }
     }
 
@@ -459,6 +503,9 @@ impl ModelBuilder {
 
     /// Summarizes one training run and adds it to the pool.
     pub fn add_run(&mut self, report: &MetricReport) -> &mut Self {
+        if report.sample_rate.is_finite() && report.sample_rate > 0.0 {
+            self.min_sample_rate = self.min_sample_rate.min(report.sample_rate);
+        }
         let summary = summarize_run(report, &self.settings);
         self.series
             .push(if self.include_local && summary.metrics.is_some() {
@@ -552,6 +599,11 @@ impl ModelBuilder {
                 .map(|h| h.join().expect("summarize worker panicked"))
                 .collect()
         });
+        for report in reports {
+            if report.sample_rate.is_finite() && report.sample_rate > 0.0 {
+                self.min_sample_rate = self.min_sample_rate.min(report.sample_rate);
+            }
+        }
         for result in results {
             let (summary, series, cands) = result.expect("every slot filled");
             self.series.push(series);
@@ -695,6 +747,7 @@ impl ModelBuilder {
                 locally_stable,
                 candidate_stable,
                 candidate_unstable,
+                sample_rate: self.min_sample_rate,
                 training_runs: total,
             },
             runs: self.runs.clone(),
@@ -1063,7 +1116,7 @@ mod tests {
         b.add_run(&flat_report("r", 25.0, 30));
         let model = b.build().model;
         // Strip the version field the way a pre-versioning file lacks it.
-        let json = model.to_json().unwrap().replacen("\"version\": 1,", "", 1);
+        let json = model.to_json().unwrap().replacen("\"version\": 2,", "", 1);
         let back = HeapModel::from_json(&json).unwrap();
         assert_eq!(back.version, 0);
         assert_eq!(back.stable, model.stable);

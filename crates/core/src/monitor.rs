@@ -20,6 +20,12 @@ pub struct MonitorCtx<'a> {
     pub funcs: &'a FunctionTable,
     /// Cumulative function entries.
     pub fn_entries: u64,
+    /// Effective store-sampling rate of the event stream feeding this
+    /// monitor, in `(0, 1]`: `1.0` when every store is observed (no
+    /// production-overhead sampling), the measured kept/total ratio
+    /// when a [`crate::SampledIngest`] filter fronts the stream.
+    /// Detectors widen their calibrated ranges as a function of this.
+    pub sample_rate: f64,
     /// The process's flight recorder, when one is enabled
     /// ([`crate::Process::enable_flight_recorder`]). Monitors snapshot
     /// it into incident bundles at detection time.

@@ -59,6 +59,10 @@ pub struct OnlineLearner {
     samples_seen: usize,
     reports: Vec<BugReport>,
     incidents: Vec<IncidentBundle>,
+    /// Store-sampling rate of the observed stream (from the monitor
+    /// context; 1.0 when standalone). Sampled streams get their learned
+    /// ranges checked with confidence-widened slack.
+    stream_rate: f64,
 }
 
 impl OnlineLearner {
@@ -72,6 +76,7 @@ impl OnlineLearner {
             samples_seen: 0,
             reports: Vec::new(),
             incidents: Vec::new(),
+            stream_rate: 1.0,
         }
     }
 
@@ -108,16 +113,19 @@ impl OnlineLearner {
     pub fn observe(&mut self, sample: &MetricSample) {
         self.samples_seen += 1;
         let warmup = self.samples_seen <= self.settings.warmup_samples;
-        let margin = self.settings.range_margin;
+        let rate = self.stream_rate;
         for kind in MetricKind::ALL {
             let v = sample.metrics.get(kind);
             let st = &mut self.learned[kind.index()];
             match st.range {
                 None => st.range = Some((v, v)),
                 Some((lo, hi)) => {
+                    let margin = self.settings.range_margin
+                        + crate::model::sampling_widen(hi - lo, rate);
                     let out_low = v < lo - margin;
                     let out_high = v > hi + margin;
                     if (out_low || out_high) && !warmup && st.confirmed >= 3 {
+                        let out_by = if out_low { lo - margin - v } else { v - hi - margin };
                         let bug = BugReport {
                             metric: kind,
                             kind: AnomalyKind::RangeViolation {
@@ -131,6 +139,8 @@ impl OnlineLearner {
                             range: (lo, hi),
                             sample_seq: sample.seq,
                             fn_entries: sample.fn_entries,
+                            sample_rate: rate,
+                            band_distance: out_by / (hi - lo + 2.0 * margin).max(1.0),
                             context: Vec::new(),
                         };
                         crate::bug::emit_anomaly_event(&bug, "online");
@@ -151,6 +161,9 @@ impl OnlineLearner {
 
 impl Monitor for OnlineLearner {
     fn on_sample(&mut self, ctx: &MonitorCtx<'_>, sample: &MetricSample) {
+        if ctx.sample_rate.is_finite() && ctx.sample_rate > 0.0 {
+            self.stream_rate = ctx.sample_rate;
+        }
         let before = self.reports.len();
         self.observe(sample);
         // Flight-recorder capture for reports this sample raised.

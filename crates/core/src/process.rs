@@ -15,6 +15,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io::Write;
 use std::rc::Rc;
+use swat::{SampledIngest, SamplerConfig, SamplingInfo};
 
 /// A simulated instrumented process: the paper's `output.exe` running
 /// under the execution logger.
@@ -73,6 +74,12 @@ pub struct Process {
     /// Heap op totals at the previous computation point, for the rate
     /// series deltas: `(allocs, frees, ptr_writes)`.
     last_op_totals: (u64, u64, u64),
+    /// Production-overhead store sampling
+    /// ([`enable_sampling`](Self::enable_sampling)): when installed,
+    /// pointer/scalar stores the filter rejects update the simulated
+    /// heap (mutator semantics stay exact) but reach neither the heap
+    /// graph nor any trace/stream/monitor sink.
+    sampling: Option<SampledIngest>,
 }
 
 impl Process {
@@ -102,6 +109,46 @@ impl Process {
             stream_error: None,
             recorder: None,
             last_op_totals: (0, 0, 0),
+            sampling: None,
+        }
+    }
+
+    /// Turns on production-overhead store sampling: from now on,
+    /// pointer/scalar stores are burst-sampled per allocation site by a
+    /// [`SampledIngest`] filter under `config`. Alloc/free and function
+    /// events always record, so object counts and the sampling schedule
+    /// stay exact; a rejected store still mutates the simulated heap
+    /// but is invisible to the heap graph, monitors, and any trace or
+    /// stream sink — the recorded artifact is exactly what a sampled
+    /// production process would have written.
+    ///
+    /// Enable this before driving the mutator, so the filter sees every
+    /// allocation site from the start.
+    pub fn enable_sampling(&mut self, config: SamplerConfig) {
+        if self.sampling.is_none() {
+            self.sampling = Some(SampledIngest::new(config));
+        }
+    }
+
+    /// The sampling filter's measured outcome so far, when sampling is
+    /// enabled.
+    pub fn sampling_info(&self) -> Option<SamplingInfo> {
+        self.sampling.as_ref().map(|f| f.info())
+    }
+
+    /// The effective store-sampling rate so far: `1.0` when sampling is
+    /// off or no store has been observed.
+    pub fn sample_rate(&self) -> f64 {
+        self.sampling.as_ref().map_or(1.0, |f| f.effective_rate())
+    }
+
+    /// Runs `ev` through the sampling filter (always `true` when
+    /// sampling is off). Allocs register their site as a side effect.
+    #[inline]
+    fn admit(&mut self, ev: &HeapEvent) -> bool {
+        match self.sampling.as_mut() {
+            Some(filter) => filter.admit(ev),
+            None => true,
         }
     }
 
@@ -198,6 +245,13 @@ impl Process {
             .map(|i| self.funcs.name(FuncId(i as u32)).to_string())
             .collect();
         stream.write_functions(&names)?;
+        // Binary streams carry the sampling outcome as a meta block, so
+        // an offline check of the artifact widens exactly as the live
+        // run did. (The JSONL format has no meta frame; sampled
+        // production runs use the binary codec.)
+        if let Some(filter) = &self.sampling {
+            stream.write_sampling_meta(&filter.info())?;
+        }
         let events = stream.events_written();
         stream.finish()?;
         Ok(events)
@@ -324,6 +378,8 @@ impl Process {
             size: eff.size,
             site,
         };
+        // Allocs always pass; the filter records the object's site.
+        self.admit(&ev);
         self.record(&ev);
         Ok(eff.addr)
     }
@@ -372,16 +428,19 @@ impl Process {
             size: eff.alloc.size,
             site,
         };
+        self.admit(&alloc_ev);
         self.record(&alloc_ev);
         for &(off, target) in &eff.moved_slots {
-            self.graph.on_ptr_write(eff.alloc.id, off, target);
             let ev = HeapEvent::PtrWrite {
                 src: eff.alloc.id,
                 offset: off,
                 value: target,
                 old_value: None,
             };
-            self.record(&ev);
+            if self.admit(&ev) {
+                self.graph.on_ptr_write(eff.alloc.id, off, target);
+                self.record(&ev);
+            }
         }
         Ok(eff.alloc.addr)
     }
@@ -393,14 +452,18 @@ impl Process {
     /// Propagates [`HeapError`] (wild/torn access, null slot).
     pub fn write_ptr(&mut self, slot: Addr, value: Addr) -> Result<(), HeapError> {
         let w = self.heap.write_ptr(slot, value)?;
-        self.graph.on_ptr_write(w.src, w.offset, value);
         let ev = HeapEvent::PtrWrite {
             src: w.src,
             offset: w.offset,
             value,
             old_value: w.old_value,
         };
-        self.record(&ev);
+        // The heap already executed the store (mutator semantics are
+        // exact); sampling only decides whether monitoring sees it.
+        if self.admit(&ev) {
+            self.graph.on_ptr_write(w.src, w.offset, value);
+            self.record(&ev);
+        }
         Ok(())
     }
 
@@ -420,13 +483,15 @@ impl Process {
     /// Propagates [`HeapError`].
     pub fn write_scalar(&mut self, slot: Addr) -> Result<(), HeapError> {
         let w = self.heap.write_scalar(slot)?;
-        self.graph.on_scalar_write(w.src, w.offset);
         let ev = HeapEvent::ScalarWrite {
             src: w.src,
             offset: w.offset,
             old_value: w.old_value,
         };
-        self.record(&ev);
+        if self.admit(&ev) {
+            self.graph.on_scalar_write(w.src, w.offset);
+            self.record(&ev);
+        }
         Ok(())
     }
 
@@ -472,6 +537,20 @@ impl Process {
     /// [`heap_graph::HeapGraph::apply_batch`], amortizing per-event dispatch;
     /// throughput is reported via the `process_ingest` obs stage.
     pub fn apply_batch(&mut self, events: &[HeapEvent]) {
+        if self.sampling.is_some() {
+            // Filter first, then ingest the admitted stream — identical
+            // to feeding the filtered events with sampling off, on both
+            // the fast and slow paths below.
+            let mut filtered = Vec::with_capacity(events.len());
+            let filter = self.sampling.as_mut().expect("checked above");
+            filtered.extend(events.iter().filter(|ev| filter.admit(ev)).copied());
+            self.apply_batch_raw(&filtered);
+        } else {
+            self.apply_batch_raw(events);
+        }
+    }
+
+    fn apply_batch_raw(&mut self, events: &[HeapEvent]) {
         let fast = self.monitors.is_empty() && self.trace.is_none() && self.stream.is_none();
         if !fast {
             for ev in events {
@@ -558,22 +637,31 @@ impl Process {
             stack: &self.stack,
             funcs: &self.funcs,
             fn_entries: self.fn_entries,
+            sample_rate: self.sampling.as_ref().map_or(1.0, |f| f.effective_rate()),
             recorder: self.recorder.as_ref(),
         };
         for m in &self.monitors {
             m.borrow_mut().on_finish(&ctx);
         }
-        MetricReport::new(run, std::mem::take(&mut self.samples))
+        let rate = self.sample_rate();
+        MetricReport::with_sample_rate(run, std::mem::take(&mut self.samples), rate)
     }
 
-    /// The recorded trace, if tracing was enabled.
+    /// The recorded trace, if tracing was enabled. Sampling metadata is
+    /// attached when the trace is taken, not here.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
     }
 
-    /// Takes ownership of the recorded trace, if any.
+    /// Takes ownership of the recorded trace, if any, stamping the
+    /// sampling filter's measured outcome onto it when sampling is
+    /// enabled.
     pub fn take_trace(&mut self) -> Option<Trace> {
-        self.trace.take()
+        let mut trace = self.trace.take()?;
+        if let Some(filter) = &self.sampling {
+            trace.set_sampling(Some(filter.info()));
+        }
+        Some(trace)
     }
 
     fn record(&mut self, ev: &HeapEvent) {
@@ -598,6 +686,7 @@ impl Process {
                 stack: &self.stack,
                 funcs: &self.funcs,
                 fn_entries: self.fn_entries,
+                sample_rate: self.sampling.as_ref().map_or(1.0, |f| f.effective_rate()),
                 recorder: self.recorder.as_ref(),
             };
             for m in &self.monitors {
@@ -661,6 +750,7 @@ impl Process {
                 stack: &self.stack,
                 funcs: &self.funcs,
                 fn_entries: self.fn_entries,
+                sample_rate: self.sampling.as_ref().map_or(1.0, |f| f.effective_rate()),
                 recorder: self.recorder.as_ref(),
             };
             for m in &self.monitors {
@@ -690,6 +780,17 @@ impl TraceSink {
         match self {
             TraceSink::Jsonl(w) => w.write_functions(names),
             TraceSink::Binary(w) => w.write_functions(names),
+        }
+    }
+
+    fn write_sampling_meta(&mut self, info: &SamplingInfo) -> Result<(), HeapMdError> {
+        match self {
+            // The framed-JSONL format has no meta record; sampling
+            // metadata rides only on the binary codec.
+            TraceSink::Jsonl(_) => Ok(()),
+            TraceSink::Binary(w) => {
+                w.write_meta(&crate::trace_codec::encode_sampling_meta(info))
+            }
         }
     }
 

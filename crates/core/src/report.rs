@@ -74,14 +74,40 @@ pub struct MetricReport {
     pub run: String,
     /// Samples in chronological order.
     pub samples: Vec<MetricSample>,
+    /// Effective store-sampling rate the run was observed under, in
+    /// `(0, 1]`. `1.0` (the default, and what pre-sampling artifacts
+    /// deserialize to) means every store reached the heap graph; lower
+    /// values record the measured kept/total ratio of a
+    /// production-overhead sampled run, which calibration uses to widen
+    /// ranges.
+    #[serde(default = "default_sample_rate")]
+    pub sample_rate: f64,
+}
+
+fn default_sample_rate() -> f64 {
+    1.0
 }
 
 impl MetricReport {
-    /// Creates a report from pre-collected samples.
+    /// Creates a report from pre-collected samples (unsampled: rate 1).
     pub fn new(run: impl Into<String>, samples: Vec<MetricSample>) -> Self {
         MetricReport {
             run: run.into(),
             samples,
+            sample_rate: 1.0,
+        }
+    }
+
+    /// Creates a report observed under store sampling at `rate`.
+    pub fn with_sample_rate(
+        run: impl Into<String>,
+        samples: Vec<MetricSample>,
+        rate: f64,
+    ) -> Self {
+        MetricReport {
+            run: run.into(),
+            samples,
+            sample_rate: rate,
         }
     }
 

@@ -21,6 +21,12 @@ pub struct RowSource {
     pub kind: RowKind,
     /// Record time, Unix seconds.
     pub time: u64,
+    /// Effective store-sampling rate of the run. At `1.0` (exact) the
+    /// sampling columns are omitted, keeping rows byte-identical to
+    /// pre-sampling stores; below it every row gains `sampling.rate`
+    /// and `sampling.band` so cross-run queries (`--agg drift`) can
+    /// separate sampling noise from genuine version drift.
+    pub sample_rate: f64,
 }
 
 /// Current wall clock as Unix seconds (0 if the clock is before the
@@ -42,7 +48,7 @@ pub fn rows_from_samples(src: &RowSource, samples: &[MetricSample]) -> Vec<RunRo
     samples
         .iter()
         .map(|s| {
-            let metrics: Vec<(String, f64)> = match &s.candidates {
+            let mut metrics: Vec<(String, f64)> = match &s.candidates {
                 Some(c) => CandidateKind::ALL
                     .iter()
                     .map(|k| (k.id().to_string(), c.get(*k)))
@@ -55,6 +61,13 @@ pub fn rows_from_samples(src: &RowSource, samples: &[MetricSample]) -> Vec<RunRo
                     })
                     .collect(),
             };
+            if src.sample_rate < 1.0 {
+                metrics.push(("sampling.rate".to_string(), src.sample_rate));
+                metrics.push((
+                    "sampling.band".to_string(),
+                    crate::model::sampling_widen(1.0, src.sample_rate),
+                ));
+            }
             RunRow {
                 workload: src.workload.clone(),
                 version: src.version,
@@ -107,6 +120,7 @@ mod tests {
             tenant: String::new(),
             kind: RowKind::Check,
             time: 1_700_000_000,
+            sample_rate: 1.0,
         }
     }
 
@@ -126,5 +140,20 @@ mod tests {
         assert_eq!(rows[0].metric("dist.in_entropy"), None);
         assert_eq!(rows[0].seq, 4);
         assert_eq!(rows[0].version, 3);
+    }
+
+    #[test]
+    fn sampled_runs_tee_rate_and_band_columns() {
+        let mut src = source();
+        src.sample_rate = 0.25;
+        let rows = rows_from_samples(&src, &[sample(0, true)]);
+        assert_eq!(rows[0].metric("sampling.rate"), Some(0.25));
+        let band = rows[0].metric("sampling.band").unwrap();
+        assert!(band > 0.0, "band column must carry the widening factor");
+        assert_eq!(band, crate::model::sampling_widen(1.0, 0.25));
+        // Exact runs stay column-compatible with pre-sampling stores.
+        let exact = rows_from_samples(&source(), &[sample(0, true)]);
+        assert_eq!(exact[0].metric("sampling.rate"), None);
+        assert_eq!(exact[0].metric("sampling.band"), None);
     }
 }

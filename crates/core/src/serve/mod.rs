@@ -67,6 +67,7 @@ use heapmd_obs::fleet::{
 };
 use heapmd_runstore::{RowKind, RunStore};
 use sim_heap::HeapEvent;
+use swat::{SamplerConfig, SamplingInfo};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -305,6 +306,11 @@ pub struct ServeConfig {
     /// Columnar run-store directory: every finalized tenant verdict
     /// appends its replayed sample series as `kind="serve"` rows.
     pub run_store: Option<PathBuf>,
+    /// Daemon-side production-overhead mode: full-fidelity tenant
+    /// streams are re-sampled through the adaptive filter before the
+    /// authoritative check (streams that arrive already sampled keep
+    /// their recorded schedule — re-decimating would double-drop).
+    pub sampler: Option<SamplerConfig>,
 }
 
 impl ServeConfig {
@@ -322,6 +328,7 @@ impl ServeConfig {
             model_dir: None,
             session_timeout: Duration::from_secs(30),
             run_store: None,
+            sampler: None,
         }
     }
 }
@@ -382,6 +389,13 @@ pub(crate) enum ShardMsg {
         tenant: String,
         names: Vec<String>,
     },
+    /// Sampling metadata from a production-overhead client: the stream
+    /// was store-decimated at the sender, and the verdict must widen
+    /// ranges by the recorded rate.
+    Sampling {
+        tenant: String,
+        info: SamplingInfo,
+    },
     End {
         tenant: String,
         index: BlockIndex,
@@ -408,6 +422,10 @@ struct ShardTenant {
     events: Vec<HeapEvent>,
     functions: Vec<String>,
     replayer: Replayer,
+    /// Sampling metadata announced by the stream (last one wins),
+    /// stamped onto the finalize-time trace so the daemon verdict
+    /// matches an offline check of the same sampled artifact.
+    sampling: Option<SamplingInfo>,
     /// Per stable metric: was the last live sample out of range.
     last_out: Vec<bool>,
     window_start: Instant,
@@ -438,6 +456,17 @@ fn update_live(t: &mut ShardTenant, samples: &[MetricSample], model: &HeapModel)
     for _ in samples {
         t.stats.record_sample();
     }
+    // Confidence widening: the mismatch ratio of the stream's
+    // announced sampling rate and the model's calibration-time rate,
+    // matching the authoritative detector at finalize (rate-matched
+    // calibration needs no widening; a rate gap widens by the ratio).
+    let model_rate = if model.sample_rate.is_finite() && model.sample_rate > 0.0 {
+        model.sample_rate
+    } else {
+        1.0
+    };
+    let stream_rate = t.sampling.map_or(1.0, |i| i.rate());
+    let rate = stream_rate.min(model_rate) / stream_rate.max(model_rate).max(f64::MIN_POSITIVE);
     let mut gauges = Vec::with_capacity(stable.len() + model.candidate_stable.len());
     let mut crossings = 0u64;
     let mut armed = false;
@@ -449,8 +478,9 @@ fn update_live(t: &mut ShardTenant, samples: &[MetricSample], model: &HeapModel)
                     min: f64,
                     max: f64,
                     read: &dyn Fn(&MetricSample) -> Option<f64>| {
-        let lo = min - s.range_margin;
-        let hi = max + s.range_margin;
+        let widen = crate::model::sampling_widen(max - min, rate);
+        let lo = min - s.range_margin - widen;
+        let hi = max + s.range_margin + widen;
         let near = (max - min).max(0.5) * s.near_edge_frac;
         let mut was_out = t.last_out[slot];
         let (mut value, mut distance, mut status) = (0.0, 0.0, STATUS_OK);
@@ -483,6 +513,7 @@ fn update_live(t: &mut ShardTenant, samples: &[MetricSample], model: &HeapModel)
             metric: name,
             value,
             distance,
+            band: hi - lo,
             status,
         });
     };
@@ -548,6 +579,7 @@ fn finalize(
     cleanup: Vec<PathBuf>,
     incident_dir: Option<&PathBuf>,
     run_store: Option<&RunStore>,
+    sampler: Option<SamplerConfig>,
 ) -> TenantOutcome {
     if evicted.is_some() {
         t.stats.set_evicted();
@@ -562,6 +594,18 @@ fn finalize(
         trace.push(ev);
     }
     trace.set_functions(std::mem::take(&mut t.functions));
+    trace.set_sampling(t.sampling);
+    // Daemon-side production-overhead mode: re-sample full-fidelity
+    // streams before the authoritative check. Streams that arrived
+    // sampled keep their recorded schedule.
+    let trace = match sampler {
+        Some(config) if trace.sampling().is_none() => {
+            let sampled = trace.sampled(config);
+            t.stats.set_sample_rate(sampled.sample_rate());
+            sampled
+        }
+        _ => trace,
+    };
     // Tenant names are charset-validated (no separators), so they are
     // safe as directory names.
     let log = incident_dir.map(|d| IncidentLog::new(d.join(&tenant), tenant.clone()));
@@ -577,6 +621,7 @@ fn finalize(
                     tenant: tenant.clone(),
                     kind: RowKind::Serve,
                     time: unix_time_now(),
+                    sample_rate: trace.sample_rate(),
                 };
                 let rows = rows_from_samples(&src, &out.samples);
                 if let Err(e) = store.append(&rows) {
@@ -632,6 +677,7 @@ fn shard_loop(
     rx: Receiver<ShardMsg>,
     incident_dir: Option<PathBuf>,
     run_store: Option<Arc<RunStore>>,
+    sampler: Option<SamplerConfig>,
 ) -> Vec<TenantOutcome> {
     let mut tenants: BTreeMap<String, ShardTenant> = BTreeMap::new();
     let mut outcomes = Vec::new();
@@ -677,6 +723,7 @@ fn shard_loop(
                     events: Vec::new(),
                     functions: Vec::new(),
                     replayer,
+                    sampling: None,
                     last_out: vec![false; model.stable.len() + model.candidate_stable.len()],
                     model,
                     window_start: Instant::now(),
@@ -722,6 +769,12 @@ fn shard_loop(
                     t.functions = names;
                 }
             }
+            ShardMsg::Sampling { tenant, info } => {
+                if let Some(t) = tenants.get_mut(&tenant) {
+                    t.sampling = Some(info);
+                    t.stats.set_sample_rate(info.rate());
+                }
+            }
             ShardMsg::End {
                 tenant,
                 index,
@@ -745,6 +798,7 @@ fn shard_loop(
                         cleanup,
                         incident_dir.as_ref(),
                         run_store.as_deref(),
+                        sampler,
                     ));
                     continue;
                 }
@@ -756,6 +810,7 @@ fn shard_loop(
                     cleanup,
                     incident_dir.as_ref(),
                     run_store.as_deref(),
+                    sampler,
                 ));
             }
             ShardMsg::Abort {
@@ -777,6 +832,7 @@ fn shard_loop(
                     cleanup,
                     incident_dir.as_ref(),
                     run_store.as_deref(),
+                    sampler,
                 ));
             }
         }
@@ -793,6 +849,7 @@ fn shard_loop(
             Vec::new(),
             incident_dir.as_ref(),
             run_store.as_deref(),
+            sampler,
         ));
     }
     outcomes
@@ -1012,7 +1069,16 @@ fn handle_v1(stream: DrainingStream, tenant: String, ctx: &ServeCtx) {
                     names,
                 });
             }
-            Ok(WireFrame::Meta) => {}
+            Ok(WireFrame::Meta(payload)) => {
+                // Unrecognized meta payloads stay forward-compatible
+                // no-ops; a sampling block re-labels the tenant.
+                if let Ok(Some(info)) = crate::trace_codec::decode_sampling_meta(&payload) {
+                    let _ = tx.send(ShardMsg::Sampling {
+                        tenant: tenant.clone(),
+                        info,
+                    });
+                }
+            }
             Ok(WireFrame::End(index)) => {
                 let _ = tx.send(ShardMsg::End {
                     tenant,
@@ -1192,10 +1258,11 @@ impl Server {
             senders.push(tx);
             let incident_dir = config.incident_dir.clone();
             let run_store = run_store.clone();
+            let sampler = config.sampler;
             shards.push(
                 std::thread::Builder::new()
                     .name(format!("hmd-shard-{i}"))
-                    .spawn(move || shard_loop(rx, incident_dir, run_store))?,
+                    .spawn(move || shard_loop(rx, incident_dir, run_store, sampler))?,
             );
         }
         let ctx = Arc::new(ServeCtx {
@@ -1329,6 +1396,11 @@ pub fn connect_stream(addr: &str, tenant: &str) -> Result<Box<dyn Write>, HeapMd
 pub fn push_trace(addr: &str, tenant: &str, trace: &Trace) -> Result<u64, HeapMdError> {
     let sink = connect_stream(addr, tenant)?;
     let mut writer = BinaryTraceWriter::new(io::BufWriter::new(sink))?;
+    // Announce the recording's sampling schedule before any event so
+    // the daemon's live gauges widen from the first sample on.
+    if let Some(info) = trace.sampling() {
+        writer.write_meta(&crate::trace_codec::encode_sampling_meta(&info))?;
+    }
     for ev in trace.events() {
         writer.write_event(ev)?;
     }

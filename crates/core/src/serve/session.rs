@@ -475,7 +475,20 @@ pub(crate) fn handle_v2(
                     return;
                 }
             }
-            WireFrame::Meta => {}
+            WireFrame::Meta(payload) => {
+                if let Ok(Some(info)) = crate::trace_codec::decode_sampling_meta(&payload) {
+                    if tx
+                        .send(ShardMsg::Sampling {
+                            tenant: tenant.clone(),
+                            info,
+                        })
+                        .is_err()
+                    {
+                        detach(&entry);
+                        return;
+                    }
+                }
+            }
             WireFrame::End(index) => {
                 let final_seq = {
                     let mut e = entry.lock().unwrap();
@@ -683,7 +696,14 @@ fn recover_one(ctx: &ServeCtx, tenant: &str, meta: SessionMeta, dir: &Path) {
                     names,
                 });
             }
-            Ok(WireFrame::Meta) => {}
+            Ok(WireFrame::Meta(payload)) => {
+                if let Ok(Some(info)) = crate::trace_codec::decode_sampling_meta(&payload) {
+                    let _ = tx.send(ShardMsg::Sampling {
+                        tenant: tenant.to_string(),
+                        info,
+                    });
+                }
+            }
             Ok(WireFrame::End(index)) => {
                 // The whole stream made it to the journal before the
                 // crash: finalize now and tombstone the session.

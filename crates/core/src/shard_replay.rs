@@ -159,7 +159,8 @@ pub fn replay_binary_sharded(
         })();
         drop(op_txs); // workers drain their queues and exit
         result?;
-        Ok(MetricReport::new(run, samples))
+        let rate = image.sampling()?.map_or(1.0, |s| s.rate());
+        Ok(MetricReport::with_sample_rate(run, samples, rate))
     })
 }
 

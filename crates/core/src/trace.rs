@@ -19,6 +19,7 @@ use heap_graph::GraphImage;
 use serde::{Deserialize, Serialize};
 use sim_heap::{HeapEvent, SimHeap};
 use std::path::{Path, PathBuf};
+use swat::{SampledIngest, SamplerConfig, SamplingInfo};
 
 /// A recorded instrumentation event stream.
 ///
@@ -33,6 +34,12 @@ pub struct Trace {
     /// call stacks). Populated by [`set_functions`](Self::set_functions)
     /// or left empty for anonymous frames.
     functions: Vec<String>,
+    /// Sampling metadata when the recording process ran behind a
+    /// [`SampledIngest`] filter: the stream is already decimated, and
+    /// this records how. `None` (what pre-sampling artifacts
+    /// deserialize to) means every store was recorded.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    sampling: Option<SamplingInfo>,
 }
 
 impl Trace {
@@ -69,6 +76,45 @@ impl Trace {
     /// The attached function-name table (empty for anonymous frames).
     pub fn functions(&self) -> &[String] {
         &self.functions
+    }
+
+    /// Sampling metadata of the recorded stream (`None` = unsampled).
+    pub fn sampling(&self) -> Option<SamplingInfo> {
+        self.sampling
+    }
+
+    /// Attaches sampling metadata (what a [`SampledIngest`]-fronted
+    /// recording measured).
+    pub fn set_sampling(&mut self, sampling: Option<SamplingInfo>) {
+        self.sampling = sampling;
+    }
+
+    /// The effective store-sampling rate of the recorded stream:
+    /// `1.0` for unsampled traces.
+    pub fn sample_rate(&self) -> f64 {
+        self.sampling.map_or(1.0, |s| s.rate())
+    }
+
+    /// Produces the sampled copy of this (unsampled) trace: the event
+    /// stream a process recording behind a [`SampledIngest`] filter
+    /// under `config` would have written, with the measured
+    /// [`SamplingInfo`] attached. Alloc/free/function events all
+    /// survive; pointer and scalar stores are burst-sampled per
+    /// allocation site. With `decimation == 1` the copy is
+    /// event-identical to `self` (only the metadata differs).
+    pub fn sampled(&self, config: SamplerConfig) -> Trace {
+        let mut filter = SampledIngest::new(config);
+        let events: Vec<HeapEvent> = self
+            .events
+            .iter()
+            .filter(|ev| filter.admit(ev))
+            .copied()
+            .collect();
+        Trace {
+            events,
+            functions: self.functions.clone(),
+            sampling: Some(filter.info()),
+        }
     }
 
     /// Checks that every `FnEnter`/`FnExit` event references an id
@@ -156,7 +202,11 @@ impl Trace {
         self.validate_function_ids()?;
         let mut replayer = Replayer::new(settings.clone(), &self.functions);
         replayer.ingest_batch(&self.events);
-        Ok(MetricReport::new(run, replayer.take_samples()))
+        Ok(MetricReport::with_sample_rate(
+            run,
+            replayer.take_samples(),
+            self.sample_rate(),
+        ))
     }
 
     /// Replays the trace through the anomaly detector, post-mortem.
@@ -212,6 +262,10 @@ impl Trace {
             detector.log_incidents_to(log);
         }
         let mut replayer = Replayer::new(settings.clone(), &self.functions);
+        // The recorded stream is already decimated; the filter stays
+        // off, but the detector must still see the measured rate so its
+        // ranges widen accordingly.
+        replayer.set_rate_override(self.sample_rate());
         let mut monitors: [&mut dyn Monitor; 1] = [&mut detector];
         for ev in &self.events {
             replayer.step(ev, &mut monitors);
@@ -271,6 +325,16 @@ pub(crate) struct Replayer {
     /// Events consumed by prior [`ingest_batch`](Self::ingest_batch)
     /// calls: the global event offset the next batch resumes from.
     ingested: u64,
+    /// Live store-sampling filter, when this replay *re-samples* an
+    /// unsampled stream (production-overhead simulation). Events it
+    /// rejects reach neither the graph nor monitors nor the tick
+    /// clock, so the result is bit-identical to replaying
+    /// [`Trace::sampled`]'s output unfiltered.
+    sampling: Option<SampledIngest>,
+    /// Effective rate handed to monitors when the *input* stream was
+    /// already decimated at record time (the filter itself is off).
+    /// `1.0` for unsampled streams; ignored while `sampling` is live.
+    rate_override: f64,
 }
 
 impl Replayer {
@@ -300,7 +364,37 @@ impl Replayer {
             samples: Vec::new(),
             tick: 0,
             ingested: 0,
+            sampling: None,
+            rate_override: 1.0,
         }
+    }
+
+    /// Installs a live [`SampledIngest`] filter: subsequent batches and
+    /// steps re-sample the incoming (unsampled) stream under `config`.
+    pub(crate) fn enable_sampling(&mut self, config: SamplerConfig) {
+        self.sampling = Some(SampledIngest::new(config));
+    }
+
+    /// Declares the effective rate of an already-decimated input stream
+    /// (see [`Trace::sampling`]); monitors observe it via
+    /// [`MonitorCtx::sample_rate`].
+    pub(crate) fn set_rate_override(&mut self, rate: f64) {
+        self.rate_override = rate;
+    }
+
+    /// The effective sampling rate monitors currently observe: the live
+    /// filter's measured rate when one is installed, the declared
+    /// override otherwise.
+    pub(crate) fn effective_rate(&self) -> f64 {
+        match &self.sampling {
+            Some(filter) => filter.effective_rate(),
+            None => self.rate_override,
+        }
+    }
+
+    /// The live filter's measured outcome, when one is installed.
+    pub(crate) fn sampling_info(&self) -> Option<SamplingInfo> {
+        self.sampling.as_ref().map(|f| f.info())
     }
 
     /// Returns the replayer to its just-constructed state while
@@ -320,6 +414,13 @@ impl Replayer {
         self.samples.clear();
         self.tick = 0;
         self.ingested = 0;
+        // A recycled replayer starts a new stream: rebuild the filter
+        // fresh under the same knobs, and forget the prior stream's
+        // declared rate.
+        if let Some(filter) = &self.sampling {
+            self.sampling = Some(SampledIngest::new(filter.config()));
+        }
+        self.rate_override = 1.0;
     }
 
     /// Hands over the samples recorded so far.
@@ -368,6 +469,65 @@ impl Replayer {
     /// allocating per block) produces samples bit-identical to one call
     /// over the whole slice.
     pub(crate) fn ingest_batch(&mut self, events: &[HeapEvent]) {
+        if self.sampling.is_none() {
+            return self.ingest_batch_raw(events);
+        }
+        let mut filter = self.sampling.take().expect("checked above");
+        self.ingest_batch_filtered(events, &mut filter);
+        self.sampling = Some(filter);
+    }
+
+    /// Single-pass fused filter + ingest: the sampled twin of
+    /// [`ingest_batch_raw`](Self::ingest_batch_raw). Rejected stores
+    /// flush the pending graph slice around themselves (zero-copy —
+    /// the batch is never duplicated) and are excluded from the event
+    /// offset, so ticks and sample points land exactly where replaying
+    /// the recorded sampled trace would put them. The filter is
+    /// deterministic and sequential, so chunking cannot change the
+    /// outcome.
+    fn ingest_batch_filtered(&mut self, events: &[HeapEvent], filter: &mut SampledIngest) {
+        let base = self.ingested;
+        let mut admitted = 0u64;
+        let mut batch_start = 0;
+        for (i, ev) in events.iter().enumerate() {
+            match *ev {
+                HeapEvent::FnEnter { func } => {
+                    self.graph.apply_batch(&events[batch_start..i]);
+                    batch_start = i + 1;
+                    let id = self.func_name(func);
+                    self.stack.push(id);
+                    self.fn_entries += 1;
+                    admitted += 1;
+                    self.tick = base + admitted;
+                    if self.fn_entries.is_multiple_of(self.settings.frq) {
+                        self.take_sample();
+                    }
+                }
+                HeapEvent::FnExit { .. } => {
+                    self.stack.pop();
+                    admitted += 1;
+                }
+                HeapEvent::Alloc { .. }
+                | HeapEvent::PtrWrite { .. }
+                | HeapEvent::ScalarWrite { .. } => {
+                    if filter.admit(ev) {
+                        admitted += 1;
+                    } else {
+                        self.graph.apply_batch(&events[batch_start..i]);
+                        batch_start = i + 1;
+                    }
+                }
+                _ => {
+                    admitted += 1;
+                }
+            }
+        }
+        self.graph.apply_batch(&events[batch_start..]);
+        self.ingested = base + admitted;
+        self.tick = self.ingested;
+    }
+
+    fn ingest_batch_raw(&mut self, events: &[HeapEvent]) {
         let base = self.ingested;
         let mut batch_start = 0;
         for (i, ev) in events.iter().enumerate() {
@@ -395,6 +555,14 @@ impl Replayer {
     }
 
     pub(crate) fn step(&mut self, ev: &HeapEvent, monitors: &mut [&mut dyn Monitor]) {
+        if let Some(filter) = self.sampling.as_mut() {
+            // A rejected store is as if it was never recorded: no tick,
+            // no graph mutation, no monitor callback — bit-identical to
+            // stepping the pre-filtered stream without a filter.
+            if !filter.admit(ev) {
+                return;
+            }
+        }
         self.tick += 1;
         match *ev {
             HeapEvent::FnEnter { func } => {
@@ -413,6 +581,7 @@ impl Replayer {
             stack: &self.stack,
             funcs: &self.funcs,
             fn_entries: self.fn_entries,
+            sample_rate: self.effective_rate(),
             recorder: None,
         };
         for m in monitors.iter_mut() {
@@ -428,6 +597,7 @@ impl Replayer {
                 stack: &self.stack,
                 funcs: &self.funcs,
                 fn_entries: self.fn_entries,
+                sample_rate: self.effective_rate(),
                 recorder: None,
             };
             for m in monitors.iter_mut() {
@@ -443,6 +613,7 @@ impl Replayer {
             stack: &self.stack,
             funcs: &self.funcs,
             fn_entries: self.fn_entries,
+            sample_rate: self.effective_rate(),
             recorder: None,
         };
         for m in monitors.iter_mut() {
@@ -616,6 +787,7 @@ mod tests {
             locally_stable: vec![],
             candidate_stable: vec![],
             candidate_unstable: vec![],
+            sample_rate: 1.0,
             training_runs: 3,
         };
         let settings = Settings::builder()

@@ -62,6 +62,7 @@ use sim_heap::{Addr, AllocSite, HeapEvent, ObjectId};
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::mpsc;
+use swat::{SamplerConfig, SamplingInfo};
 
 /// Magic prefix of a binary trace file (the trailing newline guards
 /// against text-mode mangling, png-style).
@@ -652,6 +653,25 @@ impl<W: Write> BinaryTraceWriter<W> {
         self.emit(&block)
     }
 
+    /// Writes an opaque metadata block (e.g. the sampling outcome from
+    /// [`encode_sampling_meta`]). Like the function table, the last
+    /// meta block of a given tag wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Io`].
+    pub fn write_meta(&mut self, payload: &[u8]) -> Result<(), HeapMdError> {
+        self.flush_block()?;
+        let mut block = Vec::with_capacity(BLOCK_HEADER_LEN + payload.len());
+        put_block(&mut block, KIND_META, 1, payload);
+        self.index.blocks.push(BlockEntry {
+            offset: self.offset,
+            kind: KIND_META,
+            count: 1,
+        });
+        self.emit(&block)
+    }
+
     /// Events accepted so far (buffered ones included).
     pub fn events_written(&self) -> u64 {
         self.index.total_events + self.pending.len() as u64
@@ -872,6 +892,36 @@ impl BinaryTraceImage {
         self.index.blocks.iter().filter(|b| b.kind == KIND_EVENTS)
     }
 
+    /// Decodes the trace's sampling metadata, when a sampling meta
+    /// block was written (the last one wins). `None` means the stream
+    /// was recorded unsampled — or by a pre-sampling writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapMdError::Corrupt`] on a damaged meta block.
+    pub fn sampling(&self) -> Result<Option<SamplingInfo>, HeapMdError> {
+        let mut sampling = None;
+        for entry in &self.index.blocks {
+            if entry.kind != KIND_META {
+                continue;
+            }
+            let (kind, _, payload, _) = parse_block(&self.bytes, entry.offset as usize)
+                .map_err(|reason| HeapMdError::corrupt(entry.offset, reason))?;
+            if kind != KIND_META {
+                return Err(HeapMdError::corrupt(
+                    entry.offset,
+                    "index entry disagrees with meta block header",
+                ));
+            }
+            if let Some(info) = decode_sampling_meta(payload)
+                .map_err(|reason| HeapMdError::corrupt(entry.offset, reason))?
+            {
+                sampling = Some(info);
+            }
+        }
+        Ok(sampling)
+    }
+
     /// Decodes one event block into `out` (cleared first). Reusing one
     /// buffer across blocks keeps steady-state decoding allocation-free.
     ///
@@ -924,6 +974,7 @@ impl BinaryTraceImage {
             trace.push(ev);
         }
         trace.set_functions(self.functions()?);
+        trace.set_sampling(self.sampling()?);
         Ok(trace)
     }
 }
@@ -1000,6 +1051,7 @@ impl BinaryTraceReader {
 fn salvage_bytes(bytes: &[u8]) -> (Trace, SalvageStats) {
     let mut events: Vec<HeapEvent> = Vec::new();
     let mut functions: Vec<String> = Vec::new();
+    let mut sampling: Option<SamplingInfo> = None;
     let mut block_buf: Vec<HeapEvent> = Vec::new();
     let mut records = 0u64;
     let mut valid_bytes = 0u64;
@@ -1066,9 +1118,15 @@ fn salvage_bytes(bytes: &[u8]) -> (Trace, SalvageStats) {
                         saw_index = true;
                         decode_index_payload(payload, count).is_ok()
                     }
-                    // Meta blocks carry no trace data; their CRC already
-                    // passed, so they count as intact.
-                    _ => true,
+                    // Meta blocks already passed their CRC; recognized
+                    // sampling payloads are recovered, other tags are
+                    // opaque — both count as intact.
+                    _ => {
+                        if let Ok(Some(info)) = decode_sampling_meta(payload) {
+                            sampling = Some(info);
+                        }
+                        true
+                    }
                 };
                 if intact {
                     records += 1;
@@ -1106,6 +1164,7 @@ fn salvage_bytes(bytes: &[u8]) -> (Trace, SalvageStats) {
         trace.push(ev);
     }
     trace.set_functions(functions);
+    trace.set_sampling(sampling);
     (
         trace,
         SalvageStats {
@@ -1142,6 +1201,10 @@ impl Trace {
         }
         if !self.functions().is_empty() {
             w.write_functions(self.functions())
+                .expect("Vec sink cannot fail");
+        }
+        if let Some(info) = self.sampling() {
+            w.write_meta(&encode_sampling_meta(&info))
                 .expect("Vec sink cannot fail");
         }
         w.finish().expect("Vec sink cannot fail")
@@ -1322,6 +1385,62 @@ pub fn load_trace_auto(
 }
 
 // ---------------------------------------------------------------------
+// Sampling metadata payloads
+// ---------------------------------------------------------------------
+
+/// Tag prefix of a sampling-outcome meta payload. Meta blocks are
+/// opaque by contract; readers key on this tag and ignore payloads they
+/// do not recognize, so future meta kinds coexist with old readers.
+const SAMPLING_META_TAG: &[u8; 4] = b"SMPL";
+
+/// Encodes a [`SamplingInfo`] as a tagged meta-block payload (see
+/// [`BinaryTraceWriter::write_meta`]).
+pub fn encode_sampling_meta(info: &SamplingInfo) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 + 4 * 10);
+    payload.extend_from_slice(SAMPLING_META_TAG);
+    put_varint(&mut payload, info.hot_threshold);
+    put_varint(&mut payload, info.decimation);
+    put_varint(&mut payload, info.kept_stores);
+    put_varint(&mut payload, info.total_stores);
+    payload
+}
+
+/// Decodes a sampling-outcome meta payload. `Ok(None)` for payloads
+/// carrying some other (unrecognized) tag — those are not corruption.
+///
+/// # Errors
+///
+/// Returns a reason string when the payload carries the sampling tag
+/// but is malformed.
+pub(crate) fn decode_sampling_meta(payload: &[u8]) -> Result<Option<SamplingInfo>, String> {
+    if payload.len() < 4 || &payload[..4] != SAMPLING_META_TAG {
+        return Ok(None);
+    }
+    let mut pos = 4usize;
+    let hot_threshold = get_varint(payload, &mut pos)?;
+    let decimation = get_varint(payload, &mut pos)?;
+    let kept_stores = get_varint(payload, &mut pos)?;
+    let total_stores = get_varint(payload, &mut pos)?;
+    if pos != payload.len() {
+        return Err("sampling meta payload carries trailing bytes".into());
+    }
+    if decimation == 0 {
+        return Err("sampling meta declares decimation 0".into());
+    }
+    if kept_stores > total_stores {
+        return Err(format!(
+            "sampling meta declares {kept_stores} kept of {total_stores} total stores"
+        ));
+    }
+    Ok(Some(SamplingInfo {
+        hot_threshold,
+        decimation,
+        kept_stores,
+        total_stores,
+    }))
+}
+
+// ---------------------------------------------------------------------
 // Meta container (CRC-protected checkpoint payloads)
 // ---------------------------------------------------------------------
 
@@ -1436,6 +1555,7 @@ pub fn replay_binary(
 ) -> Result<MetricReport, HeapMdError> {
     let functions = image.functions()?;
     let table_len = functions.len();
+    let rate = image.sampling()?.map_or(1.0, |s| s.rate());
     let mut replayer = Replayer::new(settings.clone(), &functions);
     pipeline_blocks(image, |events| -> Result<(), HeapMdError> {
         if table_len > 0 {
@@ -1444,7 +1564,11 @@ pub fn replay_binary(
         replayer.ingest_batch(events);
         Ok(())
     })?;
-    Ok(MetricReport::new(run, replayer.take_samples()))
+    Ok(MetricReport::with_sample_rate(
+        run,
+        replayer.take_samples(),
+        rate,
+    ))
 }
 
 /// Replays a binary trace image on the calling thread: each block
@@ -1467,6 +1591,7 @@ pub fn replay_binary_fused(
 ) -> Result<MetricReport, HeapMdError> {
     let functions = image.functions()?;
     let table_len = functions.len();
+    let rate = image.sampling()?.map_or(1.0, |s| s.rate());
     let mut replayer = Replayer::new(settings.clone(), &functions);
     let mut buf = Vec::with_capacity(EVENTS_PER_BLOCK);
     for entry in image.event_blocks() {
@@ -1476,7 +1601,52 @@ pub fn replay_binary_fused(
         }
         replayer.ingest_batch(&buf);
     }
-    Ok(MetricReport::new(run, replayer.take_samples()))
+    Ok(MetricReport::with_sample_rate(
+        run,
+        replayer.take_samples(),
+        rate,
+    ))
+}
+
+/// [`replay_binary_fused`] with a live [`swat::SampledIngest`] filter
+/// in front of graph ingestion: re-samples the (unsampled) recorded
+/// stream under `config`, exactly as a production process monitoring
+/// behind the filter would have seen it. Returns the report — whose
+/// `sample_rate` is the *measured* rate — plus the full
+/// [`SamplingInfo`].
+///
+/// The result is bit-identical to recording the trace through a
+/// sampled [`crate::Process`] and replaying that artifact: with
+/// `decimation == 1` it matches [`replay_binary_fused`] sample for
+/// sample.
+///
+/// # Errors
+///
+/// [`HeapMdError::Corrupt`] / [`HeapMdError::InvalidInput`], exactly as
+/// [`replay_binary_fused`].
+pub fn replay_binary_fused_sampled(
+    image: &BinaryTraceImage,
+    settings: &Settings,
+    run: impl Into<String>,
+    config: SamplerConfig,
+) -> Result<(MetricReport, SamplingInfo), HeapMdError> {
+    let functions = image.functions()?;
+    let table_len = functions.len();
+    let mut replayer = Replayer::new(settings.clone(), &functions);
+    replayer.enable_sampling(config);
+    let mut buf = Vec::with_capacity(EVENTS_PER_BLOCK);
+    for entry in image.event_blocks() {
+        image.decode_block_into(entry, &mut buf)?;
+        if table_len > 0 {
+            validate_block_function_ids(&buf, table_len)?;
+        }
+        replayer.ingest_batch(&buf);
+    }
+    let info = replayer
+        .sampling_info()
+        .expect("sampling was enabled above");
+    let samples = replayer.take_samples();
+    Ok((MetricReport::with_sample_rate(run, samples, info.rate()), info))
 }
 
 /// Checks a binary trace image against `model` post-mortem through the
@@ -1521,6 +1691,9 @@ pub fn check_binary_sharded(
         .max(settings.trim_count(total_samples));
     let mut detector = crate::detector::AnomalyDetector::new(model.clone(), settings.clone());
     let mut replayer = Replayer::with_shards(settings, &functions, shards);
+    // An already-decimated recording carries its measured rate in a
+    // meta block; the detector widens its ranges by it.
+    replayer.set_rate_override(image.sampling()?.map_or(1.0, |s| s.rate()));
     pipeline_blocks(image, |events| -> Result<(), HeapMdError> {
         if table_len > 0 {
             validate_block_function_ids(events, table_len)?;
@@ -1534,6 +1707,51 @@ pub fn check_binary_sharded(
     let mut monitors: [&mut dyn crate::monitor::Monitor; 1] = [&mut detector];
     replayer.finish(&mut monitors);
     Ok(detector.take_bugs())
+}
+
+/// [`check_binary_sharded`] with a live [`swat::SampledIngest`] filter
+/// re-sampling the (unsampled) stream under `config` before detection:
+/// the production-overhead verdict for a full-fidelity recording. The
+/// detector observes the measured effective rate as it evolves and
+/// widens its calibrated ranges accordingly. With `decimation == 1`
+/// the verdicts are bit-identical to [`check_binary_sharded`].
+///
+/// # Errors
+///
+/// [`HeapMdError::Corrupt`] / [`HeapMdError::InvalidInput`].
+pub fn check_binary_sharded_sampled(
+    image: &BinaryTraceImage,
+    model: &HeapModel,
+    settings: &Settings,
+    shards: usize,
+    config: SamplerConfig,
+) -> Result<(Vec<BugReport>, SamplingInfo), HeapMdError> {
+    let functions = image.functions()?;
+    let table_len = functions.len();
+    let total_samples = (image.index().total_fn_enters / settings.frq) as usize;
+    let mut settings = settings.clone();
+    settings.warmup_samples = settings
+        .warmup_samples
+        .max(settings.trim_count(total_samples));
+    let mut detector = crate::detector::AnomalyDetector::new(model.clone(), settings.clone());
+    let mut replayer = Replayer::with_shards(settings, &functions, shards);
+    replayer.enable_sampling(config);
+    pipeline_blocks(image, |events| -> Result<(), HeapMdError> {
+        if table_len > 0 {
+            validate_block_function_ids(events, table_len)?;
+        }
+        let mut monitors: [&mut dyn crate::monitor::Monitor; 1] = [&mut detector];
+        for ev in events {
+            replayer.step(ev, &mut monitors);
+        }
+        Ok(())
+    })?;
+    let mut monitors: [&mut dyn crate::monitor::Monitor; 1] = [&mut detector];
+    replayer.finish(&mut monitors);
+    let info = replayer
+        .sampling_info()
+        .expect("sampling was enabled above");
+    Ok((detector.take_bugs(), info))
 }
 
 pub(crate) fn validate_block_function_ids(
@@ -1680,8 +1898,10 @@ pub enum WireFrame {
     Events(Vec<HeapEvent>),
     /// The interned function-name table (written at stream finish).
     Functions(Vec<String>),
-    /// A metadata block; carries nothing replay needs.
-    Meta,
+    /// A metadata block: the raw (CRC-verified) payload. Replay needs
+    /// nothing from it, but the serving layer decodes recognized tags
+    /// (e.g. the sampling outcome via [`encode_sampling_meta`]).
+    Meta(Vec<u8>),
     /// The trailing index plus a verified footer: the clean end of the
     /// stream. No further frames follow.
     End(BlockIndex),
@@ -1850,7 +2070,7 @@ impl<R: Read> WireReader<R> {
             KIND_FUNCTIONS => decode_functions_payload(&payload, count)
                 .map(WireFrame::Functions)
                 .map_err(|r| HeapMdError::corrupt(block_start, r)),
-            KIND_META => Ok(WireFrame::Meta),
+            KIND_META => Ok(WireFrame::Meta(payload)),
             _ => {
                 let index = decode_index_payload(&payload, count)
                     .map_err(|r| HeapMdError::corrupt(block_start, r))?;
@@ -2099,6 +2319,7 @@ mod tests {
             locally_stable: vec![],
             candidate_stable: vec![],
             candidate_unstable: vec![],
+            sample_rate: 1.0,
             training_runs: 3,
         };
         let settings = Settings::builder()
@@ -2155,6 +2376,7 @@ mod tests {
             locally_stable: vec![],
             candidate_stable: vec![],
             candidate_unstable: vec![],
+            sample_rate: 1.0,
             training_runs: 3,
         };
         let settings = Settings::builder()
@@ -2231,7 +2453,7 @@ mod tests {
             match reader.next_frame().expect("intact stream") {
                 WireFrame::Events(mut v) => events.append(&mut v),
                 WireFrame::Functions(f) => functions = f,
-                WireFrame::Meta => {}
+                WireFrame::Meta(_) => {}
                 WireFrame::End(index) => break index,
             }
         };

@@ -58,6 +58,10 @@ pub struct MetricGauge {
     /// Distance outside the calibrated (margin-widened) range; 0 while
     /// inside it.
     pub distance: f64,
+    /// Full width of the accepted band (`hi - lo`) after the range
+    /// margin and any sampling-confidence widening. A sampled tenant
+    /// carries a wider band than an unsampled one on the same model.
+    pub band: f64,
     /// One of [`STATUS_OK`], [`STATUS_NEAR_EDGE`], [`STATUS_OUT`].
     pub status: u8,
 }
@@ -90,6 +94,9 @@ pub struct TenantStats {
     evicted: AtomicBool,
     armed: AtomicBool,
     anomalous: AtomicBool,
+    /// `f64::to_bits` of the announced store-sampling rate; 0 (the
+    /// atomic default) means "never announced" and reads as 1.0.
+    sample_rate_bits: AtomicU64,
     last_anomaly: Mutex<String>,
     metrics: Mutex<Vec<MetricGauge>>,
     verdicts: Mutex<Vec<MetricVerdict>>,
@@ -145,6 +152,21 @@ impl TenantStats {
     /// edge or out of range).
     pub fn set_armed(&self, armed: bool) {
         self.armed.store(armed, Relaxed);
+    }
+
+    /// Records the effective store-sampling rate announced by the
+    /// tenant's stream, in `(0, 1]` (`1.0` = every store observed).
+    pub fn set_sample_rate(&self, rate: f64) {
+        self.sample_rate_bits.store(rate.to_bits(), Relaxed);
+    }
+
+    /// The announced store-sampling rate; `1.0` until a stream
+    /// announces one.
+    pub fn sample_rate(&self) -> f64 {
+        match self.sample_rate_bits.load(Relaxed) {
+            0 => 1.0,
+            bits => f64::from_bits(bits),
+        }
     }
 
     /// Marks the tenant's stream open or closed.
@@ -210,6 +232,7 @@ impl TenantStats {
             evicted: self.evicted.load(Relaxed),
             armed: self.armed.load(Relaxed),
             anomalous: self.anomalous.load(Relaxed),
+            sample_rate: self.sample_rate(),
             last_anomaly: self.last_anomaly.lock().unwrap().clone(),
             glyphs,
             metrics,
@@ -247,6 +270,8 @@ pub struct TenantRow {
     pub armed: bool,
     /// At least one verdict raised a report.
     pub anomalous: bool,
+    /// Announced store-sampling rate (`1.0` = unsampled stream).
+    pub sample_rate: f64,
     /// Most recent anomaly description; empty if none.
     pub last_anomaly: String,
     /// One status glyph per stable metric (`-` before the first sample).
@@ -591,17 +616,28 @@ impl FleetSnapshot {
             &|r| u8::from(r.anomalous).to_string(),
             &mut out,
         );
+        family(
+            "heapmd_tenant_sample_rate",
+            "gauge",
+            &|r| r.sample_rate.to_string(),
+            &mut out,
+        );
         let with_metrics = self.tenants.iter().any(|r| !r.metrics.is_empty());
         if with_metrics {
             for (name, pick) in [
                 ("heapmd_tenant_metric_value", 0u8),
                 ("heapmd_tenant_metric_distance", 1u8),
+                ("heapmd_tenant_metric_band", 2u8),
             ] {
                 let _ = writeln!(out, "# TYPE {name} gauge");
                 for row in &self.tenants {
                     let tenant = escape_label_value(&row.name);
                     for m in &row.metrics {
-                        let v = if pick == 0 { m.value } else { m.distance };
+                        let v = match pick {
+                            0 => m.value,
+                            1 => m.distance,
+                            _ => m.band,
+                        };
                         let _ = writeln!(
                             out,
                             "{name}{{tenant=\"{tenant}\",metric=\"{}\"}} {v}",
@@ -737,6 +773,11 @@ impl FleetSnapshot {
                 .field_str("status", t.status())
                 .field_bool("armed", t.armed)
                 .field_bool("anomalous", t.anomalous)
+                .field_f64("sample_rate", t.sample_rate)
+                .field_f64(
+                    "band_max",
+                    t.metrics.iter().fold(0.0, |acc, m| m.band.max(acc)),
+                )
                 .field_str("glyphs", &t.glyphs)
                 .field_str("last_anomaly", &t.last_anomaly);
             out.push_str(&line.finish());
@@ -756,12 +797,14 @@ mod tests {
                 metric: "Outdeg=1".into(),
                 value: 40.0,
                 distance: 0.0,
+                band: 12.0,
                 status: STATUS_OK,
             },
             MetricGauge {
                 metric: "In=Out".into(),
                 value: 9.0,
                 distance: 2.5,
+                band: 4.0,
                 status: STATUS_OUT,
             },
         ]
@@ -782,6 +825,7 @@ mod tests {
             metric: "In=Out".into(),
             value: 5.0,
             distance: 0.5,
+            band: 4.0,
             status: STATUS_OUT,
         }]);
         let snap = fleet.snapshot();

@@ -36,17 +36,22 @@ fn render() -> String {
     quiet.record_events(4096);
     quiet.record_sample();
     quiet.set_rate(2048);
+    // tenant-a streams at a 25% store-sampling rate, so its accepted
+    // bands carry the confidence widening.
+    quiet.set_sample_rate(0.25);
     quiet.set_metrics(vec![
         MetricGauge {
             metric: "indeg1".to_string(),
             value: 1.5,
             distance: 0.0,
+            band: 3.5,
             status: STATUS_OK,
         },
         MetricGauge {
             metric: "leaves".to_string(),
             value: 0.25,
             distance: 0.0,
+            band: 1.25,
             status: STATUS_NEAR_EDGE,
         },
     ]);
@@ -79,6 +84,7 @@ fn render() -> String {
         metric: "indeg1".to_string(),
         value: 9.5,
         distance: 2.5,
+        band: 0.5,
         status: STATUS_OUT,
     }]);
     let evictee = fleet.connect("slowpoke");

@@ -6,16 +6,20 @@
 //! This sampler keys on allocation sites as the code-path proxy: cold
 //! sites record every access; once a site crosses a hotness threshold,
 //! only every `decimation`-th access is recorded.
+//!
+//! The per-site counters live in a dense `Vec` indexed by the site id
+//! (allocation sites are interned small integers, the same slab idiom
+//! the heap graph uses), so the per-event cost is an index and an
+//! increment — no hashing on the hot path.
 
-use heapmd::AllocSite;
-use std::collections::HashMap;
+use sim_heap::AllocSite;
 
 /// Per-site adaptive access sampler.
 ///
 /// # Example
 ///
 /// ```
-/// use heapmd::AllocSite;
+/// use sim_heap::AllocSite;
 /// use swat::AdaptiveSampler;
 ///
 /// let mut s = AdaptiveSampler::new(4, 2);
@@ -26,9 +30,11 @@ use std::collections::HashMap;
 /// let hot: Vec<bool> = (0..4).map(|_| s.record(site)).collect();
 /// assert_eq!(hot, [false, true, false, true]);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct AdaptiveSampler {
-    counts: HashMap<AllocSite, u64>,
+    /// Access count per site id; sites the program never touched cost
+    /// nothing beyond the dense slot.
+    counts: Vec<u64>,
     hot_threshold: u64,
     decimation: u64,
 }
@@ -43,32 +49,40 @@ impl AdaptiveSampler {
     pub fn new(hot_threshold: u64, decimation: u64) -> Self {
         assert!(decimation > 0, "decimation must be positive");
         AdaptiveSampler {
-            counts: HashMap::new(),
+            counts: Vec::new(),
             hot_threshold,
             decimation,
         }
     }
 
+    #[inline]
+    fn slot(&mut self, site: AllocSite) -> &mut u64 {
+        let idx = site.0 as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        &mut self.counts[idx]
+    }
+
     /// Registers an access at `site`; returns `true` when the access
     /// should be recorded.
+    #[inline]
     pub fn record(&mut self, site: AllocSite) -> bool {
-        let count = self.counts.entry(site).or_insert(0);
+        let hot = self.hot_threshold;
+        let dec = self.decimation;
+        let count = self.slot(site);
         *count += 1;
-        if *count <= self.hot_threshold {
-            true
-        } else {
-            (*count - self.hot_threshold).is_multiple_of(self.decimation)
-        }
+        *count <= hot || (*count - hot).is_multiple_of(dec)
     }
 
     /// Total accesses seen at `site`.
     pub fn accesses(&self, site: AllocSite) -> u64 {
-        self.counts.get(&site).copied().unwrap_or(0)
+        self.counts.get(site.0 as usize).copied().unwrap_or(0)
     }
 
     /// Number of distinct sites seen.
     pub fn sites(&self) -> usize {
-        self.counts.len()
+        self.counts.iter().filter(|&&c| c > 0).count()
     }
 }
 
@@ -104,6 +118,21 @@ mod tests {
         assert!(s.record(b), "b is still cold");
         assert_eq!(s.sites(), 2);
         assert_eq!(s.accesses(AllocSite(99)), 0);
+    }
+
+    #[test]
+    fn sparse_site_ids_are_tolerated() {
+        let mut s = AdaptiveSampler::new(1, 2);
+        assert!(s.record(AllocSite(1_000)));
+        assert_eq!(s.accesses(AllocSite(1_000)), 1);
+        assert_eq!(s.sites(), 1);
+    }
+
+    #[test]
+    fn decimation_one_never_drops() {
+        let mut s = AdaptiveSampler::new(0, 1);
+        let site = AllocSite(3);
+        assert!((0..1_000).all(|_| s.record(site)));
     }
 
     #[test]

@@ -4,12 +4,12 @@ use crate::{Input, Workload};
 use faults::FaultPlan;
 use heapmd::{
     AnomalyDetector, BugReport, HeapModel, IncidentBundle, IncidentLog, MetricReport, ModelBuilder,
-    ModelOutcome, Monitor, Process, Settings,
+    ModelOutcome, Monitor, Process, SamplerConfig, Settings,
 };
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Per-series point budget for the flight recorder attached by
 /// [`check_with_incidents`]: enough to span long runs after
@@ -33,9 +33,38 @@ pub fn default_shards() -> usize {
     DEFAULT_SHARDS.load(Ordering::Relaxed)
 }
 
-/// Builds a workload process honoring [`default_shards`].
+/// Production-overhead sampling for harness-built processes, packed as
+/// `hot_threshold << 32 | decimation` (both knobs are well under 2^32
+/// in practice; values are clamped on set). Zero = sampling off, the
+/// default — training and tests stay exact unless a driver opts in.
+static DEFAULT_SAMPLER: AtomicU64 = AtomicU64::new(0);
+
+/// Sets (or clears, with `None`) the store-sampling config applied to
+/// every process the harness builds from now on — the CLI's `--sample`
+/// flags land here.
+pub fn set_default_sampler(config: Option<SamplerConfig>) {
+    let packed = config.map_or(0, |c| {
+        let hot = c.hot_threshold.min(u64::from(u32::MAX));
+        let dec = c.decimation.clamp(1, u64::from(u32::MAX));
+        (hot << 32) | dec
+    });
+    DEFAULT_SAMPLER.store(packed, Ordering::Relaxed);
+}
+
+/// The sampling config harness-built processes currently apply, if any.
+pub fn default_sampler() -> Option<SamplerConfig> {
+    let packed = DEFAULT_SAMPLER.load(Ordering::Relaxed);
+    (packed != 0).then(|| SamplerConfig::new(packed >> 32, packed & u64::from(u32::MAX)))
+}
+
+/// Builds a workload process honoring [`default_shards`] and
+/// [`default_sampler`].
 fn new_process(settings: Settings) -> Process {
-    Process::with_shards(settings, default_shards())
+    let mut p = Process::with_shards(settings, default_shards());
+    if let Some(config) = default_sampler() {
+        p.enable_sampling(config);
+    }
+    p
 }
 
 /// The settings a program is normally analysed under: paper thresholds,

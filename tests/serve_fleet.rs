@@ -17,7 +17,8 @@ use faults::{FaultConfig, FaultId, FaultPlan};
 use heapmd::serve::push_trace;
 use heapmd::{
     connect_session, push_trace_resumable, BugReport, Conn, Dialer, FuncId, HeapModel, Process,
-    RetryPolicy, ServeConfig, Server, SessionOptions, Settings, Trace, SERVE_PREAMBLE,
+    RetryPolicy, SamplerConfig, ServeConfig, Server, SessionOptions, Settings, Trace,
+    SERVE_PREAMBLE,
 };
 use proptest::prelude::*;
 use std::io::Write as _;
@@ -674,4 +675,141 @@ fn model_dir_checks_tenants_against_their_own_override() {
         "tenant without an override falls back to the shared model"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Parses every `name{tenant="<tenant>",metric="<m>"} v` sample of one
+/// Prometheus family out of a scrape body.
+fn scrape_metric_family(body: &str, name: &str, tenant: &str) -> Vec<(String, f64)> {
+    let prefix = format!("{name}{{tenant=\"{tenant}\",metric=\"");
+    body.lines()
+        .filter_map(|l| l.strip_prefix(&prefix))
+        .filter_map(|rest| {
+            let (metric, value) = rest.split_once("\"} ")?;
+            Some((metric.to_string(), value.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Parses a single-valued per-tenant gauge from a scrape body.
+fn scrape_tenant_gauge(body: &str, name: &str, tenant: &str) -> Option<f64> {
+    let prefix = format!("{name}{{tenant=\"{tenant}\"}} ");
+    body.lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Production-overhead mode end to end: a tenant streaming a sampled
+/// recording must show its effective rate and confidence-widened
+/// accepted bands on `/metrics` and `/fleet.jsonl`, strictly wider
+/// than an exact tenant checked against the same model — and its
+/// verdict must match the offline check of the sampled trace.
+#[test]
+fn sampled_tenant_reports_widened_bands_next_to_exact_tenant() {
+    let fx = webapp_fixture();
+    let config = SamplerConfig::new(64, 8);
+    let sampled_trace = fx.trace.sampled(config);
+    let rate = sampled_trace.sample_rate();
+    assert!(
+        rate > 0.0 && rate < 1.0,
+        "fixture must actually decimate stores (rate {rate})"
+    );
+    let expected_sampled = sampled_trace
+        .check(&fx.model, &fx.model.settings)
+        .expect("offline check of the sampled trace");
+
+    let server = Server::start(
+        ServeConfig::new(fx.model.clone()),
+        "127.0.0.1:0",
+        "127.0.0.1:0",
+    )
+    .expect("start daemon");
+    let ingest = server.ingest_addr().to_string();
+    push_trace(&ingest, "exact", &fx.trace).expect("push exact");
+    push_trace(&ingest, "sampled", &sampled_trace).expect("push sampled");
+
+    let fleet = server.fleet();
+    assert!(
+        wait_until(Duration::from_secs(30), || {
+            let snap = fleet.snapshot();
+            snap.tenants_total == 2 && snap.connected == 0
+        }),
+        "daemon never drained"
+    );
+
+    let metrics = http_get(server.http_addr(), "/metrics");
+    assert_eq!(
+        scrape_tenant_gauge(&metrics, "heapmd_tenant_sample_rate", "exact"),
+        Some(1.0),
+        "exact tenant scrapes rate 1:\n{metrics}"
+    );
+    let scraped_rate = scrape_tenant_gauge(&metrics, "heapmd_tenant_sample_rate", "sampled")
+        .expect("sampled tenant sample-rate gauge");
+    assert!(
+        (scraped_rate - rate).abs() < 1e-9,
+        "scraped rate {scraped_rate} != announced rate {rate}"
+    );
+
+    let exact_bands = scrape_metric_family(&metrics, "heapmd_tenant_metric_band", "exact");
+    let sampled_bands = scrape_metric_family(&metrics, "heapmd_tenant_metric_band", "sampled");
+    assert!(
+        !exact_bands.is_empty() && !sampled_bands.is_empty(),
+        "both tenants must publish band gauges:\n{metrics}"
+    );
+    let mut compared = 0;
+    for (metric, wide) in &sampled_bands {
+        if let Some((_, narrow)) = exact_bands.iter().find(|(m, _)| m == metric) {
+            assert!(
+                wide > narrow,
+                "{metric}: sampled band {wide} must exceed exact band {narrow}"
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared > 0, "tenants share no band metrics:\n{metrics}");
+
+    // The firehose carries the same story: rate and the widened
+    // per-tenant band roll into each tenant line.
+    let firehose = http_get(server.http_addr(), "/fleet.jsonl");
+    let tenant_line = |name: &str| {
+        firehose
+            .lines()
+            .find(|l| l.contains("\"type\":\"tenant\"") && l.contains(&format!("\"name\":\"{name}\"")))
+            .unwrap_or_else(|| panic!("no firehose line for {name}:\n{firehose}"))
+            .to_string()
+    };
+    let exact_line = tenant_line("exact");
+    let sampled_line = tenant_line("sampled");
+    assert!(
+        exact_line.contains("\"sample_rate\":1"),
+        "exact tenant rate in firehose: {exact_line}"
+    );
+    let json_f64 = |line: &str, key: &str| -> f64 {
+        let rest = &line[line.find(&format!("\"{key}\":")).expect(key) + key.len() + 3..];
+        rest.split(|c: char| c == ',' || c == '}')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .expect("numeric field")
+    };
+    let firehose_rate = json_f64(&sampled_line, "sample_rate");
+    assert!(
+        (firehose_rate - rate).abs() < 1e-9,
+        "firehose rate {firehose_rate} != {rate}"
+    );
+    assert!(
+        json_f64(&sampled_line, "band_max") > json_f64(&exact_line, "band_max"),
+        "sampled band_max must exceed exact band_max:\nexact: {exact_line}\nsampled: {sampled_line}"
+    );
+
+    server.shutdown();
+    let summary = server.wait();
+    let exact = summary.tenants.get("exact").expect("exact outcome");
+    assert_eq!(
+        exact.bugs, fx.expected,
+        "exact tenant verdict matches the offline check"
+    );
+    let sampled = summary.tenants.get("sampled").expect("sampled outcome");
+    assert_eq!(
+        sampled.bugs, expected_sampled,
+        "sampled tenant verdict matches the offline check of the sampled trace"
+    );
 }

@@ -17,10 +17,14 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 struct FieldAttrs {
     skip: bool,
     default: bool,
+    /// Path named by `#[serde(default = "path")]`: the function called
+    /// for the field's value when the key is absent (real serde
+    /// semantics), instead of `Default::default()`.
+    default_path: Option<String>,
 }
 
 #[derive(Debug)]
@@ -95,14 +99,34 @@ impl Cursor {
                         if let Some(TokenTree::Ident(id)) = inner.first() {
                             if id.to_string() == "serde" {
                                 if let Some(TokenTree::Group(args)) = inner.get(1) {
-                                    for t in args.stream() {
-                                        if let TokenTree::Ident(flag) = t {
+                                    let toks: Vec<TokenTree> =
+                                        args.stream().into_iter().collect();
+                                    let mut i = 0;
+                                    while i < toks.len() {
+                                        if let TokenTree::Ident(flag) = &toks[i] {
                                             match flag.to_string().as_str() {
                                                 "skip" => attrs.skip = true,
-                                                "default" => attrs.default = true,
+                                                "default" => {
+                                                    attrs.default = true;
+                                                    // `default = "path"`
+                                                    if let (
+                                                        Some(TokenTree::Punct(eq)),
+                                                        Some(TokenTree::Literal(lit)),
+                                                    ) = (toks.get(i + 1), toks.get(i + 2))
+                                                    {
+                                                        if eq.as_char() == '=' {
+                                                            let s = lit.to_string();
+                                                            attrs.default_path = Some(
+                                                                s.trim_matches('"').to_string(),
+                                                            );
+                                                            i += 2;
+                                                        }
+                                                    }
+                                                }
                                                 _ => {}
                                             }
                                         }
+                                        i += 1;
                                     }
                                 }
                             }
@@ -356,10 +380,14 @@ fn gen_deserialize_named(ty_label: &str, src: &str, fields: &[NamedField]) -> St
                 n = f.name
             ));
         } else if f.attrs.default {
+            let fallback = match &f.attrs.default_path {
+                Some(path) => format!("{path}()"),
+                None => "::std::default::Default::default()".to_string(),
+            };
             out.push_str(&format!(
                 "{n}: match ::serde::obj_field({src}, \"{n}\") {{ \
                     ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
-                    ::std::option::Option::None => ::std::default::Default::default() }},\n",
+                    ::std::option::Option::None => {fallback} }},\n",
                 n = f.name
             ));
         } else {
